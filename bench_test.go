@@ -1,0 +1,132 @@
+package redn
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// runs the corresponding experiment on the simulated testbed and
+// reports its headline numbers as custom metrics (units mirror the
+// paper: microseconds of virtual time, operations per virtual second).
+// cmd/redn-bench prints the full tables; EXPERIMENTS.md records
+// paper-versus-measured values.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func report(b *testing.B, r *experiments.Result) {
+	b.Helper()
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		unit := strings.NewReplacer(" ", "_", "<", "", "=", "").Replace(k)
+		b.ReportMetric(r.Metrics[k], unit)
+	}
+}
+
+// BenchmarkTable1_VerbScaling reproduces Table 1: verb processing rate
+// across ConnectX generations (64B WRITE flood, one port).
+func BenchmarkTable1_VerbScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Table1())
+	}
+}
+
+// BenchmarkTable2_ConstructCost reproduces Table 2: WR budgets of the
+// if and while constructs.
+func BenchmarkTable2_ConstructCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Table2())
+	}
+}
+
+// BenchmarkTable3_Throughput reproduces Table 3: verb and construct
+// throughput on one ConnectX-5 port.
+func BenchmarkTable3_Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Table3())
+	}
+}
+
+// BenchmarkTable4_LookupThroughput reproduces Table 4: hash-lookup
+// throughput and bottlenecks by IO size and port count.
+func BenchmarkTable4_LookupThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Table4())
+	}
+}
+
+// BenchmarkTable5_VsStRoM reproduces Table 5: RedN get latency
+// distribution against StRoM's published FPGA numbers.
+func BenchmarkTable5_VsStRoM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Table5())
+	}
+}
+
+// BenchmarkFig7_VerbLatency reproduces Fig 7: per-verb latencies.
+func BenchmarkFig7_VerbLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig7())
+	}
+}
+
+// BenchmarkFig8_Ordering reproduces Fig 8: chain latency under WQ,
+// completion and doorbell ordering.
+func BenchmarkFig8_Ordering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig8())
+	}
+}
+
+// BenchmarkFig10_HashLookup reproduces Fig 10: get latency by value
+// size, RedN versus one-sided and two-sided baselines.
+func BenchmarkFig10_HashLookup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig10())
+	}
+}
+
+// BenchmarkFig11_Collisions reproduces Fig 11: gets under forced
+// second-bucket collisions, sequential versus parallel probing.
+func BenchmarkFig11_Collisions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig11())
+	}
+}
+
+// BenchmarkFig13_ListWalk reproduces Fig 13: linked-list traversal
+// latency and WR budgets with and without breaks.
+func BenchmarkFig13_ListWalk(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig13())
+	}
+}
+
+// BenchmarkFig14_Memcached reproduces Fig 14: Memcached get latency by
+// IO size against one-sided and VMA baselines.
+func BenchmarkFig14_Memcached(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig14())
+	}
+}
+
+// BenchmarkFig15_Isolation reproduces Fig 15: reader latency under
+// writer contention — the 35x tail isolation result.
+func BenchmarkFig15_Isolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig15())
+	}
+}
+
+// BenchmarkFig16_Failover reproduces Fig 16: throughput across a
+// process crash, hull-parent RedN versus vanilla restart.
+func BenchmarkFig16_Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Fig16())
+	}
+}

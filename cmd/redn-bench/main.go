@@ -1,0 +1,45 @@
+// Command redn-bench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	redn-bench            # run everything, paper order
+//	redn-bench fig10      # run one experiment
+//	redn-bench list       # list experiment ids
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		for _, r := range experiments.All() {
+			r.Print(os.Stdout)
+		}
+		return
+	}
+	if args[0] == "list" {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ok := true
+	for _, id := range args {
+		r := experiments.ByID(id)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'redn-bench list')\n", id)
+			ok = false
+			continue
+		}
+		r.Print(os.Stdout)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

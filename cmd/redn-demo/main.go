@@ -1,0 +1,117 @@
+// Command redn-demo is a guided tour of the RedN reproduction: it
+// demonstrates the prefetch hazard, the self-modifying conditional, WQ
+// recycling, and an offloaded key-value get, narrating each mechanism.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hopscotch"
+	"repro/internal/mem"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/wqe"
+)
+
+func section(title string) { fmt.Printf("\n== %s ==\n", title) }
+
+func main() {
+	fmt.Println("RedN on a simulated ConnectX-5: the mechanisms, one by one.")
+
+	section("1. prefetch incoherence (why doorbell ordering exists)")
+	{
+		eng := sim.NewEngine()
+		dev := rnic.New(eng, mem.New(1<<20), rnic.ConnectX5(), 1)
+		qp := dev.NewLoopbackQP(rnic.QPConfig{})
+		flag := dev.Mem().Alloc(8, 8)
+		qp.PostSend(wqe.WQE{Op: wqe.OpNoop})
+		idx := qp.PostSend(wqe.WQE{Op: wqe.OpWrite, Dst: flag, Len: 8, Cmp: 1,
+			Flags: wqe.FlagSignaled | wqe.FlagInline})
+		qp.RingSQ()
+		// Rewrite the WQE right after the doorbell: too late.
+		eng.At(dev.Profile().Doorbell+1, func() {
+			dev.Mem().PutU64(qp.SQSlotAddr(idx)+wqe.OffCmp, 2)
+		})
+		eng.Run()
+		v, _ := dev.Mem().U64(flag)
+		fmt.Printf("  unmanaged WQ: modified a posted WQE after the doorbell; NIC executed the stale snapshot -> %d (not 2)\n", v)
+	}
+
+	section("2. the conditional: CAS flips a NOOP's opcode (Fig 4)")
+	{
+		eng := sim.NewEngine()
+		dev := rnic.New(eng, mem.New(1<<20), rnic.ConnectX5(), 1)
+		b := core.NewBuilder(dev, 64)
+		out := dev.Mem().Alloc(8, 8)
+		tq, cq := b.NewManagedQP(8), b.NewManagedQP(8)
+		target := b.Post(tq, wqe.WQE{Op: wqe.OpNoop, ID: 5, Dst: out, Len: 8, Cmp: 1,
+			Flags: wqe.FlagSignaled | wqe.FlagInline})
+		b.If(cq, target, 5, wqe.OpWrite)
+		b.Run()
+		eng.Run()
+		v, _ := dev.Mem().U64(out)
+		fmt.Printf("  if (x==5): CAS matched (NOOP|5) and installed WRITE -> out=%d\n", v)
+		raw, _ := dev.Mem().Read(target.Addr(), 8)
+		op, id := wqe.SplitCtrl(be64(raw))
+		fmt.Printf("  the WQE's control word is now literally [%v|%#x] — self-modified code\n", op, id)
+	}
+
+	section("3. WQ recycling: an unbounded loop with zero CPU (§3.4)")
+	{
+		eng := sim.NewEngine()
+		dev := rnic.New(eng, mem.New(1<<20), rnic.ConnectX5(), 1)
+		loop := dev.NewLoopbackQP(rnic.QPConfig{Managed: true, SQDepth: 1})
+		counter := dev.Mem().Alloc(8, 8)
+		loop.PostSend(wqe.WQE{Op: wqe.OpAdd, Dst: counter, Cmp: 1, Flags: wqe.FlagSignaled})
+		loop.EnableSQFromHost(1000) // one WQE, re-executed 1000 times
+		eng.Run()
+		v, _ := dev.Mem().U64(counter)
+		fmt.Printf("  1-slot ring, fetch limit 1000: the same ADD ran %d times (%v of NIC time)\n", v, eng.Now())
+	}
+
+	section("4. an offloaded key-value get (Fig 9)")
+	{
+		clu := fabric.NewCluster()
+		cli := clu.AddNode(fabric.DefaultNodeConfig("client"))
+		srv := clu.AddNode(fabric.DefaultNodeConfig("server"))
+		b := core.NewBuilder(srv.Dev, 1024)
+		cliQP, srvQP := clu.Connect(cli, srv,
+			rnic.QPConfig{SQDepth: 64, RQDepth: 8},
+			rnic.QPConfig{SQDepth: 64, RQDepth: 64, Managed: true})
+
+		table := hopscotch.New(srv.Mem, 256, 0)
+		val := []byte("hello-from-the-NIC")
+		addr := srv.Mem.Alloc(uint64(len(val)), 8)
+		srv.Mem.Write(addr, val)
+		table.InsertAt(42, addr, uint64(len(val)), 0, 0)
+		off := core.NewLookupOffload(b, srvQP, nil, table, core.LookupSingle, 64)
+		off.Arm()
+		off.Run()
+
+		resp := cli.Mem.Alloc(64, 8)
+		payload := off.TriggerPayload(42, 64, resp)
+		buf := cli.Mem.Alloc(uint64(len(payload)), 8)
+		cli.Mem.Write(buf, payload)
+		start := clu.Eng.Now()
+		cliQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: buf, Len: uint64(len(payload)),
+			Flags: wqe.FlagSignaled})
+		cliQP.RingSQ()
+		clu.Eng.Run()
+		got, _ := cli.Mem.Read(resp, 16)
+		fmt.Printf("  SEND -> RECV-injected args -> READ bucket -> CAS -> WRITE value\n")
+		fmt.Printf("  client received %q in %v — the server CPU executed nothing\n",
+			got, clu.Eng.Now()-start)
+	}
+
+	fmt.Println("\nrun 'redn-bench' for the full table/figure reproduction.")
+}
+
+func be64(b []byte) uint64 {
+	var v uint64
+	for _, x := range b[:8] {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

@@ -1,0 +1,37 @@
+// Quickstart: offload a key-value get to the (simulated) RNIC.
+//
+// A server registers a Hopscotch hash table, a client connects, and a
+// single SEND triggers a self-modifying RDMA chain on the server's NIC
+// that looks up the key and writes the value back — without the server
+// CPU ever seeing the request.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	tb := redn.NewTestbed()
+	srv := tb.NewServer()
+
+	table := srv.NewHashTable(1024)
+	for key := uint64(1); key <= 100; key++ {
+		if err := table.Set(key, redn.Value(key, 64)); err != nil {
+			panic(err)
+		}
+	}
+
+	cli := tb.NewClient(srv, redn.LookupSingle)
+	cli.Bind(table)
+
+	fmt.Println("offloaded gets (served entirely by the server NIC):")
+	for _, key := range []uint64{7, 42, 99} {
+		val, lat, ok := cli.Get(key, 64)
+		fmt.Printf("  get(%d): found=%v latency=%v value[:8]=%x\n", key, ok, lat, val[:8])
+	}
+
+	_, lat, ok := cli.Get(12345, 64)
+	fmt.Printf("  get(12345): found=%v (miss; waited %v)\n", ok, lat)
+}

@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/hopscotch"
+	"repro/internal/host"
+	"repro/internal/list"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func testbed(t testing.TB) (*fabric.Cluster, *fabric.Node, *fabric.Node) {
+	t.Helper()
+	clu := fabric.NewCluster()
+	return clu, clu.AddNode(fabric.DefaultNodeConfig("cli")),
+		clu.AddNode(fabric.DefaultNodeConfig("srv"))
+}
+
+func TestOneSidedGetTwoReads(t *testing.T) {
+	clu, cli, srv := testbed(t)
+	table := hopscotch.New(srv.Mem, 256, 0)
+	val := workload.Value(5, 64)
+	addr := srv.Mem.Alloc(64, 8)
+	srv.Mem.Write(addr, val)
+	table.InsertAt(5, addr, 64, 0, 0)
+
+	qp, _ := clu.Connect(cli, srv, rnic.QPConfig{SQDepth: 64}, rnic.QPConfig{SQDepth: 8})
+	c := NewOneSidedClient(clu.Eng, qp, table)
+	var lat sim.Time
+	var found bool
+	c.Get(5, 64, func(l sim.Time, ok bool) { lat, found = l, ok })
+	clu.Eng.Run()
+	if !found {
+		t.Fatal("get missed")
+	}
+	// Two RTTs + client software: well above a single READ (~1.9us).
+	if lat < 4*sim.Microsecond || lat > 15*sim.Microsecond {
+		t.Fatalf("one-sided latency %v", lat)
+	}
+}
+
+func TestOneSidedSecondBucketCostsExtraRead(t *testing.T) {
+	clu, cli, srv := testbed(t)
+	table := hopscotch.New(srv.Mem, 256, 0)
+	addr := srv.Mem.Alloc(64, 8)
+	table.InsertAt(5, addr, 64, 0, 0) // first bucket
+	table.InsertAt(6, addr, 64, 1, 0) // second bucket
+
+	lat := func(key uint64) sim.Time {
+		qp, _ := clu.Connect(cli, srv, rnic.QPConfig{SQDepth: 64}, rnic.QPConfig{SQDepth: 8})
+		c := NewOneSidedClient(clu.Eng, qp, table)
+		var out sim.Time
+		c.Get(key, 64, func(l sim.Time, ok bool) { out = l })
+		clu.Eng.Run()
+		return out
+	}
+	l1, l2 := lat(5), lat(6)
+	if l2 <= l1 {
+		t.Fatalf("second-bucket get (%v) should exceed first-bucket (%v)", l2, l1)
+	}
+}
+
+func TestOneSidedMiss(t *testing.T) {
+	clu, cli, srv := testbed(t)
+	table := hopscotch.New(srv.Mem, 256, 0)
+	qp, _ := clu.Connect(cli, srv, rnic.QPConfig{SQDepth: 64}, rnic.QPConfig{SQDepth: 8})
+	c := NewOneSidedClient(clu.Eng, qp, table)
+	found := true
+	c.Get(99, 8, func(l sim.Time, ok bool) { found = ok })
+	clu.Eng.Run()
+	if found {
+		t.Fatal("miss reported found")
+	}
+}
+
+func TestTwoSidedRoundTrip(t *testing.T) {
+	clu, cli, srv := testbed(t)
+	table := hopscotch.New(srv.Mem, 256, 0)
+	val := workload.Value(9, 64)
+	addr := srv.Mem.Alloc(64, 8)
+	srv.Mem.Write(addr, val)
+	table.InsertAt(9, addr, 64, 0, 0)
+
+	tsCli, tsSrv := clu.Connect(cli, srv,
+		rnic.QPConfig{SQDepth: 64, RQDepth: 8}, rnic.QPConfig{SQDepth: 64, RQDepth: 64})
+	server := &TwoSidedServer{Eng: clu.Eng, CPU: srv.CPU, QP: tsSrv,
+		Lookup: table.Lookup, Mode: host.Polling}
+	server.Start(16)
+	c := NewTwoSidedClient(clu.Eng, tsCli)
+	var lat sim.Time
+	c.Get(9, 64, func(l sim.Time) { lat = l })
+	clu.Eng.Run()
+	if lat == 0 {
+		t.Fatal("no response")
+	}
+	got, _ := cli.Mem.Read(c.RespAddr(), 64)
+	if string(got) != string(val) {
+		t.Fatal("response payload mismatch")
+	}
+}
+
+func TestEventModeSlowerThanPolling(t *testing.T) {
+	run := func(mode host.CompletionMode) sim.Time {
+		clu, cli, srv := testbed(t)
+		table := hopscotch.New(srv.Mem, 64, 0)
+		addr := srv.Mem.Alloc(8, 8)
+		table.InsertAt(1, addr, 8, 0, 0)
+		tsCli, tsSrv := clu.Connect(cli, srv,
+			rnic.QPConfig{SQDepth: 64, RQDepth: 8}, rnic.QPConfig{SQDepth: 64, RQDepth: 64})
+		server := &TwoSidedServer{Eng: clu.Eng, CPU: srv.CPU, QP: tsSrv,
+			Lookup: table.Lookup, Mode: mode}
+		server.Start(16)
+		c := NewTwoSidedClient(clu.Eng, tsCli)
+		var lat sim.Time
+		c.Get(1, 8, func(l sim.Time) { lat = l })
+		clu.Eng.Run()
+		return lat
+	}
+	p, e := run(host.Polling), run(host.Event)
+	if e <= p+5*sim.Microsecond {
+		t.Fatalf("event (%v) should pay the wakeup cost over polling (%v)", e, p)
+	}
+}
+
+func TestVMACostsGrowWithSize(t *testing.T) {
+	run := func(size uint64) sim.Time {
+		clu, cli, srv := testbed(t)
+		table := hopscotch.New(srv.Mem, 64, 0)
+		addr := srv.Mem.Alloc(size, 8)
+		table.InsertAt(1, addr, size, 0, 0)
+		tsCli, tsSrv := clu.Connect(cli, srv,
+			rnic.QPConfig{SQDepth: 64, RQDepth: 8}, rnic.QPConfig{SQDepth: 64, RQDepth: 64})
+		server := &TwoSidedServer{Eng: clu.Eng, CPU: srv.CPU, QP: tsSrv,
+			Lookup: table.Lookup, Mode: host.Polling, VMA: true}
+		server.Start(16)
+		c := NewTwoSidedClient(clu.Eng, tsCli)
+		var lat sim.Time
+		c.Get(1, size, func(l sim.Time) { lat = l })
+		clu.Eng.Run()
+		return lat
+	}
+	small, big := run(64), run(65536)
+	// VMA memcpys payloads: 64KB must cost >10us more than 64B beyond
+	// the pure wire/PCIe difference.
+	if big-small < 15*sim.Microsecond {
+		t.Fatalf("VMA size penalty too small: %v -> %v", small, big)
+	}
+}
+
+func TestOneSidedListWalk(t *testing.T) {
+	clu, cli, srv := testbed(t)
+	l := list.New(srv.Mem)
+	for i := uint64(1); i <= 8; i++ {
+		addr := srv.Mem.Alloc(64, 8)
+		l.Append(i*100, addr, 64)
+	}
+	qp, _ := clu.Connect(cli, srv, rnic.QPConfig{SQDepth: 64}, rnic.QPConfig{SQDepth: 8})
+	c := NewOneSidedListClient(clu.Eng, qp, l)
+	var hops int
+	var found bool
+	c.Get(500, func(l sim.Time, h int, ok bool) { hops, found = h, ok })
+	clu.Eng.Run()
+	if !found || hops != 5 {
+		t.Fatalf("walk: hops=%d found=%v", hops, found)
+	}
+}

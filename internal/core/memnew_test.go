@@ -1,0 +1,7 @@
+package core
+
+import "repro/internal/mem"
+
+// memNew is a test helper aliasing mem.New for files that avoid the
+// extra import line in table-driven helpers.
+func memNew(size uint64) *mem.Memory { return mem.New(size) }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"repro/internal/rnic"
+	"repro/internal/wqe"
+)
+
+// Appendix A: emulating the x86 mov instruction with RDMA verbs.
+// Dolan proved mov alone simulates a Turing machine; RedN therefore
+// only needs mov's addressing modes plus nontermination to be Turing
+// complete. Registers live in host memory.
+//
+//	immediate  mov Rdst, C            one WRITE (inline immediate)
+//	indirect   mov Rdst, [Rsrc]       WRITE patches a WRITE's src, then
+//	                                  that WRITE moves [Rsrc] -> Rdst
+//	                                  (doorbell ordering between them)
+//	indexed    mov Rdst, [Rsrc+Roff]  as indirect, with an ADD mixing
+//	                                  the offset into the patched src
+//
+// Nontermination comes from WQ recycling (§3.4) or host re-posting;
+// RecycledEchoOffload demonstrates the former.
+
+// MovMachine emits mov-style data movement chains on managed queues.
+type MovMachine struct {
+	B *Builder
+	// W is the managed queue executing the (self-modified) data moves.
+	W *rnic.QP
+	// A is the managed queue executing patch writes and offset ADDs.
+	A *rnic.QP
+}
+
+// NewMovMachine allocates the machine's queues.
+func NewMovMachine(b *Builder, depth int) *MovMachine {
+	return &MovMachine{B: b, W: b.NewManagedQP(depth), A: b.NewManagedQP(depth)}
+}
+
+// MovImm emits: mov [dst], C — an inline-immediate WRITE.
+func (m *MovMachine) MovImm(dst uint64, c uint64) StepRef {
+	ref := m.B.Post(m.W, wqe.WQE{Op: wqe.OpWrite, Dst: dst, Len: 8, Cmp: c,
+		Flags: wqe.FlagSignaled | wqe.FlagInline})
+	m.B.Enable(ref)
+	m.B.WaitStep(ref)
+	return ref
+}
+
+// MovIndirect emits: mov [dst], [[srcReg]] — dereference the address
+// stored in register srcReg. The first WRITE copies the register's
+// value (an address) into the second WRITE's src field; doorbell
+// ordering guarantees the second WRITE is fetched only afterwards.
+func (m *MovMachine) MovIndirect(dst uint64, srcReg uint64) StepRef {
+	b := m.B
+	w2 := b.Post(m.W, wqe.WQE{Op: wqe.OpWrite, Dst: dst, Len: 8, Flags: wqe.FlagSignaled})
+	w1 := b.Post(m.A, wqe.WQE{Op: wqe.OpWrite, Src: srcReg,
+		Dst: w2.FieldAddr(wqe.OffSrc), Len: 8, Flags: wqe.FlagSignaled})
+	b.Enable(w1)
+	b.WaitStep(w1)
+	b.Enable(w2)
+	b.WaitStep(w2)
+	return w2
+}
+
+// MovIndexed emits: mov [dst], [[srcReg] + [offReg]] — indexed
+// addressing. After patching the data WRITE's src from srcReg, two
+// extra steps fold in the offset: a WRITE copies [offReg] into an ADD's
+// operand field, and the ADD adds it to the patched src (the Appendix's
+// "RDMA ADD between the two writes", with the extra copy needed because
+// RDMA ADD takes an immediate operand).
+func (m *MovMachine) MovIndexed(dst uint64, srcReg, offReg uint64) StepRef {
+	b := m.B
+	// Posting order matters: ENABLE grants every WQE below its count,
+	// so each queue's posting order must match its enable order
+	// (W: add then w2; A: w1 then cpOff).
+	add := b.Post(m.W, wqe.WQE{Op: wqe.OpAdd, Flags: wqe.FlagSignaled})
+	w2 := b.Post(m.W, wqe.WQE{Op: wqe.OpWrite, Dst: dst, Len: 8, Flags: wqe.FlagSignaled})
+	m.B.Dev.Mem().PutU64(add.FieldAddr(wqe.OffDst), w2.FieldAddr(wqe.OffSrc))
+	w1 := b.Post(m.A, wqe.WQE{Op: wqe.OpWrite, Src: srcReg,
+		Dst: w2.FieldAddr(wqe.OffSrc), Len: 8, Flags: wqe.FlagSignaled})
+	cpOff := b.Post(m.A, wqe.WQE{Op: wqe.OpWrite, Src: offReg,
+		Dst: add.FieldAddr(wqe.OffCmp), Len: 8, Flags: wqe.FlagSignaled})
+	b.Enable(w1)
+	b.WaitStep(w1)
+	b.Enable(cpOff)
+	b.WaitStep(cpOff)
+	b.Enable(add)
+	b.WaitStep(add)
+	b.Enable(w2)
+	b.WaitStep(w2)
+	return w2
+}
+
+// MovIndirectStore emits: mov [[dstReg]], [src] — a store through a
+// pointer register (the Appendix notes stores mirror loads).
+func (m *MovMachine) MovIndirectStore(dstReg uint64, src uint64) StepRef {
+	b := m.B
+	w2 := b.Post(m.W, wqe.WQE{Op: wqe.OpWrite, Src: src, Len: 8, Flags: wqe.FlagSignaled})
+	w1 := b.Post(m.A, wqe.WQE{Op: wqe.OpWrite, Src: dstReg,
+		Dst: w2.FieldAddr(wqe.OffDst), Len: 8, Flags: wqe.FlagSignaled})
+	b.Enable(w1)
+	b.WaitStep(w1)
+	b.Enable(w2)
+	b.WaitStep(w2)
+	return w2
+}
+
+// Run rings the control doorbell.
+func (m *MovMachine) Run() { m.B.Run() }

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/list"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/wqe"
+)
+
+// sendTrigger posts a SEND of payload on cliQP and runs until deadline.
+func sendTrigger(h *harness, cliQP *rnic.QP, payload []byte, deadline sim.Time) sim.Time {
+	buf := h.cli.Mem().Alloc(uint64(len(payload)), 8)
+	h.cli.Mem().Write(buf, payload)
+	start := h.eng.Now()
+	cliQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: buf, Len: uint64(len(payload)), Flags: wqe.FlagSignaled})
+	cliQP.RingSQ()
+	h.eng.RunUntil(start + deadline)
+	return start
+}
+
+func TestEchoOffload(t *testing.T) {
+	h := newHarness(t)
+	cliQP, srvQP := h.connect(64)
+	respAddr := h.cli.Mem().Alloc(8, 8)
+	o := NewEchoOffload(h.b, srvQP, respAddr)
+	o.Arm()
+
+	payload := []byte{0, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}
+	sendTrigger(h, cliQP, payload, 50*sim.Microsecond)
+	if v, _ := h.cli.Mem().U64(respAddr); v != 0xdeadbeef {
+		t.Fatalf("echo response %#x, want 0xdeadbeef", v)
+	}
+	// Second request after re-arming.
+	o.Arm()
+	payload2 := []byte{0, 0, 0, 0, 0, 0, 0, 0x42}
+	sendTrigger(h, cliQP, payload2, 50*sim.Microsecond)
+	if v, _ := h.cli.Mem().U64(respAddr); v != 0x42 {
+		t.Fatalf("second echo %#x, want 0x42", v)
+	}
+}
+
+// connectRecycled builds a client connection whose server SQ is a
+// 1-slot managed ring (the recycled response WQE) with an RQ deep
+// enough for all pre-posted RECVs.
+func (h *harness) connectRecycled(maxReqs int) (cliQP, srvQP *rnic.QP) {
+	cliQP = h.cli.NewQP(rnic.QPConfig{SQDepth: maxReqs + 8, RQDepth: 8})
+	srvQP = h.srv.NewQP(rnic.QPConfig{SQDepth: 1, RQDepth: maxReqs, Managed: true})
+	cliQP.Connect(srvQP, h.srv.Profile().OneWay)
+	return
+}
+
+func TestRecycledEchoServesManyRequestsWithoutHost(t *testing.T) {
+	h := newHarness(t)
+	cliQP, srvQP := h.connectRecycled(100)
+	respAddr := h.cli.Mem().Alloc(8, 8)
+	o := NewRecycledEchoOffload(h.b, srvQP, respAddr, 100)
+	o.Run()
+	h.eng.Run() // setup settles; loop parks at the first WAIT
+
+	for i := uint64(1); i <= 50; i++ {
+		var payload [8]byte
+		tmp := wqe.WQE{Cmp: 0x1000 + i}
+		copy(payload[:], tmp.Bytes()[wqe.OffCmp:wqe.OffCmp+8])
+		sendTrigger(h, cliQP, payload[:], 50*sim.Microsecond)
+		if v, _ := h.cli.Mem().U64(respAddr); v != 0x1000+i {
+			t.Fatalf("recycled echo #%d: got %#x want %#x", i, v, 0x1000+i)
+		}
+	}
+	// The whole thing ran on a ring of 8 control WQEs.
+	if cap := o.Ctrl.SQ().Capacity(); cap != 8 {
+		t.Fatalf("control ring capacity %d", cap)
+	}
+	if exec := o.Ctrl.SQ().Executed(); exec < 8*50 {
+		t.Fatalf("control ring executed %d WQEs, want >= 400 (recycling)", exec)
+	}
+}
+
+func TestRecycledEchoSurvivesFrozenHost(t *testing.T) {
+	// §5.6: once the recycled offload is set up, the host CPU can die
+	// and the NIC keeps serving. (Host death that does NOT free NIC
+	// resources — the hull-parent fork trick.)
+	h := newHarness(t)
+	cliQP, srvQP := h.connectRecycled(100)
+	respAddr := h.cli.Mem().Alloc(8, 8)
+	o := NewRecycledEchoOffload(h.b, srvQP, respAddr, 100)
+	o.Run()
+	h.eng.Run()
+	// From here on no server host code runs: only the NIC's recycled
+	// ring serves requests.
+
+	for i := uint64(1); i <= 10; i++ {
+		var payload [8]byte
+		tmp := wqe.WQE{Cmp: 0x9900 + i}
+		copy(payload[:], tmp.Bytes()[wqe.OffCmp:wqe.OffCmp+8])
+		sendTrigger(h, cliQP, payload[:], 50*sim.Microsecond)
+		if v, _ := h.cli.Mem().U64(respAddr); v != 0x9900+i {
+			t.Fatalf("post-crash echo #%d: got %#x", i, v)
+		}
+	}
+}
+
+func buildList(h *harness, n int, valSize int) (*list.List, map[uint64][]byte) {
+	l := list.New(h.srv.Mem())
+	vals := map[uint64][]byte{}
+	for i := 1; i <= n; i++ {
+		v := make([]byte, valSize)
+		for j := range v {
+			v[j] = byte(i + j)
+		}
+		addr := h.srv.Mem().Alloc(uint64(len(v)), 8)
+		h.srv.Mem().Write(addr, v)
+		if _, err := l.Append(uint64(i*100), addr, uint64(len(v))); err != nil {
+			panic(err)
+		}
+		vals[uint64(i*100)] = v
+	}
+	return l, vals
+}
+
+func TestListWalkFindsKeys(t *testing.T) {
+	const n = 8
+	const valSize = 64
+	for pos := 1; pos <= n; pos++ {
+		h := newHarness(t)
+		cliQP, srvQP := h.connect(256)
+		l, vals := buildList(h, n, valSize)
+		key := uint64(pos * 100)
+		respAddr := h.cli.Mem().Alloc(valSize, 8)
+		o := NewListWalkOffload(h.b, srvQP, n, false, respAddr, valSize)
+		sendTrigger(h, cliQP, o.TriggerPayload(key, l.Head()), 400*sim.Microsecond)
+		got, _ := h.cli.Mem().Read(respAddr, valSize)
+		if string(got) != string(vals[key]) {
+			t.Fatalf("walk pos %d: got %v want %v", pos, got[:4], vals[key][:4])
+		}
+	}
+}
+
+func TestListWalkMissWritesNothing(t *testing.T) {
+	h := newHarness(t)
+	cliQP, srvQP := h.connect(256)
+	l, _ := buildList(h, 8, 16)
+	respAddr := h.cli.Mem().Alloc(16, 8)
+	o := NewListWalkOffload(h.b, srvQP, 8, false, respAddr, 16)
+	sendTrigger(h, cliQP, o.TriggerPayload(55555, l.Head()), 400*sim.Microsecond)
+	got, _ := h.cli.Mem().Read(respAddr, 16)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatalf("miss wrote %v", got)
+		}
+	}
+}
+
+func TestListWalkBreakStopsEarly(t *testing.T) {
+	const n = 8
+	const valSize = 16
+	run := func(withBreak bool, pos int) (uint64, []byte) {
+		h := newHarness(t)
+		cliQP, srvQP := h.connect(256)
+		l, _ := buildList(h, n, valSize)
+		respAddr := h.cli.Mem().Alloc(valSize, 8)
+		o := NewListWalkOffload(h.b, srvQP, n, withBreak, respAddr, valSize)
+		sendTrigger(h, cliQP, o.TriggerPayload(uint64(pos*100), l.Head()), 600*sim.Microsecond)
+		got, _ := h.cli.Mem().Read(respAddr, valSize)
+		return o.ExecutedWRs(), got
+	}
+	execBreak, gotB := run(true, 2)
+	execFull, gotF := run(false, 2)
+	if gotB[0] == 0 || gotF[0] == 0 {
+		t.Fatalf("walk missed: break=%v full=%v", gotB[:4], gotF[:4])
+	}
+	if execBreak >= execFull {
+		t.Fatalf("break executed %d WRs, full %d — break should execute fewer (Fig 13)",
+			execBreak, execFull)
+	}
+	t.Logf("WRs executed: break=%d full=%d", execBreak, execFull)
+}

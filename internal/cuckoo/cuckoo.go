@@ -1,0 +1,195 @@
+// Package cuckoo implements the cuckoo hash table used by the paper's
+// modified Memcached (§5.4 uses the MemC3 variant). The bucket layout
+// is identical to package hopscotch — key pre-encoded as a WQE control
+// word, value by pointer, big-endian — so the same RedN lookup offload
+// serves both tables.
+package cuckoo
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/wqe"
+)
+
+// BucketSize is the on-memory bucket size (same layout as hopscotch).
+const BucketSize = 32
+
+// Bucket field offsets.
+const (
+	OffKeyCtrl = 0
+	OffValAddr = 8
+	OffValLen  = 16
+)
+
+// KeyMask bounds keys to 48 bits.
+const KeyMask = wqe.IDMask
+
+// MaxKicks bounds the displacement chain before declaring the table full.
+const MaxKicks = 64
+
+// ErrFull reports a failed insertion after MaxKicks displacements.
+var ErrFull = errors.New("cuckoo: table full (displacement chain exhausted)")
+
+// Table is a two-choice cuckoo hash table in simulated memory.
+type Table struct {
+	mem      *mem.Memory
+	base     uint64
+	nBuckets uint64
+	entries  int
+}
+
+// New allocates a table with nBuckets (rounded to a power of two).
+func New(m *mem.Memory, nBuckets uint64) *Table {
+	n := uint64(1)
+	for n < nBuckets {
+		n <<= 1
+	}
+	return &Table{mem: m, base: m.Alloc(n*BucketSize, 64), nBuckets: n}
+}
+
+// Base returns the address of bucket 0.
+func (t *Table) Base() uint64 { return t.base }
+
+// Size returns the table size in bytes.
+func (t *Table) Size() uint64 { return t.nBuckets * BucketSize }
+
+// Len returns the entry count.
+func (t *Table) Len() int { return t.entries }
+
+func (t *Table) hash(k uint64, fn int) uint64 {
+	x := k & KeyMask
+	if fn == 0 {
+		x ^= 0xD6E8FEB86659FD93
+	} else {
+		x ^= 0xA3B195354A39B70D
+	}
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x % t.nBuckets
+}
+
+// Hash returns the fn-th candidate bucket index for key.
+func (t *Table) Hash(key uint64, fn int) uint64 { return t.hash(key, fn) }
+
+// HashAddr returns the fn-th candidate bucket address for key.
+func (t *Table) HashAddr(key uint64, fn int) uint64 {
+	return t.base + t.hash(key, fn)*BucketSize
+}
+
+func (t *Table) bucketAddr(i uint64) uint64 { return t.base + (i%t.nBuckets)*BucketSize }
+
+func (t *Table) readBucket(addr uint64) (keyCtrl, va, vl uint64) {
+	keyCtrl, _ = t.mem.U64(addr + OffKeyCtrl)
+	va, _ = t.mem.U64(addr + OffValAddr)
+	vl, _ = t.mem.U64(addr + OffValLen)
+	return
+}
+
+func (t *Table) writeBucket(addr, keyCtrl, va, vl uint64) {
+	t.mem.PutU64(addr+OffKeyCtrl, keyCtrl)
+	t.mem.PutU64(addr+OffValAddr, va)
+	t.mem.PutU64(addr+OffValLen, vl)
+}
+
+// Insert stores key -> (valAddr, valLen), displacing residents cuckoo
+// style when both candidate buckets are taken.
+func (t *Table) Insert(key, valAddr, valLen uint64) error {
+	if key&^KeyMask != 0 {
+		return fmt.Errorf("cuckoo: key %#x exceeds 48 bits", key)
+	}
+	kc := wqe.MakeCtrl(wqe.OpNoop, key)
+	// Overwrite in place if present.
+	for fn := 0; fn < 2; fn++ {
+		addr := t.HashAddr(key, fn)
+		if cur, _, _ := t.readBucket(addr); cur == kc {
+			t.writeBucket(addr, kc, valAddr, valLen)
+			return nil
+		}
+	}
+	type move struct {
+		addr       uint64
+		kc, va, vl uint64 // displaced resident (to restore on rollback)
+	}
+	var trail []move
+
+	curKC, curVA, curVL := kc, valAddr, valLen
+	fn := 0
+	for kick := 0; kick < MaxKicks; kick++ {
+		_, curKey := wqe.SplitCtrl(curKC)
+		addr := t.HashAddr(curKey, fn)
+		resKC, resVA, resVL := t.readBucket(addr)
+		if resKC == 0 {
+			t.writeBucket(addr, curKC, curVA, curVL)
+			t.entries++
+			return nil
+		}
+		// Try the other candidate before displacing.
+		alt := t.HashAddr(curKey, 1-fn)
+		if altKC, _, _ := t.readBucket(alt); altKC == 0 {
+			t.writeBucket(alt, curKC, curVA, curVL)
+			t.entries++
+			return nil
+		}
+		// Displace the resident to its other candidate bucket.
+		trail = append(trail, move{addr: addr, kc: resKC, va: resVA, vl: resVL})
+		t.writeBucket(addr, curKC, curVA, curVL)
+		curKC, curVA, curVL = resKC, resVA, resVL
+		_, resKey := wqe.SplitCtrl(resKC)
+		// The displaced key must move to whichever of its candidates
+		// is not the bucket it just vacated.
+		if t.HashAddr(resKey, 0) == addr {
+			fn = 1
+		} else {
+			fn = 0
+		}
+	}
+	// Displacement chain exhausted: undo every move so no resident is
+	// lost, then report full.
+	for i := len(trail) - 1; i >= 0; i-- {
+		m := trail[i]
+		t.writeBucket(m.addr, m.kc, m.va, m.vl)
+	}
+	return ErrFull
+}
+
+// Lookup scans both candidate buckets for key (host-CPU path).
+func (t *Table) Lookup(key uint64) (valAddr, valLen uint64, ok bool) {
+	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
+	for fn := 0; fn < 2; fn++ {
+		addr := t.HashAddr(key, fn)
+		if cur, va, vl := t.readBucket(addr); cur == kc {
+			return va, vl, true
+		}
+	}
+	return 0, 0, false
+}
+
+// LookupBucket reports which candidate (0 or 1) holds key, or -1.
+func (t *Table) LookupBucket(key uint64) int {
+	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
+	for fn := 0; fn < 2; fn++ {
+		if cur, _, _ := t.readBucket(t.HashAddr(key, fn)); cur == kc {
+			return fn
+		}
+	}
+	return -1
+}
+
+// Delete removes key if present.
+func (t *Table) Delete(key uint64) bool {
+	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
+	for fn := 0; fn < 2; fn++ {
+		addr := t.HashAddr(key, fn)
+		if cur, _, _ := t.readBucket(addr); cur == kc {
+			t.writeBucket(addr, 0, 0, 0)
+			t.entries--
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package cuckoo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/wqe"
+)
+
+func newTable(buckets uint64) *Table {
+	return New(mem.New(1<<22), buckets)
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tbl := newTable(256)
+	if err := tbl.Insert(42, 0x1000, 64); err != nil {
+		t.Fatal(err)
+	}
+	va, vl, ok := tbl.Lookup(42)
+	if !ok || va != 0x1000 || vl != 64 {
+		t.Fatalf("lookup: %v %v %v", va, vl, ok)
+	}
+	if !tbl.Delete(42) {
+		t.Fatal("delete")
+	}
+	if _, _, ok := tbl.Lookup(42); ok {
+		t.Fatal("lookup after delete")
+	}
+}
+
+func TestOverwriteInPlace(t *testing.T) {
+	tbl := newTable(64)
+	tbl.Insert(7, 0x1000, 8)
+	before := tbl.LookupBucket(7)
+	tbl.Insert(7, 0x2000, 16)
+	va, vl, _ := tbl.Lookup(7)
+	if va != 0x2000 || vl != 16 {
+		t.Fatalf("overwrite: %#x %d", va, vl)
+	}
+	if tbl.LookupBucket(7) != before {
+		t.Fatal("overwrite moved the key (would break armed offloads)")
+	}
+}
+
+func TestDisplacement(t *testing.T) {
+	// Fill a small table beyond direct placement: displacement must
+	// preserve every inserted key.
+	tbl := newTable(32)
+	var keys []uint64
+	for k := uint64(1); k <= 200; k++ {
+		if err := tbl.Insert(k, k*8, 8); err != nil {
+			break
+		}
+		keys = append(keys, k)
+	}
+	if len(keys) < 12 { // single-slot cuckoo tops out near 50% load
+		t.Fatalf("only %d keys before full", len(keys))
+	}
+	for _, k := range keys {
+		va, _, ok := tbl.Lookup(k)
+		if !ok || va != k*8 {
+			t.Fatalf("key %d lost after displacement", k)
+		}
+	}
+}
+
+func TestFullTable(t *testing.T) {
+	tbl := newTable(2)
+	sawFull := false
+	for k := uint64(1); k <= 100; k++ {
+		if err := tbl.Insert(k, k, 8); err == ErrFull {
+			sawFull = true
+			break
+		}
+	}
+	if !sawFull {
+		t.Fatal("tiny table never reported full")
+	}
+}
+
+func TestBucketABIMatchesHopscotch(t *testing.T) {
+	m := mem.New(1 << 20)
+	tbl := New(m, 64)
+	tbl.Insert(9, 0x500, 32)
+	fn := tbl.LookupBucket(9)
+	addr := tbl.HashAddr(9, fn)
+	kc, _ := m.U64(addr + OffKeyCtrl)
+	if kc != wqe.MakeCtrl(wqe.OpNoop, 9) {
+		t.Fatalf("keyCtrl %#x", kc)
+	}
+	va, _ := m.U64(addr + OffValAddr)
+	if va != 0x500 {
+		t.Fatalf("valAddr %#x", va)
+	}
+}
+
+func TestWideKeyRejected(t *testing.T) {
+	tbl := newTable(64)
+	if err := tbl.Insert(1<<48, 1, 1); err == nil {
+		t.Fatal("49-bit key accepted")
+	}
+}
+
+// Property: inserted keys remain retrievable with their latest values.
+func TestCuckooProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		tbl := newTable(4096)
+		seen := map[uint64]uint64{}
+		for i, r := range raw {
+			if i >= 150 {
+				break
+			}
+			k := uint64(r%0xFFFFF) + 1
+			v := uint64(i + 1)
+			if err := tbl.Insert(k, v, 8); err != nil {
+				return true
+			}
+			seen[k] = v
+		}
+		for k, v := range seen {
+			va, _, ok := tbl.Lookup(k)
+			if !ok || va != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

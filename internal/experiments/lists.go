@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/list"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/wqe"
+)
+
+// Fig13 regenerates linked-list traversal latency versus list range
+// (the highest position the key may occupy; the list itself always has
+// 8 nodes, 48-bit keys, 64B values — §5.3).
+func Fig13() *Result {
+	r := &Result{ID: "fig13", Title: "Average latency of walking linked lists (8 nodes, 64B values)",
+		Header: []string{"RedN", "RedN+break", "One-sided", "2-sided", "(us)"}}
+	const listLen = 8
+	const valSize = 64
+	ranges := []int{1, 2, 4, 8}
+	reps := 10 // per key position
+
+	var wrsFull, wrsBreak uint64
+	var runsFull, runsBreak uint64
+
+	for _, rng := range ranges {
+		var redN, redNBrk, oneS, twoS sim.LatencyStats
+		for pos := 1; pos <= rng; pos++ {
+			for rep := 0; rep < reps; rep++ {
+				key := uint64(pos * 100)
+
+				// RedN without break: fresh offload per request (WQ
+				// sized to the program, as the paper configures).
+				lat, wrs := rednWalk(listLen, valSize, key, false)
+				redN.Add(lat)
+				wrsFull += wrs
+				runsFull++
+
+				// RedN with break.
+				latB, wrsB := rednWalk(listLen, valSize, key, true)
+				redNBrk.Add(latB)
+				wrsBreak += wrsB
+				runsBreak++
+
+				// One-sided pointer chase.
+				oneS.Add(oneSidedWalk(listLen, valSize, key))
+
+				// Two-sided: server CPU walks the list.
+				twoS.Add(twoSidedWalk(listLen, valSize, key))
+			}
+		}
+		r.Rows = append(r.Rows, Row{Label: fmt.Sprintf("range %d", rng),
+			Cells: []string{us(redN.Avg()), us(redNBrk.Avg()), us(oneS.Avg()), us(twoS.Avg()), ""}})
+		if rng == 8 {
+			r.metric("redn_range8_us", redN.Avg().Micros())
+			r.metric("break_range8_us", redNBrk.Avg().Micros())
+			r.metric("onesided_range8_us", oneS.Avg().Micros())
+		}
+	}
+	r.Rows = append(r.Rows, Row{Label: "avg WRs executed", Cells: []string{
+		fmt.Sprintf("%d", wrsFull/runsFull),
+		fmt.Sprintf("%d", wrsBreak/runsBreak),
+		"-", "-", "paper: ~50 vs ~30 data WRs"}})
+	r.metric("wrs_full", float64(wrsFull/runsFull))
+	r.metric("wrs_break", float64(wrsBreak/runsBreak))
+	return r
+}
+
+// rednWalk runs one offloaded traversal and returns the client-observed
+// latency plus executed WRs.
+func rednWalk(listLen int, valSize int, key uint64, withBreak bool) (sim.Time, uint64) {
+	clu, cli, srv := pair(1)
+	b := core.NewBuilder(srv.Dev, 64*listLen+64)
+	cliQP := cli.Dev.NewQP(rnic.QPConfig{SQDepth: 16, RQDepth: 8})
+	srvQP := srv.Dev.NewQP(rnic.QPConfig{SQDepth: 4 * listLen, RQDepth: 8, Managed: true})
+	cliQP.Connect(srvQP, srv.Dev.Profile().OneWay)
+
+	l := list.New(srv.Mem)
+	for i := 1; i <= listLen; i++ {
+		v := workload.Value(uint64(i), valSize)
+		addr := srv.Mem.Alloc(uint64(valSize), 8)
+		srv.Mem.Write(addr, v)
+		l.Append(uint64(i*100), addr, uint64(valSize))
+	}
+
+	respAddr := cli.Mem.Alloc(uint64(valSize), 8)
+	o := core.NewListWalkOffload(b, srvQP, listLen, withBreak, respAddr, uint64(valSize))
+
+	payload := o.TriggerPayload(key, l.Head())
+	buf := cli.Mem.Alloc(uint64(len(payload)), 8)
+	cli.Mem.Write(buf, payload)
+
+	done := sim.Time(-1)
+	start := clu.Eng.Now()
+	srvQP.SendCQ().OnDeliver(func(e rnic.CQE) {
+		if e.Op == wqe.OpWrite && done < 0 {
+			done = e.At
+		}
+	})
+	cliQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: buf, Len: uint64(len(payload)), Flags: wqe.FlagSignaled})
+	cliQP.RingSQ()
+	clu.Eng.RunUntil(2 * sim.Millisecond)
+	if done < 0 {
+		done = clu.Eng.Now()
+	}
+	return done - start, o.ExecutedWRs()
+}
+
+func oneSidedWalk(listLen int, valSize int, key uint64) sim.Time {
+	clu, cli, srv := pair(1)
+	qp, _ := clu.Connect(cli, srv, rnic.QPConfig{SQDepth: 64, RQDepth: 8},
+		rnic.QPConfig{SQDepth: 8, RQDepth: 8})
+	l := list.New(srv.Mem)
+	for i := 1; i <= listLen; i++ {
+		addr := srv.Mem.Alloc(uint64(valSize), 8)
+		l.Append(uint64(i*100), addr, uint64(valSize))
+	}
+	c := baseline.NewOneSidedListClient(clu.Eng, qp, l)
+	var lat sim.Time
+	c.Get(key, func(t sim.Time, hops int, ok bool) { lat = t })
+	clu.Eng.Run()
+	return lat
+}
+
+// ListHopCPU is the per-node cost of a host-CPU list walk.
+const ListHopCPU = 150 * sim.Nanosecond
+
+func twoSidedWalk(listLen int, valSize int, key uint64) sim.Time {
+	clu, cli, srv := pair(1)
+	tsCli, tsSrv := clu.Connect(cli, srv,
+		rnic.QPConfig{SQDepth: 64, RQDepth: 8}, rnic.QPConfig{SQDepth: 64, RQDepth: 64})
+	l := list.New(srv.Mem)
+	for i := 1; i <= listLen; i++ {
+		addr := srv.Mem.Alloc(uint64(valSize), 8)
+		srv.Mem.Write(addr, workload.Value(uint64(i), valSize))
+		l.Append(uint64(i*100), addr, uint64(valSize))
+	}
+	server := &baseline.TwoSidedServer{
+		Eng: clu.Eng, CPU: srv.CPU, QP: tsSrv, Mode: host.Polling,
+		Lookup: func(k uint64) (uint64, uint64, bool) {
+			va, vl, _, ok := l.Walk(k)
+			return va, vl, ok
+		},
+		ServiceFor: func(k uint64) sim.Time {
+			_, _, hops, _ := l.Walk(k)
+			return baseline.RPCService + sim.Time(hops)*ListHopCPU
+		},
+	}
+	server.Start(16)
+	c := baseline.NewTwoSidedClient(clu.Eng, tsCli)
+	var lat sim.Time
+	c.Get(key, uint64(valSize), func(t sim.Time) { lat = t })
+	clu.Eng.Run()
+	return lat
+}

@@ -1,0 +1,99 @@
+// Package fabric assembles simulated nodes — host memory, an RNIC, and
+// a host CPU model — into a cluster connected by back-to-back links,
+// mirroring the paper's testbed of dual-socket servers with ConnectX-5
+// InfiniBand RNICs on direct links.
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/host"
+	"repro/internal/mem"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+)
+
+// NodeConfig configures one simulated server.
+type NodeConfig struct {
+	Name    string
+	MemSize uint64       // host memory size in bytes
+	Profile rnic.Profile // NIC generation
+	Ports   int          // NIC ports (1 or 2)
+	Cores   int          // host CPU cores
+}
+
+// DefaultNodeConfig mirrors one of the paper's testbed machines.
+func DefaultNodeConfig(name string) NodeConfig {
+	return NodeConfig{
+		Name:    name,
+		MemSize: 1 << 28, // 256 MiB of simulated memory is ample for the workloads
+		Profile: rnic.ConnectX5(),
+		Ports:   1,
+		Cores:   16,
+	}
+}
+
+// Node is one simulated server.
+type Node struct {
+	Name string
+	Mem  *mem.Memory
+	Dev  *rnic.Device
+	CPU  *host.CPU
+}
+
+// Cluster owns the simulation engine and its nodes.
+type Cluster struct {
+	Eng   *sim.Engine
+	nodes []*Node
+}
+
+// NewCluster returns an empty cluster with a fresh engine.
+func NewCluster() *Cluster {
+	return &Cluster{Eng: sim.NewEngine()}
+}
+
+// AddNode creates a node from cfg and adds it to the cluster.
+func (c *Cluster) AddNode(cfg NodeConfig) *Node {
+	if cfg.MemSize == 0 {
+		cfg = DefaultNodeConfig(cfg.Name)
+	}
+	m := mem.New(cfg.MemSize)
+	n := &Node{
+		Name: cfg.Name,
+		Mem:  m,
+		Dev:  rnic.New(c.Eng, m, cfg.Profile, cfg.Ports),
+		CPU:  host.NewCPU(c.Eng, cfg.Name, cfg.Cores),
+	}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// Nodes returns the cluster's nodes.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name string) *Node {
+	for _, n := range c.nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Connect creates an RC queue pair on each node and pairs them over a
+// back-to-back link using each device's profile wire latency. It
+// returns (a-side, b-side).
+func (c *Cluster) Connect(a, b *Node, cfgA, cfgB rnic.QPConfig) (*rnic.QP, *rnic.QP) {
+	if a.Dev == b.Dev {
+		panic(fmt.Sprintf("fabric: Connect(%s,%s) on one device; use NewLoopbackQP", a.Name, b.Name))
+	}
+	qa := a.Dev.NewQP(cfgA)
+	qb := b.Dev.NewQP(cfgB)
+	oneWay := a.Dev.Profile().OneWay
+	if o := b.Dev.Profile().OneWay; o > oneWay {
+		oneWay = o
+	}
+	qa.Connect(qb, oneWay)
+	return qa, qb
+}

@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/rnic"
+	"repro/internal/wqe"
+)
+
+func TestClusterWiring(t *testing.T) {
+	c := NewCluster()
+	a := c.AddNode(DefaultNodeConfig("a"))
+	b := c.AddNode(DefaultNodeConfig("b"))
+	if len(c.Nodes()) != 2 || c.Node("a") != a || c.Node("b") != b {
+		t.Fatal("node registry")
+	}
+	if c.Node("missing") != nil {
+		t.Fatal("phantom node")
+	}
+	qa, qb := c.Connect(a, b, rnic.QPConfig{}, rnic.QPConfig{})
+	if qa.Remote() != qb || qb.Remote() != qa {
+		t.Fatal("QPs not paired")
+	}
+}
+
+func TestConnectMovesData(t *testing.T) {
+	c := NewCluster()
+	a := c.AddNode(DefaultNodeConfig("a"))
+	b := c.AddNode(DefaultNodeConfig("b"))
+	qa, _ := c.Connect(a, b, rnic.QPConfig{SQDepth: 8}, rnic.QPConfig{SQDepth: 8})
+	src := a.Mem.Alloc(8, 8)
+	dst := b.Mem.Alloc(8, 8)
+	a.Mem.PutU64(src, 0xfeed)
+	qa.PostSend(wqe.WQE{Op: wqe.OpWrite, Src: src, Dst: dst, Len: 8, Flags: wqe.FlagSignaled})
+	qa.RingSQ()
+	c.Eng.Run()
+	if v, _ := b.Mem.U64(dst); v != 0xfeed {
+		t.Fatalf("cross-node write: %#x", v)
+	}
+}
+
+func TestSameDeviceConnectPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := NewCluster()
+	a := c.AddNode(DefaultNodeConfig("a"))
+	c.Connect(a, a, rnic.QPConfig{}, rnic.QPConfig{})
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	c := NewCluster()
+	n := c.AddNode(NodeConfig{Name: "x"})
+	if n.Mem.Size() == 0 || n.Dev == nil || n.CPU == nil {
+		t.Fatal("defaults not applied")
+	}
+}

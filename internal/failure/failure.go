@@ -1,0 +1,64 @@
+// Package failure holds the server-component reliability data of
+// Table 6 and the crash-injection helpers behind the §5.6 experiments.
+// The quantitative entries reproduce the paper's citations ([8, 37]);
+// they are reference data, not simulator measurements.
+package failure
+
+import (
+	"repro/internal/kv"
+	"repro/internal/sim"
+)
+
+// Component is one row of Table 6.
+type Component struct {
+	Name        string
+	AFRPercent  float64 // annualized failure rate
+	MTTFHours   float64 // mean time to failure
+	Reliability string
+}
+
+// Table6 reproduces the paper's failure-rate table: NICs fail an order
+// of magnitude less often than the OS or DRAM, and keep DMA access to
+// memory across OS failures — the premise of RedN's availability story.
+var Table6 = []Component{
+	{Name: "OS", AFRPercent: 41.9, MTTFHours: 20906, Reliability: "99%"},
+	{Name: "DRAM", AFRPercent: 39.5, MTTFHours: 22177, Reliability: "99%"},
+	{Name: "NIC", AFRPercent: 1.00, MTTFHours: 876000, Reliability: "99.99%"},
+	{Name: "NVM", AFRPercent: 1.00, MTTFHours: 2000000, Reliability: "99.99%"},
+}
+
+// Kind selects a failure mode.
+type Kind int
+
+// Failure kinds of §5.6.
+const (
+	// ProcessCrash kills the serving process; the OS detects and
+	// restarts it immediately.
+	ProcessCrash Kind = iota
+	// OSPanic freezes the whole host (sysctl-induced kernel panic).
+	// Simpler for RedN than a process crash: nothing frees the RDMA
+	// resources, so the NIC continues unconditionally.
+	OSPanic
+)
+
+func (k Kind) String() string {
+	if k == ProcessCrash {
+		return "process-crash"
+	}
+	return "os-panic"
+}
+
+// InjectAt schedules a failure of the store at time t.
+func InjectAt(eng *sim.Engine, s *kv.Store, k Kind, t sim.Time) {
+	eng.At(t, func() {
+		switch k {
+		case ProcessCrash:
+			s.Crash(eng)
+		case OSPanic:
+			// The OS is gone: CPU service stops and never restarts in
+			// the experiment window; RDMA resources are NOT freed (the
+			// NIC is decoupled from the host OS).
+			s.Node.CPU.Crash()
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Package hopscotch implements the Hopscotch hash table of §5.2, laid
+// out in simulated host memory so RDMA verbs (and RedN offloads) can
+// traverse it. Each key is hashed by H functions (two, as in MemC3 and
+// the paper's setup) and stored in one of the H buckets' neighborhoods.
+//
+// The bucket layout is designed for RedN's self-modifying injection
+// (Fig 9): the first word is the key pre-encoded as a WQE control word
+// (NOOP opcode | 48-bit key) and the second is the value address, so a
+// single 16-byte RDMA READ of a bucket lands the key in a response
+// WQE's id field and the value pointer in its src field, readying it
+// for the conditional CAS. Values are referenced by pointer (not
+// inlined) to support dynamic value sizes. All fields are big-endian,
+// as the paper requires of Memcached's buckets.
+package hopscotch
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/wqe"
+)
+
+// BucketSize is the on-memory size of a bucket in bytes.
+const BucketSize = 32
+
+// Bucket field offsets.
+const (
+	OffKeyCtrl = 0  // MakeCtrl(OpNoop, key48); zero means empty
+	OffValAddr = 8  // address of the value bytes
+	OffValLen  = 16 // value length in bytes
+	OffPad     = 24
+)
+
+// DefaultNeighborhood is FaRM's default neighborhood size (§5.2: "the
+// neighborhood size is set to 6 by default, implying a 6x overhead for
+// RDMA metadata operations" for one-sided readers).
+const DefaultNeighborhood = 6
+
+// KeyMask bounds keys to 48 bits (the paper's operand/key width).
+const KeyMask = wqe.IDMask
+
+// ErrFull reports that neither candidate neighborhood has room.
+var ErrFull = errors.New("hopscotch: table full (both neighborhoods exhausted)")
+
+// Table is a Hopscotch hash table resident in simulated memory.
+type Table struct {
+	mem          *mem.Memory
+	base         uint64
+	nBuckets     uint64 // power of two
+	hashes       int    // H
+	neighborhood int
+	entries      int
+}
+
+// New allocates a table with nBuckets (rounded up to a power of two)
+// in m, using two hash functions and the given neighborhood size
+// (0 selects DefaultNeighborhood).
+func New(m *mem.Memory, nBuckets uint64, neighborhood int) *Table {
+	n := uint64(1)
+	for n < nBuckets {
+		n <<= 1
+	}
+	if neighborhood <= 0 {
+		neighborhood = DefaultNeighborhood
+	}
+	base := m.Alloc(n*BucketSize, 64)
+	return &Table{mem: m, base: base, nBuckets: n, hashes: 2, neighborhood: neighborhood}
+}
+
+// Base returns the address of bucket 0.
+func (t *Table) Base() uint64 { return t.base }
+
+// Size returns the table size in bytes (for MR registration).
+func (t *Table) Size() uint64 { return t.nBuckets * BucketSize }
+
+// NumBuckets returns the bucket count.
+func (t *Table) NumBuckets() uint64 { return t.nBuckets }
+
+// Neighborhood returns the neighborhood size.
+func (t *Table) Neighborhood() int { return t.neighborhood }
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.entries }
+
+// BucketAddr returns the address of bucket i.
+func (t *Table) BucketAddr(i uint64) uint64 { return t.base + (i%t.nBuckets)*BucketSize }
+
+// hash mixes k with one of two 64-bit avalanche constants
+// (splitmix64-style finalizers), deterministic across runs.
+func (t *Table) hash(k uint64, fn int) uint64 {
+	x := k & KeyMask
+	if fn == 0 {
+		x ^= 0x9E3779B97F4A7C15
+	} else {
+		x ^= 0xC2B2AE3D27D4EB4F
+	}
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x % t.nBuckets
+}
+
+// Hash returns the fn-th (0 or 1) candidate bucket index for key.
+func (t *Table) Hash(key uint64, fn int) uint64 { return t.hash(key, fn) }
+
+// HashAddr returns the address of the fn-th candidate bucket for key —
+// the value clients send as H1(x)/H2(x) in the lookup trigger.
+func (t *Table) HashAddr(key uint64, fn int) uint64 { return t.BucketAddr(t.hash(key, fn)) }
+
+// slotFor finds the first free slot in key's candidate neighborhoods.
+func (t *Table) slotFor(key uint64) (uint64, error) {
+	for fn := 0; fn < t.hashes; fn++ {
+		h := t.hash(key, fn)
+		for d := 0; d < t.neighborhood; d++ {
+			addr := t.BucketAddr(h + uint64(d))
+			ctrl, err := t.mem.U64(addr + OffKeyCtrl)
+			if err != nil {
+				return 0, err
+			}
+			if ctrl == 0 {
+				return addr, nil
+			}
+			if _, k := wqe.SplitCtrl(ctrl); k == key&KeyMask {
+				return addr, nil // overwrite existing
+			}
+		}
+	}
+	return 0, ErrFull
+}
+
+// Insert stores key -> (valAddr, valLen). Keys wider than 48 bits are
+// rejected rather than silently truncated.
+func (t *Table) Insert(key, valAddr, valLen uint64) error {
+	if key&^KeyMask != 0 {
+		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
+	}
+	addr, err := t.slotFor(key)
+	if err != nil {
+		return err
+	}
+	prev, _ := t.mem.U64(addr + OffKeyCtrl)
+	if err := t.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
+		return err
+	}
+	if err := t.mem.PutU64(addr+OffValAddr, valAddr); err != nil {
+		return err
+	}
+	if err := t.mem.PutU64(addr+OffValLen, valLen); err != nil {
+		return err
+	}
+	if prev == 0 {
+		t.entries++
+	}
+	return nil
+}
+
+// InsertAt places key directly into the d-th slot of its fn-th
+// neighborhood, for experiments that force collisions (Fig 11 places
+// every key in the second bucket).
+func (t *Table) InsertAt(key, valAddr, valLen uint64, fn, d int) error {
+	if key&^KeyMask != 0 {
+		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
+	}
+	addr := t.BucketAddr(t.hash(key, fn) + uint64(d))
+	if err := t.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
+		return err
+	}
+	if err := t.mem.PutU64(addr+OffValAddr, valAddr); err != nil {
+		return err
+	}
+	if err := t.mem.PutU64(addr+OffValLen, valLen); err != nil {
+		return err
+	}
+	t.entries++
+	return nil
+}
+
+// Delete removes key if present.
+func (t *Table) Delete(key uint64) bool {
+	for fn := 0; fn < t.hashes; fn++ {
+		h := t.hash(key, fn)
+		for d := 0; d < t.neighborhood; d++ {
+			addr := t.BucketAddr(h + uint64(d))
+			ctrl, _ := t.mem.U64(addr + OffKeyCtrl)
+			if ctrl == 0 {
+				continue
+			}
+			if _, k := wqe.SplitCtrl(ctrl); k == key&KeyMask {
+				t.mem.PutU64(addr+OffKeyCtrl, 0)
+				t.mem.PutU64(addr+OffValAddr, 0)
+				t.mem.PutU64(addr+OffValLen, 0)
+				t.entries--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Lookup is the host-CPU lookup used by two-sided baselines: scan both
+// candidate neighborhoods for key.
+func (t *Table) Lookup(key uint64) (valAddr, valLen uint64, ok bool) {
+	for fn := 0; fn < t.hashes; fn++ {
+		h := t.hash(key, fn)
+		for d := 0; d < t.neighborhood; d++ {
+			addr := t.BucketAddr(h + uint64(d))
+			ctrl, err := t.mem.U64(addr + OffKeyCtrl)
+			if err != nil || ctrl == 0 {
+				continue
+			}
+			if _, k := wqe.SplitCtrl(ctrl); k == key&KeyMask {
+				va, _ := t.mem.U64(addr + OffValAddr)
+				vl, _ := t.mem.U64(addr + OffValLen)
+				return va, vl, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// LookupBucket reports which candidate bucket (0-based hash function
+// index) holds key, or -1. One-sided readers use it to model FaRM's
+// neighborhood scan.
+func (t *Table) LookupBucket(key uint64) int {
+	for fn := 0; fn < t.hashes; fn++ {
+		h := t.hash(key, fn)
+		for d := 0; d < t.neighborhood; d++ {
+			addr := t.BucketAddr(h + uint64(d))
+			ctrl, err := t.mem.U64(addr + OffKeyCtrl)
+			if err != nil || ctrl == 0 {
+				continue
+			}
+			if _, k := wqe.SplitCtrl(ctrl); k == key&KeyMask {
+				return fn
+			}
+		}
+	}
+	return -1
+}

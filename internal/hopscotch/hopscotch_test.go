@@ -1,0 +1,142 @@
+package hopscotch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/wqe"
+)
+
+func newTable(t testing.TB, buckets uint64) (*Table, *mem.Memory) {
+	t.Helper()
+	m := mem.New(1 << 22)
+	return New(m, buckets, 0), m
+}
+
+func TestInsertLookupDelete(t *testing.T) {
+	tbl, _ := newTable(t, 256)
+	if err := tbl.Insert(42, 0x1000, 64); err != nil {
+		t.Fatal(err)
+	}
+	va, vl, ok := tbl.Lookup(42)
+	if !ok || va != 0x1000 || vl != 64 {
+		t.Fatalf("lookup: %v %v %v", va, vl, ok)
+	}
+	if _, _, ok := tbl.Lookup(43); ok {
+		t.Fatal("phantom key")
+	}
+	if !tbl.Delete(42) {
+		t.Fatal("delete failed")
+	}
+	if _, _, ok := tbl.Lookup(42); ok {
+		t.Fatal("lookup after delete")
+	}
+	if tbl.Delete(42) {
+		t.Fatal("double delete")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	tbl, _ := newTable(t, 64)
+	tbl.Insert(7, 0x1000, 8)
+	tbl.Insert(7, 0x2000, 16)
+	va, vl, _ := tbl.Lookup(7)
+	if va != 0x2000 || vl != 16 {
+		t.Fatalf("overwrite: %#x %d", va, vl)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len %d", tbl.Len())
+	}
+}
+
+func TestBucketLayoutMatchesWQEInjection(t *testing.T) {
+	// The first 16 bytes of a bucket must be [MakeCtrl(NOOP,key),
+	// valAddr] so one READ lands them on a WQE's [ctrl, src] fields.
+	tbl, m := newTable(t, 64)
+	tbl.Insert(0x1234, 0xabcd, 8)
+	addr := tbl.BucketAddr(tbl.Hash(0x1234, 0))
+	// May live in a neighborhood slot; find it.
+	fn := tbl.LookupBucket(0x1234)
+	if fn < 0 {
+		t.Fatal("not found")
+	}
+	for d := 0; d < tbl.Neighborhood(); d++ {
+		a := tbl.BucketAddr(tbl.Hash(0x1234, fn) + uint64(d))
+		kc, _ := m.U64(a + OffKeyCtrl)
+		if kc == wqe.MakeCtrl(wqe.OpNoop, 0x1234) {
+			va, _ := m.U64(a + OffValAddr)
+			if va != 0xabcd {
+				t.Fatalf("valAddr %#x", va)
+			}
+			return
+		}
+	}
+	_ = addr
+	t.Fatal("bucket encoding not found")
+}
+
+func TestKeyWidthRejected(t *testing.T) {
+	tbl, _ := newTable(t, 64)
+	if err := tbl.Insert(1<<48, 1, 1); err == nil {
+		t.Fatal("49-bit key accepted")
+	}
+}
+
+func TestNeighborhoodCollisions(t *testing.T) {
+	tbl, _ := newTable(t, 8) // tiny: force collisions
+	inserted := 0
+	for k := uint64(1); k <= 60; k++ {
+		if err := tbl.Insert(k, k*16, 8); err != nil {
+			break
+		}
+		inserted++
+	}
+	if inserted < 8 {
+		t.Fatalf("only %d inserted before full", inserted)
+	}
+	for k := uint64(1); k <= uint64(inserted); k++ {
+		va, _, ok := tbl.Lookup(k)
+		if !ok || va != k*16 {
+			t.Fatalf("key %d lost after collisions", k)
+		}
+	}
+}
+
+func TestInsertAtForcedBucket(t *testing.T) {
+	tbl, _ := newTable(t, 256)
+	tbl.InsertAt(5, 0x100, 8, 1, 0)
+	if fn := tbl.LookupBucket(5); fn != 1 {
+		t.Fatalf("key in bucket %d, want forced 1", fn)
+	}
+}
+
+// Property: any set of distinct 20-bit keys inserted into a large table
+// is fully retrievable with correct values.
+func TestInsertLookupProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		tbl, _ := newTable(t, 4096)
+		seen := map[uint64]uint64{}
+		for i, r := range raw {
+			if i >= 100 {
+				break
+			}
+			k := uint64(r%0xFFFFF) + 1
+			v := uint64(i + 1)
+			if err := tbl.Insert(k, v, 8); err != nil {
+				return true // full is acceptable
+			}
+			seen[k] = v
+		}
+		for k, v := range seen {
+			va, _, ok := tbl.Lookup(k)
+			if !ok || va != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package host models server-side software: CPU cores, RPC handler
+// scheduling, polling versus event-driven completion handling, context
+// switches under contention, and process/OS crash lifecycles. It is the
+// substrate behind the paper's two-sided baselines (Figs 10, 14), the
+// performance-isolation experiment (Fig 15), and the failure-resiliency
+// experiment (Fig 16).
+package host
+
+import (
+	"math/rand"
+
+	"repro/internal/rnic"
+	"repro/internal/sim"
+)
+
+// Timing constants for host software, calibrated against the paper's
+// two-sided baselines.
+const (
+	// PollDetect is how quickly a spinning poller notices a CQE after
+	// host-visible delivery (one poll-loop iteration).
+	PollDetect = 100 * sim.Nanosecond
+	// EventWakeup is the cost of blocking completion notification:
+	// interrupt, wakeup and syscall return. Event-based gets are up to
+	// 3.8x slower than RedN in Fig 10; this constant carries most of
+	// that gap.
+	EventWakeup = 8 * sim.Microsecond
+	// DefaultCtxSwitch is the dispatch overhead once runnable threads
+	// exceed cores (Fig 15's tail-latency inflation under contention).
+	DefaultCtxSwitch = 3 * sim.Microsecond
+)
+
+// CPU models a server's cores. RPC handlers run on the least-loaded
+// core; when all cores are saturated, dispatches pay context-switch
+// overhead plus seeded-random scheduling jitter — the mechanism behind
+// the paper's 35x tail inflation under contention.
+type CPU struct {
+	eng   *sim.Engine
+	name  string
+	cores []*sim.Resource
+	rng   *rand.Rand
+
+	CtxSwitch sim.Time
+
+	crashed bool
+	epoch   uint64 // incremented on crash; stale callbacks are dropped
+
+	dispatches uint64
+	switches   uint64
+}
+
+// NewCPU returns a CPU with n cores and deterministic jitter.
+func NewCPU(eng *sim.Engine, name string, n int) *CPU {
+	if n < 1 {
+		n = 1
+	}
+	c := &CPU{
+		eng:       eng,
+		name:      name,
+		rng:       rand.New(rand.NewSource(0x5eed + int64(len(name)))),
+		CtxSwitch: DefaultCtxSwitch,
+	}
+	for i := 0; i < n; i++ {
+		c.cores = append(c.cores, sim.NewResource(eng, name+"/core"))
+	}
+	return c
+}
+
+// Cores returns the number of cores.
+func (c *CPU) Cores() int { return len(c.cores) }
+
+// Crashed reports whether the process/OS is down.
+func (c *CPU) Crashed() bool { return c.crashed }
+
+// pickCore returns the core that frees up earliest.
+func (c *CPU) pickCore() *sim.Resource {
+	best := c.cores[0]
+	for _, core := range c.cores[1:] {
+		if core.NextFree() < best.NextFree() {
+			best = core
+		}
+	}
+	return best
+}
+
+// Exec schedules fn to run after occupying a core for service time. If
+// every core is busy, the dispatch pays a context switch plus random
+// scheduling jitter proportional to the backlog. It returns the
+// completion time (fn runs then). Exec on a crashed CPU drops the work.
+func (c *CPU) Exec(service sim.Time, fn func()) sim.Time {
+	if c.crashed {
+		return -1
+	}
+	now := c.eng.Now()
+	core := c.pickCore()
+	c.dispatches++
+
+	overhead := sim.Time(0)
+	if wait := core.NextFree() - now; wait > 0 {
+		// Oversubscribed: context switch + jitter that grows with how
+		// far behind the core is (more runnable threads, more chances
+		// to be scheduled late).
+		c.switches++
+		backlogFactor := float64(wait) / float64(c.CtxSwitch)
+		if backlogFactor > 16 {
+			backlogFactor = 16
+		}
+		jitter := sim.Time(c.rng.ExpFloat64() * float64(c.CtxSwitch) * (1 + backlogFactor))
+		overhead = c.CtxSwitch + jitter
+	}
+
+	epoch := c.epoch
+	_, end := core.Acquire(service + overhead)
+	c.eng.At(end, func() {
+		if c.crashed || c.epoch != epoch {
+			return
+		}
+		fn()
+	})
+	return end
+}
+
+// Dispatches returns total handler dispatches.
+func (c *CPU) Dispatches() uint64 { return c.dispatches }
+
+// ContextSwitches returns dispatches that paid contention overhead.
+func (c *CPU) ContextSwitches() uint64 { return c.switches }
+
+// Crash halts the CPU: queued and future work is dropped until Restart.
+func (c *CPU) Crash() {
+	c.crashed = true
+	c.epoch++
+}
+
+// Restart brings the CPU back (the process has been restarted by the
+// OS, or the machine rebooted).
+func (c *CPU) Restart() {
+	c.crashed = false
+}
+
+// CompletionMode selects how server software learns about CQEs.
+type CompletionMode int
+
+// Completion modes for two-sided baselines (§5.2.2).
+const (
+	// Polling dedicates a spinning core: lowest latency, one core burned.
+	Polling CompletionMode = iota
+	// Event blocks on completion channels: no busy core, high latency.
+	Event
+)
+
+func (m CompletionMode) String() string {
+	if m == Polling {
+		return "polling"
+	}
+	return "event"
+}
+
+// HandleCQ wires handler to run on this CPU for every CQE delivered to
+// cq, using the given completion mode and per-request service time.
+// The handler runs only while the CPU is up; a crashed CPU silently
+// drops completions (clients observe a dead server).
+func (c *CPU) HandleCQ(cq *rnic.CQ, mode CompletionMode, service sim.Time, handler func(rnic.CQE)) {
+	cq.OnDeliver(func(e rnic.CQE) {
+		if c.crashed {
+			return
+		}
+		delay := PollDetect
+		if mode == Event {
+			delay = EventWakeup
+		}
+		epoch := c.epoch
+		c.eng.After(delay, func() {
+			if c.crashed || c.epoch != epoch {
+				return
+			}
+			c.Exec(service, func() { handler(e) })
+		})
+	})
+}

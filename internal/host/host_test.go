@@ -1,0 +1,84 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestExecUncontended(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, "s", 4)
+	var done sim.Time
+	cpu.Exec(1000, func() { done = eng.Now() })
+	eng.Run()
+	if done != 1000 {
+		t.Fatalf("done at %v, want 1000 (no contention overhead)", done)
+	}
+	if cpu.ContextSwitches() != 0 {
+		t.Fatal("uncontended exec paid a context switch")
+	}
+}
+
+func TestExecContentionAddsOverhead(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, "s", 1)
+	var last sim.Time
+	for i := 0; i < 10; i++ {
+		cpu.Exec(1000, func() { last = eng.Now() })
+	}
+	eng.Run()
+	if last <= 10*1000 {
+		t.Fatalf("10 jobs on 1 core finished at %v: no queueing/context-switch cost", last)
+	}
+	if cpu.ContextSwitches() == 0 {
+		t.Fatal("saturated core recorded no context switches")
+	}
+	if cpu.Dispatches() != 10 {
+		t.Fatalf("dispatches %d", cpu.Dispatches())
+	}
+}
+
+func TestCrashDropsWork(t *testing.T) {
+	eng := sim.NewEngine()
+	cpu := NewCPU(eng, "s", 2)
+	ran := false
+	cpu.Exec(1000, func() { ran = true })
+	cpu.Crash()
+	eng.Run()
+	if ran {
+		t.Fatal("queued work ran after crash")
+	}
+	if cpu.Exec(10, func() {}) != -1 {
+		t.Fatal("crashed CPU accepted work")
+	}
+	cpu.Restart()
+	ok := false
+	cpu.Exec(10, func() { ok = true })
+	eng.Run()
+	if !ok {
+		t.Fatal("restarted CPU did not run work")
+	}
+}
+
+func TestDeterministicJitter(t *testing.T) {
+	run := func() sim.Time {
+		eng := sim.NewEngine()
+		cpu := NewCPU(eng, "s", 1)
+		var last sim.Time
+		for i := 0; i < 50; i++ {
+			cpu.Exec(500, func() { last = eng.Now() })
+		}
+		eng.Run()
+		return last
+	}
+	if run() != run() {
+		t.Fatal("contention jitter is not deterministic")
+	}
+}
+
+func TestCompletionModeString(t *testing.T) {
+	if Polling.String() != "polling" || Event.String() != "event" {
+		t.Fatal("mode names")
+	}
+}

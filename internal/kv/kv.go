@@ -1,0 +1,128 @@
+// Package kv implements the Memcached-like key-value store of §5.4:
+// a cuckoo-hash index (MemC3 style) over a value arena in simulated
+// host memory, with big-endian bucket fields so the RedN offload can
+// inject them into WQEs directly — the paper's ~700-line Memcached
+// modification, reproduced.
+//
+// The store serves gets three ways: through the host CPU (two-sided
+// baselines), through client-driven one-sided READs, and through the
+// RedN NIC offload (no CPU at all). Its crash/restart lifecycle models
+// §5.6: a vanilla instance loses its RDMA resources on a process crash
+// and must bootstrap and rebuild its hash table; a hull-parent
+// instance keeps the NIC serving throughout.
+package kv
+
+import (
+	"fmt"
+
+	"repro/internal/cuckoo"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+)
+
+// Recovery timing from Fig 16: a restarted Memcached takes ~1 s to
+// bootstrap and ~1.25 s more to rebuild metadata and hash tables.
+const (
+	BootstrapTime = 1 * sim.Second
+	RebuildTime   = 1250 * sim.Millisecond
+)
+
+// Store is the Memcached-like server.
+type Store struct {
+	Node  *fabric.Node
+	Table *cuckoo.Table
+
+	// HullParent mirrors the paper's fork trick: RDMA resources are
+	// owned by an empty parent process, so a crash of the serving
+	// child does not free the NIC's queues.
+	HullParent bool
+
+	down    bool
+	downAt  sim.Time
+	upAt    sim.Time
+	rebuilt bool
+
+	sets, gets uint64
+}
+
+// New creates a store with a table of nBuckets on node.
+func New(node *fabric.Node, nBuckets uint64) *Store {
+	return &Store{Node: node, Table: cuckoo.New(node.Mem, nBuckets), rebuilt: true}
+}
+
+// Set stores key -> value, allocating arena space (overwrites reuse
+// the existing allocation when the size fits).
+func (s *Store) Set(key uint64, value []byte) error {
+	if s.down || !s.rebuilt {
+		return fmt.Errorf("kv: store down")
+	}
+	s.sets++
+	if va, vl, ok := s.Table.Lookup(key); ok && uint64(len(value)) <= vl {
+		if err := s.Node.Mem.Write(va, value); err != nil {
+			return err
+		}
+		return s.Table.Insert(key, va, uint64(len(value)))
+	}
+	addr := s.Node.Mem.Alloc(uint64(len(value)), 8)
+	if err := s.Node.Mem.Write(addr, value); err != nil {
+		return err
+	}
+	return s.Table.Insert(key, addr, uint64(len(value)))
+}
+
+// Get resolves key through the host CPU path.
+func (s *Store) Get(key uint64) ([]byte, bool) {
+	if s.down || !s.rebuilt {
+		return nil, false
+	}
+	s.gets++
+	va, vl, ok := s.Table.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	out, err := s.Node.Mem.Read(va, vl)
+	return out, err == nil
+}
+
+// Lookup exposes the index for baseline servers.
+func (s *Store) Lookup(key uint64) (uint64, uint64, bool) {
+	if s.down || !s.rebuilt {
+		return 0, 0, false
+	}
+	return s.Table.Lookup(key)
+}
+
+// Up reports whether CPU-side service is available.
+func (s *Store) Up() bool { return !s.down && s.rebuilt }
+
+// Stats returns set/get counters.
+func (s *Store) Stats() (sets, gets uint64) { return s.sets, s.gets }
+
+// Crash kills the serving process at the current simulated time. The
+// OS restarts it immediately (as in Fig 16); bootstrap and hash-table
+// rebuild delays gate CPU-side service availability. Without a hull
+// parent, the OS also reclaims the process's RDMA resources, freezing
+// every NIC queue — the reason vanilla Memcached's offload (and even
+// plain RDMA service) dies with the process.
+func (s *Store) Crash(eng *sim.Engine) {
+	s.down = true
+	s.rebuilt = false
+	s.downAt = eng.Now()
+	s.Node.CPU.Crash()
+	if !s.HullParent {
+		s.Node.Dev.Freeze()
+	}
+	eng.After(BootstrapTime, func() {
+		s.down = false
+		s.upAt = eng.Now()
+		s.Node.CPU.Restart()
+		eng.After(RebuildTime, func() {
+			s.rebuilt = true
+			if !s.HullParent {
+				// The restarted process has recreated its RDMA
+				// resources; remote service resumes.
+				s.Node.Dev.Unfreeze()
+			}
+		})
+	})
+}

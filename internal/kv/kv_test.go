@@ -1,0 +1,128 @@
+package kv_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/failure"
+	"repro/internal/kv"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func newStore(t testing.TB) (*fabric.Cluster, *kv.Store) {
+	t.Helper()
+	clu := fabric.NewCluster()
+	node := clu.AddNode(fabric.DefaultNodeConfig("kv"))
+	return clu, kv.New(node, 1024)
+}
+
+func TestSetGet(t *testing.T) {
+	_, s := newStore(t)
+	want := workload.Value(7, 64)
+	if err := s.Set(7, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(7)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("get: ok=%v", ok)
+	}
+	if _, ok := s.Get(8); ok {
+		t.Fatal("phantom key")
+	}
+	sets, gets := s.Stats()
+	if sets != 1 || gets != 2 {
+		t.Fatalf("stats %d %d", sets, gets)
+	}
+}
+
+func TestOverwriteReusesArena(t *testing.T) {
+	_, s := newStore(t)
+	s.Set(1, workload.Value(1, 64))
+	a1, _, _ := s.Lookup(1)
+	s.Set(1, workload.Value(2, 64))
+	a2, _, _ := s.Lookup(1)
+	if a1 != a2 {
+		t.Fatalf("same-size overwrite moved the value %#x -> %#x", a1, a2)
+	}
+	got, _ := s.Get(1)
+	if !bytes.Equal(got, workload.Value(2, 64)) {
+		t.Fatal("overwrite content")
+	}
+}
+
+func TestCrashRecoveryTimeline(t *testing.T) {
+	clu, s := newStore(t)
+	s.Set(1, workload.Value(1, 8))
+	failure.InjectAt(clu.Eng, s, failure.ProcessCrash, 1*sim.Second)
+
+	clu.Eng.RunUntil(1*sim.Second + 1)
+	if s.Up() {
+		t.Fatal("store up immediately after crash")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("get served while down")
+	}
+	// After bootstrap but before rebuild: still not serving.
+	clu.Eng.RunUntil(1*sim.Second + kv.BootstrapTime + 1)
+	if s.Up() {
+		t.Fatal("store serving before hash-table rebuild")
+	}
+	clu.Eng.RunUntil(1*sim.Second + kv.BootstrapTime + kv.RebuildTime + 1)
+	if !s.Up() {
+		t.Fatal("store not recovered after bootstrap+rebuild")
+	}
+	if _, ok := s.Get(1); !ok {
+		t.Fatal("data lost across restart")
+	}
+}
+
+func TestHullParentKeepsDeviceAlive(t *testing.T) {
+	clu, s := newStore(t)
+	s.HullParent = true
+	s.Crash(clu.Eng)
+	if s.Node.Dev.Frozen() {
+		t.Fatal("hull parent should keep NIC resources alive")
+	}
+
+	clu2, s2 := newStore(t)
+	s2.Crash(clu2.Eng)
+	if !s2.Node.Dev.Frozen() {
+		t.Fatal("vanilla crash should freeze the device")
+	}
+	clu2.Eng.RunUntil(kv.BootstrapTime + kv.RebuildTime + sim.Second)
+	if s2.Node.Dev.Frozen() {
+		t.Fatal("device should unfreeze after recovery")
+	}
+}
+
+func TestOSPanicStopsCPUOnly(t *testing.T) {
+	clu, s := newStore(t)
+	failure.InjectAt(clu.Eng, s, failure.OSPanic, 100)
+	clu.Eng.RunUntil(200)
+	if !s.Node.CPU.Crashed() {
+		t.Fatal("OS panic should stop the CPU")
+	}
+	if s.Node.Dev.Frozen() {
+		t.Fatal("OS panic must not freeze the NIC (it is decoupled from the host OS)")
+	}
+}
+
+func TestTable6Data(t *testing.T) {
+	if len(failure.Table6) != 4 {
+		t.Fatalf("Table6 rows %d", len(failure.Table6))
+	}
+	var os, nic failure.Component
+	for _, c := range failure.Table6 {
+		switch c.Name {
+		case "OS":
+			os = c
+		case "NIC":
+			nic = c
+		}
+	}
+	if os.AFRPercent/nic.AFRPercent < 10 {
+		t.Fatal("paper: NIC AFR an order of magnitude below OS")
+	}
+}

@@ -1,0 +1,113 @@
+// Package list lays out key-value linked lists in simulated host
+// memory for the traversal offloads of §5.3. Node layout mirrors the
+// hopscotch bucket trick: the key is pre-encoded as a WQE control word
+// so one RDMA READ injects it straight into a conditional's id field.
+package list
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/wqe"
+)
+
+// NodeSize is the on-memory size of one node.
+const NodeSize = 32
+
+// Node field offsets. KeyCtrl and ValAddr are adjacent so a single
+// 16-byte READ injects them onto a response WQE's [ctrl][src] fields,
+// exactly as hopscotch buckets do (Fig 12's R2).
+const (
+	OffKeyCtrl = 0  // MakeCtrl(OpNoop, key48)
+	OffValAddr = 8  // address of the value bytes
+	OffNext    = 16 // address of next node, 0 terminates
+	OffValLen  = 24
+)
+
+// KeyMask bounds keys to 48 bits.
+const KeyMask = wqe.IDMask
+
+// List is a singly linked list of key-value nodes in memory.
+type List struct {
+	mem   *mem.Memory
+	head  uint64
+	tail  uint64
+	count int
+}
+
+// New returns an empty list over m.
+func New(m *mem.Memory) *List { return &List{mem: m} }
+
+// Head returns the address of the first node (0 when empty) — the N0
+// clients pass to traversal offloads.
+func (l *List) Head() uint64 { return l.head }
+
+// Len returns the node count.
+func (l *List) Len() int { return l.count }
+
+// Append allocates and links a node storing key -> (valAddr, valLen).
+func (l *List) Append(key, valAddr, valLen uint64) (uint64, error) {
+	if key&^KeyMask != 0 {
+		return 0, fmt.Errorf("list: key %#x exceeds 48 bits", key)
+	}
+	addr := l.mem.Alloc(NodeSize, 8)
+	if err := l.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
+		return 0, err
+	}
+	if err := l.mem.PutU64(addr+OffValAddr, valAddr); err != nil {
+		return 0, err
+	}
+	if err := l.mem.PutU64(addr+OffValLen, valLen); err != nil {
+		return 0, err
+	}
+	if l.head == 0 {
+		l.head = addr
+	} else {
+		if err := l.mem.PutU64(l.tail+OffNext, addr); err != nil {
+			return 0, err
+		}
+	}
+	l.tail = addr
+	l.count++
+	return addr, nil
+}
+
+// Walk is the host-CPU traversal used by baselines: it follows next
+// pointers until key matches, returning the value location and the
+// number of nodes visited.
+func (l *List) Walk(key uint64) (valAddr, valLen uint64, hops int, ok bool) {
+	addr := l.head
+	for addr != 0 {
+		hops++
+		ctrl, err := l.mem.U64(addr + OffKeyCtrl)
+		if err != nil {
+			return 0, 0, hops, false
+		}
+		if _, k := wqe.SplitCtrl(ctrl); k == key&KeyMask {
+			va, _ := l.mem.U64(addr + OffValAddr)
+			vl, _ := l.mem.U64(addr + OffValLen)
+			return va, vl, hops, true
+		}
+		addr, err = l.mem.U64(addr + OffNext)
+		if err != nil {
+			return 0, 0, hops, false
+		}
+	}
+	return 0, 0, hops, false
+}
+
+// Keys returns the keys in list order (test helper).
+func (l *List) Keys() []uint64 {
+	var out []uint64
+	addr := l.head
+	for addr != 0 {
+		ctrl, err := l.mem.U64(addr + OffKeyCtrl)
+		if err != nil {
+			return out
+		}
+		_, k := wqe.SplitCtrl(ctrl)
+		out = append(out, k)
+		addr, _ = l.mem.U64(addr + OffNext)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package list
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/wqe"
+)
+
+func TestAppendWalk(t *testing.T) {
+	m := mem.New(1 << 20)
+	l := New(m)
+	if l.Head() != 0 || l.Len() != 0 {
+		t.Fatal("empty list state")
+	}
+	for i := uint64(1); i <= 8; i++ {
+		if _, err := l.Append(i*100, i*0x1000, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Len() != 8 {
+		t.Fatalf("len %d", l.Len())
+	}
+	va, vl, hops, ok := l.Walk(300)
+	if !ok || va != 3*0x1000 || vl != 64 || hops != 3 {
+		t.Fatalf("walk: %v %v %v %v", va, vl, hops, ok)
+	}
+	_, _, hops, ok = l.Walk(999)
+	if ok || hops != 8 {
+		t.Fatalf("miss walk: hops=%d ok=%v", hops, ok)
+	}
+}
+
+func TestNodeLayoutForScatterRead(t *testing.T) {
+	// [keyCtrl, valAddr] must be contiguous for the 16B response
+	// injection and next at OffNext for the chase scatter.
+	m := mem.New(1 << 20)
+	l := New(m)
+	a1, _ := l.Append(5, 0x500, 8)
+	a2, _ := l.Append(6, 0x600, 8)
+	kc, _ := m.U64(a1 + OffKeyCtrl)
+	if kc != wqe.MakeCtrl(wqe.OpNoop, 5) {
+		t.Fatalf("keyCtrl %#x", kc)
+	}
+	va, _ := m.U64(a1 + OffValAddr)
+	if va != 0x500 {
+		t.Fatalf("valAddr %#x", va)
+	}
+	nx, _ := m.U64(a1 + OffNext)
+	if nx != a2 {
+		t.Fatalf("next %#x want %#x", nx, a2)
+	}
+	last, _ := m.U64(a2 + OffNext)
+	if last != 0 {
+		t.Fatal("tail not terminated")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	m := mem.New(1 << 20)
+	l := New(m)
+	for i := uint64(1); i <= 4; i++ {
+		l.Append(i, 0, 0)
+	}
+	ks := l.Keys()
+	if len(ks) != 4 || ks[0] != 1 || ks[3] != 4 {
+		t.Fatalf("keys %v", ks)
+	}
+}
+
+func TestWideKeyRejected(t *testing.T) {
+	l := New(mem.New(1 << 20))
+	if _, err := l.Append(1<<48, 0, 0); err == nil {
+		t.Fatal("49-bit key accepted")
+	}
+}
+
+// Property: walking key i in a list of n distinct keys takes exactly i
+// hops and returns its value.
+func TestWalkProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		cnt := int(n%32) + 1
+		m := mem.New(1 << 22)
+		l := New(m)
+		for i := 1; i <= cnt; i++ {
+			l.Append(uint64(i), uint64(i*64), 8)
+		}
+		for i := 1; i <= cnt; i++ {
+			va, _, hops, ok := l.Walk(uint64(i))
+			if !ok || hops != i || va != uint64(i*64) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(1 << 20)
+	a := m.Alloc(10, 64)
+	if a%64 != 0 {
+		t.Fatalf("alloc %#x not 64-aligned", a)
+	}
+	b := m.Alloc(10, 64)
+	if b <= a {
+		t.Fatalf("allocations overlap: %#x then %#x", a, b)
+	}
+	if a == 0 || b == 0 {
+		t.Fatal("address 0 must stay invalid")
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	m := New(8192)
+	m.Alloc(100000, 1)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(64, 8)
+	src := []byte("hello rdma world")
+	if err := m.Write(a, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(a, uint64(len(src)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("got %q want %q", got, src)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	m := New(4096 * 4)
+	if _, err := m.Read(0, 8); err == nil {
+		t.Fatal("nil address read should fail")
+	}
+	if err := m.Write(uint64(m.Size())-4, make([]byte, 8)); err == nil {
+		t.Fatal("out-of-bounds write should fail")
+	}
+	if _, err := m.U64(uint64(m.Size())); err == nil {
+		t.Fatal("out-of-bounds U64 should fail")
+	}
+	var ae *AccessError
+	_, err := m.Read(0, 8)
+	if e, ok := err.(*AccessError); !ok {
+		t.Fatalf("want *AccessError, got %T", err)
+	} else {
+		ae = e
+	}
+	if ae.Error() == "" {
+		t.Fatal("error string empty")
+	}
+}
+
+func TestU64BigEndian(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(8, 8)
+	if err := m.PutU64(a, 0x0102030405060708); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := m.Read(a, 8)
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("not big-endian: %x", raw)
+	}
+	v, err := m.U64(a)
+	if err != nil || v != 0x0102030405060708 {
+		t.Fatalf("U64 = %#x, %v", v, err)
+	}
+}
+
+func TestCompareAndSwap(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(8, 8)
+	m.PutU64(a, 42)
+	old, err := m.CompareAndSwap(a, 42, 99)
+	if err != nil || old != 42 {
+		t.Fatalf("CAS success: old=%d err=%v", old, err)
+	}
+	if v, _ := m.U64(a); v != 99 {
+		t.Fatalf("value %d after successful CAS, want 99", v)
+	}
+	old, err = m.CompareAndSwap(a, 42, 7)
+	if err != nil || old != 99 {
+		t.Fatalf("CAS failure: old=%d err=%v", old, err)
+	}
+	if v, _ := m.U64(a); v != 99 {
+		t.Fatalf("value %d after failed CAS, want unchanged 99", v)
+	}
+}
+
+func TestFetchAddMaxMin(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(8, 8)
+	m.PutU64(a, 10)
+	if old, _ := m.FetchAdd(a, 5); old != 10 {
+		t.Fatalf("FetchAdd old=%d", old)
+	}
+	if v, _ := m.U64(a); v != 15 {
+		t.Fatalf("after add: %d", v)
+	}
+	if old, _ := m.Max(a, 100); old != 15 {
+		t.Fatalf("Max old=%d", old)
+	}
+	if v, _ := m.U64(a); v != 100 {
+		t.Fatalf("after max: %d", v)
+	}
+	m.Max(a, 5) // no-op
+	if v, _ := m.U64(a); v != 100 {
+		t.Fatalf("max should not lower: %d", v)
+	}
+	m.Min(a, 3)
+	if v, _ := m.U64(a); v != 3 {
+		t.Fatalf("after min: %d", v)
+	}
+}
+
+func TestRegisterAndKeys(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(1024, 8)
+	r, err := m.Register(a, 1024, RemoteRead|RemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LKey == r.RKey {
+		t.Fatal("lkey and rkey should differ")
+	}
+	if got := m.RegionForRKey(r.RKey); got != r {
+		t.Fatal("rkey lookup failed")
+	}
+	if _, err := m.Register(uint64(m.Size()), 16, RemoteRead); err == nil {
+		t.Fatal("out-of-bounds registration should fail")
+	}
+}
+
+func TestCheckRemote(t *testing.T) {
+	m := New(1 << 16)
+	a := m.Alloc(1024, 8)
+	r, _ := m.Register(a, 1024, RemoteRead)
+	if err := m.CheckRemote(a, 100, r.RKey, RemoteRead, "read"); err != nil {
+		t.Fatalf("in-region read: %v", err)
+	}
+	if err := m.CheckRemote(a, 100, r.RKey, RemoteWrite, "write"); err == nil {
+		t.Fatal("write without RemoteWrite should fail")
+	}
+	if err := m.CheckRemote(a+1000, 100, r.RKey, RemoteRead, "read"); err == nil {
+		t.Fatal("range crossing region end should fail")
+	}
+	if err := m.CheckRemote(a, 8, 0xdeadbeef, RemoteRead, "read"); err == nil {
+		t.Fatal("bad rkey should fail")
+	}
+	// rkey 0: any covering region
+	if err := m.CheckRemote(a, 8, 0, RemoteRead, "read"); err != nil {
+		t.Fatalf("rkey-0 covering check: %v", err)
+	}
+	if err := m.CheckRemote(a, 8, 0, RemoteAtomic, "atomic"); err == nil {
+		t.Fatal("rkey-0 without atomic perm should fail")
+	}
+	m.Deregister(r)
+	if err := m.CheckRemote(a, 8, 0, RemoteRead, "read"); err == nil {
+		t.Fatal("deregistered region should not authorize")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := &Region{Base: 100, Len: 50}
+	if !r.Contains(100, 50) || !r.Contains(149, 1) {
+		t.Fatal("edges should be contained")
+	}
+	if r.Contains(99, 1) || r.Contains(149, 2) || r.Contains(100, 51) {
+		t.Fatal("out of range accepted")
+	}
+}
+
+// Property: PutU64/U64 round-trips arbitrary values at arbitrary
+// aligned in-bounds addresses.
+func TestU64RoundTripProperty(t *testing.T) {
+	m := New(1 << 16)
+	base := m.Alloc(4096, 8)
+	f := func(off uint16, v uint64) bool {
+		addr := base + uint64(off)%4088
+		if err := m.PutU64(addr, v); err != nil {
+			return false
+		}
+		got, err := m.U64(addr)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: CAS either swaps (old==cmp) or leaves memory unchanged.
+func TestCASProperty(t *testing.T) {
+	m := New(1 << 16)
+	addr := m.Alloc(8, 8)
+	f := func(initial, cmp, swap uint64) bool {
+		m.PutU64(addr, initial)
+		old, err := m.CompareAndSwap(addr, cmp, swap)
+		if err != nil || old != initial {
+			return false
+		}
+		now, _ := m.U64(addr)
+		if initial == cmp {
+			return now == swap
+		}
+		return now == initial
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

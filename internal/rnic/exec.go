@@ -1,0 +1,548 @@
+package rnic
+
+import (
+	"repro/internal/sim"
+	"repro/internal/wqe"
+)
+
+// kick ensures the work queue's execution loop is running.
+func (w *WorkQueue) kick() {
+	if w.active || w.errored || w.qp.dev.frozen {
+		return
+	}
+	w.active = true
+	w.qp.dev.eng.After(0, w.step)
+}
+
+// bound returns the absolute index below which execution may proceed.
+// Unmanaged queues execute up to the doorbell (producer). Managed
+// queues execute up to the ENABLE-granted fetch limit — which may
+// exceed the producer index: that is WQ recycling (§3.4), where the
+// ring wraps and already-executed WQEs run again.
+func (w *WorkQueue) bound() uint64 {
+	if w.managed {
+		return w.fetchLimit
+	}
+	return w.producer
+}
+
+// step is the per-WQ execution loop. Exactly one step chain is active
+// per queue (guarded by w.active).
+func (w *WorkQueue) step() {
+	dev := w.qp.dev
+	if w.errored || dev.frozen {
+		w.active = false
+		return
+	}
+	if w.consumer >= w.bound() {
+		w.active = false
+		return
+	}
+
+	// Per-WQ rate limiter (isolation, §3.5).
+	if !w.admitted && w.qp.limiter != nil {
+		t := w.qp.limiter.Admit()
+		w.admitted = true
+		if t > dev.eng.Now() {
+			dev.eng.At(t, w.step)
+			return
+		}
+	}
+
+	if w.managed {
+		w.fetchManagedAndExec()
+		return
+	}
+	w.fetchStreamAndExec()
+}
+
+// fetchManagedAndExec performs one serialized on-demand fetch through
+// the port's shared fetch unit, then executes. The WQE snapshot is
+// taken when the fetch completes, so modifications made before the
+// ENABLE-granted fetch are observed — the property RedN's
+// doorbell-ordered self-modifying code depends on.
+func (w *WorkQueue) fetchManagedAndExec() {
+	dev := w.qp.dev
+	idx := w.consumer
+	_, end := w.qp.port.fetchUnit.Acquire(dev.prof.FetchManaged)
+	dev.eng.At(end, func() {
+		if w.errored || dev.frozen {
+			w.active = false
+			return
+		}
+		var snap wqe.WQE
+		var buf [wqe.Size]byte
+		if err := dev.mem.ReadInto(w.SlotAddr(idx), buf[:]); err != nil {
+			w.fail(idx, wqe.WQE{}, StatusLocalProtErr)
+			return
+		}
+		snap.Decode(buf[:])
+		w.exec(idx, snap)
+	})
+}
+
+// fetchStreamAndExec services unmanaged queues: the NIC prefetches
+// ahead, snapshotting WQEs up to PrefetchWindow beyond the consumer.
+// A cold pipeline pays FetchLatency for the first delivery; a hot
+// stream delivers at FetchPipelined spacing. Because snapshots happen
+// at prefetch time, later modifications to prefetched WQEs are NOT
+// observed — the incoherence the paper works around with managed
+// queues and doorbell ordering.
+func (w *WorkQueue) fetchStreamAndExec() {
+	dev := w.qp.dev
+	now := dev.eng.Now()
+	// Top up the prefetch buffer (snapshots taken now).
+	for len(w.buf) < dev.prof.PrefetchWindow {
+		idx := w.consumer + uint64(len(w.buf))
+		if idx >= w.bound() {
+			break
+		}
+		var buf [wqe.Size]byte
+		if err := dev.mem.ReadInto(w.SlotAddr(idx), buf[:]); err != nil {
+			w.fail(idx, wqe.WQE{}, StatusLocalProtErr)
+			return
+		}
+		var snap wqe.WQE
+		snap.Decode(buf[:])
+		var ready sim.Time
+		if w.lastFetchDone+dev.prof.FetchLatency >= now {
+			// Stream is hot: next delivery pipelines behind the last.
+			ready = w.lastFetchDone + dev.prof.FetchPipelined
+			if ready < now {
+				ready = now
+			}
+		} else {
+			ready = now + dev.prof.FetchLatency
+		}
+		w.lastFetchDone = ready
+		w.buf = append(w.buf, fetchedWQE{idx: idx, w: snap, ready: ready})
+	}
+	next := w.buf[0]
+	if next.ready > now {
+		dev.eng.At(next.ready, w.step)
+		return
+	}
+	w.buf = w.buf[1:]
+	w.exec(next.idx, next.w)
+}
+
+// advance moves past the executed WQE and continues the loop.
+func (w *WorkQueue) advance() {
+	w.consumer++
+	w.executed++
+	w.admitted = false
+	w.qp.dev.eng.After(0, w.step)
+}
+
+// fail completes a WQE with an error status and freezes the queue,
+// matching verbs semantics (the QP transitions to the error state).
+func (w *WorkQueue) fail(idx uint64, v wqe.WQE, st Status) {
+	w.errored = true
+	w.active = false
+	w.complete(v, st, true)
+}
+
+// complete schedules completion effects: WAIT-visible counter advance
+// after CQInternal, host-visible CQE after CQEDeliver. Unsignaled WQEs
+// produce neither (unless forced by an error) — which is exactly how
+// RedN's break construct stops a loop: it rewrites the next iteration's
+// final WR to drop its signaled flag, so the WAIT gating the following
+// iteration never fires.
+func (w *WorkQueue) complete(v wqe.WQE, st Status, force bool) {
+	if !v.Signaled() && !force {
+		return
+	}
+	dev := w.qp.dev
+	cq := w.qp.scq
+	dev.eng.After(dev.prof.CQInternal, cq.advance)
+	dev.eng.After(dev.prof.CQEDeliver, func() {
+		cq.deliver(CQE{WRID: v.ID, QPN: w.qp.qpn, Op: v.Op, Status: st, Len: v.Len, At: dev.eng.Now()})
+	})
+}
+
+// exec dispatches one WQE. The queue advances to the next WQE when the
+// verb has been issued (PU occupancy end); the verb's completion runs
+// asynchronously, so independent verbs pipeline within a queue, while
+// WAIT provides completion ordering when programs need it.
+func (w *WorkQueue) exec(idx uint64, v wqe.WQE) {
+	dev := w.qp.dev
+	prof := dev.prof
+	switch v.Op {
+	case wqe.OpNoop:
+		// NOOPs never touch the wire; they complete locally.
+		_, end := w.qp.pu.Acquire(prof.NoopOccupancy)
+		dev.eng.At(end, func() {
+			w.complete(v, StatusOK, false)
+			w.advance()
+		})
+
+	case wqe.OpWait:
+		cq := dev.CQByNum(v.Peer)
+		if cq == nil {
+			w.fail(idx, v, StatusBadOpcode)
+			return
+		}
+		_, end := w.qp.pu.Acquire(prof.SyncOccupancy)
+		dev.eng.At(end, func() {
+			cq.waitFor(v.Count, func() {
+				w.complete(v, StatusOK, false)
+				w.advance()
+			})
+		})
+
+	case wqe.OpEnable:
+		target := dev.QPByNum(v.Peer)
+		if target == nil {
+			w.fail(idx, v, StatusBadOpcode)
+			return
+		}
+		_, end := w.qp.pu.Acquire(prof.SyncOccupancy)
+		dev.eng.At(end, func() {
+			if v.Count > target.sq.fetchLimit {
+				target.sq.fetchLimit = v.Count
+			}
+			target.sq.kick()
+			w.complete(v, StatusOK, false)
+			w.advance()
+		})
+
+	case wqe.OpWrite, wqe.OpWriteImm:
+		w.execWrite(idx, v)
+
+	case wqe.OpRead:
+		w.execRead(idx, v)
+
+	case wqe.OpCAS, wqe.OpAdd, wqe.OpMax, wqe.OpMin:
+		w.execAtomic(idx, v)
+
+	case wqe.OpSend:
+		w.execSend(idx, v)
+
+	default:
+		// OpRecv in a send queue, or garbage written over an opcode.
+		w.fail(idx, v, StatusBadOpcode)
+	}
+}
+
+// remoteDev returns the device owning the memory this QP's one-sided
+// verbs operate on.
+func (q *QP) remoteDev() *Device {
+	if q.remote == nil {
+		return q.dev // self-connected convenience
+	}
+	return q.remote.dev
+}
+
+// wireDelay models moving n payload bytes to the peer starting at t:
+// serialization on the port egress link plus propagation. Loopback
+// pairs (oneWay 0) skip the wire entirely.
+func (q *QP) wireDelay(t sim.Time, n int) sim.Time {
+	if q.oneWay == 0 {
+		return t
+	}
+	_, end := q.port.link.TransferAt(t, n)
+	return end + q.oneWay
+}
+
+func (w *WorkQueue) execWrite(idx uint64, v wqe.WQE) {
+	dev := w.qp.dev
+	prof := dev.prof
+	rdev := w.qp.remoteDev()
+	n := int(v.Len)
+
+	_, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	dev.eng.At(end, w.advance)
+
+	// Gather payload at the requester.
+	var payload []byte
+	t := end
+	if v.Inline() {
+		if n > 8 {
+			n = 8
+		}
+		var buf [8]byte
+		tmp := wqe.WQE{Cmp: v.Cmp}
+		full := tmp.Bytes()
+		copy(buf[:], full[wqe.OffCmp:wqe.OffCmp+8])
+		payload = buf[8-n:]
+	} else {
+		_, ge := dev.pcie.TransferAt(t, n)
+		t = ge + prof.GatherLatency
+		p, err := dev.mem.Read(v.Src, v.Len)
+		if err != nil {
+			dev.eng.At(t, func() { w.fail(idx, v, StatusLocalProtErr) })
+			return
+		}
+		payload = p
+	}
+
+	t = w.qp.wireDelay(t, n)
+
+	dev.eng.At(t, func() {
+		_, we := rdev.pcie.TransferAt(dev.eng.Now(), n)
+		applied := we + prof.RemoteWriteLatency
+		dev.eng.At(applied, func() {
+			if err := rdev.mem.Write(v.Dst, payload); err != nil {
+				w.fail(idx, v, StatusRemoteAccessErr)
+				return
+			}
+			done := dev.eng.Now() + w.qp.oneWay // ack
+			dev.eng.At(done, func() { w.complete(v, StatusOK, false) })
+		})
+	})
+}
+
+func (w *WorkQueue) execRead(idx uint64, v wqe.WQE) {
+	dev := w.qp.dev
+	prof := dev.prof
+	rdev := w.qp.remoteDev()
+	n := int(v.Len)
+
+	_, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	dev.eng.At(end, w.advance)
+
+	// Request travels to the responder (header only).
+	t := end + w.qp.oneWay
+	dev.eng.At(t, func() {
+		// Responder DMA-reads the payload.
+		_, re := rdev.pcie.TransferAt(dev.eng.Now(), n)
+		readDone := re + prof.RemoteReadLatency
+		dev.eng.At(readDone, func() {
+			payload, err := rdev.mem.Read(v.Src, v.Len)
+			if err != nil {
+				w.fail(idx, v, StatusRemoteAccessErr)
+				return
+			}
+			// Payload returns over the wire, then scatters locally.
+			back := w.qp.wireDelay(dev.eng.Now(), n)
+			dev.eng.At(back, func() {
+				_, se := dev.pcie.TransferAt(dev.eng.Now(), n)
+				applied := se + prof.ScatterLatency
+				dev.eng.At(applied, func() {
+					if v.Flags&wqe.FlagScatterDst != 0 {
+						// Multi-SGE response: Dst is a scatter list of
+						// Count entries.
+						raw, err := dev.mem.Read(v.Dst, v.Count*wqe.ScatterEntrySize)
+						if err != nil {
+							w.fail(idx, v, StatusLocalProtErr)
+							return
+						}
+						rest := payload
+						for _, e := range wqe.DecodeScatter(raw, int(v.Count)) {
+							if len(rest) == 0 {
+								break
+							}
+							k := e.Len
+							if k > uint64(len(rest)) {
+								k = uint64(len(rest))
+							}
+							if err := dev.mem.Write(e.Addr, rest[:k]); err != nil {
+								w.fail(idx, v, StatusLocalProtErr)
+								return
+							}
+							rest = rest[k:]
+						}
+						w.complete(v, StatusOK, false)
+						return
+					}
+					if err := dev.mem.Write(v.Dst, payload); err != nil {
+						w.fail(idx, v, StatusLocalProtErr)
+						return
+					}
+					w.complete(v, StatusOK, false)
+				})
+			})
+		})
+	})
+}
+
+func (w *WorkQueue) execAtomic(idx uint64, v wqe.WQE) {
+	dev := w.qp.dev
+	prof := dev.prof
+	rdev := w.qp.remoteDev()
+
+	// True atomics (CAS/ADD) hold their PU for the long AtomicOccupancy
+	// (the PCIe synchronization cost that caps CAS throughput at
+	// ~8.4 M/s) but the request hits the wire after the ordinary issue
+	// time, so latency stays ~1.8 us (Fig 7). Vendor Calc verbs
+	// (MAX/MIN) are copy-class: full 63 M/s throughput (Table 3).
+	occ := prof.AtomicOccupancy
+	if v.Op == wqe.OpMax || v.Op == wqe.OpMin {
+		occ = prof.CopyOccupancy
+	}
+	start, end := w.qp.pu.Acquire(occ)
+	issue := start + prof.CopyOccupancy
+	dev.eng.At(end, w.advance)
+
+	t := issue + w.qp.oneWay
+	dev.eng.At(t, func() {
+		// CAS/ADD serialize through the responder's atomic unit; Calc
+		// verbs execute on the ordinary datapath (Table 3: MAX runs at
+		// full copy-verb rate).
+		var ae sim.Time
+		if v.Op == wqe.OpMax || v.Op == wqe.OpMin {
+			ae = dev.eng.Now() + prof.AtomicUnitLatency
+		} else {
+			_, ao := rdev.atomicUnit.Acquire(prof.AtomicUnitOccupancy)
+			ae = ao + (prof.AtomicUnitLatency - prof.AtomicUnitOccupancy)
+		}
+		dev.eng.At(ae, func() {
+			var old uint64
+			var err error
+			switch v.Op {
+			case wqe.OpCAS:
+				old, err = rdev.mem.CompareAndSwap(v.Dst, v.Cmp, v.Swap)
+			case wqe.OpAdd:
+				old, err = rdev.mem.FetchAdd(v.Dst, v.Cmp)
+			case wqe.OpMax:
+				old, err = rdev.mem.Max(v.Dst, v.Cmp)
+			case wqe.OpMin:
+				old, err = rdev.mem.Min(v.Dst, v.Cmp)
+			}
+			if err != nil {
+				w.fail(idx, v, StatusRemoteAccessErr)
+				return
+			}
+			done := dev.eng.Now() + w.qp.oneWay + prof.ResultLatency
+			dev.eng.At(done, func() {
+				if v.Src != 0 {
+					if err := dev.mem.PutU64(v.Src, old); err != nil {
+						w.fail(idx, v, StatusLocalProtErr)
+						return
+					}
+				}
+				w.complete(v, StatusOK, false)
+			})
+		})
+	})
+}
+
+// arrival is a SEND in flight toward a peer's receive queue.
+type arrival struct {
+	payload []byte
+	srcQPN  uint32
+	ack     func() // runs when the responder has consumed the message
+}
+
+func (w *WorkQueue) execSend(idx uint64, v wqe.WQE) {
+	dev := w.qp.dev
+	prof := dev.prof
+	peer := w.qp.remote
+	if peer == nil {
+		w.fail(idx, v, StatusBadOpcode)
+		return
+	}
+	n := int(v.Len)
+
+	_, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	dev.eng.At(end, w.advance)
+
+	t := end
+	var payload []byte
+	if v.Inline() {
+		tmp := wqe.WQE{Cmp: v.Cmp}
+		full := tmp.Bytes()
+		if n > 8 {
+			n = 8
+		}
+		payload = full[wqe.OffCmp+8-n : wqe.OffCmp+8]
+	} else {
+		_, ge := dev.pcie.TransferAt(t, n)
+		t = ge + prof.GatherLatency
+		p, err := dev.mem.Read(v.Src, v.Len)
+		if err != nil {
+			dev.eng.At(t, func() { w.fail(idx, v, StatusLocalProtErr) })
+			return
+		}
+		payload = p
+	}
+
+	t = w.qp.wireDelay(t, n)
+	dev.eng.At(t, func() {
+		a := arrival{
+			payload: payload,
+			srcQPN:  w.qp.qpn,
+			ack: func() {
+				done := dev.eng.Now() + w.qp.oneWay
+				dev.eng.At(done, func() { w.complete(v, StatusOK, false) })
+			},
+		}
+		peer.handleArrival(a)
+	})
+}
+
+// handleArrival matches an incoming SEND with a posted RECV, scattering
+// the payload per the RECV's scatter list. RECV WQEs and scatter lists
+// are read fresh from host memory at consume time, so offloads may
+// rewrite them between messages. If no RECV is posted the message waits
+// (receiver-not-ready retry, simplified to an unbounded queue).
+func (q *QP) handleArrival(a arrival) {
+	if q.dev.frozen {
+		return // silently dropped; peers observe a hang, as with real dead hosts
+	}
+	if q.rq.consumer >= q.rq.producer {
+		q.pendingArrivals = append(q.pendingArrivals, a)
+		return
+	}
+	q.consumeRecv(a)
+}
+
+func (q *QP) consumeRecv(a arrival) {
+	dev := q.dev
+	prof := dev.prof
+	idx := q.rq.consumer
+	q.rq.consumer++
+
+	// On-demand fetch of the RECV WQE through the port fetch unit.
+	_, fe := q.port.fetchUnit.Acquire(prof.FetchManaged)
+	dev.eng.At(fe, func() {
+		var buf [wqe.Size]byte
+		if err := dev.mem.ReadInto(q.rq.SlotAddr(idx), buf[:]); err != nil {
+			return
+		}
+		var r wqe.WQE
+		r.Decode(buf[:])
+
+		// Scatter the payload.
+		nEntries := int(r.Len)
+		var entries []wqe.ScatterEntry
+		if nEntries > 0 {
+			raw, err := dev.mem.Read(r.Src, uint64(nEntries*wqe.ScatterEntrySize))
+			if err != nil {
+				return
+			}
+			entries = wqe.DecodeScatter(raw, nEntries)
+		}
+		_, we := dev.pcie.TransferAt(dev.eng.Now(), len(a.payload))
+		applied := we + prof.RemoteWriteLatency
+		dev.eng.At(applied, func() {
+			rest := a.payload
+			for _, e := range entries {
+				if len(rest) == 0 {
+					break
+				}
+				n := e.Len
+				if n > uint64(len(rest)) {
+					n = uint64(len(rest))
+				}
+				if err := dev.mem.Write(e.Addr, rest[:n]); err != nil {
+					return
+				}
+				rest = rest[n:]
+			}
+			// Receive completion: internal counter for WAIT triggers,
+			// then host-visible CQE.
+			cq := q.rcq
+			dev.eng.After(prof.CQInternal, cq.advance)
+			if r.Signaled() {
+				dev.eng.After(prof.CQEDeliver, func() {
+					cq.deliver(CQE{WRID: r.ID, QPN: q.qpn, Op: wqe.OpRecv, Status: StatusOK,
+						Len: uint64(len(a.payload)), At: dev.eng.Now()})
+				})
+			}
+			if a.ack != nil {
+				a.ack()
+			}
+		})
+	})
+}

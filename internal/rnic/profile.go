@@ -1,0 +1,144 @@
+// Package rnic simulates a commodity RDMA NIC (modeled on Mellanox
+// ConnectX) in deterministic virtual time. It implements everything
+// RedN depends on, at the fidelity the paper's results hinge on:
+//
+//   - Work queues are rings of 64-byte WQEs in simulated host memory
+//     (package mem). Verbs can therefore target the bytes of other
+//     WQEs, enabling self-modifying RDMA programs.
+//   - Unmanaged WQs prefetch WQEs (snapshot semantics): modifications
+//     racing with prefetch are not observed, reproducing the
+//     incoherence that forces RedN to use doorbell ordering.
+//   - Managed WQs never prefetch; execution advances only as ENABLE
+//     verbs raise the fetch limit, one serialized PCIe fetch per WQE.
+//   - WAIT verbs gate execution on completion counts of a target CQ.
+//   - Each WQ is pinned to one of the port's processing units (PUs);
+//     independent WQs execute in parallel, dependent ones do not.
+//   - Per-WQ rate limiters model ibv_modify_qp_rate_limit.
+//
+// Timing is parameterized by a device Profile whose constants are
+// calibrated against the paper's microbenchmarks (Figs 7 and 8,
+// Tables 1 and 3); see DESIGN.md §4.
+package rnic
+
+import "repro/internal/sim"
+
+// Profile holds the timing and parallelism model of one NIC generation.
+type Profile struct {
+	Name string
+
+	// PUsPerPort is the number of processing units per port. Each WQ
+	// is pinned to one PU (Table 1: CX-3 has 2, CX-5 has 8, CX-6 16).
+	PUsPerPort int
+
+	// Occupancies: how long a verb holds its PU. These set throughput
+	// ceilings (Table 3): copy verbs ~= PUs/CopyOccupancy. Atomics
+	// occupy the PU for AtomicOccupancy (PCIe atomic synchronization)
+	// but issue onto the wire after CopyOccupancy, decoupling their
+	// throughput ceiling from their latency.
+	CopyOccupancy   sim.Time // WRITE, READ, SEND, Calc
+	NoopOccupancy   sim.Time // NOOP (slower "no-op" path; Fig 8 chain slope)
+	AtomicOccupancy sim.Time // CAS, ADD
+	SyncOccupancy   sim.Time // WAIT, ENABLE bookkeeping
+
+	// Doorbell is the MMIO cost for the host to notify the NIC.
+	Doorbell sim.Time
+
+	// Fetch path. Unmanaged WQs stream WQEs: the first fetch costs
+	// FetchLatency; subsequent back-to-back fetches on the same WQ are
+	// pipelined at FetchPipelined spacing (Fig 8 WQ-order slope).
+	// Managed WQs issue serialized on-demand fetches through the
+	// port's shared fetch unit, costing FetchManaged each (Fig 8
+	// doorbell-order slope; Table 3's construct ceilings).
+	FetchLatency   sim.Time
+	FetchPipelined sim.Time
+	FetchManaged   sim.Time
+
+	// CQInternal is the delay until a completion becomes visible to
+	// WAIT verbs; CQEDeliver until it is visible to host software.
+	CQInternal sim.Time
+	CQEDeliver sim.Time
+
+	// Wire/PCIe latency components of verb execution.
+	GatherLatency       sim.Time // requester DMA read of payload (posted path)
+	RemoteWriteLatency  sim.Time // responder DMA write
+	RemoteReadLatency   sim.Time // responder DMA read (non-posted)
+	ScatterLatency      sim.Time // requester DMA write of response payload
+	AtomicUnitLatency   sim.Time // responder-side atomic execution latency
+	AtomicUnitOccupancy sim.Time // responder atomic unit occupancy (pipelined)
+	ResultLatency       sim.Time // atomic old-value writeback at requester
+
+	// PCIeBytesPerSec is the device's host-interface bandwidth, shared
+	// by all ports (the ConnectX-5 16x PCIe 3.0 bottleneck of Table 4).
+	PCIeBytesPerSec float64
+
+	// LinkBytesPerSec is per-port wire bandwidth (92 Gb/s effective
+	// for the paper's 100 Gb/s IB ports).
+	LinkBytesPerSec float64
+
+	// OneWay is the per-hop wire latency between back-to-back nodes.
+	OneWay sim.Time
+
+	// PrefetchWindow is how many WQEs an unmanaged WQ snapshot-fetches
+	// per transaction.
+	PrefetchWindow int
+}
+
+// ConnectX5 returns the paper's testbed NIC: 8 PUs/port, 100 Gb/s ports,
+// PCIe 3.0 x16. Constants are calibrated so that the microbenchmarks
+// land on the paper's measurements:
+//
+//	NOOP remote 1.21 us, WRITE 1.6 us, READ/CAS/ADD ~1.8 us (Fig 7);
+//	chain slopes 0.17/0.19/0.54 us per WR (Fig 8);
+//	WRITE 63 M/s, CAS 8.4 M/s per port (Table 3).
+func ConnectX5() Profile {
+	return Profile{
+		Name:                "ConnectX-5",
+		PUsPerPort:          8,
+		CopyOccupancy:       127 * sim.Nanosecond,
+		NoopOccupancy:       170 * sim.Nanosecond,
+		AtomicOccupancy:     950 * sim.Nanosecond,
+		SyncOccupancy:       20 * sim.Nanosecond,
+		Doorbell:            350 * sim.Nanosecond,
+		FetchLatency:        540 * sim.Nanosecond,
+		FetchPipelined:      100 * sim.Nanosecond,
+		FetchManaged:        310 * sim.Nanosecond,
+		CQInternal:          15 * sim.Nanosecond,
+		CQEDeliver:          150 * sim.Nanosecond,
+		GatherLatency:       150 * sim.Nanosecond,
+		RemoteWriteLatency:  130 * sim.Nanosecond,
+		RemoteReadLatency:   250 * sim.Nanosecond,
+		ScatterLatency:      200 * sim.Nanosecond,
+		AtomicUnitLatency:   350 * sim.Nanosecond,
+		AtomicUnitOccupancy: 110 * sim.Nanosecond,
+		ResultLatency:       100 * sim.Nanosecond,
+		PCIeBytesPerSec:     12.45e9, // ~12.45 GB/s effective x16 PCIe 3.0
+		LinkBytesPerSec:     11.5e9,  // 92 Gb/s effective IB
+		OneWay:              125 * sim.Nanosecond,
+		PrefetchWindow:      4,
+	}
+}
+
+// ConnectX3 returns the 2014-generation profile (Table 1: 2 PUs,
+// ~15 M verbs/s). Older atomics use a slower proprietary concurrency
+// control mechanism (§5.1.1 footnote).
+func ConnectX3() Profile {
+	p := ConnectX5()
+	p.Name = "ConnectX-3"
+	p.PUsPerPort = 2
+	p.CopyOccupancy = 133 * sim.Nanosecond
+	p.AtomicOccupancy = 1500 * sim.Nanosecond
+	p.LinkBytesPerSec = 6.8e9 // 56 Gb/s FDR
+	return p
+}
+
+// ConnectX6 returns the 2017-generation profile (Table 1: 16 PUs,
+// ~112 M verbs/s).
+func ConnectX6() Profile {
+	p := ConnectX5()
+	p.Name = "ConnectX-6"
+	p.PUsPerPort = 16
+	p.CopyOccupancy = 143 * sim.Nanosecond
+	p.LinkBytesPerSec = 23e9   // 200 Gb/s HDR
+	p.PCIeBytesPerSec = 24.9e9 // PCIe 4.0 x16
+	return p
+}

@@ -1,0 +1,139 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an ordered event queue, serialized resources, and
+// token-bucket rate limiters. All of RedN's substrates (the RNIC model,
+// the fabric, the host CPU model) are built on top of it so that every
+// experiment in the paper reproduces bit-for-bit on every run.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Common durations, expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros reports t as a floating-point number of microseconds, the unit
+// used throughout the paper's evaluation.
+func (t Time) Micros() float64 { return float64(t) / 1e3 }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", t.Micros())
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events run in schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. Events run in
+// (time, schedule-order) order; callbacks may schedule further events.
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	stopped bool
+	// Stats
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past is treated as "now" (the event runs before time advances).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to the deadline. Events scheduled beyond the deadline remain
+// queued and run on a subsequent Run/RunUntil call.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop halts the current Run/RunUntil after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports how many events are queued.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Executed reports how many events have run since engine creation.
+func (e *Engine) Executed() uint64 { return e.executed }

@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(10, func() { order = append(order, 1) })
+	e.At(5, func() { order = append(order, 0) })
+	e.At(10, func() { order = append(order, 2) }) // same time: schedule order
+	e.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("got order %v", order)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var hit Time
+	e.At(100, func() {
+		e.After(50, func() { hit = e.Now() })
+	})
+	e.Run()
+	if hit != 150 {
+		t.Fatalf("nested event at %v, want 150", hit)
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	var hit Time = -1
+	e.At(100, func() {
+		e.At(10, func() { hit = e.Now() }) // in the past: clamp to now
+	})
+	e.Run()
+	if hit != 100 {
+		t.Fatalf("past event ran at %v, want 100", hit)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	e.RunUntil(20)
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock %v, want 20", e.Now())
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran %d events after Run, want 3", ran)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(10, func() { ran++; e.Stop() })
+	e.At(20, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Fatalf("ran %d, want 1 (stopped)", ran)
+	}
+	e.Run() // resumes
+	if ran != 2 {
+		t.Fatalf("ran %d after resume, want 2", ran)
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "pu")
+	s1, e1 := r.Acquire(100)
+	if s1 != 0 || e1 != 100 {
+		t.Fatalf("first grant [%v,%v], want [0,100]", s1, e1)
+	}
+	s2, e2 := r.Acquire(50)
+	if s2 != 100 || e2 != 150 {
+		t.Fatalf("second grant [%v,%v], want [100,150]", s2, e2)
+	}
+	if r.Busy() != 150 {
+		t.Fatalf("busy %v, want 150", r.Busy())
+	}
+	if r.Grants() != 2 {
+		t.Fatalf("grants %d, want 2", r.Grants())
+	}
+}
+
+func TestResourceAcquireAt(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	s, _ := r.AcquireAt(500, 10)
+	if s != 500 {
+		t.Fatalf("idle resource grant at %v, want ready time 500", s)
+	}
+	s2, _ := r.AcquireAt(100, 10) // ready before resource free
+	if s2 != 510 {
+		t.Fatalf("grant at %v, want 510 (behind prior)", s2)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "x")
+	r.Acquire(250)
+	if u := r.Utilization(1000); u != 0.25 {
+		t.Fatalf("utilization %v, want 0.25", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Fatalf("utilization of empty window %v, want 0", u)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	e := NewEngine()
+	b := NewBandwidth(e, "link", 1e9) // 1 GB/s
+	if d := b.Duration(1000); d != 1000 {
+		t.Fatalf("1000B at 1GB/s = %v, want 1000ns", d)
+	}
+	if d := b.Duration(0); d != 0 {
+		t.Fatalf("zero transfer = %v, want 0", d)
+	}
+	_, end := b.Transfer(500)
+	if end != 500 {
+		t.Fatalf("transfer end %v, want 500", end)
+	}
+}
+
+func TestRateLimiter(t *testing.T) {
+	e := NewEngine()
+	rl := NewRateLimiter(e, 1e6, 1) // 1M ops/s, burst 1
+	if at := rl.Admit(); at != 0 {
+		t.Fatalf("first admit at %v, want 0", at)
+	}
+	if at := rl.Admit(); at != 1000 {
+		t.Fatalf("second admit at %v, want 1000ns (1M/s)", at)
+	}
+	var nilRL *RateLimiter
+	if at := nilRL.Admit(); at != 0 {
+		t.Fatalf("nil limiter admit %v, want 0", at)
+	}
+}
+
+func TestRateLimiterRefill(t *testing.T) {
+	e := NewEngine()
+	rl := NewRateLimiter(e, 1e6, 10)
+	for i := 0; i < 10; i++ {
+		if at := rl.Admit(); at != 0 {
+			t.Fatalf("burst admit %d at %v, want 0", i, at)
+		}
+	}
+	// Bucket drained; advance the clock 5us -> 5 tokens.
+	e.At(5000, func() {
+		for i := 0; i < 5; i++ {
+			if at := rl.Admit(); at != 5000 {
+				t.Fatalf("refilled admit %d at %v, want 5000", i, at)
+			}
+		}
+		if at := rl.Admit(); at <= 5000 {
+			t.Fatalf("exhausted admit at %v, want future", at)
+		}
+	})
+	e.Run()
+}
+
+func TestLatencyStats(t *testing.T) {
+	var s LatencyStats
+	if s.Avg() != 0 || s.Median() != 0 || s.Max() != 0 || s.Min() != 0 {
+		t.Fatal("empty stats should be zero")
+	}
+	for i := 1; i <= 100; i++ {
+		s.Add(Time(i))
+	}
+	if s.N() != 100 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if got := s.Avg(); got != 50 { // (1+..+100)/100 = 50.5 -> integer 50
+		t.Fatalf("avg %v, want 50", got)
+	}
+	if got := s.Median(); got != 50 {
+		t.Fatalf("median %v, want 50", got)
+	}
+	if got := s.P99(); got != 99 {
+		t.Fatalf("p99 %v, want 99", got)
+	}
+	if s.Min() != 1 || s.Max() != 100 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if got := (1500 * Nanosecond).String(); got != "1.500us" {
+		t.Fatalf("got %q", got)
+	}
+	if got := (2 * Second).String(); got != "2.000s" {
+		t.Fatalf("got %q", got)
+	}
+	if got := (42 * Nanosecond).String(); got != "42ns" {
+		t.Fatalf("got %q", got)
+	}
+	if (1500 * Nanosecond).Micros() != 1.5 {
+		t.Fatal("Micros conversion")
+	}
+}
+
+// Property: resource grants never overlap and are FIFO-monotonic.
+func TestResourceNonOverlapProperty(t *testing.T) {
+	f := func(durations []uint16) bool {
+		e := NewEngine()
+		r := NewResource(e, "p")
+		var lastEnd Time
+		for _, d := range durations {
+			s, end := r.Acquire(Time(d))
+			if s < lastEnd || end < s {
+				return false
+			}
+			lastEnd = end
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s LatencyStats
+		for _, v := range raw {
+			s.Add(Time(v))
+		}
+		prev := Time(-1)
+		for _, p := range []float64{1, 25, 50, 75, 99, 100} {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min() || v > s.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

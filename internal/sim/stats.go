@@ -1,0 +1,79 @@
+package sim
+
+import "sort"
+
+// LatencyStats accumulates latency samples and reports the summary
+// statistics the paper uses (average, median, 99th percentile).
+type LatencyStats struct {
+	samples []Time
+	sorted  bool
+}
+
+// Add records one sample.
+func (s *LatencyStats) Add(t Time) {
+	s.samples = append(s.samples, t)
+	s.sorted = false
+}
+
+// N returns the number of samples.
+func (s *LatencyStats) N() int { return len(s.samples) }
+
+// Avg returns the arithmetic mean, or 0 with no samples.
+func (s *LatencyStats) Avg() Time {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var sum Time
+	for _, v := range s.samples {
+		sum += v
+	}
+	return sum / Time(len(s.samples))
+}
+
+func (s *LatencyStats) sort() {
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank, or 0 with no samples.
+func (s *LatencyStats) Percentile(p float64) Time {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	rank := int(p/100*float64(len(s.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.samples) {
+		rank = len(s.samples) - 1
+	}
+	return s.samples[rank]
+}
+
+// Median returns the 50th percentile.
+func (s *LatencyStats) Median() Time { return s.Percentile(50) }
+
+// P99 returns the 99th percentile.
+func (s *LatencyStats) P99() Time { return s.Percentile(99) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (s *LatencyStats) Min() Time {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (s *LatencyStats) Max() Time {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.samples[len(s.samples)-1]
+}

@@ -1,0 +1,69 @@
+// Package workload generates the request streams of the paper's
+// Memcached evaluation: Memtier-style get floods with configurable
+// key/value sizes (§5.4), and the reader/writer contention mix of §5.5
+// where each client owns a distinct 10K-key set accessed sequentially.
+package workload
+
+import "math/rand"
+
+// KeyStream yields keys for a request sequence.
+type KeyStream interface {
+	Next() uint64
+}
+
+// Sequential cycles through a key set in order (the §5.5 access
+// pattern: "the keys within each set are accessed by the clients
+// sequentially").
+type Sequential struct {
+	Keys []uint64
+	i    int
+}
+
+// Next returns the next key, wrapping.
+func (s *Sequential) Next() uint64 {
+	k := s.Keys[s.i%len(s.Keys)]
+	s.i++
+	return k
+}
+
+// Uniform samples keys uniformly with a seeded generator.
+type Uniform struct {
+	Keys []uint64
+	Rng  *rand.Rand
+}
+
+// Next returns a uniformly sampled key.
+func (u *Uniform) Next() uint64 { return u.Keys[u.Rng.Intn(len(u.Keys))] }
+
+// DisjointKeySets carves n disjoint sets of size each, as §5.5 assigns
+// to readers and writers ("each reader/writer is assigned a distinct
+// set of 10K keys"). Keys stay within 48 bits.
+func DisjointKeySets(n, size int) [][]uint64 {
+	out := make([][]uint64, n)
+	next := uint64(1)
+	for i := range out {
+		set := make([]uint64, size)
+		for j := range set {
+			set[j] = next
+			next++
+		}
+		out[i] = set
+	}
+	return out
+}
+
+// Value deterministically fills a buffer for key (verifiable payloads).
+func Value(key uint64, size int) []byte {
+	v := make([]byte, size)
+	x := key*0x9E3779B97F4A7C15 + 1
+	for i := range v {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v[i] = byte(x)
+	}
+	return v
+}
+
+// Rng returns a deterministic generator for experiment seeds.
+func Rng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

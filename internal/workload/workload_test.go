@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialWraps(t *testing.T) {
+	s := &Sequential{Keys: []uint64{1, 2, 3}}
+	got := []uint64{s.Next(), s.Next(), s.Next(), s.Next()}
+	want := []uint64{1, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	keys := []uint64{10, 20, 30, 40}
+	u1 := &Uniform{Keys: keys, Rng: Rng(1)}
+	u2 := &Uniform{Keys: keys, Rng: Rng(1)}
+	for i := 0; i < 50; i++ {
+		if u1.Next() != u2.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDisjointKeySets(t *testing.T) {
+	sets := DisjointKeySets(4, 100)
+	seen := map[uint64]bool{}
+	for _, set := range sets {
+		if len(set) != 100 {
+			t.Fatalf("set size %d", len(set))
+		}
+		for _, k := range set {
+			if seen[k] {
+				t.Fatalf("key %d in two sets", k)
+			}
+			if k == 0 || k >= 1<<48 {
+				t.Fatalf("key %d out of 48-bit range", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestValueDeterministicAndDistinct(t *testing.T) {
+	if !bytes.Equal(Value(7, 64), Value(7, 64)) {
+		t.Fatal("Value not deterministic")
+	}
+	if bytes.Equal(Value(7, 64), Value(8, 64)) {
+		t.Fatal("distinct keys yield identical values")
+	}
+}
+
+// Property: Value(k, n) always returns exactly n bytes.
+func TestValueSizeProperty(t *testing.T) {
+	f := func(k uint64, n uint16) bool {
+		return len(Value(k, int(n%4096))) == int(n%4096)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

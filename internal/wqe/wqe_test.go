@@ -1,0 +1,176 @@
+package wqe
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+func TestCtrlPacking(t *testing.T) {
+	c := MakeCtrl(OpWrite, 0x123456789abc)
+	op, id := SplitCtrl(c)
+	if op != OpWrite || id != 0x123456789abc {
+		t.Fatalf("got op=%v id=%#x", op, id)
+	}
+	// id is truncated to 48 bits — the paper's operand limit.
+	c = MakeCtrl(OpNoop, 0xffff_ffff_ffff_ffff)
+	_, id = SplitCtrl(c)
+	if id != IDMask {
+		t.Fatalf("id not masked to 48 bits: %#x", id)
+	}
+}
+
+func TestCtrlCASSemantics(t *testing.T) {
+	// The conditional-branch trick: a 64-bit compare of the ctrl word
+	// simultaneously checks the opcode is still NOOP and the 48-bit
+	// operand x equals y; the swap installs WRITE.
+	x := uint64(0xdeadbeef)
+	old := MakeCtrl(OpNoop, x)
+	cur := MakeCtrl(OpNoop, x)
+	if cur != old {
+		t.Fatal("equal operands must produce equal ctrl words")
+	}
+	if MakeCtrl(OpNoop, x+1) == old {
+		t.Fatal("differing operands must differ")
+	}
+	newWord := MakeCtrl(OpWrite, x)
+	op, _ := SplitCtrl(newWord)
+	if op != OpWrite {
+		t.Fatal("swap must install the WRITE opcode")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	w := WQE{
+		Op: OpCAS, ID: 0x1234, Src: 0x1000, Dst: 0x2000, Len: 8,
+		Cmp: 42, Swap: 99, Count: 7, Flags: FlagSignaled | FlagInline, Peer: 3,
+	}
+	var buf [Size]byte
+	w.Encode(buf[:])
+	var got WQE
+	got.Decode(buf[:])
+	if got != w {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, w)
+	}
+}
+
+func TestZeroBytesDecodeAsNoop(t *testing.T) {
+	var buf [Size]byte
+	var w WQE
+	w.Decode(buf[:])
+	if w.Op != OpNoop {
+		t.Fatalf("zeroed ring slot decodes as %v, want NOOP", w.Op)
+	}
+	if w.Signaled() {
+		t.Fatal("zeroed WQE must be unsignaled")
+	}
+}
+
+func TestFieldOffsets(t *testing.T) {
+	// Field offsets are ABI: RedN programs compute CAS/WRITE targets
+	// from them, so they must never drift.
+	w := WQE{Op: OpWrite, ID: 1, Src: 2, Dst: 3, Len: 4, Cmp: 5, Swap: 6, Count: 7}
+	var buf [Size]byte
+	w.Encode(buf[:])
+	checks := []struct {
+		off  int
+		want uint64
+	}{
+		{OffCtrl, MakeCtrl(OpWrite, 1)},
+		{OffSrc, 2}, {OffDst, 3}, {OffLen, 4},
+		{OffCmp, 5}, {OffSwap, 6}, {OffCount, 7},
+	}
+	for _, c := range checks {
+		if got := binary.BigEndian.Uint64(buf[c.off:]); got != c.want {
+			t.Errorf("offset %d = %#x, want %#x", c.off, got, c.want)
+		}
+	}
+}
+
+func TestFlags(t *testing.T) {
+	v := MakeFlags(FlagSignaled|FlagFence, 42)
+	f, peer := SplitFlags(v)
+	if f != FlagSignaled|FlagFence || peer != 42 {
+		t.Fatalf("flags %v peer %d", f, peer)
+	}
+	w := WQE{Flags: FlagSignaled}
+	if !w.Signaled() || w.Inline() {
+		t.Fatal("flag predicates wrong")
+	}
+	w.Flags = FlagInline
+	if w.Signaled() || !w.Inline() {
+		t.Fatal("flag predicates wrong")
+	}
+}
+
+func TestOpcodeNames(t *testing.T) {
+	for op := OpNoop; op < opSentinel; op++ {
+		if op.String() == "" {
+			t.Fatalf("opcode %d has no name", op)
+		}
+		if !op.Valid() {
+			t.Fatalf("opcode %d should be valid", op)
+		}
+	}
+	if Opcode(200).Valid() {
+		t.Fatal("opcode 200 should be invalid")
+	}
+	if Opcode(200).String() != "Opcode(200)" {
+		t.Fatal("unknown opcode string")
+	}
+}
+
+func TestWQEString(t *testing.T) {
+	for _, w := range []WQE{
+		{Op: OpWait, Peer: 1, Count: 5},
+		{Op: OpEnable, Peer: 2, Count: 9},
+		{Op: OpCAS, Dst: 0x100, Cmp: 1, Swap: 2},
+		{Op: OpWrite, Src: 1, Dst: 2, Len: 3},
+	} {
+		if w.String() == "" {
+			t.Fatalf("empty string for %v", w.Op)
+		}
+	}
+}
+
+func TestScatterRoundTrip(t *testing.T) {
+	entries := []ScatterEntry{{Addr: 0x1000, Len: 8}, {Addr: 0x2000, Len: 16}}
+	buf := make([]byte, len(entries)*ScatterEntrySize)
+	EncodeScatter(buf, entries)
+	got := DecodeScatter(buf, len(entries))
+	if len(got) != 2 || got[0] != entries[0] || got[1] != entries[1] {
+		t.Fatalf("scatter round trip: %+v", got)
+	}
+}
+
+// Property: encode/decode round-trips arbitrary WQEs (with fields
+// masked to their encodable widths).
+func TestWQERoundTripProperty(t *testing.T) {
+	f := func(op uint16, id, src, dst, ln, cmp, swap, count uint64, flags uint32, peer uint32) bool {
+		w := WQE{
+			Op: Opcode(op % uint16(opSentinel)), ID: id & IDMask,
+			Src: src, Dst: dst, Len: ln, Cmp: cmp, Swap: swap, Count: count,
+			Flags: Flags(flags) & (FlagSignaled | FlagInline | FlagFence), Peer: peer,
+		}
+		var buf [Size]byte
+		w.Encode(buf[:])
+		var got WQE
+		got.Decode(buf[:])
+		return got == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MakeCtrl/SplitCtrl are inverse for valid opcodes.
+func TestCtrlRoundTripProperty(t *testing.T) {
+	f := func(op uint16, id uint64) bool {
+		o := Opcode(op % uint16(opSentinel))
+		gotOp, gotID := SplitCtrl(MakeCtrl(o, id))
+		return gotOp == o && gotID == id&IDMask
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+// Package redn is a Go reproduction of "RDMA is Turing complete, we
+// just did not know it yet!" (NSDI 2022): a framework for offloading
+// arbitrary computation to commodity RDMA NICs through self-modifying
+// chains of work requests — conditionals built from compare-and-swap
+// verbs aimed at other verbs' opcodes, loops built from WAIT/ENABLE
+// ordering and work-queue recycling.
+//
+// Since Go has no mature verbs bindings and raw WQE manipulation needs
+// vendor hardware, the substrate is a deterministic discrete-event RNIC
+// simulator (internal/rnic) faithful to the properties RedN exploits:
+// WQEs as bytes in host memory, prefetch incoherence, managed-mode
+// fetch barriers, per-WQ processing-unit parallelism, and calibrated
+// PCIe/wire timing. See DESIGN.md for the substitution argument and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// Quick start:
+//
+//	tb := redn.NewTestbed()
+//	srv := tb.NewServer()
+//	table := srv.NewHashTable(1024)
+//	table.Set(42, []byte("hello"))
+//	cli := tb.NewClient(srv, redn.LookupSingle)
+//	val, lat, _ := cli.Get(42, 5)
+package redn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hopscotch"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/workload"
+	"repro/internal/wqe"
+)
+
+// LookupMode re-exports the offload's collision strategies.
+type LookupMode = core.LookupMode
+
+// Lookup modes (see §5.2 of the paper).
+const (
+	LookupSingle   = core.LookupSingle
+	LookupSeq      = core.LookupSeq
+	LookupParallel = core.LookupParallel
+)
+
+// Duration is virtual time in nanoseconds.
+type Duration = sim.Time
+
+// Testbed is a simulated cluster of back-to-back RDMA nodes.
+type Testbed struct {
+	clu *fabric.Cluster
+	n   int
+}
+
+// NewTestbed creates an empty testbed with a fresh virtual clock.
+func NewTestbed() *Testbed {
+	return &Testbed{clu: fabric.NewCluster()}
+}
+
+// Run drains all pending simulated work.
+func (t *Testbed) Run() { t.clu.Eng.Run() }
+
+// RunFor advances virtual time by d.
+func (t *Testbed) RunFor(d Duration) { t.clu.Eng.RunUntil(t.clu.Eng.Now() + d) }
+
+// Now returns the current virtual time.
+func (t *Testbed) Now() Duration { return t.clu.Eng.Now() }
+
+// Server is a node hosting RedN offloads.
+type Server struct {
+	tb      *Testbed
+	node    *fabric.Node
+	builder *core.Builder
+}
+
+// NewServer adds a server node (ConnectX-5, one port by default).
+func (t *Testbed) NewServer() *Server {
+	t.n++
+	node := t.clu.AddNode(fabric.DefaultNodeConfig(fmt.Sprintf("server%d", t.n)))
+	return &Server{tb: t, node: node, builder: core.NewBuilder(node.Dev, 1<<16)}
+}
+
+// Builder exposes the server's RedN program builder for custom
+// offloads (conditionals, loops, mov chains).
+func (s *Server) Builder() *core.Builder { return s.builder }
+
+// Node exposes the underlying simulated node.
+func (s *Server) Node() *fabric.Node { return s.node }
+
+// HashTable is a Hopscotch table in server memory, the value store
+// behind offloaded gets.
+type HashTable struct {
+	srv   *Server
+	table *hopscotch.Table
+}
+
+// NewHashTable allocates a table with nBuckets.
+func (s *Server) NewHashTable(nBuckets uint64) *HashTable {
+	return &HashTable{srv: s, table: hopscotch.New(s.node.Mem, nBuckets, 0)}
+}
+
+// Set stores key (48-bit) -> value.
+func (h *HashTable) Set(key uint64, value []byte) error {
+	m := h.srv.node.Mem
+	addr := m.Alloc(uint64(len(value)), 8)
+	if err := m.Write(addr, value); err != nil {
+		return err
+	}
+	return h.table.Insert(key, addr, uint64(len(value)))
+}
+
+// Table exposes the underlying hopscotch table.
+func (h *HashTable) Table() *hopscotch.Table { return h.table }
+
+// Client is a remote node issuing offloaded gets against a server's
+// hash table, entirely served by the server's NIC.
+type Client struct {
+	tb      *Testbed
+	node    *fabric.Node
+	cliQP   *rnic.QP
+	offload *core.LookupOffload
+	table   *HashTable
+
+	buf   uint64
+	resp  uint64
+	onHit func(sim.Time)
+}
+
+// NewClient adds a client node connected back-to-back to srv. The
+// returned client issues gets against the table bound with Bind.
+func (t *Testbed) NewClient(srv *Server, mode LookupMode) *Client {
+	t.n++
+	node := t.clu.AddNode(fabric.DefaultNodeConfig(fmt.Sprintf("client%d", t.n)))
+	cliQP, srvQP := t.clu.Connect(node, srv.node,
+		rnic.QPConfig{SQDepth: 1024, RQDepth: 64},
+		rnic.QPConfig{SQDepth: 2048, RQDepth: 2048, Managed: true})
+	c := &Client{tb: t, node: node, cliQP: cliQP,
+		buf:  node.Mem.Alloc(128, 8),
+		resp: node.Mem.Alloc(1<<17, 64),
+	}
+	var resp2 *rnic.QP
+	if mode == LookupParallel {
+		_, resp2 = t.clu.Connect(node, srv.node,
+			rnic.QPConfig{SQDepth: 64, RQDepth: 64},
+			rnic.QPConfig{SQDepth: 2048, RQDepth: 64, Managed: true})
+	}
+	c.offload = core.NewLookupOffload(srv.builder, srvQP, resp2, nil, mode, 0)
+	record := func(e rnic.CQE) {
+		if e.Op == wqe.OpWrite && c.onHit != nil {
+			fn := c.onHit
+			c.onHit = nil
+			fn(e.At)
+		}
+	}
+	c.offload.Trig.SendCQ().OnDeliver(record)
+	if resp2 != nil {
+		resp2.SendCQ().OnDeliver(record)
+	}
+	return c
+}
+
+// Bind points the client's gets at a server hash table.
+func (c *Client) Bind(h *HashTable) {
+	c.offload.Table = h.table
+	c.table = h
+}
+
+// Get performs one offloaded get of up to valLen bytes, advancing the
+// simulation until the response lands (or a timeout for misses). It
+// returns the value bytes, the observed latency, and whether the key
+// was found.
+func (c *Client) Get(key uint64, valLen uint64) ([]byte, Duration, bool) {
+	if c.table == nil {
+		panic("redn: Bind a table before Get")
+	}
+	c.offload.Arm()
+	c.offload.Run()
+
+	payload := c.offload.TriggerPayload(key, valLen, c.resp)
+	c.node.Mem.Write(c.buf, payload)
+	// Clear the response buffer so misses are observable.
+	c.node.Mem.Write(c.resp, make([]byte, valLen))
+
+	start := c.tb.clu.Eng.Now()
+	hit := Duration(-1)
+	c.onHit = func(at sim.Time) { hit = at }
+	c.cliQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.buf, Len: uint64(len(payload)),
+		Flags: wqe.FlagSignaled})
+	c.cliQP.RingSQ()
+	c.tb.clu.Eng.RunUntil(start + 200*sim.Microsecond)
+
+	val, _ := c.node.Mem.Read(c.resp, valLen)
+	if hit < 0 {
+		return val, c.tb.clu.Eng.Now() - start, false
+	}
+	return val, hit - start, true
+}
+
+// Value deterministically generates a test payload for key (re-export
+// of the workload helper).
+func Value(key uint64, size int) []byte { return workload.Value(key, size) }

@@ -1,0 +1,31 @@
+package redn
+
+import "testing"
+
+func TestQuickstartAPI(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1024)
+	want := Value(42, 64)
+	if err := table.Set(42, want); err != nil {
+		t.Fatal(err)
+	}
+	cli := tb.NewClient(srv, LookupSingle)
+	cli.Bind(table)
+	got, lat, ok := cli.Get(42, 64)
+	if !ok {
+		t.Fatal("get missed")
+	}
+	if string(got) != string(want) {
+		t.Fatalf("value mismatch")
+	}
+	if lat <= 0 {
+		t.Fatalf("latency %v", lat)
+	}
+	t.Logf("offloaded get latency: %v", lat)
+
+	_, _, ok = cli.Get(999, 64)
+	if ok {
+		t.Fatal("absent key reported found")
+	}
+}
