@@ -1,4 +1,4 @@
-package redn
+package redn_test
 
 // One benchmark per table and figure of the paper's evaluation. Each
 // runs the corresponding experiment on the simulated testbed and
@@ -128,5 +128,14 @@ func BenchmarkFig15_Isolation(b *testing.B) {
 func BenchmarkFig16_Failover(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		report(b, experiments.Fig16())
+	}
+}
+
+// BenchmarkScaleOut measures the beyond-paper sharded service: 1->8
+// shards of 16-deep pipelined clients versus the single-server blocking
+// path, reporting aggregate gets per virtual second and the speedup.
+func BenchmarkScaleOut(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.ScaleOut())
 	}
 }

@@ -1,0 +1,300 @@
+package redn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hopscotch"
+	"repro/internal/rnic"
+	"repro/internal/sim"
+	"repro/internal/wqe"
+)
+
+// DefaultMissTimeout is how long a get waits for the NIC's response
+// WRITE before declaring a miss. The offload has no negative
+// acknowledgement — a failed key compare leaves the response WQE a
+// NOOP — so absence of data is the only miss signal, exactly as in the
+// paper's client.
+const DefaultMissTimeout = 200 * sim.Microsecond
+
+// DefaultMaxValLen bounds the value size one get can return; it sizes
+// the client's per-request response buffers.
+const DefaultMaxValLen = 1 << 17
+
+// Client is a remote node issuing offloaded gets against a server's
+// hash table, entirely served by the server's NIC.
+//
+// A client keeps up to depth gets in flight on one connection: each
+// in-flight get owns one offload context of the server-side pool (the
+// request slot), a trigger buffer and a response buffer. Responses
+// demultiplex exactly: a context's response QP completes only its own
+// WRITEs, so a completion identifies its slot, and the 48-bit key the
+// conditional CAS stamps into the WRITE's id field guards against
+// stragglers from timed-out instances. Trigger SENDs are posted
+// doorbell-less and kicked in batches by Flush.
+type Client struct {
+	tb    *Testbed
+	node  *fabric.Node
+	cliQP *rnic.QP
+	pool  *core.LookupPool
+	table *HashTable
+
+	// MissTimeout is the per-get deadline after which an unanswered
+	// request completes as a miss. Mutable between gets.
+	MissTimeout Duration
+
+	depth  int
+	maxVal uint64
+
+	trig []uint64 // per-slot trigger buffers
+	resp []uint64 // per-slot response buffers
+	zero []byte   // reusable zero source for clearing response slots
+	free []int
+
+	slots   []*getReq // in-flight request per slot (nil = free)
+	waiting []*getReq // no free slot yet
+	dirty   bool      // posted SENDs awaiting a doorbell
+
+	gets, hits, misses uint64
+	maxInFlight        int
+}
+
+// getReq is one in-flight (or queued) get.
+type getReq struct {
+	key, valLen uint64
+	slot        int
+	start       sim.Time
+	cb          func(val []byte, lat Duration, ok bool)
+	done        bool
+}
+
+// NewClient adds a client node connected back-to-back to srv, keeping
+// one get in flight at a time (the paper's blocking client).
+func (t *Testbed) NewClient(srv *Server, mode LookupMode) *Client {
+	return t.NewPipelinedClient(srv, mode, 1)
+}
+
+// NewPipelinedClient adds a client whose connection keeps up to depth
+// gets in flight. The server-side rings, offload chain rings and
+// client-side buffer pools are sized for the pipeline.
+func (t *Testbed) NewPipelinedClient(srv *Server, mode LookupMode, depth int) *Client {
+	if depth < 1 {
+		depth = 1
+	}
+	t.n++
+	node := t.clu.AddNode(fabric.DefaultNodeConfig(fmt.Sprintf("client%d", t.n)))
+	return newClientOnNode(t, node, srv, mode, depth, DefaultMaxValLen)
+}
+
+// newClientOnNode wires the connection, the offload context pool and
+// the demultiplexer; the Service uses it to place clients on its own
+// nodes.
+func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode, depth int, maxVal uint64) *Client {
+	// Trigger connection: client SQ paces SENDs, server RQ holds one
+	// pre-posted RECV per armed instance.
+	srvRQ := 2048
+	if d := 4 * depth; d > srvRQ {
+		srvRQ = d
+	}
+	cliSQ := 1024
+	if d := 4 * depth; d > cliSQ {
+		cliSQ = d
+	}
+	cliQP, srvQP := t.clu.Connect(node, srv.node,
+		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
+		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
+	c := &Client{tb: t, node: node, cliQP: cliQP,
+		MissTimeout: DefaultMissTimeout,
+		depth:       depth,
+		maxVal:      maxVal,
+		zero:        make([]byte, maxVal),
+		slots:       make([]*getReq, depth),
+	}
+	// Per-slot buffers and per-context response QPs.
+	resp := make([]*rnic.QP, depth)
+	var resp2 []*rnic.QP
+	if mode == LookupParallel {
+		resp2 = make([]*rnic.QP, depth)
+	}
+	for i := 0; i < depth; i++ {
+		c.trig = append(c.trig, node.Mem.Alloc(128, 8))
+		c.resp = append(c.resp, node.Mem.Alloc(maxVal, 64))
+		c.free = append(c.free, i)
+		_, resp[i] = t.clu.Connect(node, srv.node,
+			rnic.QPConfig{SQDepth: 8, RQDepth: 8},
+			rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
+		if resp2 != nil {
+			_, resp2[i] = t.clu.Connect(node, srv.node,
+				rnic.QPConfig{SQDepth: 8, RQDepth: 8},
+				rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
+		}
+	}
+	c.pool = core.NewLookupPool(srv.builder, srvQP, resp, resp2, nil, mode)
+
+	// Demultiplex response WRITE completions: slot i's context WRITEs
+	// only on its own response QP(s), so the subscribing closure knows
+	// the slot exactly; the key stamped in the WRITE's id field (the
+	// CAS operand of Fig 9) rejects stragglers from instances that
+	// already timed out.
+	srvQP.RecvCQ().SetAutoDrain(true)
+	srvQP.SendCQ().SetAutoDrain(true)
+	for i, ctx := range c.pool.Ctxs {
+		slot := i
+		record := func(e rnic.CQE) {
+			if e.Op == wqe.OpWrite {
+				c.onHit(slot, e.WRID, e.At)
+			}
+		}
+		ctx.Resp.SendCQ().SetAutoDrain(true)
+		ctx.Resp.SendCQ().OnDeliver(record)
+		if resp2 != nil {
+			resp2[i].SendCQ().SetAutoDrain(true)
+			resp2[i].SendCQ().OnDeliver(record)
+		}
+	}
+	return c
+}
+
+// Bind points the client's gets at a server hash table.
+func (c *Client) Bind(h *HashTable) {
+	c.pool.SetTable(h.table)
+	c.table = h
+}
+
+// Node exposes the client's simulated node.
+func (c *Client) Node() *fabric.Node { return c.node }
+
+// Depth returns the pipeline depth (max gets in flight).
+func (c *Client) Depth() int { return c.depth }
+
+// InFlight returns the number of gets currently occupying slots.
+func (c *Client) InFlight() int { return c.depth - len(c.free) }
+
+// GetAsync issues one offloaded get of up to valLen bytes and returns
+// immediately; cb runs (from the simulation, never synchronously) when
+// the response lands or MissTimeout expires. Gets beyond the pipeline
+// depth queue client-side until a slot frees. Call Flush to ring the
+// doorbell after posting a batch.
+func (c *Client) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration, ok bool)) {
+	if c.table == nil {
+		panic("redn: Bind a table before Get")
+	}
+	if valLen > c.maxVal {
+		panic(fmt.Sprintf("redn: valLen %d exceeds client max %d", valLen, c.maxVal))
+	}
+	req := &getReq{key: key & hopscotch.KeyMask, valLen: valLen, cb: cb}
+	if len(c.free) == 0 {
+		c.waiting = append(c.waiting, req)
+		return
+	}
+	c.issue(req)
+}
+
+// Flush rings the send doorbell once for every get posted since the
+// last flush — the client-side batching that lets a burst of same-shard
+// gets share one MMIO kick.
+func (c *Client) Flush() {
+	if c.dirty {
+		c.dirty = false
+		c.cliQP.RingSQ()
+	}
+}
+
+// issue arms one offload instance and posts the trigger SEND
+// (doorbell-less; Flush kicks it).
+func (c *Client) issue(req *getReq) {
+	slot := c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	req.slot = slot
+	c.slots[slot] = req
+	c.gets++
+	if f := c.depth - len(c.free); f > c.maxInFlight {
+		c.maxInFlight = f
+	}
+
+	ctx := c.pool.Ctxs[slot]
+	ctx.Arm()
+	payload := ctx.TriggerPayload(req.key, req.valLen, c.resp[slot])
+	c.node.Mem.Write(c.trig[slot], payload)
+	// Clear the response slot so misses are observable.
+	c.node.Mem.Write(c.resp[slot], c.zero[:req.valLen])
+
+	req.start = c.tb.clu.Eng.Now()
+	c.cliQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.trig[slot], Len: uint64(len(payload))})
+	c.dirty = true
+	c.tb.clu.Eng.After(c.MissTimeout, func() { c.onTimeout(req) })
+}
+
+// onHit completes slot's in-flight get as a hit at time at. A key
+// mismatch means the WRITE belongs to an instance whose request
+// already timed out and whose slot was reissued — dropped. (A
+// same-key straggler is indistinguishable and completes the current
+// request; its response bytes are the same value, so only the
+// latency attribution blurs.)
+func (c *Client) onHit(slot int, key uint64, at sim.Time) {
+	req := c.slots[slot]
+	if req == nil || req.key != key {
+		return
+	}
+	c.hits++
+	val, _ := c.node.Mem.Read(c.resp[req.slot], req.valLen)
+	c.finish(req, val, at-req.start, true)
+}
+
+// onTimeout completes req as a miss if it is still outstanding. The
+// reported latency is exactly the configured timeout — the elapsed
+// time a real client would have waited before giving up.
+func (c *Client) onTimeout(req *getReq) {
+	if req.done || c.slots[req.slot] != req {
+		return
+	}
+	c.misses++
+	val, _ := c.node.Mem.Read(c.resp[req.slot], req.valLen)
+	c.finish(req, val, c.MissTimeout, false)
+}
+
+// finish releases req's slot, runs its callback, and refills the
+// pipeline from the waiting queue (self-flushing: the driver may never
+// call Flush again).
+func (c *Client) finish(req *getReq, val []byte, lat Duration, ok bool) {
+	req.done = true
+	c.slots[req.slot] = nil
+	c.free = append(c.free, req.slot)
+	if req.cb != nil {
+		req.cb(val, lat, ok)
+	}
+	for len(c.waiting) > 0 && len(c.free) > 0 {
+		next := c.waiting[0]
+		c.waiting = c.waiting[1:]
+		c.issue(next)
+	}
+	c.Flush()
+}
+
+// Get performs one offloaded get of up to valLen bytes, advancing the
+// simulation until the response lands (or MissTimeout for misses). It
+// returns the value bytes, the observed latency, and whether the key
+// was found. On an idle client it advances exactly one MissTimeout
+// window (the paper's blocking client); with other gets already in
+// flight it keeps running until this request itself completes.
+func (c *Client) Get(key uint64, valLen uint64) ([]byte, Duration, bool) {
+	var (
+		out  []byte
+		lat  Duration
+		ok   bool
+		done bool
+	)
+	c.GetAsync(key, valLen, func(v []byte, l Duration, hit bool) {
+		out, lat, ok, done = v, l, hit, true
+	})
+	c.Flush()
+	eng := c.tb.clu.Eng
+	eng.RunUntil(eng.Now() + c.MissTimeout)
+	// Queued behind a busy pipeline: the request may not even have
+	// issued yet. Its own timeout (armed at issue) bounds every pass.
+	for !done && eng.Pending() > 0 {
+		eng.RunUntil(eng.Now() + c.MissTimeout)
+	}
+	return out, lat, ok
+}

@@ -1,0 +1,202 @@
+package redn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A 16-deep pipelined client must land every in-flight get in its own
+// response buffer, demultiplexed per request, including duplicate keys.
+func TestPipelinedClientDemux(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(4096)
+	const n = 64
+	for k := uint64(1); k <= n; k++ {
+		if err := table.Set(k, Value(k, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cli := tb.NewPipelinedClient(srv, LookupSingle, 16)
+	cli.Bind(table)
+
+	done := 0
+	issue := func(key uint64) {
+		cli.GetAsync(key, 64, func(val []byte, lat Duration, ok bool) {
+			done++
+			if !ok {
+				t.Errorf("get(%d) missed", key)
+				return
+			}
+			if !bytes.Equal(val, Value(key, 64)) {
+				t.Errorf("get(%d): wrong value", key)
+			}
+			if lat <= 0 {
+				t.Errorf("get(%d): latency %v", key, lat)
+			}
+		})
+	}
+	// 2x the pipeline depth, with duplicate keys in flight.
+	for i := 0; i < 32; i++ {
+		issue(uint64(i%12 + 1))
+	}
+	cli.Flush()
+	tb.Run()
+	if done != 32 {
+		t.Fatalf("completed %d of 32 gets", done)
+	}
+	if cli.InFlight() != 0 {
+		t.Fatalf("%d gets still in flight after drain", cli.InFlight())
+	}
+	if cli.maxInFlight != 16 {
+		t.Fatalf("pipeline high-water %d, want 16", cli.maxInFlight)
+	}
+}
+
+// Pipelining must overlap request latencies: 32 gets 16-deep should
+// finish in far less virtual time than 32 blocking gets.
+func TestPipelineOverlapsLatency(t *testing.T) {
+	run := func(depth int) sim.Time {
+		tb := NewTestbed()
+		srv := tb.NewServer()
+		table := srv.NewHashTable(4096)
+		for k := uint64(1); k <= 64; k++ {
+			table.Set(k, Value(k, 64))
+		}
+		cli := tb.NewPipelinedClient(srv, LookupSingle, depth)
+		cli.Bind(table)
+		var last sim.Time
+		issued := 0
+		var next func()
+		next = func() {
+			if issued >= 32 {
+				return
+			}
+			issued++
+			cli.GetAsync(uint64(issued%64+1), 64, func(_ []byte, _ Duration, ok bool) {
+				if !ok {
+					t.Fatal("miss")
+				}
+				last = tb.Now()
+				next()
+			})
+		}
+		for i := 0; i < depth && issued < 32; i++ {
+			next()
+		}
+		cli.Flush()
+		tb.Run()
+		return last
+	}
+	blocking := run(1)
+	pipelined := run(16)
+	if pipelined*2 >= blocking {
+		t.Fatalf("16-deep pipeline took %v vs blocking %v; expected >2x overlap", pipelined, blocking)
+	}
+}
+
+// A blocking Get issued while the pipeline is saturated must still
+// complete (queued behind the in-flight window), not report a false
+// miss after one timeout window.
+func TestBlockingGetOnBusyPipeline(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(4096)
+	for k := uint64(1); k <= 64; k++ {
+		table.Set(k, Value(k, 64))
+	}
+	cli := tb.NewPipelinedClient(srv, LookupSingle, 4)
+	cli.Bind(table)
+	// Saturate every slot plus the client-side queue without flushing.
+	async := 0
+	for i := 0; i < 12; i++ {
+		cli.GetAsync(uint64(i%64+1), 64, func(_ []byte, _ Duration, ok bool) {
+			if !ok {
+				t.Error("async get missed")
+			}
+			async++
+		})
+	}
+	val, lat, ok := cli.Get(33, 64)
+	if !ok {
+		t.Fatal("blocking Get reported a false miss behind a busy pipeline")
+	}
+	if !bytes.Equal(val, Value(33, 64)) {
+		t.Fatal("blocking Get returned wrong value")
+	}
+	if lat <= 0 {
+		t.Fatalf("latency %v", lat)
+	}
+	tb.Run()
+	if async != 12 {
+		t.Fatalf("only %d of 12 queued async gets completed", async)
+	}
+}
+
+// Misses complete via the configurable timeout and report exactly the
+// elapsed-to-timeout latency.
+func TestMissTimeoutConfigurable(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1024)
+	table.Set(1, Value(1, 64))
+	cli := tb.NewClient(srv, LookupSingle)
+	cli.Bind(table)
+
+	cli.MissTimeout = 50 * sim.Microsecond
+	before := tb.Now()
+	_, lat, ok := cli.Get(999, 64)
+	if ok {
+		t.Fatal("absent key reported found")
+	}
+	if lat != 50*sim.Microsecond {
+		t.Fatalf("miss latency %v, want exactly the 50us timeout", lat)
+	}
+	if tb.Now()-before != 50*sim.Microsecond {
+		t.Fatalf("sync Get advanced %v, want 50us", tb.Now()-before)
+	}
+
+	// A hit still works with the shorter deadline and reports real latency.
+	val, lat, ok := cli.Get(1, 64)
+	if !ok || !bytes.Equal(val, Value(1, 64)) {
+		t.Fatal("hit failed under short timeout")
+	}
+	if lat <= 0 || lat >= 50*sim.Microsecond {
+		t.Fatalf("hit latency %v out of range", lat)
+	}
+}
+
+// A miss inside a full pipeline must not wedge the other slots.
+func TestMissDoesNotStallPipeline(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(4096)
+	for k := uint64(1); k <= 32; k++ {
+		table.Set(k, Value(k, 64))
+	}
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 8)
+	cli.Bind(table)
+	cli.MissTimeout = 30 * sim.Microsecond
+
+	hits, misses := 0, 0
+	for i := 0; i < 24; i++ {
+		key := uint64(i%8 + 1)
+		if i%6 == 5 {
+			key = 40000 + uint64(i) // absent
+		}
+		cli.GetAsync(key, 64, func(_ []byte, _ Duration, ok bool) {
+			if ok {
+				hits++
+			} else {
+				misses++
+			}
+		})
+	}
+	cli.Flush()
+	tb.Run()
+	if hits != 20 || misses != 4 {
+		t.Fatalf("hits=%d misses=%d, want 20/4", hits, misses)
+	}
+}

@@ -1,14 +1,18 @@
 // Command redn-bench regenerates the paper's tables and figures on the
-// simulated testbed.
+// simulated testbed, plus the beyond-paper scale-out scenario.
 //
 // Usage:
 //
-//	redn-bench            # run everything, paper order
-//	redn-bench fig10      # run one experiment
-//	redn-bench list       # list experiment ids
+//	redn-bench                      # run everything
+//	redn-bench fig10                # run one experiment
+//	redn-bench -json fig10 fig11    # machine-readable results
+//	redn-bench -scale-requests 1000000 scaleout
+//	redn-bench list                 # list experiment ids
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -16,28 +20,54 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		for _, r := range experiments.All() {
-			r.Print(os.Stdout)
-		}
-		return
-	}
-	if args[0] == "list" {
+	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
+	scaleReq := flag.Int("scale-requests", 0, "request count per scaleout configuration (0 = default)")
+	flag.Parse()
+	args := flag.Args()
+
+	if len(args) == 1 && args[0] == "list" {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
 		return
 	}
-	ok := true
-	for _, id := range args {
-		r := experiments.ByID(id)
-		if r == nil {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'redn-bench list')\n", id)
-			ok = false
-			continue
+
+	runOne := func(id string) *experiments.Result {
+		if id == "scaleout" && *scaleReq > 0 {
+			return experiments.ScaleOutN(*scaleReq)
 		}
-		r.Print(os.Stdout)
+		return experiments.ByID(id)
+	}
+
+	results := []*experiments.Result{} // non-nil: -json emits [] when empty
+	ok := true
+	if len(args) == 0 {
+		for _, id := range experiments.IDs() {
+			results = append(results, runOne(id))
+		}
+	} else {
+		for _, id := range args {
+			r := runOne(id)
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try 'redn-bench list')\n", id)
+				ok = false
+				continue
+			}
+			results = append(results, r)
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "encode: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, r := range results {
+			r.Print(os.Stdout)
+		}
 	}
 	if !ok {
 		os.Exit(1)

@@ -70,10 +70,32 @@ func (b *Builder) NewManagedQP(depth int) *rnic.QP {
 	return b.Dev.NewLoopbackQP(rnic.QPConfig{SQDepth: depth, RQDepth: 1, Managed: true, Port: b.Port})
 }
 
+// NewManagedQPOnPU is NewManagedQP with explicit PU placement (-1 lets
+// the port round-robin; pool contexts use it to spread chains over the
+// NIC's processing units, the Table 3/4 throughput-scaling idiom).
+func (b *Builder) NewManagedQPOnPU(depth, pu int) *rnic.QP {
+	return b.Dev.NewLoopbackQP(rnic.QPConfig{SQDepth: depth, RQDepth: 1, Managed: true, Port: b.Port, PU: pu})
+}
+
 // NewQP allocates an unmanaged loopback queue (for verbs that are
 // never modified after posting, e.g. standalone atomics).
 func (b *Builder) NewQP(depth int) *rnic.QP {
 	return b.Dev.NewLoopbackQP(rnic.QPConfig{SQDepth: depth, RQDepth: 1, Port: b.Port})
+}
+
+// NewQPOnPU is NewQP with explicit PU placement (-1 round-robins).
+func (b *Builder) NewQPOnPU(depth, pu int) *rnic.QP {
+	return b.Dev.NewLoopbackQP(rnic.QPConfig{SQDepth: depth, RQDepth: 1, Port: b.Port, PU: pu})
+}
+
+// SubBuilder returns a builder emitting control verbs on a fresh
+// unmanaged control queue (optionally PU-placed) while sharing this
+// builder's expected-completion bookkeeping. Independent chain contexts
+// (core.LookupPool) sequence through sub-builders so one context's
+// WAITs never block another's, yet RECV arrival targets on a shared
+// trigger queue stay globally consistent.
+func (b *Builder) SubBuilder(ctrlDepth, pu int) *Builder {
+	return b.withCtrl(b.NewQPOnPU(ctrlDepth, pu))
 }
 
 // StepRef identifies a posted WQE so later verbs can target its bytes.

@@ -62,6 +62,12 @@ type LookupOffload struct {
 	// Trig is the server side of the client connection: its RQ
 	// receives triggers, its (managed) SQ holds response WQEs.
 	Trig *rnic.QP
+	// Resp, when set, holds response WQEs on a dedicated managed QP
+	// instead of Trig's SQ. Pool contexts need this: response rings
+	// must not be shared between independently sequenced chains, or
+	// one context's ENABLE (which grants every earlier WQE on the
+	// ring) would prematurely release another's un-CASed response.
+	Resp *rnic.QP
 	// Resp2 is the second response QP for LookupParallel (nil otherwise).
 	Resp2 *rnic.QP
 
@@ -94,6 +100,15 @@ func NewLookupOffload(b *Builder, trig *rnic.QP, resp2 *rnic.QP, table GetIndex,
 		o.w2b = o.w2
 	}
 	return o
+}
+
+// resp1 returns the queue holding probe-1 (and, for LookupSeq,
+// probe-2) response WQEs.
+func (o *LookupOffload) resp1() *rnic.QP {
+	if o.Resp != nil {
+		return o.Resp
+	}
+	return o.Trig
 }
 
 // probeChain posts one bucket probe: a READ (src injected) copying the
@@ -141,7 +156,7 @@ func (o *LookupOffload) Arm() {
 	o.armed++
 	switch o.Mode {
 	case LookupSingle:
-		p := o.postProbe(o.w2, o.Trig)
+		p := o.postProbe(o.w2, o.resp1())
 		recvTarget := b.ExpectRecv(o.Trig, o.armed, []wqe.ScatterEntry{
 			{Addr: p.cas.FieldAddr(wqe.OffCmp), Len: 8},
 			{Addr: p.cas.FieldAddr(wqe.OffSwap), Len: 8},
@@ -153,8 +168,8 @@ func (o *LookupOffload) Arm() {
 		o.sequence(b, p)
 
 	case LookupSeq:
-		p1 := o.postProbe(o.w2, o.Trig)
-		p2 := o.postProbe(o.w2b, o.Trig)
+		p1 := o.postProbe(o.w2, o.resp1())
+		p2 := o.postProbe(o.w2b, o.resp1())
 		recvTarget := b.ExpectRecv(o.Trig, o.armed, []wqe.ScatterEntry{
 			{Addr: p1.cas.FieldAddr(wqe.OffCmp), Len: 8},
 			{Addr: p1.cas.FieldAddr(wqe.OffSwap), Len: 8},
@@ -172,7 +187,7 @@ func (o *LookupOffload) Arm() {
 		o.sequence(b, p2)
 
 	case LookupParallel:
-		p1 := o.postProbe(o.w2, o.Trig)
+		p1 := o.postProbe(o.w2, o.resp1())
 		p2 := o.postProbe(o.w2b, o.Resp2)
 		recvTarget := b.ExpectRecv(o.Trig, o.armed, []wqe.ScatterEntry{
 			{Addr: p1.cas.FieldAddr(wqe.OffCmp), Len: 8},
@@ -200,6 +215,22 @@ func (o *LookupOffload) Arm() {
 	if o.ctrlB != nil {
 		o.ctrlB.RingSQ()
 	}
+}
+
+// Armed returns the number of request instances armed so far. Each
+// instance serves exactly one get; the difference between Armed and the
+// gets completed is the offload's in-flight window.
+func (o *LookupOffload) Armed() uint64 { return o.armed }
+
+// ChainWQEsPerGet reports how many WQEs one armed instance posts on
+// the busiest internal chain ring — the per-instance budget behind
+// chain-ring sizing (a ring holding N overlapping instances needs 2N
+// times this, since rings wrap only after requests complete).
+func ChainWQEsPerGet(mode LookupMode) int {
+	if mode == LookupSeq {
+		return 4 // both probes (READ+CAS each) share one chain ring
+	}
+	return 2 // READ+CAS per ring; parallel splits probes across rings
 }
 
 // Run starts the control queue(s). Call once after the first Arm.

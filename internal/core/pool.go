@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rnic"
+)
+
+// LookupPool is a pool of K independent hash-get offload contexts
+// sharing one client connection — the server-side substrate of the
+// pipelined get path.
+//
+// A single LookupOffload serializes every armed instance through one
+// control queue: instance i+1's WAITs sit behind instance i's entire
+// chain, so overlapping gets gain almost nothing. The pool instead
+// gives each in-flight request slot its own context — a private
+// control queue, chain ring and response QP, spread round-robin across
+// the port's processing units — while all contexts share the
+// connection's trigger RQ and its arrival counter. A WAIT in context j
+// targets the absolute arrival count of the shared trigger CQ, so the
+// j-th armed chain fires on the j-th SEND no matter which context owns
+// it, and K chains then execute concurrently on the NIC exactly as K
+// pre-armed RedN programs would on real hardware (§5.2.2's extra-QP
+// parallelism trade-off, paid K times).
+//
+// Response WQEs must live on per-context QPs: an ENABLE grants every
+// earlier WQE on its ring, so two contexts sharing a response ring
+// could release each other's un-CASed responses.
+type LookupPool struct {
+	Mode LookupMode
+	// Trig is the shared server-side connection QP: its RQ receives
+	// every trigger SEND, in global arm order.
+	Trig *rnic.QP
+	// Ctxs are the K independent offload contexts; Ctxs[i] serves the
+	// client's request slot i.
+	Ctxs []*LookupOffload
+}
+
+// NewLookupPool builds K = len(resp) contexts over the trig connection.
+// resp (and resp2, parallel mode only) are server-side managed QPs,
+// each connected back to the client, one per context. All contexts
+// share b's completion bookkeeping; they must also share its device.
+func NewLookupPool(b *Builder, trig *rnic.QP, resp, resp2 []*rnic.QP, table GetIndex, mode LookupMode) *LookupPool {
+	if len(resp) == 0 {
+		panic("core: LookupPool needs at least one response QP")
+	}
+	if mode == LookupParallel && len(resp2) != len(resp) {
+		panic(fmt.Sprintf("core: parallel pool needs resp2 per context (%d != %d)", len(resp2), len(resp)))
+	}
+	p := &LookupPool{Mode: mode, Trig: trig}
+	// Each context serves one get at a time, so rings stay small: a
+	// chain ring holds one instance's probes (ring wrap needs 2x),
+	// a control ring one instance's sync verbs.
+	chainDepth := 2*ChainWQEsPerGet(mode) + 8
+	const ctrlDepth = 64
+	for i := range resp {
+		cb := b.SubBuilder(ctrlDepth, -1)
+		o := &LookupOffload{B: cb, Mode: mode, Table: table, Trig: trig,
+			Resp: resp[i], w2: cb.NewManagedQPOnPU(chainDepth, -1)}
+		switch mode {
+		case LookupSeq:
+			o.w2b = o.w2
+		case LookupParallel:
+			o.Resp2 = resp2[i]
+			o.w2b = cb.NewManagedQPOnPU(chainDepth, -1)
+			o.ctrlB = cb.NewQPOnPU(ctrlDepth, -1)
+		}
+		// Probe READs/CASes are posted signaled (their completions gate
+		// the WAIT chain); nothing ever polls the chain CQs, so drain
+		// at delivery or million-request runs retain every CQE.
+		o.w2.SendCQ().SetAutoDrain(true)
+		if o.w2b != nil {
+			o.w2b.SendCQ().SetAutoDrain(true)
+		}
+		p.Ctxs = append(p.Ctxs, o)
+	}
+	return p
+}
+
+// SetTable points every context at the same hash-table geometry.
+func (p *LookupPool) SetTable(t GetIndex) {
+	for _, o := range p.Ctxs {
+		o.Table = t
+	}
+}
+
+// Depth returns the number of contexts (max overlapping gets).
+func (p *LookupPool) Depth() int { return len(p.Ctxs) }
+
+// Arm arms one instance on context i. The caller must send the i-th
+// context's trigger in the same order arms were issued across the
+// whole pool — arrival order is what sequences the shared trigger CQ.
+func (p *LookupPool) Arm(i int) { p.Ctxs[i].Arm() }
+
+// Armed sums armed instances across contexts.
+func (p *LookupPool) Armed() uint64 {
+	var n uint64
+	for _, o := range p.Ctxs {
+		n += o.Armed()
+	}
+	return n
+}

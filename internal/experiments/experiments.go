@@ -96,12 +96,14 @@ func mops(r float64) string { return fmt.Sprintf("%.2f", r/1e6) }
 // kops formats an ops/sec rate in thousands.
 func kops(r float64) string { return fmt.Sprintf("%.0fK", r/1e3) }
 
-// All runs every experiment in paper order.
+// All runs every experiment: the paper's tables and figures in paper
+// order, then the beyond-paper scale-out scenario.
 func All() []*Result {
 	return []*Result{
 		Table1(), Table2(), Table3(), Fig7(), Fig8(),
 		Fig10(), Fig11(), Table4(), Table5(),
 		Fig13(), Fig14(), Fig15(), Fig16(), Table6(),
+		ScaleOut(),
 	}
 }
 
@@ -136,6 +138,8 @@ func ByID(id string) *Result {
 		return Fig15()
 	case "fig16":
 		return Fig16()
+	case "scaleout":
+		return ScaleOut()
 	}
 	return nil
 }
@@ -143,7 +147,8 @@ func ByID(id string) *Result {
 // IDs lists the available experiment identifiers.
 func IDs() []string {
 	return []string{"table1", "table2", "table3", "table4", "table5", "table6",
-		"fig7", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16"}
+		"fig7", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16",
+		"scaleout"}
 }
 
 // ---- shared harness helpers ----

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// ScaleOut measures the service layer beyond the paper: aggregate
+// offloaded-get throughput as the sharded KV service grows from one to
+// eight server NICs, with 16-deep pipelined client connections, against
+// the paper's one-get-at-a-time blocking client on the same workload.
+// Every get is still served entirely by a server NIC — the scale-out
+// layer only multiplies and overlaps the paper's data path.
+func ScaleOut() *Result { return ScaleOutN(30000) }
+
+// scaleOutKeys is the preloaded key-set size per run.
+const scaleOutKeys = 10000
+
+// ScaleOutN runs the scale-out comparison with the given request count
+// per configuration (the bench trajectory drives >= 1M through the
+// same harness via redn-bench -scale-requests).
+func ScaleOutN(requests int) *Result {
+	r := &Result{ID: "scaleout", Title: "Sharded service gets/s, 1->8 shards, pipelined vs blocking clients",
+		Header: []string{"uniform", "p50", "p99", "p999", "zipfian", "p99", "(gets/s, us)"}}
+
+	keys := make([]uint64, scaleOutKeys)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+	}
+
+	type cfg struct {
+		label    string
+		shards   int
+		clients  int
+		pipeline int
+	}
+	cfgs := []cfg{
+		{"1 shard, blocking", 1, 1, 1},
+		{"1 shard, 2x16 pipelined", 1, 2, 16},
+		{"2 shards, 2x16 pipelined", 2, 2, 16},
+		{"4 shards, 2x16 pipelined", 4, 2, 16},
+		{"8 shards, 2x16 pipelined", 8, 2, 16},
+	}
+
+	run := func(c cfg, zipf bool) workload.LoadReport {
+		s := redn.NewServiceWith(redn.ServiceConfig{
+			Shards:          c.shards,
+			ClientsPerShard: c.clients,
+			Pipeline:        c.pipeline,
+			Mode:            redn.LookupSeq,
+			Buckets:         1 << 16,
+			MaxValLen:       256,
+		})
+		for _, k := range keys {
+			if err := s.Set(k, redn.Value(k, 64)); err != nil {
+				panic(err)
+			}
+		}
+		var stream workload.KeyStream
+		if zipf {
+			stream = workload.NewZipfian(keys, workload.DefaultZipfS, workload.Rng(1))
+		} else {
+			stream = &workload.Uniform{Keys: keys, Rng: workload.Rng(1)}
+		}
+		return workload.RunClosedLoop(s.Testbed().Engine(), s, workload.ClosedLoopConfig{
+			Requests: requests,
+			Window:   c.shards * c.clients * c.pipeline,
+			Keys:     stream,
+			ValLen:   64,
+		})
+	}
+
+	var blocking, shard8 float64
+	for _, c := range cfgs {
+		uni := run(c, false)
+		zip := run(c, true)
+		r.Rows = append(r.Rows, Row{Label: c.label, Cells: []string{
+			kops(uni.GetsPerSec), us(uni.P50), us(uni.P99), us(uni.P999),
+			kops(zip.GetsPerSec), us(zip.P99), ""}})
+		if uni.Misses > 0 || zip.Misses > 0 {
+			r.Notes = append(r.Notes, fmt.Sprintf("%s: %d/%d misses (spilled keys)", c.label, uni.Misses, zip.Misses))
+		}
+		switch c.label {
+		case "1 shard, blocking":
+			blocking = uni.GetsPerSec
+			r.metric("blocking_gets_per_sec", uni.GetsPerSec)
+		case "8 shards, 2x16 pipelined":
+			shard8 = uni.GetsPerSec
+			r.metric("shard8_gets_per_sec", uni.GetsPerSec)
+			r.metric("shard8_p999_us", uni.P999.Micros())
+			r.metric("zipf8_gets_per_sec", zip.GetsPerSec)
+		}
+	}
+	if blocking > 0 {
+		r.metric("speedup_8shard", shard8/blocking)
+	}
+	r.Notes = append(r.Notes,
+		"same 10K-key 64B workload per row; pipelining overlaps chains across per-slot offload contexts, sharding multiplies NICs",
+		"zipfian (s=1.1) concentrates load on the hot key's shard; uniform spreads it")
+	return r
+}

@@ -158,13 +158,15 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 }
 
 // InsertAt places key directly into the d-th slot of its fn-th
-// neighborhood, for experiments that force collisions (Fig 11 places
-// every key in the second bucket).
+// neighborhood, overwriting any occupant — for experiments that force
+// collisions (Fig 11 places every key in the second bucket) and for
+// the service layer's offload-reachable placement.
 func (t *Table) InsertAt(key, valAddr, valLen uint64, fn, d int) error {
 	if key&^KeyMask != 0 {
 		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
 	}
 	addr := t.BucketAddr(t.hash(key, fn) + uint64(d))
+	prev, _ := t.mem.U64(addr + OffKeyCtrl)
 	if err := t.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
 		return err
 	}
@@ -174,8 +176,24 @@ func (t *Table) InsertAt(key, valAddr, valLen uint64, fn, d int) error {
 	if err := t.mem.PutU64(addr+OffValLen, valLen); err != nil {
 		return err
 	}
-	t.entries++
+	if prev == 0 {
+		t.entries++
+	}
 	return nil
+}
+
+// EntryAt reports the entry stored in bucket i (ok=false when empty).
+// The service layer's placement uses it to find cuckoo-kick victims.
+func (t *Table) EntryAt(i uint64) (key, valAddr, valLen uint64, ok bool) {
+	addr := t.BucketAddr(i)
+	ctrl, err := t.mem.U64(addr + OffKeyCtrl)
+	if err != nil || ctrl == 0 {
+		return 0, 0, 0, false
+	}
+	_, key = wqe.SplitCtrl(ctrl)
+	valAddr, _ = t.mem.U64(addr + OffValAddr)
+	valLen, _ = t.mem.U64(addr + OffValLen)
+	return key, valAddr, valLen, true
 }
 
 // Delete removes key if present.

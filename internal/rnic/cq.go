@@ -56,6 +56,7 @@ type CQ struct {
 
 	entries   []CQE // delivered, not yet polled
 	onDeliver []func(CQE)
+	autoDrain bool
 }
 
 type cqWaiter struct {
@@ -99,11 +100,19 @@ func (c *CQ) waitFor(target uint64, fn func()) {
 
 // deliver appends a host-visible CQE and notifies subscribers.
 func (c *CQ) deliver(e CQE) {
-	c.entries = append(c.entries, e)
+	if !c.autoDrain {
+		c.entries = append(c.entries, e)
+	}
 	for _, fn := range c.onDeliver {
 		fn(e)
 	}
 }
+
+// SetAutoDrain makes the CQ consume entries at delivery time instead of
+// retaining them for Poll: OnDeliver subscribers still see every CQE,
+// but nothing accumulates. Event-driven hosts (the pipelined client
+// path) enable this so million-request runs stay bounded in memory.
+func (c *CQ) SetAutoDrain(v bool) { c.autoDrain = v }
 
 // Poll removes and returns up to max delivered CQEs. It models host
 // software draining the queue; the time cost of polling is accounted

@@ -1,0 +1,165 @@
+// Package shard places 48-bit keys onto server nodes with a consistent
+// hash ring, the routing layer of the scale-out RedN service. Each node
+// projects many virtual points onto a 64-bit circle so load spreads
+// evenly and adding or removing one node of N remaps only ~1/N of the
+// keyspace — the property that lets a running service grow without
+// re-sharding the world.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the points-per-node default. 128 keeps the
+// per-node share within a few percent of 1/N for small clusters.
+const DefaultVirtualNodes = 128
+
+type point struct {
+	hash uint64
+	node int // index into nodes
+}
+
+// Ring is a consistent hash ring. Not safe for concurrent use; the
+// simulation engine is single-threaded.
+type Ring struct {
+	vnodes int
+	nodes  []string
+	live   map[string]bool
+	points []point // sorted by hash
+}
+
+// NewRing creates an empty ring with the given number of virtual nodes
+// per physical node (<= 0 selects DefaultVirtualNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, live: make(map[string]bool)}
+}
+
+// splitmix64 is the avalanche finalizer used throughout the repo for
+// deterministic, seed-free hashing.
+func splitmix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// hashString folds a node id into 64 bits (FNV-1a, then avalanched).
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return splitmix64(h)
+}
+
+// KeyPoint maps a key onto the circle.
+func KeyPoint(key uint64) uint64 { return splitmix64(key*0x9E3779B97F4A7C15 + 1) }
+
+// AddNode inserts id with the ring's virtual-node count. Adding an
+// existing id is an error (placement must stay deterministic).
+func (r *Ring) AddNode(id string) error {
+	if r.live[id] {
+		return fmt.Errorf("shard: node %q already on the ring", id)
+	}
+	idx := len(r.nodes)
+	r.nodes = append(r.nodes, id)
+	r.live[id] = true
+	base := hashString(id)
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, point{hash: splitmix64(base + uint64(v)*0xC2B2AE3D27D4EB4F), node: idx})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return nil
+}
+
+// RemoveNode deletes id's virtual points. Keys it owned redistribute to
+// the clockwise successors.
+func (r *Ring) RemoveNode(id string) error {
+	if !r.live[id] {
+		return fmt.Errorf("shard: node %q not on the ring", id)
+	}
+	delete(r.live, id)
+	idx := -1
+	for i, n := range r.nodes {
+		if n == id {
+			idx = i
+			break
+		}
+	}
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != idx {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Nodes returns the live node ids in insertion order.
+func (r *Ring) Nodes() []string {
+	out := make([]string, 0, len(r.live))
+	for _, n := range r.nodes {
+		if r.live[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Len returns the number of live nodes.
+func (r *Ring) Len() int { return len(r.live) }
+
+// successor returns the index into points of the first point at or
+// after h, wrapping.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Lookup returns the node owning key (its clockwise successor on the
+// circle). Panics on an empty ring.
+func (r *Ring) Lookup(key uint64) string {
+	if len(r.points) == 0 {
+		panic("shard: Lookup on an empty ring")
+	}
+	return r.nodes[r.points[r.successor(KeyPoint(key))].node]
+}
+
+// LookupN returns the first n distinct nodes clockwise from key —
+// replica-aware placement: the primary followed by n-1 backup owners,
+// each on a different physical node. n is clamped to the live node
+// count.
+func (r *Ring) LookupN(key uint64, n int) []string {
+	if len(r.points) == 0 {
+		panic("shard: LookupN on an empty ring")
+	}
+	if n > len(r.live) {
+		n = len(r.live)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	i := r.successor(KeyPoint(key))
+	for len(out) < n {
+		p := r.points[i]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, r.nodes[p.node])
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}

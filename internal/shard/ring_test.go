@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func keys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	r1 := NewRing(0)
+	r2 := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r1.AddNode(fmt.Sprintf("s%d", i))
+		r2.AddNode(fmt.Sprintf("s%d", i))
+	}
+	for _, k := range keys(1000) {
+		if r1.Lookup(k) != r2.Lookup(k) {
+			t.Fatalf("rings with identical membership disagree on key %d", k)
+		}
+	}
+}
+
+func TestAddRemoveErrors(t *testing.T) {
+	r := NewRing(8)
+	if err := r.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddNode("a"); err == nil {
+		t.Fatal("duplicate AddNode accepted")
+	}
+	if err := r.RemoveNode("b"); err == nil {
+		t.Fatal("RemoveNode of unknown node accepted")
+	}
+	if err := r.RemoveNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after removing the only node", r.Len())
+	}
+}
+
+// The acceptance property: growing an N-node ring to N+1 nodes remaps
+// at most 2/N of the keyspace (the expectation is 1/(N+1)).
+func TestRebalanceBound(t *testing.T) {
+	ks := keys(20000)
+	for _, n := range []int{2, 4, 8} {
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.AddNode(fmt.Sprintf("s%d", i))
+		}
+		before := make([]string, len(ks))
+		for i, k := range ks {
+			before[i] = r.Lookup(k)
+		}
+		r.AddNode("new")
+		moved := 0
+		for i, k := range ks {
+			after := r.Lookup(k)
+			if after != before[i] {
+				if after != "new" {
+					t.Fatalf("key %d moved between pre-existing nodes (%s -> %s)", k, before[i], after)
+				}
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(ks))
+		if frac > 2.0/float64(n) {
+			t.Fatalf("n=%d: %.3f of keys moved, want <= %.3f", n, frac, 2.0/float64(n))
+		}
+		if moved == 0 {
+			t.Fatalf("n=%d: no keys moved to the new node", n)
+		}
+	}
+}
+
+// Virtual nodes keep per-node load close to uniform.
+func TestLoadBalance(t *testing.T) {
+	const n = 8
+	r := NewRing(0)
+	for i := 0; i < n; i++ {
+		r.AddNode(fmt.Sprintf("s%d", i))
+	}
+	counts := map[string]int{}
+	ks := keys(40000)
+	for _, k := range ks {
+		counts[r.Lookup(k)]++
+	}
+	want := float64(len(ks)) / n
+	for id, c := range counts {
+		if dev := math.Abs(float64(c)-want) / want; dev > 0.5 {
+			t.Fatalf("node %s holds %d keys, %.0f%% off the fair share %v", id, c, dev*100, want)
+		}
+	}
+}
+
+func TestLookupNReplicas(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 5; i++ {
+		r.AddNode(fmt.Sprintf("s%d", i))
+	}
+	for _, k := range keys(500) {
+		owners := r.LookupN(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("LookupN returned %d owners", len(owners))
+		}
+		if owners[0] != r.Lookup(k) {
+			t.Fatalf("primary of LookupN disagrees with Lookup")
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("replica set repeats node %s", o)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.LookupN(1, 99); len(got) != 5 {
+		t.Fatalf("LookupN over-asking returned %d, want node count 5", len(got))
+	}
+}
+
+func TestRemoveRedistributesToSuccessors(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.AddNode(fmt.Sprintf("s%d", i))
+	}
+	ks := keys(8000)
+	before := make([]string, len(ks))
+	for i, k := range ks {
+		before[i] = r.Lookup(k)
+	}
+	r.RemoveNode("s2")
+	for i, k := range ks {
+		after := r.Lookup(k)
+		if before[i] != "s2" && after != before[i] {
+			t.Fatalf("key %d moved (%s -> %s) though its owner survived", k, before[i], after)
+		}
+		if after == "s2" {
+			t.Fatalf("key %d still routed to removed node", k)
+		}
+	}
+}

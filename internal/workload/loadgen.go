@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// AsyncKV is the service surface the closed-loop generator drives:
+// host-side sets and pipelined asynchronous gets. redn.Service
+// implements it.
+type AsyncKV interface {
+	Set(key uint64, value []byte) error
+	GetAsync(key, valLen uint64, cb func(val []byte, lat sim.Time, ok bool))
+	// Flush kicks doorbells for gets posted since the last flush.
+	Flush()
+}
+
+// ClosedLoopConfig shapes one load-generation run.
+type ClosedLoopConfig struct {
+	// Requests is the total operation count (gets + sets).
+	Requests int
+	// Window is the number of concurrent closed-loop users: each keeps
+	// exactly one get outstanding, issuing its next operation when the
+	// previous completes.
+	Window int
+	// Keys yields the access pattern (Uniform, Zipfian, Sequential).
+	Keys KeyStream
+	// ValLen is the value size gets request.
+	ValLen uint64
+	// WriteEvery makes every n-th operation of a user a set (0 = pure
+	// reads). Sets are host-side writes and complete immediately — the
+	// paper's Memcached keeps writes on the CPU path (§5.4) — so they
+	// consume an operation slot but never block the user's loop.
+	WriteEvery int
+}
+
+// LoadReport summarizes a run. Latency percentiles cover gets only
+// (misses included, at the configured timeout); throughput is completed
+// gets per virtual second over the span from first issue to last
+// completion.
+type LoadReport struct {
+	Requests int
+	Gets     int
+	Sets     int
+	Hits     int
+	Misses   int
+
+	Elapsed sim.Time
+	GetsPerSec float64
+
+	Avg, P50, P99, P999 sim.Time
+}
+
+func (r LoadReport) String() string {
+	return fmt.Sprintf("%d ops (%d gets, %d sets, %d misses) in %v: %.0f gets/s, p50=%v p99=%v p999=%v",
+		r.Requests, r.Gets, r.Sets, r.Misses, r.Elapsed, r.GetsPerSec, r.P50, r.P99, r.P999)
+}
+
+// RunClosedLoop drives kv with Window concurrent users until Requests
+// operations have been issued and every get has completed, advancing
+// eng as needed. The engine must be otherwise idle: the run owns the
+// virtual clock until it returns.
+func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport {
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	if cfg.Requests < 1 {
+		cfg.Requests = 1
+	}
+	if cfg.ValLen == 0 {
+		cfg.ValLen = 64
+	}
+
+	stats := &sim.LatencyStats{}
+	rep := LoadReport{Requests: cfg.Requests}
+	start := eng.Now()
+	lastDone := start
+	issued := 0
+
+	// user is one closed-loop client: it burns through host-side sets
+	// without blocking, then issues a single get and waits for it.
+	var user func()
+	user = func() {
+		for issued < cfg.Requests {
+			issued++
+			key := cfg.Keys.Next()
+			if cfg.WriteEvery > 0 && issued%cfg.WriteEvery == 0 {
+				rep.Sets++
+				kv.Set(key, Value(key, int(cfg.ValLen)))
+				continue
+			}
+			rep.Gets++
+			kv.GetAsync(key, cfg.ValLen, func(_ []byte, lat sim.Time, ok bool) {
+				if ok {
+					rep.Hits++
+				} else {
+					rep.Misses++
+				}
+				stats.Add(lat)
+				lastDone = eng.Now()
+				user()
+				kv.Flush()
+			})
+			return
+		}
+	}
+	for i := 0; i < cfg.Window && issued < cfg.Requests; i++ {
+		user()
+	}
+	kv.Flush()
+	eng.Run()
+
+	rep.Elapsed = lastDone - start
+	if rep.Elapsed > 0 && rep.Gets > 0 {
+		rep.GetsPerSec = float64(rep.Gets) / rep.Elapsed.Seconds()
+	}
+	rep.Avg = stats.Avg()
+	rep.P50 = stats.Percentile(50)
+	rep.P99 = stats.Percentile(99)
+	rep.P999 = stats.Percentile(99.9)
+	return rep
+}

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func seqKeys(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
+}
+
+// The sampler must reproduce exactly under one seed and diverge under
+// another.
+func TestZipfianDeterministicSeeding(t *testing.T) {
+	ks := seqKeys(1000)
+	a := NewZipfian(ks, DefaultZipfS, Rng(7))
+	b := NewZipfian(ks, DefaultZipfS, Rng(7))
+	c := NewZipfian(ks, DefaultZipfS, Rng(8))
+	same, diff := true, false
+	for i := 0; i < 2000; i++ {
+		x := a.Next()
+		if x != b.Next() {
+			same = false
+		}
+		if x != c.Next() {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed diverged")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// Distribution shape: rank-ordered frequencies must be dominated by the
+// head (hot keys) and decay roughly as a power law — the head key alone
+// should carry far more than the uniform share, and the top decile
+// should carry the majority of accesses.
+func TestZipfianShape(t *testing.T) {
+	const n = 1000
+	const draws = 200000
+	ks := seqKeys(n)
+	z := NewZipfian(ks, DefaultZipfS, Rng(42))
+	counts := make(map[uint64]int)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+
+	uniformShare := float64(draws) / n
+	if head := float64(freqs[0]); head < 20*uniformShare {
+		t.Fatalf("head key drew %.0f, want >= 20x the uniform share %.0f", head, uniformShare)
+	}
+	top := 0
+	for i := 0; i < len(freqs) && i < n/10; i++ {
+		top += freqs[i]
+	}
+	if share := float64(top) / draws; share < 0.5 {
+		t.Fatalf("top decile carries %.2f of draws, want majority", share)
+	}
+	// Power-law decay: the rank-100 key must be well below rank-1.
+	if len(freqs) > 100 && freqs[100]*10 > freqs[0] {
+		t.Fatalf("rank-100 frequency %d too close to head %d", freqs[100], freqs[0])
+	}
+}
+
+// Value round-trip: deterministic, size-exact, and distinct across keys
+// and across offsets (no constant filler an offload bug could fake).
+func TestValueRoundTrip(t *testing.T) {
+	for _, size := range []int{1, 8, 64, 4096} {
+		for _, key := range []uint64{1, 42, 1 << 40} {
+			v1 := Value(key, size)
+			v2 := Value(key, size)
+			if len(v1) != size {
+				t.Fatalf("Value(%d,%d) returned %d bytes", key, size, len(v1))
+			}
+			if !bytes.Equal(v1, v2) {
+				t.Fatalf("Value(%d,%d) not deterministic", key, size)
+			}
+		}
+	}
+	if bytes.Equal(Value(1, 64), Value(2, 64)) {
+		t.Fatal("distinct keys share a value")
+	}
+	v := Value(3, 4096)
+	if bytes.Equal(v[:64], v[64:128]) {
+		t.Fatal("value bytes repeat block-wise")
+	}
+}
+
+// fakeKV completes every get after a fixed simulated delay, with
+// capacity for arbitrarily many in flight — lets the closed-loop
+// driver's accounting be checked exactly.
+type fakeKV struct {
+	eng     *sim.Engine
+	store   map[uint64][]byte
+	delay   sim.Time
+	flushes int
+	pending int
+	maxPend int
+}
+
+func (f *fakeKV) Set(key uint64, value []byte) error {
+	f.store[key] = value
+	return nil
+}
+
+func (f *fakeKV) GetAsync(key, valLen uint64, cb func([]byte, sim.Time, bool)) {
+	f.pending++
+	if f.pending > f.maxPend {
+		f.maxPend = f.pending
+	}
+	f.eng.After(f.delay, func() {
+		f.pending--
+		v, ok := f.store[key]
+		cb(v, f.delay, ok)
+	})
+}
+
+func (f *fakeKV) Flush() { f.flushes++ }
+
+func TestRunClosedLoopAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: 2 * sim.Microsecond}
+	keys := seqKeys(100)
+	for _, k := range keys[:50] { // half the keys exist
+		kv.Set(k, Value(k, 64))
+	}
+
+	rep := RunClosedLoop(eng, kv, ClosedLoopConfig{
+		Requests:   400,
+		Window:     8,
+		Keys:       &Sequential{Keys: keys},
+		ValLen:     64,
+		WriteEvery: 4,
+	})
+	if rep.Requests != 400 {
+		t.Fatalf("requests %d", rep.Requests)
+	}
+	if rep.Sets != 100 || rep.Gets != 300 {
+		t.Fatalf("gets=%d sets=%d, want 300/100", rep.Gets, rep.Sets)
+	}
+	if rep.Hits+rep.Misses != rep.Gets {
+		t.Fatalf("hits %d + misses %d != gets %d", rep.Hits, rep.Misses, rep.Gets)
+	}
+	if rep.Misses == 0 {
+		t.Fatal("expected misses on absent keys")
+	}
+	if kv.maxPend > 8 {
+		t.Fatalf("window 8 exceeded: %d in flight", kv.maxPend)
+	}
+	if kv.maxPend < 8 {
+		t.Fatalf("window underfilled: max %d in flight", kv.maxPend)
+	}
+	if rep.P50 != 2*sim.Microsecond || rep.P999 != 2*sim.Microsecond {
+		t.Fatalf("latency percentiles %v/%v, want the fixed 2us delay", rep.P50, rep.P999)
+	}
+	// 300 gets, 8 at a time, 2us each: elapsed ~ 300/8*2us; throughput
+	// must be close to window/delay.
+	wantRate := 8.0 / (2e-6)
+	if math.Abs(rep.GetsPerSec-wantRate)/wantRate > 0.1 {
+		t.Fatalf("throughput %.0f, want ~%.0f", rep.GetsPerSec, wantRate)
+	}
+	if kv.flushes == 0 {
+		t.Fatal("driver never flushed")
+	}
+}
+
+// A pure-write run must terminate without engine involvement.
+func TestRunClosedLoopAllWrites(t *testing.T) {
+	eng := sim.NewEngine()
+	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: sim.Microsecond}
+	rep := RunClosedLoop(eng, kv, ClosedLoopConfig{
+		Requests: 50, Window: 4, Keys: &Sequential{Keys: seqKeys(10)}, WriteEvery: 1,
+	})
+	if rep.Sets != 50 || rep.Gets != 0 {
+		t.Fatalf("gets=%d sets=%d, want 0/50", rep.Gets, rep.Sets)
+	}
+	if len(kv.store) != 10 {
+		t.Fatalf("store has %d keys", len(kv.store))
+	}
+}

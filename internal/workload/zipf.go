@@ -1,0 +1,28 @@
+package workload
+
+import "math/rand"
+
+// Zipfian samples keys with the skewed popularity of production KV
+// traffic (a few hot keys dominate): index i of the key set is drawn
+// with probability proportional to 1/(v+i)^s. Sampling is deterministic
+// for a given seed, so experiments reproduce bit-for-bit.
+type Zipfian struct {
+	Keys []uint64
+	z    *rand.Zipf
+}
+
+// DefaultZipfS is the skew exponent used by the scale-out experiments,
+// in the range YCSB uses for its "zipfian" distribution.
+const DefaultZipfS = 1.1
+
+// NewZipfian builds a sampler over keys with skew s (> 1; larger is
+// more skewed) from a seeded generator.
+func NewZipfian(keys []uint64, s float64, rng *rand.Rand) *Zipfian {
+	if len(keys) == 0 {
+		panic("workload: Zipfian over an empty key set")
+	}
+	return &Zipfian{Keys: keys, z: rand.NewZipf(rng, s, 1, uint64(len(keys)-1))}
+}
+
+// Next samples one key.
+func (z *Zipfian) Next() uint64 { return z.Keys[z.z.Uint64()] }

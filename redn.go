@@ -21,6 +21,17 @@
 //	table.Set(42, []byte("hello"))
 //	cli := tb.NewClient(srv, redn.LookupSingle)
 //	val, lat, _ := cli.Get(42, 5)
+//
+// Beyond the paper, Service scales the offloaded get path out: a
+// consistent-hash ring shards keys across N server NICs, and each
+// client connection keeps K gets in flight over a pool of independent
+// offload contexts:
+//
+//	s := redn.NewService(8, 2) // 8 shards, 2 pipelined clients each
+//	s.Set(42, []byte("hello"))
+//	s.GetAsync(42, 5, func(val []byte, lat redn.Duration, ok bool) { ... })
+//	s.Flush()
+//	s.Run()
 package redn
 
 import (
@@ -29,10 +40,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/hopscotch"
-	"repro/internal/rnic"
 	"repro/internal/sim"
 	"repro/internal/workload"
-	"repro/internal/wqe"
 )
 
 // LookupMode re-exports the offload's collision strategies.
@@ -67,6 +76,9 @@ func (t *Testbed) RunFor(d Duration) { t.clu.Eng.RunUntil(t.clu.Eng.Now() + d) }
 
 // Now returns the current virtual time.
 func (t *Testbed) Now() Duration { return t.clu.Eng.Now() }
+
+// Engine exposes the discrete-event engine driving the testbed.
+func (t *Testbed) Engine() *sim.Engine { return t.clu.Eng }
 
 // Server is a node hosting RedN offloads.
 type Server struct {
@@ -113,90 +125,6 @@ func (h *HashTable) Set(key uint64, value []byte) error {
 
 // Table exposes the underlying hopscotch table.
 func (h *HashTable) Table() *hopscotch.Table { return h.table }
-
-// Client is a remote node issuing offloaded gets against a server's
-// hash table, entirely served by the server's NIC.
-type Client struct {
-	tb      *Testbed
-	node    *fabric.Node
-	cliQP   *rnic.QP
-	offload *core.LookupOffload
-	table   *HashTable
-
-	buf   uint64
-	resp  uint64
-	onHit func(sim.Time)
-}
-
-// NewClient adds a client node connected back-to-back to srv. The
-// returned client issues gets against the table bound with Bind.
-func (t *Testbed) NewClient(srv *Server, mode LookupMode) *Client {
-	t.n++
-	node := t.clu.AddNode(fabric.DefaultNodeConfig(fmt.Sprintf("client%d", t.n)))
-	cliQP, srvQP := t.clu.Connect(node, srv.node,
-		rnic.QPConfig{SQDepth: 1024, RQDepth: 64},
-		rnic.QPConfig{SQDepth: 2048, RQDepth: 2048, Managed: true})
-	c := &Client{tb: t, node: node, cliQP: cliQP,
-		buf:  node.Mem.Alloc(128, 8),
-		resp: node.Mem.Alloc(1<<17, 64),
-	}
-	var resp2 *rnic.QP
-	if mode == LookupParallel {
-		_, resp2 = t.clu.Connect(node, srv.node,
-			rnic.QPConfig{SQDepth: 64, RQDepth: 64},
-			rnic.QPConfig{SQDepth: 2048, RQDepth: 64, Managed: true})
-	}
-	c.offload = core.NewLookupOffload(srv.builder, srvQP, resp2, nil, mode, 0)
-	record := func(e rnic.CQE) {
-		if e.Op == wqe.OpWrite && c.onHit != nil {
-			fn := c.onHit
-			c.onHit = nil
-			fn(e.At)
-		}
-	}
-	c.offload.Trig.SendCQ().OnDeliver(record)
-	if resp2 != nil {
-		resp2.SendCQ().OnDeliver(record)
-	}
-	return c
-}
-
-// Bind points the client's gets at a server hash table.
-func (c *Client) Bind(h *HashTable) {
-	c.offload.Table = h.table
-	c.table = h
-}
-
-// Get performs one offloaded get of up to valLen bytes, advancing the
-// simulation until the response lands (or a timeout for misses). It
-// returns the value bytes, the observed latency, and whether the key
-// was found.
-func (c *Client) Get(key uint64, valLen uint64) ([]byte, Duration, bool) {
-	if c.table == nil {
-		panic("redn: Bind a table before Get")
-	}
-	c.offload.Arm()
-	c.offload.Run()
-
-	payload := c.offload.TriggerPayload(key, valLen, c.resp)
-	c.node.Mem.Write(c.buf, payload)
-	// Clear the response buffer so misses are observable.
-	c.node.Mem.Write(c.resp, make([]byte, valLen))
-
-	start := c.tb.clu.Eng.Now()
-	hit := Duration(-1)
-	c.onHit = func(at sim.Time) { hit = at }
-	c.cliQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.buf, Len: uint64(len(payload)),
-		Flags: wqe.FlagSignaled})
-	c.cliQP.RingSQ()
-	c.tb.clu.Eng.RunUntil(start + 200*sim.Microsecond)
-
-	val, _ := c.node.Mem.Read(c.resp, valLen)
-	if hit < 0 {
-		return val, c.tb.clu.Eng.Now() - start, false
-	}
-	return val, hit - start, true
-}
 
 // Value deterministically generates a test payload for key (re-export
 // of the workload helper).

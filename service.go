@@ -1,0 +1,347 @@
+package redn
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hopscotch"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+// ServiceConfig sizes a sharded RedN KV service.
+type ServiceConfig struct {
+	Shards          int        // server nodes, each with its own NIC and table
+	ClientsPerShard int        // client nodes connected to each shard
+	Pipeline        int        // gets in flight per client connection
+	Mode            LookupMode // probe strategy of every offload context
+	Replicas        int        // ring owners written per Set (>=1)
+
+	Buckets     uint64 // hopscotch buckets per shard
+	MaxValLen   uint64 // largest value a get can return
+	MissTimeout Duration
+	VirtualNodes int // ring points per shard
+
+	ServerMem uint64 // simulated bytes per server node
+	ClientMem uint64 // simulated bytes per client node
+}
+
+// DefaultServiceConfig returns the production-shaped defaults: 16-deep
+// pipelines, sequential two-bucket probing (writes may place keys in
+// either candidate bucket), 4 KiB values.
+func DefaultServiceConfig(nShards, clientsPerShard int) ServiceConfig {
+	return ServiceConfig{
+		Shards:          nShards,
+		ClientsPerShard: clientsPerShard,
+		Pipeline:        16,
+		Mode:            LookupSeq,
+		Replicas:        1,
+		Buckets:         1 << 15,
+		MaxValLen:       4096,
+		MissTimeout:     DefaultMissTimeout,
+		VirtualNodes:    shard.DefaultVirtualNodes,
+		ServerMem:       1 << 27,
+		ClientMem:       1 << 23,
+	}
+}
+
+// serviceShard is one server node: a hash table plus its connected
+// pipelined clients.
+type serviceShard struct {
+	id      string
+	srv     *Server
+	table   *HashTable
+	mode    LookupMode
+	clients []*Client
+	rr      int // round-robin client cursor
+
+	sets, spills, gets uint64
+}
+
+// Service is a sharded key-value service served entirely by NICs: a
+// consistent-hash ring routes 48-bit keys across N server nodes, each
+// running a hopscotch table and a pre-armed LookupOffload pool per
+// client connection. Gets are asynchronous and pipelined; sets are
+// host-side writes (the paper's Memcached modification keeps writes on
+// the CPU path, §5.4).
+type Service struct {
+	cfg    ServiceConfig
+	tb     *Testbed
+	ring   *shard.Ring
+	shards map[string]*serviceShard
+	order  []*serviceShard // insertion order for deterministic iteration
+
+	hits, misses uint64
+}
+
+// NewService builds a service of nShards server nodes, each serving
+// clientsPerShard pipelined client connections, with default sizing.
+func NewService(nShards, clientsPerShard int) *Service {
+	return NewServiceWith(DefaultServiceConfig(nShards, clientsPerShard))
+}
+
+// NewServiceWith builds a service from an explicit configuration.
+func NewServiceWith(cfg ServiceConfig) *Service {
+	def := DefaultServiceConfig(cfg.Shards, cfg.ClientsPerShard)
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.ClientsPerShard < 1 {
+		cfg.ClientsPerShard = 1
+	}
+	if cfg.Pipeline < 1 {
+		cfg.Pipeline = def.Pipeline
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > cfg.Shards {
+		cfg.Replicas = cfg.Shards
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = def.Buckets
+	}
+	if cfg.MaxValLen == 0 {
+		cfg.MaxValLen = def.MaxValLen
+	}
+	if cfg.MissTimeout == 0 {
+		cfg.MissTimeout = def.MissTimeout
+	}
+	if cfg.VirtualNodes == 0 {
+		cfg.VirtualNodes = def.VirtualNodes
+	}
+	if cfg.ServerMem == 0 {
+		cfg.ServerMem = def.ServerMem
+	}
+	if cfg.ClientMem == 0 {
+		cfg.ClientMem = def.ClientMem
+	}
+
+	s := &Service{cfg: cfg, tb: NewTestbed(), ring: shard.NewRing(cfg.VirtualNodes),
+		shards: make(map[string]*serviceShard)}
+	for i := 0; i < cfg.Shards; i++ {
+		id := fmt.Sprintf("shard%d", i)
+		nc := fabric.DefaultNodeConfig(id)
+		nc.MemSize = cfg.ServerMem
+		node := s.tb.clu.AddNode(nc)
+		srv := &Server{tb: s.tb, node: node, builder: core.NewBuilder(node.Dev, 1<<16)}
+		sh := &serviceShard{id: id, srv: srv, table: srv.NewHashTable(cfg.Buckets), mode: cfg.Mode}
+		for c := 0; c < cfg.ClientsPerShard; c++ {
+			cc := fabric.DefaultNodeConfig(fmt.Sprintf("%s-client%d", id, c))
+			cc.MemSize = cfg.ClientMem
+			cn := s.tb.clu.AddNode(cc)
+			cli := newClientOnNode(s.tb, cn, srv, cfg.Mode, cfg.Pipeline, cfg.MaxValLen)
+			cli.MissTimeout = cfg.MissTimeout
+			cli.Bind(sh.table)
+			sh.clients = append(sh.clients, cli)
+		}
+		if err := s.ring.AddNode(id); err != nil {
+			panic(err)
+		}
+		s.shards[id] = sh
+		s.order = append(s.order, sh)
+	}
+	return s
+}
+
+// Testbed exposes the simulated cluster (engine driving, timing).
+func (s *Service) Testbed() *Testbed { return s.tb }
+
+// Run drains all pending simulated work.
+func (s *Service) Run() { s.tb.Run() }
+
+// NumShards returns the shard count.
+func (s *Service) NumShards() int { return len(s.order) }
+
+// owners returns key's replica owner shards, primary first.
+func (s *Service) owners(key uint64) []string {
+	return s.ring.LookupN(key, s.cfg.Replicas)
+}
+
+// Set stores key -> value on every replica owner, host-side (writes
+// stay on the CPU path, as in the paper's Memcached). Placement keeps
+// keys offload-reachable: a key must sit exactly at one of its two
+// candidate buckets for the NIC's probe to find it, so Set places at a
+// candidate bucket, cuckoo-kicking residents to their alternate
+// candidates when needed. Keys that still spill to neighborhood slots
+// after MaxKicks are CPU-visible but NIC-unreachable (gets miss); the
+// Spills stat counts them.
+func (s *Service) Set(key uint64, value []byte) error {
+	key &= hopscotch.KeyMask
+	for _, id := range s.owners(key) {
+		if err := s.shards[id].set(key, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxKicks bounds the cuckoo relocation walk of a Set.
+const MaxKicks = 16
+
+func (sh *serviceShard) set(key uint64, value []byte) error {
+	sh.sets++
+	t := sh.table.table
+	m := sh.srv.node.Mem
+
+	// Overwrite in place when the key is already stored and fits.
+	if va, vl, ok := t.Lookup(key); ok && uint64(len(value)) <= vl {
+		if err := m.Write(va, value); err != nil {
+			return err
+		}
+		return t.Insert(key, va, uint64(len(value)))
+	}
+
+	addr := m.Alloc(uint64(len(value)), 8)
+	if err := m.Write(addr, value); err != nil {
+		return err
+	}
+	return sh.place(key, addr, uint64(len(value)))
+}
+
+// place stores key at one of its candidate buckets, relocating
+// residents cuckoo-style (each resident moves to its other candidate)
+// up to MaxKicks deep before spilling into a neighborhood slot.
+//
+// LookupSingle offloads probe only H1, so single-mode shards place at
+// the first candidate or spill — relocation is impossible when a key
+// has one reachable home. The capacity cost is the latency trade-off
+// of §5.2: single-probe gets are cheaper but the table saturates
+// sooner.
+func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
+	t := sh.table.table
+	if sh.mode == LookupSingle {
+		if k, _, _, ok := t.EntryAt(t.Hash(key, 0)); !ok || k == key {
+			return t.InsertAt(key, valAddr, valLen, 0, 0)
+		}
+		sh.spills++
+		return t.Insert(key, valAddr, valLen)
+	}
+	curKey, curVa, curVl := key, valAddr, valLen
+	fn := 0
+	for kick := 0; ; kick++ {
+		// A free (or same-key) candidate bucket ends the walk.
+		placed := false
+		for _, f := range []int{0, 1} {
+			b := t.Hash(curKey, f)
+			if k, _, _, ok := t.EntryAt(b); !ok || k == curKey {
+				if err := t.InsertAt(curKey, curVa, curVl, f, 0); err != nil {
+					return err
+				}
+				placed = true
+				break
+			}
+		}
+		if placed {
+			return nil
+		}
+		if kick == MaxKicks {
+			break
+		}
+		// Evict the resident of the fn-th candidate and re-place it at
+		// its own alternate candidate on the next iteration.
+		b := t.Hash(curKey, fn)
+		vk, vva, vvl, _ := t.EntryAt(b)
+		if err := t.InsertAt(curKey, curVa, curVl, fn, 0); err != nil {
+			return err
+		}
+		curKey, curVa, curVl = vk, vva, vvl
+		if t.Hash(curKey, 0) == b {
+			fn = 1
+		} else {
+			fn = 0
+		}
+	}
+	// Walk exhausted: spill the last evictee into a neighborhood slot.
+	// It stays CPU-visible (host Lookup scans neighborhoods) but the
+	// NIC's exact-bucket probes will miss it.
+	sh.spills++
+	return t.Insert(curKey, curVa, curVl)
+}
+
+// Get performs one blocking get (routing + offloaded lookup),
+// advancing the simulation until the response lands or times out.
+func (s *Service) Get(key uint64, valLen uint64) ([]byte, Duration, bool) {
+	key &= hopscotch.KeyMask
+	sh := s.shards[s.owners(key)[0]]
+	sh.gets++
+	cli := sh.clients[sh.rr%len(sh.clients)]
+	sh.rr++
+	val, lat, ok := cli.Get(key, valLen)
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return val, lat, ok
+}
+
+// GetAsync issues one pipelined offloaded get against key's primary
+// owner; cb runs when the response lands or the miss timeout expires.
+// Gets beyond a client's pipeline depth queue client-side. Call Flush
+// after posting a batch — same-shard gets posted between flushes share
+// one doorbell.
+func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration, ok bool)) {
+	key &= hopscotch.KeyMask
+	sh := s.shards[s.owners(key)[0]]
+	sh.gets++
+	cli := sh.clients[sh.rr%len(sh.clients)]
+	sh.rr++
+	cli.GetAsync(key, valLen, func(val []byte, lat Duration, ok bool) {
+		if ok {
+			s.hits++
+		} else {
+			s.misses++
+		}
+		cb(val, lat, ok)
+	})
+}
+
+// Flush rings every client doorbell with posted-but-unkicked triggers.
+func (s *Service) Flush() {
+	for _, sh := range s.order {
+		for _, cli := range sh.clients {
+			cli.Flush()
+		}
+	}
+}
+
+// ShardStats is one shard's counters.
+type ShardStats struct {
+	ID     string
+	Sets   uint64
+	Spills uint64 // keys resident but NIC-unreachable
+	Gets   uint64
+}
+
+// ServiceStats aggregates service counters.
+type ServiceStats struct {
+	Shards      []ShardStats
+	Sets        uint64
+	Spills      uint64
+	Gets        uint64
+	Hits        uint64
+	Misses      uint64
+	MaxInFlight int // high-water mark of overlapping gets, any client
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() ServiceStats {
+	out := ServiceStats{Hits: s.hits, Misses: s.misses}
+	for _, sh := range s.order {
+		out.Shards = append(out.Shards, ShardStats{ID: sh.id, Sets: sh.sets, Spills: sh.spills, Gets: sh.gets})
+		out.Sets += sh.sets
+		out.Spills += sh.spills
+		out.Gets += sh.gets
+		for _, cli := range sh.clients {
+			if cli.maxInFlight > out.MaxInFlight {
+				out.MaxInFlight = cli.maxInFlight
+			}
+		}
+	}
+	return out
+}
+
+// Now returns the current virtual time.
+func (s *Service) Now() sim.Time { return s.tb.Now() }

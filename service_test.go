@@ -1,0 +1,160 @@
+package redn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// End-to-end: keys set through the service come back intact through
+// NIC-offloaded pipelined gets on every shard.
+func TestServiceRoundTrip(t *testing.T) {
+	s := NewService(4, 2)
+	const nKeys = 2000
+	for k := uint64(1); k <= nKeys; k++ {
+		if err := s.Set(k, Value(k, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Sets != nKeys {
+		t.Fatalf("sets %d, want %d", st.Sets, nKeys)
+	}
+	if st.Spills != 0 {
+		t.Fatalf("%d keys spilled to NIC-unreachable slots at low load", st.Spills)
+	}
+	// Every shard should own a meaningful share of the ring.
+	for _, sh := range st.Shards {
+		if sh.Sets < nKeys/16 {
+			t.Fatalf("shard %s owns only %d keys — ring imbalance", sh.ID, sh.Sets)
+		}
+	}
+
+	done := 0
+	for k := uint64(1); k <= nKeys; k++ {
+		key := k
+		s.GetAsync(key, 64, func(val []byte, lat Duration, ok bool) {
+			done++
+			if !ok {
+				t.Errorf("get(%d) missed", key)
+				return
+			}
+			if !bytes.Equal(val, Value(key, 64)) {
+				t.Errorf("get(%d): wrong value", key)
+			}
+		})
+	}
+	s.Flush()
+	s.Run()
+	if done != nKeys {
+		t.Fatalf("completed %d of %d gets", done, nKeys)
+	}
+	st = s.Stats()
+	if st.Hits != nKeys || st.Misses != 0 {
+		t.Fatalf("hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if st.MaxInFlight < 2 {
+		t.Fatalf("pipeline never overlapped (max in flight %d)", st.MaxInFlight)
+	}
+}
+
+// Cuckoo-kick placement keeps keys NIC-reachable far beyond the
+// no-kick capacity; overflow is counted, not lost: spilled keys stay
+// CPU-visible even though offloaded gets miss them.
+func TestServicePlacementKicks(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 1, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq,
+		Buckets: 256, MaxValLen: 64,
+	})
+	sh := s.order[0]
+	const nKeys = 160 // ~62% load on 256 buckets
+	for k := uint64(1); k <= nKeys; k++ {
+		if err := s.Set(k, Value(k, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	// Without kicks, random two-choice slot-0 placement at this load
+	// loses >10% of keys; kicks must hold spills well under that.
+	if st.Spills > nKeys/20 {
+		t.Fatalf("%d of %d keys spilled despite kicks", st.Spills, nKeys)
+	}
+	// Every non-spilled key must sit exactly at one of its candidate
+	// buckets (the NIC probes those addresses and nothing else).
+	table := sh.table.Table()
+	reachable := 0
+	for k := uint64(1); k <= nKeys; k++ {
+		for fn := 0; fn < 2; fn++ {
+			if got, _, _, ok := table.EntryAt(table.Hash(k, fn)); ok && got == k {
+				reachable++
+				break
+			}
+		}
+	}
+	if reachable != nKeys-int(st.Spills) {
+		t.Fatalf("reachable=%d, want %d - %d spills", reachable, nKeys, st.Spills)
+	}
+	// And all keys, spilled or not, remain CPU-visible.
+	for k := uint64(1); k <= nKeys; k++ {
+		if _, _, ok := table.Lookup(k); !ok {
+			t.Fatalf("key %d lost during kicks", k)
+		}
+	}
+}
+
+// Replicated sets land on distinct shards; the primary serves gets.
+func TestServiceReplication(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 4, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq, Replicas: 2,
+	})
+	const nKeys = 400
+	for k := uint64(1); k <= nKeys; k++ {
+		if err := s.Set(k, Value(k, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Sets != 2*nKeys {
+		t.Fatalf("replicated sets %d, want %d", st.Sets, 2*nKeys)
+	}
+	val, _, ok := s.Get(7, 64)
+	if !ok || !bytes.Equal(val, Value(7, 64)) {
+		t.Fatal("replicated get failed")
+	}
+}
+
+// The whole service stack must be deterministic: identical runs yield
+// identical virtual-time outcomes.
+func TestServiceDeterministic(t *testing.T) {
+	run := func() (sim.Time, ServiceStats, workload.LoadReport) {
+		s := NewService(2, 2)
+		keys := make([]uint64, 500)
+		for i := range keys {
+			keys[i] = uint64(i + 1)
+			s.Set(keys[i], Value(keys[i], 64))
+		}
+		rep := workload.RunClosedLoop(s.Testbed().clu.Eng, s, workload.ClosedLoopConfig{
+			Requests: 3000,
+			Window:   32,
+			Keys:     workload.NewZipfian(keys, workload.DefaultZipfS, workload.Rng(1)),
+			ValLen:   64,
+			WriteEvery: 10,
+		})
+		return s.Now(), s.Stats(), rep
+	}
+	t1, s1, r1 := run()
+	t2, s2, r2 := run()
+	if t1 != t2 {
+		t.Fatalf("virtual clocks diverged: %v vs %v", t1, t2)
+	}
+	if s1.Hits != s2.Hits || s1.Misses != s2.Misses || s1.Gets != s2.Gets {
+		t.Fatalf("stats diverged: %+v vs %+v", s1, s2)
+	}
+	if r1.GetsPerSec != r2.GetsPerSec || r1.P99 != r2.P99 {
+		t.Fatalf("reports diverged: %v vs %v", r1, r2)
+	}
+	if r1.Misses != 0 {
+		t.Fatalf("%d misses on a fully resident key set", r1.Misses)
+	}
+}
