@@ -139,3 +139,22 @@ func BenchmarkScaleOut(b *testing.B) {
 		report(b, experiments.ScaleOut())
 	}
 }
+
+// BenchmarkHotKey measures the replica-read + hot-key-cache answer to
+// the Zipfian cap: 8-shard skewed throughput under read-primary,
+// spread, and cached policies, reporting the speedup over the
+// skew-capped baseline.
+func BenchmarkHotKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.HotKey())
+	}
+}
+
+// BenchmarkFailover measures the sharded crash story: full-outage and
+// half-rate buckets of the crashed shard's keyspace across process
+// crashes (with and without replicas and hull parents) and OS panics.
+func BenchmarkFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Failover())
+	}
+}

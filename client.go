@@ -56,6 +56,27 @@ type Client struct {
 	waiting []*getReq // no free slot yet
 	dirty   bool      // posted SENDs awaiting a doorbell
 
+	// Chain-execution accounting: every response WQE is signaled, so
+	// each executed instance delivers exactly respPerGet completions on
+	// its slot's response QP(s) — hit (WRITE) or miss (NOOP) alike.
+	// armCount-vs-execSeen is how the client detects a dead server NIC
+	// (a frozen device drops trigger SENDs; the armed chain never runs)
+	// without any out-of-band signal: a timed-out slot whose instance
+	// never executed is quarantined instead of re-armed, since stacking
+	// instances on an unresponsive context would overflow its rings.
+	respPerGet int      // signaled response completions per executed instance
+	armCount   []uint64 // per-slot instances armed
+	execSeen   []uint64 // per-slot response completions observed
+	wedgedSlot []bool   // quarantined: last armed instance never executed
+	nWedged    int
+
+	// lastMissExecuted records, for the most recent miss callback,
+	// whether the offload chain actually executed (a genuine NOOP miss
+	// on a live NIC) or never ran (dead/frozen server). Valid inside
+	// the miss callback; the service's crash detector reads it so
+	// absent keys don't count toward a shard's suspect threshold.
+	lastMissExecuted bool
+
 	gets, hits, misses uint64
 	maxInFlight        int
 }
@@ -67,6 +88,7 @@ type getReq struct {
 	start       sim.Time
 	cb          func(val []byte, lat Duration, ok bool)
 	done        bool
+	issued      bool
 }
 
 // NewClient adds a client node connected back-to-back to srv, keeping
@@ -104,12 +126,20 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 	cliQP, srvQP := t.clu.Connect(node, srv.node,
 		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
 		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
+	respPerGet := 2 // seq probes two buckets, parallel answers on two QPs
+	if mode == LookupSingle {
+		respPerGet = 1
+	}
 	c := &Client{tb: t, node: node, cliQP: cliQP,
 		MissTimeout: DefaultMissTimeout,
 		depth:       depth,
 		maxVal:      maxVal,
 		zero:        make([]byte, maxVal),
 		slots:       make([]*getReq, depth),
+		respPerGet:  respPerGet,
+		armCount:    make([]uint64, depth),
+		execSeen:    make([]uint64, depth),
+		wedgedSlot:  make([]bool, depth),
 	}
 	// Per-slot buffers and per-context response QPs.
 	resp := make([]*rnic.QP, depth)
@@ -142,9 +172,11 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 	for i, ctx := range c.pool.Ctxs {
 		slot := i
 		record := func(e rnic.CQE) {
+			c.execSeen[slot]++
 			if e.Op == wqe.OpWrite {
 				c.onHit(slot, e.WRID, e.At)
 			}
+			c.reclaim(slot)
 		}
 		ctx.Resp.SendCQ().SetAutoDrain(true)
 		ctx.Resp.SendCQ().OnDeliver(record)
@@ -169,7 +201,37 @@ func (c *Client) Node() *fabric.Node { return c.node }
 func (c *Client) Depth() int { return c.depth }
 
 // InFlight returns the number of gets currently occupying slots.
-func (c *Client) InFlight() int { return c.depth - len(c.free) }
+func (c *Client) InFlight() int { return c.depth - len(c.free) - c.nWedged }
+
+// Queued returns the number of gets waiting client-side for a slot.
+func (c *Client) Queued() int { return len(c.waiting) }
+
+// Wedged returns the number of quarantined slots: slots whose last
+// armed offload instance never executed (the server NIC is frozen or
+// the connection is dead). A fully wedged client fails new gets after
+// one MissTimeout instead of queueing them forever.
+func (c *Client) Wedged() int { return c.nWedged }
+
+// pendingCQEs returns how many signaled response completions slot's
+// armed instances still owe.
+func (c *Client) pendingCQEs(slot int) uint64 {
+	return c.armCount[slot]*uint64(c.respPerGet) - c.execSeen[slot]
+}
+
+// reclaim returns a quarantined slot to service once its backlog
+// clears: response completions are delivered in order, so pending
+// falling below one instance's worth means the last armed chain has
+// begun executing on a live NIC.
+func (c *Client) reclaim(slot int) {
+	if !c.wedgedSlot[slot] || c.pendingCQEs(slot) >= uint64(c.respPerGet) {
+		return
+	}
+	c.wedgedSlot[slot] = false
+	c.nWedged--
+	c.free = append(c.free, slot)
+	c.pump()
+	c.Flush()
+}
 
 // GetAsync issues one offloaded get of up to valLen bytes and returns
 // immediately; cb runs (from the simulation, never synchronously) when
@@ -185,11 +247,41 @@ func (c *Client) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration, 
 	}
 	req := &getReq{key: key & hopscotch.KeyMask, valLen: valLen, cb: cb}
 	if len(c.free) == 0 {
+		if c.nWedged == c.depth {
+			// Every slot is quarantined: the connection is dead. Fail
+			// after the miss deadline — the elapsed time a real client
+			// would wait on an unresponsive server before giving up.
+			c.gets++
+			c.failLater(req)
+			return
+		}
 		c.waiting = append(c.waiting, req)
 		return
 	}
 	c.issue(req)
 }
+
+// failLater completes req as a miss one MissTimeout from now unless it
+// got issued or completed in the meantime.
+func (c *Client) failLater(req *getReq) {
+	c.tb.clu.Eng.After(c.MissTimeout, func() {
+		if req.done || req.issued {
+			return
+		}
+		req.done = true
+		c.misses++
+		c.lastMissExecuted = false // never even reached a slot
+		if req.cb != nil {
+			req.cb(nil, c.MissTimeout, false)
+		}
+	})
+}
+
+// LastMissExecuted reports whether the most recent miss's offload
+// chain executed on the server NIC (response NOOPs delivered — the key
+// is genuinely absent) as opposed to never running (dead connection).
+// Meaningful when read from within a miss callback.
+func (c *Client) LastMissExecuted() bool { return c.lastMissExecuted }
 
 // Flush rings the send doorbell once for every get posted since the
 // last flush — the client-side batching that lets a burst of same-shard
@@ -207,7 +299,9 @@ func (c *Client) issue(req *getReq) {
 	slot := c.free[len(c.free)-1]
 	c.free = c.free[:len(c.free)-1]
 	req.slot = slot
+	req.issued = true
 	c.slots[slot] = req
+	c.armCount[slot]++
 	c.gets++
 	if f := c.depth - len(c.free); f > c.maxInFlight {
 		c.maxInFlight = f
@@ -256,20 +350,50 @@ func (c *Client) onTimeout(req *getReq) {
 
 // finish releases req's slot, runs its callback, and refills the
 // pipeline from the waiting queue (self-flushing: the driver may never
-// call Flush again).
+// call Flush again). A slot timing out with its armed instance still
+// unexecuted (no response completions delivered, hit or miss) is
+// quarantined rather than re-armed: the server NIC dropped the trigger,
+// and stacking fresh instances on the dead context would overflow its
+// chain rings. A confirmed hit always frees the slot — the WRITE proves
+// the chain ran.
 func (c *Client) finish(req *getReq, val []byte, lat Duration, ok bool) {
 	req.done = true
 	c.slots[req.slot] = nil
-	c.free = append(c.free, req.slot)
+	if !ok && c.pendingCQEs(req.slot) >= uint64(c.respPerGet) {
+		c.lastMissExecuted = false
+		c.wedgedSlot[req.slot] = true
+		c.nWedged++
+		if c.nWedged == c.depth {
+			// Nothing will ever free a slot: fail the queue rather
+			// than strand it.
+			for _, w := range c.waiting {
+				c.failLater(w)
+			}
+			c.waiting = nil
+		}
+	} else {
+		if !ok {
+			c.lastMissExecuted = true
+		}
+		c.free = append(c.free, req.slot)
+	}
 	if req.cb != nil {
 		req.cb(val, lat, ok)
 	}
+	c.pump()
+	c.Flush()
+}
+
+// pump issues queued gets while free slots remain.
+func (c *Client) pump() {
 	for len(c.waiting) > 0 && len(c.free) > 0 {
 		next := c.waiting[0]
 		c.waiting = c.waiting[1:]
+		if next.done {
+			continue
+		}
 		c.issue(next)
 	}
-	c.Flush()
 }
 
 // Get performs one offloaded get of up to valLen bytes, advancing the

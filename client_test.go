@@ -200,3 +200,78 @@ func TestMissDoesNotStallPipeline(t *testing.T) {
 		t.Fatalf("hits=%d misses=%d, want 20/4", hits, misses)
 	}
 }
+
+// A frozen server NIC drops trigger SENDs, so armed instances never
+// execute. The client must quarantine those slots instead of stacking
+// fresh instances on dead contexts (which would overflow the offload's
+// chain rings), fail fast once every slot is wedged, and never strand
+// a queued get without its callback.
+func TestClientWedgesOnFrozenServer(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1024)
+	for k := uint64(1); k <= 8; k++ {
+		table.Set(k, Value(k, 64))
+	}
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 4)
+	cli.Bind(table)
+	cli.MissTimeout = 50 * sim.Microsecond
+
+	// Sanity: hits flow while the NIC is alive.
+	if _, _, ok := cli.Get(1, 64); !ok {
+		t.Fatal("get missed on a healthy server")
+	}
+
+	srv.Node().Dev.Freeze()
+	// Far more gets than slots: every present key now times out, slots
+	// wedge one by one, and the overflow fails fast instead of queueing
+	// forever. No ring overflow panic may occur.
+	results := 0
+	for i := 0; i < 64; i++ {
+		cli.GetAsync(uint64(i%8+1), 64, func(_ []byte, lat Duration, ok bool) {
+			results++
+			if ok {
+				t.Error("hit from a frozen NIC")
+			}
+			if lat != cli.MissTimeout {
+				t.Errorf("miss latency %v, want the %v timeout", lat, cli.MissTimeout)
+			}
+		})
+	}
+	cli.Flush()
+	tb.Run()
+	if results != 64 {
+		t.Fatalf("%d of 64 gets completed against a frozen NIC", results)
+	}
+	if cli.Wedged() != cli.Depth() {
+		t.Fatalf("%d of %d slots wedged; the dead connection was re-armed", cli.Wedged(), cli.Depth())
+	}
+	if cli.InFlight() != 0 || cli.Queued() != 0 {
+		t.Fatalf("stranded requests: inflight=%d queued=%d", cli.InFlight(), cli.Queued())
+	}
+}
+
+// Genuine misses on a live NIC execute their chains (the CAS fails,
+// the response stays a NOOP), so timeouts must NOT quarantine slots.
+func TestClientMissesDoNotWedge(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1024)
+	table.Set(1, Value(1, 64))
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 4)
+	cli.Bind(table)
+	cli.MissTimeout = 50 * sim.Microsecond
+
+	for i := 0; i < 20; i++ {
+		if _, _, ok := cli.Get(5000+uint64(i), 64); ok {
+			t.Fatal("absent key found")
+		}
+	}
+	if cli.Wedged() != 0 {
+		t.Fatalf("%d slots wedged by ordinary misses", cli.Wedged())
+	}
+	// And the connection still serves hits.
+	if _, _, ok := cli.Get(1, 64); !ok {
+		t.Fatal("hit failed after a run of misses")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -32,11 +33,19 @@ func main() {
 		return
 	}
 
+	// Progress goes to stderr only: stdout must stay a clean JSON blob
+	// under -json (CI parses the artifact) and clean tables otherwise.
 	runOne := func(id string) *experiments.Result {
+		fmt.Fprintf(os.Stderr, "running %-8s ...", id)
+		start := time.Now()
+		var r *experiments.Result
 		if id == "scaleout" && *scaleReq > 0 {
-			return experiments.ScaleOutN(*scaleReq)
+			r = experiments.ScaleOutN(*scaleReq)
+		} else {
+			r = experiments.ByID(id)
 		}
-		return experiments.ByID(id)
+		fmt.Fprintf(os.Stderr, " done in %.1fs\n", time.Since(start).Seconds())
+		return r
 	}
 
 	results := []*experiments.Result{} // non-nil: -json emits [] when empty

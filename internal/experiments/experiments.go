@@ -103,7 +103,7 @@ func All() []*Result {
 		Table1(), Table2(), Table3(), Fig7(), Fig8(),
 		Fig10(), Fig11(), Table4(), Table5(),
 		Fig13(), Fig14(), Fig15(), Fig16(), Table6(),
-		ScaleOut(),
+		ScaleOut(), HotKey(), Failover(),
 	}
 }
 
@@ -140,6 +140,10 @@ func ByID(id string) *Result {
 		return Fig16()
 	case "scaleout":
 		return ScaleOut()
+	case "hotkey":
+		return HotKey()
+	case "failover":
+		return Failover()
 	}
 	return nil
 }
@@ -148,7 +152,7 @@ func ByID(id string) *Result {
 func IDs() []string {
 	return []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig7", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16",
-		"scaleout"}
+		"scaleout", "hotkey", "failover"}
 }
 
 // ---- shared harness helpers ----

@@ -5,6 +5,7 @@
 package failure
 
 import (
+	"repro/internal/fabric"
 	"repro/internal/kv"
 	"repro/internal/sim"
 )
@@ -59,6 +60,58 @@ func InjectAt(eng *sim.Engine, s *kv.Store, k Kind, t sim.Time) {
 			// the experiment window; RDMA resources are NOT freed (the
 			// NIC is decoupled from the host OS).
 			s.Node.CPU.Crash()
+		}
+	})
+}
+
+// NodeCrash describes a §5.6 failure of one serving node, independent
+// of what that node serves — the injection path the sharded service
+// uses (kv.Store keeps its own Crash lifecycle for the Fig 16 bench).
+//
+// ProcessCrash kills the serving process: host-side service stops, and
+// unless a hull parent owns the RDMA resources the OS reclaims them,
+// freezing every NIC queue. The OS restarts the process immediately;
+// after kv.BootstrapTime the host is back and after kv.RebuildTime
+// more the rebuilt service (and, without a hull parent, the re-created
+// RDMA resources) is available again — then OnUp fires.
+//
+// OSPanic freezes the whole host: CPU service never returns within the
+// experiment window, but nothing frees the RDMA resources, so the NIC
+// keeps executing pre-armed chains unconditionally — the Table 6
+// availability premise. OnUp never fires.
+type NodeCrash struct {
+	Node       *fabric.Node
+	Kind       Kind
+	HullParent bool
+	// OnDown and OnUp bracket host-side service loss; either may be nil.
+	OnDown, OnUp func()
+}
+
+// InjectAt schedules the crash at absolute virtual time t.
+func (c NodeCrash) InjectAt(eng *sim.Engine, t sim.Time) {
+	eng.At(t, func() {
+		c.Node.CPU.Crash()
+		if c.OnDown != nil {
+			c.OnDown()
+		}
+		switch c.Kind {
+		case ProcessCrash:
+			if !c.HullParent {
+				c.Node.Dev.Freeze()
+			}
+			eng.After(kv.BootstrapTime, func() {
+				c.Node.CPU.Restart()
+				eng.After(kv.RebuildTime, func() {
+					if !c.HullParent {
+						c.Node.Dev.Unfreeze()
+					}
+					if c.OnUp != nil {
+						c.OnUp()
+					}
+				})
+			})
+		case OSPanic:
+			// Kernel gone: no restart in-window, NIC serves on.
 		}
 	})
 }

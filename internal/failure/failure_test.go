@@ -1,0 +1,155 @@
+package failure
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/kv"
+	"repro/internal/sim"
+)
+
+// Table 6's invariants: the NIC (and NVM) are an order of magnitude
+// more reliable than the OS and DRAM — the premise that makes
+// NIC-resident offloads a hull for host failures.
+func TestTable6Invariants(t *testing.T) {
+	byName := map[string]Component{}
+	for _, c := range Table6 {
+		byName[c.Name] = c
+		if c.AFRPercent <= 0 || c.MTTFHours <= 0 {
+			t.Fatalf("%s: non-positive rates", c.Name)
+		}
+	}
+	for _, name := range []string{"OS", "DRAM", "NIC", "NVM"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("component %s missing", name)
+		}
+	}
+	nic, os := byName["NIC"], byName["OS"]
+	if ratio := os.AFRPercent / nic.AFRPercent; ratio < 40 {
+		t.Fatalf("OS fails only %.1fx more often than the NIC, paper says ~40x", ratio)
+	}
+	if nic.MTTFHours < 40*os.MTTFHours {
+		t.Fatalf("NIC MTTF %.0fh not ~40x the OS's %.0fh", nic.MTTFHours, os.MTTFHours)
+	}
+	for _, frail := range []string{"OS", "DRAM"} {
+		if byName[frail].Reliability != "99%" {
+			t.Fatalf("%s reliability %q, want 99%%", frail, byName[frail].Reliability)
+		}
+	}
+	for _, hardy := range []string{"NIC", "NVM"} {
+		if byName[hardy].Reliability != "99.99%" {
+			t.Fatalf("%s reliability %q, want 99.99%%", hardy, byName[hardy].Reliability)
+		}
+	}
+	// The OS AFR/MTTF pair is internally consistent (AFR = year/MTTF).
+	if afr := 100 * 8766 / os.MTTFHours; afr < os.AFRPercent*0.95 || afr > os.AFRPercent*1.05 {
+		t.Fatalf("OS AFR %.1f%% inconsistent with MTTF %.0fh (implies %.1f%%)",
+			os.AFRPercent, os.MTTFHours, afr)
+	}
+}
+
+func storeOnCluster() (*fabric.Cluster, *kv.Store) {
+	clu := fabric.NewCluster()
+	node := clu.AddNode(fabric.DefaultNodeConfig("srv"))
+	return clu, kv.New(node, 256)
+}
+
+// InjectAt(ProcessCrash) must follow the Fig 16 lifecycle: down at t,
+// host back after bootstrap, service (and the NIC, without a hull
+// parent) back after the rebuild.
+func TestInjectAtProcessCrash(t *testing.T) {
+	clu, s := storeOnCluster()
+	s.Set(1, []byte("v"))
+	const at = 1 * sim.Second
+	InjectAt(clu.Eng, s, ProcessCrash, at)
+
+	clu.Eng.RunUntil(at + sim.Millisecond)
+	if s.Up() || !s.Node.CPU.Crashed() || !s.Node.Dev.Frozen() {
+		t.Fatal("crash not applied: store up, CPU alive, or NIC unfrozen")
+	}
+	clu.Eng.RunUntil(at + kv.BootstrapTime + sim.Millisecond)
+	if s.Node.CPU.Crashed() {
+		t.Fatal("CPU not restarted after bootstrap")
+	}
+	if s.Up() {
+		t.Fatal("store serving before the hash-table rebuild")
+	}
+	clu.Eng.RunUntil(at + kv.BootstrapTime + kv.RebuildTime + sim.Millisecond)
+	if !s.Up() || s.Node.Dev.Frozen() {
+		t.Fatal("store or NIC still down after rebuild")
+	}
+	if _, ok := s.Get(1); !ok {
+		t.Fatal("key lost across restart")
+	}
+}
+
+// A hull parent keeps the NIC serving through the process crash.
+func TestInjectAtProcessCrashHullParent(t *testing.T) {
+	clu, s := storeOnCluster()
+	s.HullParent = true
+	InjectAt(clu.Eng, s, ProcessCrash, sim.Second)
+	clu.Eng.RunUntil(sim.Second + sim.Millisecond)
+	if s.Node.Dev.Frozen() {
+		t.Fatal("hull parent's NIC frozen by the child's crash")
+	}
+	if s.Up() {
+		t.Fatal("host-side service survived a process crash")
+	}
+}
+
+// InjectAt(OSPanic): the host is gone for good, the NIC is not.
+func TestInjectAtOSPanic(t *testing.T) {
+	clu, s := storeOnCluster()
+	InjectAt(clu.Eng, s, OSPanic, sim.Second)
+	clu.Eng.RunUntil(10 * sim.Second)
+	if !s.Node.CPU.Crashed() {
+		t.Fatal("CPU recovered from a kernel panic")
+	}
+	if s.Node.Dev.Frozen() {
+		t.Fatal("OS panic froze the NIC; nothing frees RDMA resources")
+	}
+}
+
+// NodeCrash drives the same lifecycle for arbitrary nodes, with
+// OnDown/OnUp hooks bracketing host-service loss.
+func TestNodeCrashLifecycle(t *testing.T) {
+	clu := fabric.NewCluster()
+	node := clu.AddNode(fabric.DefaultNodeConfig("srv"))
+	var downAt, upAt sim.Time
+	NodeCrash{
+		Node:   node,
+		Kind:   ProcessCrash,
+		OnDown: func() { downAt = clu.Eng.Now() },
+		OnUp:   func() { upAt = clu.Eng.Now() },
+	}.InjectAt(clu.Eng, 2*sim.Second)
+	clu.Eng.Run()
+	if downAt != 2*sim.Second {
+		t.Fatalf("OnDown at %v, want 2s", downAt)
+	}
+	if want := 2*sim.Second + kv.BootstrapTime + kv.RebuildTime; upAt != want {
+		t.Fatalf("OnUp at %v, want %v", upAt, want)
+	}
+	if node.Dev.Frozen() || node.CPU.Crashed() {
+		t.Fatal("node not recovered")
+	}
+
+	// OSPanic never fires OnUp.
+	clu2 := fabric.NewCluster()
+	n2 := clu2.AddNode(fabric.DefaultNodeConfig("srv2"))
+	up := false
+	NodeCrash{Node: n2, Kind: OSPanic, OnUp: func() { up = true }}.InjectAt(clu2.Eng, sim.Second)
+	clu2.Eng.Run()
+	if up {
+		t.Fatal("OnUp fired for an OS panic")
+	}
+	if n2.Dev.Frozen() {
+		t.Fatal("OS panic froze the NIC")
+	}
+}
+
+// String names both kinds (they label experiment rows).
+func TestKindString(t *testing.T) {
+	if ProcessCrash.String() != "process-crash" || OSPanic.String() != "os-panic" {
+		t.Fatalf("kind names: %q, %q", ProcessCrash, OSPanic)
+	}
+}

@@ -1,0 +1,73 @@
+package shard
+
+// HotKeys is a space-saving top-k frequency sketch (Metwally et al.)
+// over the client's recent key accesses — the tracker behind hot-key
+// read spreading and the client-side hot-value cache. It keeps at most
+// k counters: a tracked key's access increments its counter; an
+// untracked key replaces the minimum-count entry, inheriting its count
+// plus one (the classic overestimate that guarantees every key with
+// true frequency above min is tracked).
+//
+// k is small (tens of entries), so the eviction scan is a linear pass;
+// under skewed traffic almost every access hits a tracked key and the
+// scan never runs. Not safe for concurrent use; the simulation engine
+// is single-threaded.
+type HotKeys struct {
+	k      int
+	counts map[uint64]uint64
+}
+
+// DefaultHotKeys is the tracker capacity the service uses when hot-key
+// routing or caching is enabled without an explicit size.
+const DefaultHotKeys = 64
+
+// NewHotKeys returns an empty tracker of capacity k (<= 0 selects
+// DefaultHotKeys).
+func NewHotKeys(k int) *HotKeys {
+	if k <= 0 {
+		k = DefaultHotKeys
+	}
+	return &HotKeys{k: k, counts: make(map[uint64]uint64, k)}
+}
+
+// Touch records one access to key. When the access displaces a tracked
+// key (sketch full, key untracked), the evicted key is returned so
+// dependent state — a cached value, say — can be dropped with it.
+func (h *HotKeys) Touch(key uint64) (evicted uint64, wasEvicted bool) {
+	if _, ok := h.counts[key]; ok {
+		h.counts[key]++
+		return 0, false
+	}
+	if len(h.counts) < h.k {
+		h.counts[key] = 1
+		return 0, false
+	}
+	// Replace the minimum-count entry; ties break on the smallest key
+	// so eviction is deterministic under Go's randomized map order.
+	var minKey, minCount uint64
+	first := true
+	for k, c := range h.counts {
+		if first || c < minCount || (c == minCount && k < minKey) {
+			minKey, minCount, first = k, c, false
+		}
+	}
+	delete(h.counts, minKey)
+	h.counts[key] = minCount + 1
+	return minKey, true
+}
+
+// Tracked reports whether key currently holds one of the k counters —
+// the top-k candidate set.
+func (h *HotKeys) Tracked(key uint64) bool {
+	_, ok := h.counts[key]
+	return ok
+}
+
+// Count returns key's (over-)estimated access count, 0 if untracked.
+func (h *HotKeys) Count(key uint64) uint64 { return h.counts[key] }
+
+// Len returns the number of tracked keys.
+func (h *HotKeys) Len() int { return len(h.counts) }
+
+// Cap returns the tracker capacity k.
+func (h *HotKeys) Cap() int { return h.k }

@@ -1,0 +1,73 @@
+package shard
+
+import "testing"
+
+// A skewed stream's dominant keys must all be tracked, with counts in
+// rank order.
+func TestHotKeysTracksSkew(t *testing.T) {
+	h := NewHotKeys(8)
+	// 3 hot keys with distinct frequencies over a churning cold tail.
+	for round := 0; round < 1000; round++ {
+		h.Touch(1)
+		h.Touch(1)
+		h.Touch(1)
+		h.Touch(2)
+		h.Touch(2)
+		h.Touch(3)
+		h.Touch(uint64(1000 + round)) // cold, never repeats
+	}
+	for _, hot := range []uint64{1, 2, 3} {
+		if !h.Tracked(hot) {
+			t.Fatalf("hot key %d not tracked", hot)
+		}
+	}
+	if !(h.Count(1) > h.Count(2) && h.Count(2) > h.Count(3)) {
+		t.Fatalf("counts out of rank order: %d %d %d", h.Count(1), h.Count(2), h.Count(3))
+	}
+	// Space-saving overestimates but never undercounts a tracked key.
+	if h.Count(1) < 3000 {
+		t.Fatalf("count(1) = %d, want >= its 3000 true accesses", h.Count(1))
+	}
+	if h.Len() > h.Cap() {
+		t.Fatalf("tracker grew past capacity: %d > %d", h.Len(), h.Cap())
+	}
+}
+
+// Touch reports the displaced key exactly when the sketch is full and
+// the touched key is new.
+func TestHotKeysEviction(t *testing.T) {
+	h := NewHotKeys(2)
+	if _, ev := h.Touch(10); ev {
+		t.Fatal("eviction from a non-full sketch")
+	}
+	h.Touch(10) // 10: 2
+	if _, ev := h.Touch(20); ev {
+		t.Fatal("eviction while filling")
+	}
+	evicted, ev := h.Touch(30) // must displace 20 (count 1), not 10 (count 2)
+	if !ev || evicted != 20 {
+		t.Fatalf("evicted %d (%v), want 20", evicted, ev)
+	}
+	// The newcomer inherits min+1, keeping it sticky against the tail.
+	if h.Count(30) != 2 {
+		t.Fatalf("count(30) = %d, want min+1 = 2", h.Count(30))
+	}
+	if h.Tracked(20) {
+		t.Fatal("evicted key still tracked")
+	}
+}
+
+// Eviction must be deterministic under count ties despite map order:
+// the smallest key goes.
+func TestHotKeysDeterministicTieBreak(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		h := NewHotKeys(4)
+		for _, k := range []uint64{7, 3, 9, 5} {
+			h.Touch(k) // all count 1
+		}
+		evicted, ev := h.Touch(100)
+		if !ev || evicted != 3 {
+			t.Fatalf("trial %d: evicted %d, want smallest tied key 3", trial, evicted)
+		}
+	}
+}

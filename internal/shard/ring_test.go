@@ -148,3 +148,53 @@ func TestRemoveRedistributesToSuccessors(t *testing.T) {
 		}
 	}
 }
+
+// Property: LookupN returns distinct physical nodes — never the same
+// node through two of its virtual points — for every cluster size,
+// virtual-node count, and replica degree, including the degenerate
+// small rings where consecutive circle points usually belong to one
+// node. It must also survive node removal (failover re-routes through
+// LookupN on the surviving ring).
+func TestLookupNDistinctNodesProperty(t *testing.T) {
+	for _, vnodes := range []int{1, 2, 3, DefaultVirtualNodes} {
+		for size := 1; size <= 8; size++ {
+			r := NewRing(vnodes)
+			for i := 0; i < size; i++ {
+				if err := r.AddNode(fmt.Sprintf("s%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check := func(live int) {
+				for _, k := range keys(200) {
+					for n := 1; n <= live+2; n++ {
+						owners := r.LookupN(k, n)
+						want := n
+						if want > live {
+							want = live
+						}
+						if len(owners) != want {
+							t.Fatalf("vnodes=%d size=%d live=%d n=%d: %d owners, want %d",
+								vnodes, size, live, n, len(owners), want)
+						}
+						seen := map[string]bool{}
+						for _, o := range owners {
+							if seen[o] {
+								t.Fatalf("vnodes=%d size=%d n=%d: node %s repeated in %v",
+									vnodes, size, n, o, owners)
+							}
+							seen[o] = true
+						}
+					}
+				}
+			}
+			check(size)
+			// Remove a node and re-check on the survivors.
+			if size > 1 {
+				if err := r.RemoveNode("s0"); err != nil {
+					t.Fatal(err)
+				}
+				check(size - 1)
+			}
+		}
+	}
+}

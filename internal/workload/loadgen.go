@@ -46,7 +46,7 @@ type LoadReport struct {
 	Hits     int
 	Misses   int
 
-	Elapsed sim.Time
+	Elapsed    sim.Time
 	GetsPerSec float64
 
 	Avg, P50, P99, P999 sim.Time
@@ -55,6 +55,97 @@ type LoadReport struct {
 func (r LoadReport) String() string {
 	return fmt.Sprintf("%d ops (%d gets, %d sets, %d misses) in %v: %.0f gets/s, p50=%v p99=%v p999=%v",
 		r.Requests, r.Gets, r.Sets, r.Misses, r.Elapsed, r.GetsPerSec, r.P50, r.P99, r.P999)
+}
+
+// OpenLoopConfig shapes a paced, timeline-bucketed run — the Fig 16
+// measurement style: requests issue at a fixed gap regardless of
+// completions, and successful gets are counted into fixed-width time
+// buckets so outages appear as rate dips.
+type OpenLoopConfig struct {
+	Duration sim.Time // how long to keep issuing
+	Gap      sim.Time // one get per gap
+	Bucket   sim.Time // timeline bucket width
+	Keys     KeyStream
+	ValLen   uint64
+	// Classify tags each request with a class in [0, Classes); hits are
+	// counted per class and bucket (e.g. "keys owned by the crashed
+	// shard" versus the rest). Nil puts everything in class 0.
+	Classify func(key uint64) int
+	Classes  int
+}
+
+// OpenLoopReport is the timeline of an open-loop run.
+type OpenLoopReport struct {
+	Issued, Hits, Misses int
+	// Series[class][bucket] counts hits completed in that bucket.
+	Series [][]float64
+}
+
+// BucketsBelow counts buckets of class cls in [from, to) whose hit
+// count is strictly below threshold. Counts are integers, so a
+// threshold of 0.5 counts full-outage (zero-hit) buckets and
+// steady/2 counts half-rate buckets.
+func (r OpenLoopReport) BucketsBelow(cls, from, to int, threshold float64) int {
+	n := 0
+	s := r.Series[cls]
+	for i := from; i < to && i < len(s); i++ {
+		if s[i] < threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// RunOpenLoop issues one get per Gap for Duration, advancing eng until
+// the issue window closes (stragglers completing after Duration are
+// not counted — as in the paper's fixed-window timeline). The engine's
+// pending work (e.g. scheduled recovery events) is left in place.
+func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport {
+	if cfg.Gap <= 0 || cfg.Duration <= 0 {
+		panic("workload: RunOpenLoop needs positive Gap and Duration")
+	}
+	if cfg.Bucket <= 0 {
+		cfg.Bucket = cfg.Duration / 24
+	}
+	if cfg.ValLen == 0 {
+		cfg.ValLen = 64
+	}
+	if cfg.Classes < 1 {
+		cfg.Classes = 1
+	}
+	rep := OpenLoopReport{Series: make([][]float64, cfg.Classes)}
+	nb := int(cfg.Duration / cfg.Bucket)
+	for c := range rep.Series {
+		rep.Series[c] = make([]float64, nb)
+	}
+	start := eng.Now()
+	var issue func()
+	issue = func() {
+		if eng.Now()-start >= cfg.Duration {
+			return
+		}
+		key := cfg.Keys.Next()
+		cls := 0
+		if cfg.Classify != nil {
+			cls = cfg.Classify(key)
+		}
+		rep.Issued++
+		kv.GetAsync(key, cfg.ValLen, func(_ []byte, _ sim.Time, ok bool) {
+			if !ok {
+				rep.Misses++
+				return
+			}
+			rep.Hits++
+			if idx := int((eng.Now() - start) / cfg.Bucket); idx >= 0 && idx < nb {
+				rep.Series[cls][idx]++
+			}
+		})
+		kv.Flush()
+		eng.After(cfg.Gap, issue)
+	}
+	issue()
+	eng.RunUntil(start + cfg.Duration)
+	return rep
 }
 
 // RunClosedLoop drives kv with Window concurrent users until Requests

@@ -194,3 +194,53 @@ func TestRunClosedLoopAllWrites(t *testing.T) {
 		t.Fatalf("store has %d keys", len(kv.store))
 	}
 }
+
+// Open-loop pacing issues Duration/Gap requests on the dot, buckets
+// hits by completion time per class, and counts outage buckets.
+func TestRunOpenLoopTimeline(t *testing.T) {
+	eng := sim.NewEngine()
+	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: sim.Microsecond}
+	ks := seqKeys(10)
+	for _, k := range ks {
+		kv.Set(k, Value(k, 8))
+	}
+	// Knock out even keys half way through the run: their class's
+	// buckets go dark, the odd keys' stay full.
+	eng.At(500*sim.Microsecond, func() {
+		for _, k := range ks {
+			if k%2 == 0 {
+				delete(kv.store, k)
+			}
+		}
+	})
+	rep := RunOpenLoop(eng, kv, OpenLoopConfig{
+		Duration: sim.Millisecond,
+		Gap:      10 * sim.Microsecond,
+		Bucket:   100 * sim.Microsecond,
+		Keys:     &Sequential{Keys: ks},
+		ValLen:   8,
+		Classes:  2,
+		Classify: func(key uint64) int { return int(key % 2) },
+	})
+	if rep.Issued != 100 {
+		t.Fatalf("issued %d, want 100 (1ms at 10us gap)", rep.Issued)
+	}
+	if rep.Hits+rep.Misses != rep.Issued {
+		t.Fatalf("hits %d + misses %d != issued %d", rep.Hits, rep.Misses, rep.Issued)
+	}
+	if rep.Misses == 0 {
+		t.Fatal("deleted keys never missed")
+	}
+	// Odd keys (class 1) never black out; even keys (class 0) do from
+	// bucket 5 on.
+	if got := rep.BucketsBelow(1, 0, 10, 0.5); got != 0 {
+		t.Fatalf("odd keys dark in %d buckets, want 0", got)
+	}
+	if got := rep.BucketsBelow(0, 5, 10, 0.5); got != 5 {
+		t.Fatalf("even keys dark in %d of 5 post-kill buckets", got)
+	}
+	steady := rep.Series[1][2]
+	if got := rep.BucketsBelow(1, 0, 10, steady/2); got != 0 {
+		t.Fatalf("odd keys below half rate in %d buckets, want 0", got)
+	}
+}

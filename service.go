@@ -5,9 +5,60 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/failure"
 	"repro/internal/hopscotch"
 	"repro/internal/shard"
 	"repro/internal/sim"
+)
+
+// ReadPolicy selects which replica owner serves a get when Replicas > 1.
+type ReadPolicy int
+
+const (
+	// ReadPrimary sends every get to the key's primary ring owner
+	// (write-all/read-primary, the pre-replica-read behavior). Backups
+	// still serve as failover targets when the primary times out.
+	ReadPrimary ReadPolicy = iota
+	// ReadRoundRobin rotates gets across all replica owners.
+	ReadRoundRobin
+	// ReadLeastInflight sends each get to the owner whose client
+	// connections currently hold the fewest outstanding gets.
+	ReadLeastInflight
+	// ReadHotSpread keeps cold keys on their primary (one authoritative
+	// server per key) but rotates the tracked top-k hot keys across all
+	// owners — skew relief without giving up primary locality.
+	ReadHotSpread
+)
+
+func (p ReadPolicy) String() string {
+	switch p {
+	case ReadRoundRobin:
+		return "round-robin"
+	case ReadLeastInflight:
+		return "least-inflight"
+	case ReadHotSpread:
+		return "hot-spread"
+	}
+	return "primary"
+}
+
+// CacheHitLat is the virtual cost of serving a get from the client's
+// local hot-key cache: a hash probe and a short copy in client memory,
+// no NIC involved.
+const CacheHitLat = 150 * sim.Nanosecond
+
+// cacheAdmitCount is how many tracked accesses a hot key needs before
+// its value is admitted to the client-side cache.
+const cacheAdmitCount = 8
+
+// DefaultSuspectAfter and DefaultSuspectFor shape crash detection:
+// after DefaultSuspectAfter consecutive timeouts a shard is presumed
+// dead and gets are routed to other replica owners for
+// DefaultSuspectFor, after which the next get doubles as a probe (a
+// half-open circuit breaker).
+const (
+	DefaultSuspectAfter = 4
+	DefaultSuspectFor   = 25 * sim.Millisecond
 )
 
 // ServiceConfig sizes a sharded RedN KV service.
@@ -18,9 +69,18 @@ type ServiceConfig struct {
 	Mode            LookupMode // probe strategy of every offload context
 	Replicas        int        // ring owners written per Set (>=1)
 
-	Buckets     uint64 // hopscotch buckets per shard
-	MaxValLen   uint64 // largest value a get can return
-	MissTimeout Duration
+	ReadPolicy  ReadPolicy // which replica owner serves a get
+	HotKeyTrack int        // top-k tracker size (0 = 64 when hot routing/caching is on)
+	HotKeyCache int        // client-side hot-value cache entries (0 = disabled)
+
+	HullParent bool // crashed processes keep their RDMA resources (Fig 16)
+
+	SuspectAfter int      // consecutive timeouts before dodging a shard (0 = 4)
+	SuspectFor   Duration // circuit-breaker window (0 = 25ms)
+
+	Buckets      uint64 // hopscotch buckets per shard
+	MaxValLen    uint64 // largest value a get can return
+	MissTimeout  Duration
 	VirtualNodes int // ring points per shard
 
 	ServerMem uint64 // simulated bytes per server node
@@ -54,10 +114,30 @@ type serviceShard struct {
 	table   *HashTable
 	mode    LookupMode
 	clients []*Client
-	rr      int // round-robin client cursor
+	cnodes  []*fabric.Node // client nodes, kept for reconnection
+	rr      int            // round-robin client cursor
+
+	// Crash-detection state, driven purely by observed timeouts.
+	hostDown     bool     // host-side service (sets) unavailable
+	consecMiss   int      // timeouts since the last confirmed hit
+	suspectUntil sim.Time // while Now < this, gets prefer other owners
 
 	sets, spills, gets uint64
+	rebuilds           uint64 // client reconnects after process crashes
 }
+
+// inflight sums outstanding and queued gets across the shard's client
+// connections (the ReadLeastInflight load signal).
+func (sh *serviceShard) inflight() int {
+	n := 0
+	for _, cli := range sh.clients {
+		n += cli.InFlight() + cli.Queued()
+	}
+	return n
+}
+
+// suspect reports whether the shard is currently presumed dead.
+func (sh *serviceShard) suspect(now sim.Time) bool { return now < sh.suspectUntil }
 
 // Service is a sharded key-value service served entirely by NICs: a
 // consistent-hash ring routes 48-bit keys across N server nodes, each
@@ -72,7 +152,13 @@ type Service struct {
 	shards map[string]*serviceShard
 	order  []*serviceShard // insertion order for deterministic iteration
 
-	hits, misses uint64
+	hot      *shard.HotKeys    // top-k access tracker (hot routing / cache admission)
+	cache    map[uint64][]byte // client-side hot-value cache
+	setEpoch map[uint64]uint64 // per-key write counter guarding cache admission
+	rrSpread int               // rotation cursor for spreading policies
+
+	hits, misses       uint64
+	retries, cacheHits uint64
 }
 
 // NewService builds a service of nShards server nodes, each serving
@@ -117,9 +203,25 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	if cfg.ClientMem == 0 {
 		cfg.ClientMem = def.ClientMem
 	}
+	if cfg.SuspectAfter == 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
+	if cfg.SuspectFor == 0 {
+		cfg.SuspectFor = DefaultSuspectFor
+	}
+	if cfg.HotKeyTrack == 0 && (cfg.ReadPolicy == ReadHotSpread || cfg.HotKeyCache > 0) {
+		cfg.HotKeyTrack = shard.DefaultHotKeys
+	}
 
 	s := &Service{cfg: cfg, tb: NewTestbed(), ring: shard.NewRing(cfg.VirtualNodes),
 		shards: make(map[string]*serviceShard)}
+	if cfg.HotKeyTrack > 0 {
+		s.hot = shard.NewHotKeys(cfg.HotKeyTrack)
+	}
+	if cfg.HotKeyCache > 0 {
+		s.cache = make(map[uint64][]byte, cfg.HotKeyCache)
+		s.setEpoch = make(map[uint64]uint64)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		id := fmt.Sprintf("shard%d", i)
 		nc := fabric.DefaultNodeConfig(id)
@@ -131,10 +233,8 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 			cc := fabric.DefaultNodeConfig(fmt.Sprintf("%s-client%d", id, c))
 			cc.MemSize = cfg.ClientMem
 			cn := s.tb.clu.AddNode(cc)
-			cli := newClientOnNode(s.tb, cn, srv, cfg.Mode, cfg.Pipeline, cfg.MaxValLen)
-			cli.MissTimeout = cfg.MissTimeout
-			cli.Bind(sh.table)
-			sh.clients = append(sh.clients, cli)
+			sh.cnodes = append(sh.cnodes, cn)
+			sh.clients = append(sh.clients, s.newShardClient(sh, cn))
 		}
 		if err := s.ring.AddNode(id); err != nil {
 			panic(err)
@@ -143,6 +243,14 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 		s.order = append(s.order, sh)
 	}
 	return s
+}
+
+// newShardClient wires one pipelined client connection to sh's server.
+func (s *Service) newShardClient(sh *serviceShard, cn *fabric.Node) *Client {
+	cli := newClientOnNode(s.tb, cn, sh.srv, s.cfg.Mode, s.cfg.Pipeline, s.cfg.MaxValLen)
+	cli.MissTimeout = s.cfg.MissTimeout
+	cli.Bind(sh.table)
+	return cli
 }
 
 // Testbed exposes the simulated cluster (engine driving, timing).
@@ -159,6 +267,14 @@ func (s *Service) owners(key uint64) []string {
 	return s.ring.LookupN(key, s.cfg.Replicas)
 }
 
+// Owners exposes key's replica owner shard ids, primary first.
+func (s *Service) Owners(key uint64) []string {
+	return s.owners(key & hopscotch.KeyMask)
+}
+
+// ShardID returns the id of the i-th shard.
+func (s *Service) ShardID(i int) string { return s.order[i].id }
+
 // Set stores key -> value on every replica owner, host-side (writes
 // stay on the CPU path, as in the paper's Memcached). Placement keeps
 // keys offload-reachable: a key must sit exactly at one of its two
@@ -169,9 +285,26 @@ func (s *Service) owners(key uint64) []string {
 // Spills stat counts them.
 func (s *Service) Set(key uint64, value []byte) error {
 	key &= hopscotch.KeyMask
-	for _, id := range s.owners(key) {
+	owners := s.owners(key)
+	// Refuse before writing anywhere: a partial write would diverge
+	// the replicas, and recovery rebuilds connections, not data.
+	for _, id := range owners {
+		if s.shards[id].hostDown {
+			return fmt.Errorf("redn: shard %s host down", id)
+		}
+	}
+	for _, id := range owners {
 		if err := s.shards[id].set(key, value); err != nil {
 			return err
+		}
+	}
+	if s.cache != nil {
+		// Bump the key's write epoch so an in-flight get that read the
+		// old value cannot be admitted after this write...
+		s.setEpoch[key]++
+		// ...and write through: a cached hot value must never go stale.
+		if _, ok := s.cache[key]; ok {
+			s.cache[key] = append([]byte(nil), value...)
 		}
 	}
 	return nil
@@ -260,42 +393,226 @@ func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
 	return t.Insert(curKey, curVa, curVl)
 }
 
+// readOrder returns key's replica owners in the order gets should try
+// them: the configured read policy picks the preferred owner, then
+// suspected-dead shards are moved to the back (they remain last-resort
+// failover targets — and the first get after a suspect window expires
+// doubles as the circuit breaker's probe).
+func (s *Service) readOrder(key uint64) []*serviceShard {
+	ids := s.owners(key)
+	rot := 0
+	if len(ids) > 1 {
+		switch s.cfg.ReadPolicy {
+		case ReadRoundRobin:
+			rot = s.rrSpread % len(ids)
+			s.rrSpread++
+		case ReadHotSpread:
+			if s.hot != nil && s.hot.Tracked(key) {
+				rot = s.rrSpread % len(ids)
+				s.rrSpread++
+			}
+		}
+	}
+	shs := make([]*serviceShard, len(ids))
+	for i := range ids {
+		shs[i] = s.shards[ids[(i+rot)%len(ids)]]
+	}
+	if len(shs) > 1 {
+		if s.cfg.ReadPolicy == ReadLeastInflight {
+			min := 0
+			for i := 1; i < len(shs); i++ {
+				if shs[i].inflight() < shs[min].inflight() {
+					min = i
+				}
+			}
+			if min != 0 {
+				first := shs[min]
+				copy(shs[1:min+1], shs[:min])
+				shs[0] = first
+			}
+		}
+		// Stable-partition live shards ahead of suspected-dead ones.
+		now := s.tb.Now()
+		nLive := 0
+		for _, sh := range shs {
+			if !sh.suspect(now) {
+				nLive++
+			}
+		}
+		if nLive > 0 && nLive < len(shs) {
+			ordered := make([]*serviceShard, 0, len(shs))
+			for _, sh := range shs {
+				if !sh.suspect(now) {
+					ordered = append(ordered, sh)
+				}
+			}
+			for _, sh := range shs {
+				if sh.suspect(now) {
+					ordered = append(ordered, sh)
+				}
+			}
+			shs = ordered
+		}
+	}
+	return shs
+}
+
 // Get performs one blocking get (routing + offloaded lookup),
 // advancing the simulation until the response lands or times out.
 func (s *Service) Get(key uint64, valLen uint64) ([]byte, Duration, bool) {
-	key &= hopscotch.KeyMask
-	sh := s.shards[s.owners(key)[0]]
-	sh.gets++
-	cli := sh.clients[sh.rr%len(sh.clients)]
-	sh.rr++
-	val, lat, ok := cli.Get(key, valLen)
-	if ok {
-		s.hits++
-	} else {
-		s.misses++
+	var (
+		out  []byte
+		lat  Duration
+		ok   bool
+		done bool
+	)
+	s.GetAsync(key, valLen, func(v []byte, l Duration, hit bool) {
+		out, lat, ok, done = v, l, hit, true
+	})
+	s.Flush()
+	eng := s.tb.clu.Eng
+	to := s.cfg.MissTimeout
+	eng.RunUntil(eng.Now() + to)
+	for !done && eng.Pending() > 0 {
+		eng.RunUntil(eng.Now() + to)
 	}
-	return val, lat, ok
+	return out, lat, ok
 }
 
-// GetAsync issues one pipelined offloaded get against key's primary
-// owner; cb runs when the response lands or the miss timeout expires.
-// Gets beyond a client's pipeline depth queue client-side. Call Flush
-// after posting a batch — same-shard gets posted between flushes share
-// one doorbell.
+// GetAsync issues one pipelined offloaded get; cb runs when a response
+// lands or every candidate owner has timed out. The read policy picks
+// which replica owner serves it; a timeout fails the get over to the
+// next owner (counting toward that shard's suspect threshold), so with
+// Replicas > 1 a crashed shard degrades gets to one extra MissTimeout
+// rather than losing them. Tracked hot keys may be answered from the
+// client-side cache with no NIC involvement at all. Gets beyond a
+// client's pipeline depth queue client-side. Call Flush after posting
+// a batch — same-shard gets posted between flushes share one doorbell.
 func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration, ok bool)) {
 	key &= hopscotch.KeyMask
-	sh := s.shards[s.owners(key)[0]]
+	if s.hot != nil {
+		if evicted, ok := s.hot.Touch(key); ok {
+			delete(s.cache, evicted)
+		}
+	}
+	var epoch uint64
+	if s.cache != nil {
+		if v, ok := s.cache[key]; ok && uint64(len(v)) >= valLen {
+			s.cacheHits++
+			s.hits++
+			val := v[:valLen]
+			s.tb.clu.Eng.After(CacheHitLat, func() { cb(val, CacheHitLat, true) })
+			return
+		}
+		epoch = s.setEpoch[key]
+	}
+	s.tryGet(key, valLen, s.readOrder(key), 0, 0, epoch, cb)
+}
+
+// tryGet issues attempt i of a get against its policy-ordered owners,
+// accumulating per-attempt latency so a failover's cost (the timeout
+// spent discovering the dead owner) lands in the reported latency.
+// epoch is the key's write epoch at issue time; it gates cache
+// admission against sets that raced the read.
+func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent Duration,
+	epoch uint64, cb func(val []byte, lat Duration, ok bool)) {
+	sh := order[i]
 	sh.gets++
 	cli := sh.clients[sh.rr%len(sh.clients)]
 	sh.rr++
 	cli.GetAsync(key, valLen, func(val []byte, lat Duration, ok bool) {
+		lat += spent
 		if ok {
+			sh.consecMiss = 0
+			sh.suspectUntil = 0
 			s.hits++
-		} else {
-			s.misses++
+			s.maybeCache(key, valLen, val, epoch)
+			cb(val, lat, true)
+			return
 		}
-		cb(val, lat, ok)
+		if cli.LastMissExecuted() {
+			// The chain ran and found nothing: the key is absent, the
+			// NIC is alive. Liveness proof, not a crash symptom.
+			sh.consecMiss = 0
+			sh.suspectUntil = 0
+		} else {
+			sh.consecMiss++
+			if sh.consecMiss >= s.cfg.SuspectAfter {
+				sh.suspectUntil = s.tb.Now() + s.cfg.SuspectFor
+			}
+		}
+		if i+1 < len(order) {
+			s.retries++
+			s.tryGet(key, valLen, order, i+1, lat, epoch, cb)
+			return
+		}
+		s.misses++
+		cb(val, lat, false)
 	})
+	if i > 0 {
+		// Retries run outside the caller's batch; kick them directly.
+		cli.Flush()
+	}
+}
+
+// maybeCache admits a sufficiently hot value to the client-side cache,
+// unless a set raced the read (the key's write epoch moved since the
+// get was issued — admitting would install a stale value that
+// write-through could never fix).
+func (s *Service) maybeCache(key, valLen uint64, val []byte, epoch uint64) {
+	if s.cache == nil || s.hot == nil || uint64(len(val)) < valLen {
+		return
+	}
+	if s.setEpoch[key] != epoch {
+		return
+	}
+	if _, ok := s.cache[key]; ok {
+		return
+	}
+	if len(s.cache) >= s.cfg.HotKeyCache || s.hot.Count(key) < cacheAdmitCount {
+		return
+	}
+	s.cache[key] = append([]byte(nil), val...)
+}
+
+// CrashShard schedules a §5.6 failure of the i-th shard at absolute
+// virtual time at. A ProcessCrash without a hull parent freezes the
+// shard's NIC (the OS reclaims the process's RDMA resources); since a
+// frozen NIC drops trigger SENDs, the old connections are dead even
+// after the restarted process returns, so recovery rebuilds the
+// shard's client connections — exactly the reconnect a real client
+// performs against a restarted server. With HullParent (or under
+// OSPanic, which never frees RDMA resources) the NIC keeps serving
+// pre-armed chains throughout and only host-side sets are lost.
+func (s *Service) CrashShard(i int, k failure.Kind, at Duration) {
+	sh := s.order[i]
+	failure.NodeCrash{
+		Node:       sh.srv.node,
+		Kind:       k,
+		HullParent: s.cfg.HullParent,
+		OnDown:     func() { sh.hostDown = true },
+		OnUp: func() {
+			sh.hostDown = false
+			if !s.cfg.HullParent {
+				s.reconnect(sh)
+			}
+		},
+	}.InjectAt(s.tb.clu.Eng, at)
+}
+
+// reconnect replaces sh's client connections after a process crash
+// killed the old ones. In-flight gets on the old connections still
+// time out (and fail over) normally; the old connection state is
+// simply abandoned, as with real RC QPs in error state.
+func (s *Service) reconnect(sh *serviceShard) {
+	sh.rebuilds++
+	sh.clients = sh.clients[:0]
+	for _, cn := range sh.cnodes {
+		sh.clients = append(sh.clients, s.newShardClient(sh, cn))
+	}
+	// The rebuilt connections announce the shard is back.
+	sh.consecMiss = 0
+	sh.suspectUntil = 0
 }
 
 // Flush rings every client doorbell with posted-but-unkicked triggers.
@@ -309,10 +626,11 @@ func (s *Service) Flush() {
 
 // ShardStats is one shard's counters.
 type ShardStats struct {
-	ID     string
-	Sets   uint64
-	Spills uint64 // keys resident but NIC-unreachable
-	Gets   uint64
+	ID       string
+	Sets     uint64
+	Spills   uint64 // keys resident but NIC-unreachable
+	Gets     uint64 // get attempts routed here (failover retries included)
+	Rebuilds uint64 // client reconnects after process crashes
 }
 
 // ServiceStats aggregates service counters.
@@ -323,14 +641,17 @@ type ServiceStats struct {
 	Gets        uint64
 	Hits        uint64
 	Misses      uint64
-	MaxInFlight int // high-water mark of overlapping gets, any client
+	Retries     uint64 // failover attempts beyond each get's first owner
+	CacheHits   uint64 // gets served from the client-side hot-key cache
+	MaxInFlight int    // high-water mark of overlapping gets, any client
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() ServiceStats {
-	out := ServiceStats{Hits: s.hits, Misses: s.misses}
+	out := ServiceStats{Hits: s.hits, Misses: s.misses, Retries: s.retries, CacheHits: s.cacheHits}
 	for _, sh := range s.order {
-		out.Shards = append(out.Shards, ShardStats{ID: sh.id, Sets: sh.sets, Spills: sh.spills, Gets: sh.gets})
+		out.Shards = append(out.Shards, ShardStats{ID: sh.id, Sets: sh.sets, Spills: sh.spills,
+			Gets: sh.gets, Rebuilds: sh.rebuilds})
 		out.Sets += sh.sets
 		out.Spills += sh.spills
 		out.Gets += sh.gets

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/failure"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -135,10 +136,10 @@ func TestServiceDeterministic(t *testing.T) {
 			s.Set(keys[i], Value(keys[i], 64))
 		}
 		rep := workload.RunClosedLoop(s.Testbed().clu.Eng, s, workload.ClosedLoopConfig{
-			Requests: 3000,
-			Window:   32,
-			Keys:     workload.NewZipfian(keys, workload.DefaultZipfS, workload.Rng(1)),
-			ValLen:   64,
+			Requests:   3000,
+			Window:     32,
+			Keys:       workload.NewZipfian(keys, workload.DefaultZipfS, workload.Rng(1)),
+			ValLen:     64,
 			WriteEvery: 10,
 		})
 		return s.Now(), s.Stats(), rep
@@ -156,5 +157,325 @@ func TestServiceDeterministic(t *testing.T) {
 	}
 	if r1.Misses != 0 {
 		t.Fatalf("%d misses on a fully resident key set", r1.Misses)
+	}
+}
+
+// Round-robin replica reads spread a single hot key's gets across all
+// of its owners; read-primary concentrates them on one shard.
+func TestServiceReadSpreading(t *testing.T) {
+	run := func(policy ReadPolicy) map[string]uint64 {
+		s := NewServiceWith(ServiceConfig{
+			Shards: 4, ClientsPerShard: 1, Pipeline: 8, Mode: LookupSeq,
+			Replicas: 3, ReadPolicy: policy,
+		})
+		const hot = 42
+		if err := s.Set(hot, Value(hot, 64)); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			s.GetAsync(hot, 64, func(_ []byte, _ Duration, ok bool) {
+				if !ok {
+					t.Error("hot get missed")
+				}
+			})
+		}
+		s.Flush()
+		s.Run()
+		per := map[string]uint64{}
+		for _, sh := range s.Stats().Shards {
+			per[sh.ID] = sh.Gets
+		}
+		return per
+	}
+
+	primary := run(ReadPrimary)
+	busy := 0
+	for _, g := range primary {
+		if g > 0 {
+			busy++
+		}
+	}
+	if busy != 1 {
+		t.Fatalf("read-primary touched %d shards for one key, want 1", busy)
+	}
+
+	for _, policy := range []ReadPolicy{ReadRoundRobin, ReadLeastInflight} {
+		spread := run(policy)
+		busy = 0
+		for _, g := range spread {
+			if g >= 50 {
+				busy++
+			}
+		}
+		if busy != 3 {
+			t.Fatalf("%v sent meaningful load to %d shards, want all 3 owners", policy, busy)
+		}
+	}
+}
+
+// Hot-spread routes only tracked-hot keys off their primary; a
+// once-touched cold key stays put.
+func TestServiceHotSpreadColdStaysPrimary(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 4, ClientsPerShard: 1, Pipeline: 8, Mode: LookupSeq,
+		Replicas: 3, ReadPolicy: ReadHotSpread, HotKeyTrack: 4,
+	})
+	// 40 cold keys cycle through a 4-entry tracker: none stays hot long
+	// enough to matter, but one repeated key does.
+	keys := make([]uint64, 40)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		if err := s.Set(keys[i], Value(keys[i], 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const hot = 7
+	for i := 0; i < 400; i++ {
+		k := keys[i%len(keys)]
+		if i%2 == 1 {
+			k = hot
+		}
+		s.GetAsync(k, 64, func(_ []byte, _ Duration, _ bool) {})
+	}
+	s.Flush()
+	s.Run()
+	// The hot key's three owners all served it; total spread across the
+	// cluster stays bounded (cold keys kept primary routing).
+	hotOwners := map[string]bool{}
+	for _, id := range s.Owners(hot) {
+		hotOwners[id] = true
+	}
+	if len(hotOwners) != 3 {
+		t.Fatalf("hot key has %d owners, want 3", len(hotOwners))
+	}
+	for _, sh := range s.Stats().Shards {
+		if hotOwners[sh.ID] && sh.Gets < 40 {
+			t.Fatalf("hot owner %s served only %d gets; hot key not spread", sh.ID, sh.Gets)
+		}
+	}
+}
+
+// The client-side cache serves tracked-hot keys without touching the
+// ring, and writes keep it coherent.
+func TestServiceHotKeyCache(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 8, Mode: LookupSeq,
+		Replicas: 2, HotKeyCache: 8,
+	})
+	const hot = 99
+	if err := s.Set(hot, Value(hot, 64)); err != nil {
+		t.Fatal(err)
+	}
+	get := func() []byte {
+		val, _, ok := s.Get(hot, 64)
+		if !ok {
+			t.Fatal("hot get missed")
+		}
+		return val
+	}
+	for i := 0; i < 20; i++ {
+		get()
+	}
+	st := s.Stats()
+	if st.CacheHits == 0 {
+		t.Fatal("no cache hits after 20 accesses of one hot key")
+	}
+	ringGets := st.Gets
+	// A set must update (not stale-serve) the cached value...
+	if err := s.Set(hot, Value(hot+1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(get(), Value(hot+1, 64)) {
+		t.Fatal("cache served a stale value after Set")
+	}
+	// ...and the refreshed get still comes from the cache.
+	if s.Stats().Gets != ringGets {
+		t.Fatal("post-Set get went to the ring despite a fresh cache entry")
+	}
+}
+
+// A process crash with replicas: gets fail over to the backup owner,
+// the dead shard is circuit-broken, and the rebuilt shard serves again
+// after reconnect — all without losing a single get to a false miss.
+func TestServiceCrashFailover(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 8, Mode: LookupSeq,
+		Replicas: 2, ReadPolicy: ReadRoundRobin,
+	})
+	keys := make([]uint64, 200)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		if err := s.Set(keys[i], Value(keys[i], 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	crashAt := s.Now() + sim.Millisecond
+	s.CrashShard(0, failure.ProcessCrash, crashAt)
+
+	// Issue gets in closed loops across the crash and recovery window.
+	misses := 0
+	done := 0
+	const total = 10000
+	issued := 0
+	var user func()
+	user = func() {
+		if issued >= total {
+			return
+		}
+		k := keys[issued%len(keys)]
+		issued++
+		s.GetAsync(k, 64, func(_ []byte, _ Duration, ok bool) {
+			done++
+			if !ok {
+				misses++
+			}
+			user()
+			s.Flush()
+		})
+	}
+	for i := 0; i < 8; i++ {
+		user()
+	}
+	s.Flush()
+	s.Run()
+
+	if done != total {
+		t.Fatalf("completed %d of %d gets across the crash", done, total)
+	}
+	if misses != 0 {
+		t.Fatalf("%d gets lost to the crash despite a live replica", misses)
+	}
+	st := s.Stats()
+	if st.Retries == 0 {
+		t.Fatal("no failover retries recorded across a crash")
+	}
+	if st.Shards[0].Rebuilds != 1 {
+		t.Fatalf("crashed shard rebuilt %d times, want 1", st.Shards[0].Rebuilds)
+	}
+	// Sets to the crashed shard error while its host is down.
+	if s.Now() <= crashAt {
+		t.Fatal("run ended before the crash")
+	}
+}
+
+// Without replicas, a crashed shard's keys miss for the outage window
+// but the service itself keeps running and recovers after reconnect.
+func TestServiceCrashNoReplicaRecovers(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq,
+	})
+	const key = 17
+	if err := s.Set(key, Value(key, 64)); err != nil {
+		t.Fatal(err)
+	}
+	owner := s.Owners(key)[0]
+	idx := 0
+	for i, sh := range []string{s.ShardID(0), s.ShardID(1)} {
+		if sh == owner {
+			idx = i
+		}
+	}
+	crashAt := s.Now() + sim.Millisecond
+	s.CrashShard(idx, failure.ProcessCrash, crashAt)
+	s.Testbed().RunFor(2 * sim.Millisecond)
+
+	if _, _, ok := s.Get(key, 64); ok {
+		t.Fatal("get succeeded on a frozen shard with no replica")
+	}
+	// Sets to the dead host fail.
+	if err := s.Set(key, Value(key, 64)); err == nil {
+		t.Fatal("set succeeded on a crashed host")
+	}
+	// Ride past bootstrap + rebuild: reconnected clients serve again.
+	s.Testbed().RunFor(3 * sim.Second)
+	if err := s.Set(key, Value(key, 64)); err != nil {
+		t.Fatalf("set after recovery: %v", err)
+	}
+	val, _, ok := s.Get(key, 64)
+	if !ok || !bytes.Equal(val, Value(key, 64)) {
+		t.Fatal("get failed after recovery and reconnect")
+	}
+}
+
+// Absent-key misses execute their chains on a live NIC and must not
+// advance the crash detector: a healthy shard never gets suspected by
+// workload misses.
+func TestServiceAbsentKeysDoNotSuspect(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq, Replicas: 2,
+	})
+	if err := s.Set(1, Value(1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*DefaultSuspectAfter; i++ {
+		if _, _, ok := s.Get(100000+uint64(i), 64); ok {
+			t.Fatal("absent key found")
+		}
+	}
+	for _, sh := range s.order {
+		if sh.consecMiss != 0 || sh.suspectUntil != 0 {
+			t.Fatalf("shard %s suspected by genuine misses (consecMiss=%d)", sh.id, sh.consecMiss)
+		}
+	}
+	if _, _, ok := s.Get(1, 64); !ok {
+		t.Fatal("present key missed after absent-key run")
+	}
+}
+
+// A set refused because one owner's host is down must not have written
+// the other owners — replicas never diverge.
+func TestServiceSetAllOrNothing(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq, Replicas: 2,
+	})
+	const key = 21
+	if err := s.Set(key, Value(key, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Take one owner's host down and overwrite: the set must fail and
+	// leave BOTH owners serving the old value.
+	owner1 := s.Owners(key)[1]
+	s.shards[owner1].hostDown = true
+	if err := s.Set(key, Value(key+1, 64)); err == nil {
+		t.Fatal("set succeeded with an owner down")
+	}
+	s.shards[owner1].hostDown = false
+	for _, id := range s.Owners(key) {
+		sh := s.shards[id]
+		va, vl, ok := sh.table.Table().Lookup(key)
+		if !ok {
+			t.Fatalf("owner %s lost the key", id)
+		}
+		v, _ := sh.srv.node.Mem.Read(va, vl)
+		if !bytes.Equal(v, Value(key, 64)) {
+			t.Fatalf("owner %s diverged after a refused set", id)
+		}
+	}
+}
+
+// A set racing an in-flight get must not let the get's (stale)
+// response be admitted to the cache afterward.
+func TestServiceCacheAdmissionSetRace(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq, HotKeyCache: 8,
+	})
+	const hot = 5
+	if err := s.Set(hot, Value(hot, 64)); err != nil {
+		t.Fatal(err)
+	}
+	// Heat the key past the admission threshold WITHOUT letting any get
+	// complete yet: issue the gets, then Set v2 before running.
+	for i := 0; i < 2*cacheAdmitCount; i++ {
+		s.GetAsync(hot, 64, func(_ []byte, _ Duration, _ bool) {})
+	}
+	s.Flush()
+	if err := s.Set(hot, Value(hot+1, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.Run() // in-flight gets (which read v1 or v2) complete now
+	// Whatever happened, the next get must observe v2.
+	val, _, ok := s.Get(hot, 64)
+	if !ok || !bytes.Equal(val, Value(hot+1, 64)) {
+		t.Fatal("stale value served after a racing set")
 	}
 }
