@@ -158,3 +158,13 @@ func BenchmarkFailover(b *testing.B) {
 		report(b, experiments.Failover())
 	}
 }
+
+// BenchmarkMixed measures the fabric write path: mixed get/set
+// throughput scaling across shards (sets are NIC CAS-claim chains with
+// real modeled latency) and write availability through a process crash
+// under W-of-N quorums with hinted handoff.
+func BenchmarkMixed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.MixedWorkload())
+	}
+}

@@ -22,8 +22,8 @@ const DefaultMissTimeout = 200 * sim.Microsecond
 // the client's per-request response buffers.
 const DefaultMaxValLen = 1 << 17
 
-// Client is a remote node issuing offloaded gets against a server's
-// hash table, entirely served by the server's NIC.
+// Client is a remote node issuing offloaded gets and sets against a
+// server's hash table, entirely served by the server's NIC.
 //
 // A client keeps up to depth gets in flight on one connection: each
 // in-flight get owns one offload context of the server-side pool (the
@@ -33,6 +33,15 @@ const DefaultMaxValLen = 1 << 17
 // conditional CAS stamps into the WRITE's id field guards against
 // stragglers from timed-out instances. Trigger SENDs are posted
 // doorbell-less and kicked in batches by Flush.
+//
+// The write path mirrors the read path on a second connection: up to
+// depth sets in flight, each owning one core.SetOffload context that
+// claims the key's bucket with a CAS and repoints it at the staged
+// value (see internal/core/set.go). A set is a value WRITE into the
+// instance's staging extent followed by the trigger SEND, both
+// doorbell-less until Flush. The conditional ack WRITE completes on
+// the slot's private response QP; a failed claim leaves it a NOOP and
+// the set times out, exactly like a get miss.
 type Client struct {
 	tb    *Testbed
 	node  *fabric.Node
@@ -79,6 +88,44 @@ type Client struct {
 
 	gets, hits, misses uint64
 	maxInFlight        int
+
+	// ---- write path (structures mirror the get path) ----
+
+	cliSetQP *rnic.QP
+	spool    *core.SetPool
+
+	strig []uint64 // per-slot set-trigger buffers
+	sval  []uint64 // per-slot client-side value staging
+	sack  []uint64 // per-slot ack landing buffers
+	sfree []int
+
+	sslots   []*setReq
+	swaiting []*setReq
+	sdirty   bool // posted set WRs awaiting a doorbell
+
+	// Set chains deliver exactly one signaled ack completion per
+	// executed instance (WRITE on claim, NOOP otherwise); the same
+	// armed-vs-seen accounting as gets detects a dead server NIC.
+	sarmCount  []uint64
+	sexecSeen  []uint64
+	swedged    []bool
+	snWedged   int
+	lastSetRan bool // did the most recent failed set's chain execute?
+
+	sets, setAcks, setFails uint64
+	maxSetsInFlight         int
+}
+
+// setReq is one in-flight (or queued) set.
+type setReq struct {
+	key    uint64
+	val    []byte
+	claim  core.SetClaim
+	slot   int
+	start  sim.Time
+	cb     func(lat Duration, ok bool)
+	done   bool
+	issued bool
 }
 
 // getReq is one in-flight (or queued) get.
@@ -185,6 +232,43 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 			resp2[i].SendCQ().OnDeliver(record)
 		}
 	}
+
+	// Write path: a second connection with its own trigger RQ (so set
+	// and get arrival counters sequence independently), per-slot ack
+	// QPs, and a pool of set contexts.
+	cliSetQP, srvSetQP := t.clu.Connect(node, srv.node,
+		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
+		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
+	c.cliSetQP = cliSetQP
+	srvSetQP.RecvCQ().SetAutoDrain(true)
+	srvSetQP.SendCQ().SetAutoDrain(true)
+	sresp := make([]*rnic.QP, depth)
+	for i := 0; i < depth; i++ {
+		c.strig = append(c.strig, node.Mem.Alloc(128, 8))
+		c.sval = append(c.sval, node.Mem.Alloc(maxVal, 64))
+		c.sack = append(c.sack, node.Mem.Alloc(8, 8))
+		c.sfree = append(c.sfree, i)
+		_, sresp[i] = t.clu.Connect(node, srv.node,
+			rnic.QPConfig{SQDepth: 8, RQDepth: 8},
+			rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
+	}
+	c.sslots = make([]*setReq, depth)
+	c.sarmCount = make([]uint64, depth)
+	c.sexecSeen = make([]uint64, depth)
+	c.swedged = make([]bool, depth)
+	c.spool = core.NewSetPool(srv.builder, srvSetQP, sresp, maxVal)
+	for i := range c.spool.Ctxs {
+		slot := i
+		srecord := func(e rnic.CQE) {
+			c.sexecSeen[slot]++
+			if e.Op == wqe.OpWrite {
+				c.onSetAck(slot, e.WRID, e.At)
+			}
+			c.sreclaim(slot)
+		}
+		sresp[i].SendCQ().SetAutoDrain(true)
+		sresp[i].SendCQ().OnDeliver(srecord)
+	}
 	return c
 }
 
@@ -283,13 +367,17 @@ func (c *Client) failLater(req *getReq) {
 // Meaningful when read from within a miss callback.
 func (c *Client) LastMissExecuted() bool { return c.lastMissExecuted }
 
-// Flush rings the send doorbell once for every get posted since the
-// last flush — the client-side batching that lets a burst of same-shard
-// gets share one MMIO kick.
+// Flush rings the send doorbells once for every get and set posted
+// since the last flush — the client-side batching that lets a burst of
+// same-shard operations share one MMIO kick per path.
 func (c *Client) Flush() {
 	if c.dirty {
 		c.dirty = false
 		c.cliQP.RingSQ()
+	}
+	if c.sdirty {
+		c.sdirty = false
+		c.cliSetQP.RingSQ()
 	}
 }
 
@@ -421,4 +509,211 @@ func (c *Client) Get(key uint64, valLen uint64) ([]byte, Duration, bool) {
 		eng.RunUntil(eng.Now() + c.MissTimeout)
 	}
 	return out, lat, ok
+}
+
+// ---- write path ----
+
+// SetsInFlight returns the number of sets currently occupying slots.
+func (c *Client) SetsInFlight() int { return c.depth - len(c.sfree) - c.snWedged }
+
+// SetsQueued returns the number of sets waiting client-side for a slot.
+func (c *Client) SetsQueued() int { return len(c.swaiting) }
+
+// SetsWedged returns the number of quarantined set slots.
+func (c *Client) SetsWedged() int { return c.snWedged }
+
+// LastSetExecuted reports whether the most recent failed set's offload
+// chain executed on the server NIC (a genuine claim refusal — the
+// bucket was taken) as opposed to never running (dead connection).
+// Meaningful when read from within a failed-set callback.
+func (c *Client) LastSetExecuted() bool { return c.lastSetRan }
+
+// setClaim computes the CAS claim for key against the client's view of
+// the bound table (shared logic with the service router): overwrite in
+// place when the key sits at a reachable candidate bucket, claim the
+// first empty reachable candidate otherwise. Keys needing relocation,
+// and spilled residents only a CPU scan can reach, cannot be claimed
+// from here — that is the host's path.
+func (c *Client) setClaim(key uint64) (core.SetClaim, bool) {
+	return claimForTable(c.table.table, c.pool.Mode, key&hopscotch.KeyMask)
+}
+
+// SetAsync issues one offloaded set of value under key, computing the
+// bucket claim from the bound table, and returns immediately; cb runs
+// when the NIC's ack lands or MissTimeout expires. Sets beyond the
+// pipeline depth queue client-side. Call Flush to ring the doorbell
+// after posting a batch. A key whose candidate buckets are both taken
+// by other keys fails immediately (ok=false after a zero-cost hop):
+// relocation is host work, not a NIC claim.
+func (c *Client) SetAsync(key uint64, value []byte, cb func(lat Duration, ok bool)) {
+	if c.table == nil {
+		panic("redn: Bind a table before Set")
+	}
+	claim, ok := c.setClaim(key)
+	if !ok {
+		c.tb.clu.Eng.After(0, func() {
+			if cb != nil {
+				cb(0, false)
+			}
+		})
+		return
+	}
+	c.SetAsyncClaim(key, value, claim, cb)
+}
+
+// SetAsyncClaim is SetAsync with an explicit, caller-computed bucket
+// claim — the service layer's entry point (its router owns placement).
+func (c *Client) SetAsyncClaim(key uint64, value []byte, claim core.SetClaim, cb func(lat Duration, ok bool)) {
+	if uint64(len(value)) > c.maxVal {
+		panic(fmt.Sprintf("redn: value %d exceeds client max %d", len(value), c.maxVal))
+	}
+	req := &setReq{key: key & hopscotch.KeyMask, val: value, claim: claim, cb: cb}
+	if len(c.sfree) == 0 {
+		if c.snWedged == c.depth {
+			c.sets++
+			c.sfailLater(req)
+			return
+		}
+		c.swaiting = append(c.swaiting, req)
+		return
+	}
+	c.sissue(req)
+}
+
+// sfailLater completes req as failed one MissTimeout from now unless
+// it got issued in the meantime (a slot was reclaimed).
+func (c *Client) sfailLater(req *setReq) {
+	c.tb.clu.Eng.After(c.MissTimeout, func() {
+		if req.done || req.issued {
+			return
+		}
+		req.done = true
+		c.setFails++
+		c.lastSetRan = false
+		if req.cb != nil {
+			req.cb(c.MissTimeout, false)
+		}
+	})
+}
+
+// sissue arms one set instance, stages the value bytes and posts the
+// value WRITE plus the trigger SEND (doorbell-less; Flush kicks both).
+func (c *Client) sissue(req *setReq) {
+	slot := c.sfree[len(c.sfree)-1]
+	c.sfree = c.sfree[:len(c.sfree)-1]
+	req.slot = slot
+	req.issued = true
+	c.sslots[slot] = req
+	c.sarmCount[slot]++
+	c.sets++
+	if f := c.depth - len(c.sfree); f > c.maxSetsInFlight {
+		c.maxSetsInFlight = f
+	}
+
+	ctx := c.spool.Ctxs[slot]
+	staging := ctx.Arm()
+	c.node.Mem.Write(c.sval[slot], req.val)
+	payload := ctx.TriggerPayload(req.key, req.claim, uint64(len(req.val)), c.sack[slot])
+	c.node.Mem.Write(c.strig[slot], payload)
+
+	req.start = c.tb.clu.Eng.Now()
+	// Same QP, in order: the value lands in staging before the trigger
+	// SEND fires the claim chain.
+	c.cliSetQP.PostSend(wqe.WQE{Op: wqe.OpWrite, Src: c.sval[slot], Dst: staging,
+		Len: uint64(len(req.val))})
+	c.cliSetQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.strig[slot], Len: uint64(len(payload))})
+	c.sdirty = true
+	c.tb.clu.Eng.After(c.MissTimeout, func() { c.onSetTimeout(req) })
+}
+
+// onSetAck completes slot's in-flight set: the conditional ack WRITE
+// carries the claimed key in its id field, rejecting stragglers from
+// instances whose request already timed out.
+func (c *Client) onSetAck(slot int, key uint64, at sim.Time) {
+	req := c.sslots[slot]
+	if req == nil || req.key != key {
+		return
+	}
+	c.setAcks++
+	c.sfinish(req, at-req.start, true)
+}
+
+// onSetTimeout completes req as failed if it is still outstanding.
+func (c *Client) onSetTimeout(req *setReq) {
+	if req.done || c.sslots[req.slot] != req {
+		return
+	}
+	c.setFails++
+	c.sfinish(req, c.MissTimeout, false)
+}
+
+// sfinish mirrors finish for the write path: release the slot (or
+// quarantine it when the armed chain never executed), run the
+// callback, refill from the waiting queue.
+func (c *Client) sfinish(req *setReq, lat Duration, ok bool) {
+	req.done = true
+	c.sslots[req.slot] = nil
+	if !ok && c.sarmCount[req.slot]-c.sexecSeen[req.slot] >= 1 {
+		c.lastSetRan = false
+		c.swedged[req.slot] = true
+		c.snWedged++
+		if c.snWedged == c.depth {
+			for _, w := range c.swaiting {
+				c.sfailLater(w)
+			}
+			c.swaiting = nil
+		}
+	} else {
+		if !ok {
+			c.lastSetRan = true
+		}
+		c.sfree = append(c.sfree, req.slot)
+	}
+	if req.cb != nil {
+		req.cb(lat, ok)
+	}
+	c.spump()
+	c.Flush()
+}
+
+// sreclaim returns a quarantined set slot once its completion backlog
+// clears (the last armed chain executed on a live NIC).
+func (c *Client) sreclaim(slot int) {
+	if !c.swedged[slot] || c.sarmCount[slot]-c.sexecSeen[slot] >= 1 {
+		return
+	}
+	c.swedged[slot] = false
+	c.snWedged--
+	c.sfree = append(c.sfree, slot)
+	c.spump()
+	c.Flush()
+}
+
+// spump issues queued sets while free slots remain.
+func (c *Client) spump() {
+	for len(c.swaiting) > 0 && len(c.sfree) > 0 {
+		next := c.swaiting[0]
+		c.swaiting = c.swaiting[1:]
+		if next.done {
+			continue
+		}
+		c.sissue(next)
+	}
+}
+
+// Set performs one offloaded set, advancing the simulation until the
+// ack lands (or MissTimeout for refused claims). It returns the
+// observed latency and whether the NIC acknowledged the write.
+func (c *Client) Set(key uint64, value []byte) (Duration, bool) {
+	var (
+		lat  Duration
+		ok   bool
+		done bool
+	)
+	c.SetAsync(key, value, func(l Duration, acked bool) {
+		lat, ok, done = l, acked, true
+	})
+	c.Flush()
+	c.tb.stepUntil(&done)
+	return lat, ok
 }

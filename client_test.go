@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/sim"
 )
 
@@ -273,5 +274,184 @@ func TestClientMissesDoNotWedge(t *testing.T) {
 	// And the connection still serves hits.
 	if _, _, ok := cli.Get(1, 64); !ok {
 		t.Fatal("hit failed after a run of misses")
+	}
+}
+
+// A NIC-claimed set round-trips: the claim chain installs the key, a
+// pipelined offloaded get returns the staged bytes, and the set's
+// latency is a real fabric round trip — never zero.
+func TestClientSetRoundTrip(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(4096)
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 8)
+	cli.Bind(table)
+
+	for k := uint64(1); k <= 32; k++ {
+		lat, ok := cli.Set(k, Value(k, 64))
+		if !ok {
+			t.Fatalf("set(%d) not acknowledged", k)
+		}
+		if lat <= 0 {
+			t.Fatalf("set(%d) completed in zero virtual time — not a fabric write", k)
+		}
+	}
+	for k := uint64(1); k <= 32; k++ {
+		val, _, ok := cli.Get(k, 64)
+		if !ok {
+			t.Fatalf("get(%d) missed after NIC set", k)
+		}
+		if !bytes.Equal(val, Value(k, 64)) {
+			t.Fatalf("get(%d): wrong bytes", k)
+		}
+	}
+	if cli.setAcks != 32 || cli.setFails != 0 {
+		t.Fatalf("acks=%d fails=%d, want 32/0", cli.setAcks, cli.setFails)
+	}
+}
+
+// Overwriting through the fabric repoints the bucket at the fresh
+// staging extent: the get returns the new bytes, not the old.
+func TestClientSetOverwrite(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1024)
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 4)
+	cli.Bind(table)
+
+	const key = 9
+	if _, ok := cli.Set(key, Value(key, 64)); !ok {
+		t.Fatal("first set failed")
+	}
+	if _, ok := cli.Set(key, Value(key+100, 64)); !ok {
+		t.Fatal("overwrite set failed")
+	}
+	val, _, ok := cli.Get(key, 64)
+	if !ok || !bytes.Equal(val, Value(key+100, 64)) {
+		t.Fatal("get returned stale bytes after an overwrite")
+	}
+}
+
+// A claim whose CAS expectation is stale must be refused by the NIC —
+// the bucket keeps its resident — and surface as ok=false, with the
+// chain counted as executed (a refusal is not a dead connection).
+func TestClientSetClaimRefused(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1024)
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 4)
+	cli.Bind(table)
+
+	const key = 5
+	if _, ok := cli.Set(key, Value(key, 64)); !ok {
+		t.Fatal("setup set failed")
+	}
+	// Forge a claim that believes the key's bucket is empty: the CAS
+	// compare (expect 0) fails against the resident key.
+	ht := table.Table()
+	bucket := uint64(0)
+	for fn := 0; fn < 2; fn++ {
+		if k, _, _, ok := ht.EntryAt(ht.Hash(key, fn)); ok && k == key {
+			bucket = ht.BucketAddr(ht.Hash(key, fn))
+		}
+	}
+	if bucket == 0 {
+		t.Fatal("key not at a candidate bucket")
+	}
+	var executed bool
+	doneOK := true
+	cli.SetAsyncClaim(777, Value(777, 64),
+		// Claim key's bucket for key 777 expecting it empty.
+		coreSetClaim(bucket, 0, 777),
+		func(_ Duration, ok bool) {
+			doneOK = ok
+			executed = cli.LastSetExecuted()
+		})
+	cli.Flush()
+	tb.Run()
+	if doneOK {
+		t.Fatal("stale claim was acknowledged")
+	}
+	if !executed {
+		t.Fatal("refused claim reported as never-executed (would trip the crash detector)")
+	}
+	// The resident survived the refused claim, bit-exact.
+	val, _, ok := cli.Get(key, 64)
+	if !ok || !bytes.Equal(val, Value(key, 64)) {
+		t.Fatal("resident corrupted by a refused claim")
+	}
+}
+
+// Pipelined sets overlap on the fabric: 32 sets through an 8-deep
+// write pipeline must beat 32 blocking sets by a wide margin.
+func TestClientSetPipelineOverlaps(t *testing.T) {
+	elapsed := func(depth int) Duration {
+		tb := NewTestbed()
+		srv := tb.NewServer()
+		table := srv.NewHashTable(4096)
+		cli := tb.NewPipelinedClient(srv, LookupSeq, depth)
+		cli.Bind(table)
+		start := tb.Now()
+		done := 0
+		var lastDone Duration
+		for k := uint64(1); k <= 32; k++ {
+			key := k
+			cli.SetAsync(key, Value(key, 64), func(_ Duration, ok bool) {
+				if !ok {
+					t.Errorf("set(%d) failed", key)
+				}
+				done++
+				lastDone = tb.Now()
+			})
+		}
+		cli.Flush()
+		// Run drains the per-set timeout no-ops too, so measure the
+		// last acknowledgement, not the post-drain clock.
+		tb.Run()
+		if done != 32 {
+			t.Fatalf("completed %d of 32 sets", done)
+		}
+		if depth > 1 && cli.maxSetsInFlight < depth {
+			t.Fatalf("write pipeline never filled: high-water %d of %d", cli.maxSetsInFlight, depth)
+		}
+		return lastDone - start
+	}
+	blocking := elapsed(1)
+	piped := elapsed(8)
+	if piped*3 > blocking {
+		t.Fatalf("8-deep sets took %v vs blocking %v — no overlap", piped, blocking)
+	}
+}
+func coreSetClaim(bucket, expect, key uint64) core.SetClaim {
+	return core.SetClaim{BucketAddr: bucket, Expect: expect, New: core.ClaimCtrl(key)}
+}
+
+// Regression: a single-probe client's gets only ever read H1, so its
+// set path must refuse a key whose H1 is taken rather than claim H2 —
+// an acknowledged write the client could never read back.
+func TestClientSetSingleModeRefusesUnreachableClaim(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(256)
+	cli := tb.NewPipelinedClient(srv, LookupSingle, 4)
+	cli.Bind(table)
+	ht := table.Table()
+
+	const key = 1
+	var blocker uint64
+	for b := uint64(2); ; b++ {
+		if ht.Hash(b, 0) == ht.Hash(key, 0) {
+			blocker = b
+			break
+		}
+	}
+	if err := table.Set(blocker, Value(blocker, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cli.Set(key, Value(key, 16)); ok {
+		t.Fatal("single-mode client acked a set at a bucket its own gets never probe")
+	}
+	if _, _, ok := cli.Get(blocker, 16); !ok {
+		t.Fatal("blocker lost after the refused claim")
 	}
 }

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/hopscotch"
+	"repro/internal/rnic"
+	"repro/internal/wqe"
+)
+
+// The hash-set offload: the write-path sibling of the lookup chain.
+//
+// RedN's lookup (Fig 9) proves the NIC can run a conditional get; the
+// same self-modifying machinery runs a conditional *put*. A client set
+// is two work requests on one connection: an RDMA WRITE landing the
+// value bytes in a server-side staging extent, then a SEND whose
+// payload is scattered into a pre-armed chain. The chain claims the
+// key's bucket with a CAS against the bucket's key/control word — the
+// cuckoo table's bucket layout *is* a WQE control word, so one 64-bit
+// CAS simultaneously checks the expected occupant and installs the new
+// key — and only on a successful claim does it repoint the bucket at
+// the staged value and WRITE an acknowledgement back to the client.
+// The host CPU never runs; like the lookup, a set has no negative
+// acknowledgement (a failed claim leaves the ack WQE a NOOP and the
+// client times out).
+//
+// Chain shape, per armed instance (managed rings, ctrl-sequenced):
+//
+//	RECV      scatter claim/cond operands + bucket addrs + value len
+//	claimCAS  bucket.keyCtrl: Expect -> New      (the bucket claim)
+//	readBack  READ bucket.keyCtrl -> valWr.ctrl  (observe the claim)
+//	condCAS   valWr.ctrl: NOOP|key -> WRITE|key  (flip iff claimed)
+//	valWr     WRITE [stagingAddr, valLen] -> bucket.[valAddr, valLen]
+//	ackRead   READ valWr.ctrl -> ack.ctrl        (propagate the verdict)
+//	ack       WRITE 8B -> client ack buffer      (iff the bucket is ours)
+//
+// The ack needs no CAS of its own: after condCAS, valWr's control word
+// is WRITE|key exactly when the claim succeeded, so one READ of those
+// 8 bytes onto the ack's control word flips the ack and stamps the key
+// into its id field in a single verb.
+//
+// Values live in per-instance staging extents carved from a
+// pre-registered server arena; an overwrite installs a fresh extent
+// and leaks the old one (log-structured writes; compaction is host
+// housekeeping, out of scope).
+
+// SetClaim names the bucket a set claims and the CAS operands that
+// claim it: Expect is the bucket's current key/control word (0 for an
+// empty bucket, NOOP|key for an overwrite) and New the word installed
+// on success. The caller computes it from its view of the table — a
+// stale view fails the CAS harmlessly and the set times out.
+type SetClaim struct {
+	BucketAddr uint64
+	Expect     uint64
+	New        uint64
+}
+
+// ClaimCtrl returns the key/control word a claimed bucket holds:
+// exactly the word the lookup offload's conditional compares against.
+func ClaimCtrl(key uint64) uint64 {
+	return wqe.MakeCtrl(wqe.OpNoop, key&hopscotch.KeyMask)
+}
+
+// SetOffload is an armed conditional-put offload for one request slot
+// of a client connection's set path.
+type SetOffload struct {
+	B *Builder
+	// Trig is the server side of the connection's set-trigger QP; its
+	// RQ receives set SENDs, shared by every slot of the pool.
+	Trig *rnic.QP
+	// Resp is the slot's dedicated managed QP back to the client; the
+	// conditional ack WRITE lives on its ring (per-slot, because an
+	// ENABLE grants every earlier WQE on a ring).
+	Resp *rnic.QP
+	// MaxVal sizes the per-instance staging extents.
+	MaxVal uint64
+
+	w2 *rnic.QP // managed chain ring: claim, readback, conditionals
+	w3 *rnic.QP // managed ring for the bucket-pointer WRITE
+
+	armed uint64
+}
+
+// NewSetOffload builds one set context. trig is the server-side QP of
+// the client's set connection (managed RQ); resp a server-side managed
+// QP connected back to the client for the ack.
+func NewSetOffload(b *Builder, trig, resp *rnic.QP, maxVal uint64) *SetOffload {
+	// Per-slot rings hold one in-flight instance (ring wrap needs 2x).
+	o := &SetOffload{B: b, Trig: trig, Resp: resp, MaxVal: maxVal,
+		w2: b.NewManagedQPOnPU(2*setChainWQEs+4, -1),
+		w3: b.NewManagedQPOnPU(8, -1)}
+	// Chain verbs are posted signaled to gate the WAITs; nothing polls
+	// their CQs, so drain at delivery.
+	o.w2.SendCQ().SetAutoDrain(true)
+	o.w3.SendCQ().SetAutoDrain(true)
+	return o
+}
+
+// setChainWQEs is the busiest-ring WQE budget of one instance (w2).
+const setChainWQEs = 4
+
+// Arm posts one set instance and returns the staging extent the
+// client's value WRITE must target. Each instance serves exactly one
+// set; re-arming models the client rewriting the registered code
+// region over RDMA (§3.5), so the set path — like pre-armed lookups —
+// survives host failures that leave the NIC alive.
+func (o *SetOffload) Arm() (staging uint64) {
+	b := o.B
+	o.armed++
+	m := b.Dev.Mem()
+	staging = m.Alloc(o.MaxVal, 8)
+	// args holds the 16 bytes valWr copies over the bucket's
+	// [valAddr, valLen]: the staging address (known now) and the value
+	// length (scattered in by the trigger).
+	args := m.Alloc(16, 8)
+	m.PutU64(args, staging)
+
+	valWr := b.Post(o.w3, wqe.WQE{Op: wqe.OpNoop, Src: args, Len: 16, Flags: wqe.FlagSignaled})
+	// The ack's 8-byte payload is the staging address from args —
+	// any server-resident token works; the CQE's key-stamped id field
+	// is what the client demultiplexes on.
+	ack := b.Post(o.Resp, wqe.WQE{Op: wqe.OpNoop, Src: args, Flags: wqe.FlagSignaled})
+	claim := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS, Flags: wqe.FlagSignaled})
+	readBack := b.Post(o.w2, wqe.WQE{Op: wqe.OpRead,
+		Dst: valWr.FieldAddr(wqe.OffCtrl), Len: 8, Flags: wqe.FlagSignaled})
+	condCAS := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS,
+		Dst: valWr.FieldAddr(wqe.OffCtrl), Flags: wqe.FlagSignaled})
+	ackRead := b.Post(o.w2, wqe.WQE{Op: wqe.OpRead,
+		Src: valWr.FieldAddr(wqe.OffCtrl),
+		Dst: ack.FieldAddr(wqe.OffCtrl), Len: 8, Flags: wqe.FlagSignaled})
+
+	recvTarget := b.ExpectRecv(o.Trig, o.armed, []wqe.ScatterEntry{
+		{Addr: claim.FieldAddr(wqe.OffCmp), Len: 8},
+		{Addr: claim.FieldAddr(wqe.OffSwap), Len: 8},
+		{Addr: claim.FieldAddr(wqe.OffDst), Len: 8},
+		{Addr: readBack.FieldAddr(wqe.OffSrc), Len: 8},
+		{Addr: condCAS.FieldAddr(wqe.OffCmp), Len: 8},
+		{Addr: condCAS.FieldAddr(wqe.OffSwap), Len: 8},
+		{Addr: valWr.FieldAddr(wqe.OffDst), Len: 8},
+		{Addr: args + 8, Len: 8},
+		{Addr: ack.FieldAddr(wqe.OffDst), Len: 8},
+		{Addr: ack.FieldAddr(wqe.OffLen), Len: 8},
+	})
+	b.WaitRecv(o.Trig, recvTarget)
+	for _, step := range []StepRef{claim, readBack, condCAS, valWr, ackRead} {
+		b.Enable(step)
+		b.WaitStep(step)
+	}
+	b.Enable(ack)
+	b.Ctrl.RingSQ()
+	return staging
+}
+
+// Armed returns the number of set instances armed so far.
+func (o *SetOffload) Armed() uint64 { return o.armed }
+
+// SetWRsPerOp reports the work requests one armed set posts — the
+// write path's Table 2-style budget: RECV + 6 data verbs, and the WAIT
+// and ENABLE verbs sequencing them.
+func SetWRsPerOp() (data, sync int) { return 7, 12 }
+
+// TriggerPayload builds the client SEND payload for a set of key under
+// claim, writing valLen staged bytes and acking 8 bytes into the
+// client-side ackAddr. Field order matches Arm's scatter list.
+func (o *SetOffload) TriggerPayload(key uint64, claim SetClaim, valLen, ackAddr uint64) []byte {
+	xc := wqe.MakeCtrl(wqe.OpNoop, key&hopscotch.KeyMask)
+	xw := wqe.MakeCtrl(wqe.OpWrite, key&hopscotch.KeyMask)
+	fields := []uint64{
+		claim.Expect, claim.New, claim.BucketAddr, // claim CAS
+		claim.BucketAddr, // readback source
+		xc, xw,           // conditional flip of the value-pointer WRITE
+		claim.BucketAddr + hopscotch.OffValAddr, valLen, // bucket repoint
+		ackAddr, 8, // ack destination and length
+	}
+	out := make([]byte, len(fields)*8)
+	for i, f := range fields {
+		binary.BigEndian.PutUint64(out[i*8:], f)
+	}
+	return out
+}
+
+// SetPool is a pool of K independent set contexts sharing one client
+// connection's trigger RQ — the server-side substrate of the pipelined
+// write path, mirroring LookupPool: per-slot private control queues
+// and chain rings spread over the port's PUs, WAITs targeting absolute
+// arrival counts of the shared trigger CQ so the j-th armed chain
+// fires on the j-th set SEND regardless of which slot owns it.
+type SetPool struct {
+	Trig *rnic.QP
+	Ctxs []*SetOffload
+}
+
+// NewSetPool builds K = len(resp) set contexts over the trig
+// connection. resp are server-side managed QPs connected back to the
+// client, one per context, carrying the conditional acks.
+func NewSetPool(b *Builder, trig *rnic.QP, resp []*rnic.QP, maxVal uint64) *SetPool {
+	if len(resp) == 0 {
+		panic("core: SetPool needs at least one response QP")
+	}
+	p := &SetPool{Trig: trig}
+	const ctrlDepth = 64
+	for i := range resp {
+		cb := b.SubBuilder(ctrlDepth, -1)
+		p.Ctxs = append(p.Ctxs, NewSetOffload(cb, trig, resp[i], maxVal))
+	}
+	return p
+}
+
+// Depth returns the number of contexts (max overlapping sets).
+func (p *SetPool) Depth() int { return len(p.Ctxs) }
+
+// Arm arms one instance on context i and returns its staging extent.
+// As with LookupPool, the caller must send triggers in global arm
+// order — arrival order sequences the shared trigger CQ.
+func (p *SetPool) Arm(i int) (staging uint64) { return p.Ctxs[i].Arm() }

@@ -38,6 +38,9 @@ type Table struct {
 	base     uint64
 	nBuckets uint64
 	entries  int
+
+	kicks uint64 // residents displaced across all inserts
+	fulls uint64 // inserts that exhausted MaxKicks and rolled back
 }
 
 // New allocates a table with nBuckets (rounded to a power of two).
@@ -57,6 +60,15 @@ func (t *Table) Size() uint64 { return t.nBuckets * BucketSize }
 
 // Len returns the entry count.
 func (t *Table) Len() int { return t.entries }
+
+// Kicks returns the total residents displaced by inserts — the
+// write-amplification signal behind §5.4's placement discussion.
+func (t *Table) Kicks() uint64 { return t.kicks }
+
+// Fulls returns how many inserts exhausted MaxKicks and were rolled
+// back (each returned ErrFull); Fulls grows only when a displacement
+// chain truly ran dry, never on a successful placement.
+func (t *Table) Fulls() uint64 { return t.fulls }
 
 func (t *Table) hash(k uint64, fn int) uint64 {
 	x := k & KeyMask
@@ -136,6 +148,7 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 			return nil
 		}
 		// Displace the resident to its other candidate bucket.
+		t.kicks++
 		trail = append(trail, move{addr: addr, kc: resKC, va: resVA, vl: resVL})
 		t.writeBucket(addr, curKC, curVA, curVL)
 		curKC, curVA, curVL = resKC, resVA, resVL
@@ -150,6 +163,7 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 	}
 	// Displacement chain exhausted: undo every move so no resident is
 	// lost, then report full.
+	t.fulls++
 	for i := len(trail) - 1; i >= 0; i-- {
 		m := trail[i]
 		t.writeBucket(m.addr, m.kc, m.va, m.vl)

@@ -1,6 +1,7 @@
 package cuckoo
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -128,5 +129,74 @@ func TestCuckooProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: random interleaved Insert/Delete/Lookup sequences never
+// lose an acknowledged key, ErrFull always rolls back cleanly (every
+// resident survives, bit-exact), and the Fulls counter grows exactly
+// when MaxKicks was exhausted — never on a successful placement.
+func TestCuckooPropertyRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tbl := newTable(128) // small table: displacement chains exhaust for real
+	type ent struct{ va, vl uint64 }
+	model := map[uint64]ent{}
+
+	checkAll := func(step int) {
+		for k, e := range model {
+			va, vl, ok := tbl.Lookup(k)
+			if !ok {
+				t.Fatalf("step %d: acked key %d lost", step, k)
+			}
+			if va != e.va || vl != e.vl {
+				t.Fatalf("step %d: key %d has (%#x,%d), want (%#x,%d)", step, k, va, vl, e.va, e.vl)
+			}
+		}
+		if tbl.Len() != len(model) {
+			t.Fatalf("step %d: table len %d, model %d", step, tbl.Len(), len(model))
+		}
+	}
+
+	for i := 0; i < 4000; i++ {
+		key := uint64(rng.Intn(200) + 1)
+		switch op := rng.Intn(10); {
+		case op < 6: // insert/overwrite
+			va, vl := uint64(0x1000+i*8), uint64(rng.Intn(100)+1)
+			fullsBefore := tbl.Fulls()
+			err := tbl.Insert(key, va, vl)
+			if err == nil {
+				if tbl.Fulls() != fullsBefore {
+					t.Fatalf("step %d: Fulls grew on a successful insert", i)
+				}
+				model[key] = ent{va, vl}
+			} else {
+				if err != ErrFull {
+					t.Fatalf("step %d: unexpected insert error %v", i, err)
+				}
+				if tbl.Fulls() != fullsBefore+1 {
+					t.Fatalf("step %d: ErrFull without a Fulls increment", i)
+				}
+				// Rollback must leave every acked key untouched.
+				checkAll(i)
+			}
+		case op < 8: // delete
+			_, acked := model[key]
+			if tbl.Delete(key) != acked {
+				t.Fatalf("step %d: delete(%d) disagrees with model", i, key)
+			}
+			delete(model, key)
+		default: // lookup of a random (possibly absent) key
+			_, _, ok := tbl.Lookup(key)
+			if _, acked := model[key]; ok != acked {
+				t.Fatalf("step %d: lookup(%d)=%v disagrees with model", i, key, ok)
+			}
+		}
+	}
+	checkAll(4000)
+	if tbl.Fulls() == 0 {
+		t.Fatal("run never exhausted a displacement chain — table too large to exercise rollback")
+	}
+	if tbl.Kicks() == 0 {
+		t.Fatal("run never displaced a resident — no cuckoo behavior exercised")
 	}
 }

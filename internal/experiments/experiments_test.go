@@ -83,8 +83,8 @@ func TestByIDAndIDs(t *testing.T) {
 	if ByID("fig99") != nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 17 {
-		t.Fatalf("IDs() = %d entries, want 17 (every table and figure, plus scaleout, hotkey, failover)", len(IDs()))
+	if len(IDs()) != 18 {
+		t.Fatalf("IDs() = %d entries, want 18 (every table and figure, plus scaleout, hotkey, failover, mixed)", len(IDs()))
 	}
 	for _, id := range IDs() {
 		if id == "fig16" || id == "fig15" || id == "fig14" || id == "fig13" ||

@@ -182,6 +182,32 @@ func (t *Table) InsertAt(key, valAddr, valLen uint64, fn, d int) error {
 	return nil
 }
 
+// WriteBucket stores key -> (valAddr, valLen) directly into bucket i,
+// overwriting any occupant — the restore primitive behind kick-walk
+// rollback, where an evictee (possibly a spilled resident that lives
+// at neither of its candidate buckets) must go back to exactly the
+// bucket it was taken from.
+func (t *Table) WriteBucket(i, key, valAddr, valLen uint64) error {
+	if key&^KeyMask != 0 {
+		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
+	}
+	addr := t.BucketAddr(i)
+	prev, _ := t.mem.U64(addr + OffKeyCtrl)
+	if err := t.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
+		return err
+	}
+	if err := t.mem.PutU64(addr+OffValAddr, valAddr); err != nil {
+		return err
+	}
+	if err := t.mem.PutU64(addr+OffValLen, valLen); err != nil {
+		return err
+	}
+	if prev == 0 {
+		t.entries++
+	}
+	return nil
+}
+
 // EntryAt reports the entry stored in bucket i (ok=false when empty).
 // The service layer's placement uses it to find cuckoo-kick victims.
 func (t *Table) EntryAt(i uint64) (key, valAddr, valLen uint64, ok bool) {

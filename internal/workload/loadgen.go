@@ -6,13 +6,13 @@ import (
 	"repro/internal/sim"
 )
 
-// AsyncKV is the service surface the closed-loop generator drives:
-// host-side sets and pipelined asynchronous gets. redn.Service
-// implements it.
+// AsyncKV is the service surface the load generators drive: pipelined
+// asynchronous gets AND sets — both travel the fabric and both have
+// real modeled latency. redn.Service implements it.
 type AsyncKV interface {
-	Set(key uint64, value []byte) error
+	SetAsync(key uint64, value []byte, cb func(lat sim.Time, err error))
 	GetAsync(key, valLen uint64, cb func(val []byte, lat sim.Time, ok bool))
-	// Flush kicks doorbells for gets posted since the last flush.
+	// Flush kicks doorbells for operations posted since the last flush.
 	Flush()
 }
 
@@ -21,55 +21,63 @@ type ClosedLoopConfig struct {
 	// Requests is the total operation count (gets + sets).
 	Requests int
 	// Window is the number of concurrent closed-loop users: each keeps
-	// exactly one get outstanding, issuing its next operation when the
+	// exactly one operation outstanding, issuing its next when the
 	// previous completes.
 	Window int
 	// Keys yields the access pattern (Uniform, Zipfian, Sequential).
 	Keys KeyStream
-	// ValLen is the value size gets request.
+	// ValLen is the value size gets request and sets store.
 	ValLen uint64
 	// WriteEvery makes every n-th operation of a user a set (0 = pure
-	// reads). Sets are host-side writes and complete immediately — the
-	// paper's Memcached keeps writes on the CPU path (§5.4) — so they
-	// consume an operation slot but never block the user's loop.
+	// reads). Sets go through the fabric write path — a NIC CAS-claim
+	// chain per replica owner — so they occupy the user's loop slot
+	// until the write quorum acknowledges, exactly like gets.
 	WriteEvery int
 }
 
-// LoadReport summarizes a run. Latency percentiles cover gets only
-// (misses included, at the configured timeout); throughput is completed
-// gets per virtual second over the span from first issue to last
-// completion.
+// LoadReport summarizes a run. Get latency percentiles cover gets only
+// (misses included, at the configured timeout); set percentiles cover
+// the write path's quorum-ack latency. Throughput rates divide each
+// operation class by the span from first issue to last completion.
 type LoadReport struct {
 	Requests int
 	Gets     int
 	Sets     int
 	Hits     int
 	Misses   int
+	SetErrs  int // sets that failed their write quorum
 
 	Elapsed    sim.Time
 	GetsPerSec float64
+	SetsPerSec float64
 
-	Avg, P50, P99, P999 sim.Time
+	Avg, P50, P99, P999    sim.Time
+	SetAvg, SetP50, SetP99 sim.Time
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf("%d ops (%d gets, %d sets, %d misses) in %v: %.0f gets/s, p50=%v p99=%v p999=%v",
-		r.Requests, r.Gets, r.Sets, r.Misses, r.Elapsed, r.GetsPerSec, r.P50, r.P99, r.P999)
+	return fmt.Sprintf("%d ops (%d gets, %d sets, %d misses, %d set errs) in %v: %.0f gets/s %.0f sets/s, p50=%v p99=%v p999=%v set-p50=%v set-p99=%v",
+		r.Requests, r.Gets, r.Sets, r.Misses, r.SetErrs, r.Elapsed,
+		r.GetsPerSec, r.SetsPerSec, r.P50, r.P99, r.P999, r.SetP50, r.SetP99)
 }
 
 // OpenLoopConfig shapes a paced, timeline-bucketed run — the Fig 16
 // measurement style: requests issue at a fixed gap regardless of
-// completions, and successful gets are counted into fixed-width time
-// buckets so outages appear as rate dips.
+// completions, and successful operations are counted into fixed-width
+// time buckets so outages appear as rate dips. With WriteEvery set,
+// every n-th issue is a set, and acknowledged writes are bucketed
+// separately — a write outage is visible even while reads survive.
 type OpenLoopConfig struct {
 	Duration sim.Time // how long to keep issuing
-	Gap      sim.Time // one get per gap
+	Gap      sim.Time // one operation per gap
 	Bucket   sim.Time // timeline bucket width
 	Keys     KeyStream
 	ValLen   uint64
-	// Classify tags each request with a class in [0, Classes); hits are
-	// counted per class and bucket (e.g. "keys owned by the crashed
-	// shard" versus the rest). Nil puts everything in class 0.
+	// WriteEvery makes every n-th issued operation a set (0 = reads only).
+	WriteEvery int
+	// Classify tags each request with a class in [0, Classes); hits and
+	// acked writes are counted per class and bucket (e.g. "keys owned by
+	// the crashed shard" versus the rest). Nil puts everything in class 0.
 	Classify func(key uint64) int
 	Classes  int
 }
@@ -79,15 +87,16 @@ type OpenLoopReport struct {
 	Issued, Hits, Misses int
 	// Series[class][bucket] counts hits completed in that bucket.
 	Series [][]float64
+
+	SetsIssued, SetsAcked, SetErrs int
+	// SetSeries[class][bucket] counts quorum-acknowledged writes.
+	SetSeries [][]float64
 }
 
-// BucketsBelow counts buckets of class cls in [from, to) whose hit
-// count is strictly below threshold. Counts are integers, so a
-// threshold of 0.5 counts full-outage (zero-hit) buckets and
-// steady/2 counts half-rate buckets.
-func (r OpenLoopReport) BucketsBelow(cls, from, to int, threshold float64) int {
+// bucketsBelow counts buckets of s in [from, to) strictly below
+// threshold.
+func bucketsBelow(s []float64, from, to int, threshold float64) int {
 	n := 0
-	s := r.Series[cls]
 	for i := from; i < to && i < len(s); i++ {
 		if s[i] < threshold {
 			n++
@@ -96,10 +105,25 @@ func (r OpenLoopReport) BucketsBelow(cls, from, to int, threshold float64) int {
 	return n
 }
 
-// RunOpenLoop issues one get per Gap for Duration, advancing eng until
-// the issue window closes (stragglers completing after Duration are
-// not counted — as in the paper's fixed-window timeline). The engine's
-// pending work (e.g. scheduled recovery events) is left in place.
+// BucketsBelow counts get buckets of class cls in [from, to) whose hit
+// count is strictly below threshold. Counts are integers, so a
+// threshold of 0.5 counts full-outage (zero-hit) buckets and
+// steady/2 counts half-rate buckets.
+func (r OpenLoopReport) BucketsBelow(cls, from, to int, threshold float64) int {
+	return bucketsBelow(r.Series[cls], from, to, threshold)
+}
+
+// SetBucketsBelow is BucketsBelow over the acked-write timeline: a
+// threshold of 0.5 counts write-outage buckets.
+func (r OpenLoopReport) SetBucketsBelow(cls, from, to int, threshold float64) int {
+	return bucketsBelow(r.SetSeries[cls], from, to, threshold)
+}
+
+// RunOpenLoop issues one operation per Gap for Duration, advancing eng
+// until the issue window closes (stragglers completing after Duration
+// are not counted — as in the paper's fixed-window timeline). The
+// engine's pending work (e.g. scheduled recovery events) is left in
+// place.
 func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport {
 	if cfg.Gap <= 0 || cfg.Duration <= 0 {
 		panic("workload: RunOpenLoop needs positive Gap and Duration")
@@ -113,12 +137,17 @@ func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport
 	if cfg.Classes < 1 {
 		cfg.Classes = 1
 	}
-	rep := OpenLoopReport{Series: make([][]float64, cfg.Classes)}
+	rep := OpenLoopReport{
+		Series:    make([][]float64, cfg.Classes),
+		SetSeries: make([][]float64, cfg.Classes),
+	}
 	nb := int(cfg.Duration / cfg.Bucket)
-	for c := range rep.Series {
+	for c := 0; c < cfg.Classes; c++ {
 		rep.Series[c] = make([]float64, nb)
+		rep.SetSeries[c] = make([]float64, nb)
 	}
 	start := eng.Now()
+	opN := 0
 	var issue func()
 	issue = func() {
 		if eng.Now()-start >= cfg.Duration {
@@ -129,17 +158,32 @@ func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport
 		if cfg.Classify != nil {
 			cls = cfg.Classify(key)
 		}
-		rep.Issued++
-		kv.GetAsync(key, cfg.ValLen, func(_ []byte, _ sim.Time, ok bool) {
-			if !ok {
-				rep.Misses++
-				return
-			}
-			rep.Hits++
-			if idx := int((eng.Now() - start) / cfg.Bucket); idx >= 0 && idx < nb {
-				rep.Series[cls][idx]++
-			}
-		})
+		opN++
+		if cfg.WriteEvery > 0 && opN%cfg.WriteEvery == 0 {
+			rep.SetsIssued++
+			kv.SetAsync(key, Value(key, int(cfg.ValLen)), func(_ sim.Time, err error) {
+				if err != nil {
+					rep.SetErrs++
+					return
+				}
+				rep.SetsAcked++
+				if idx := int((eng.Now() - start) / cfg.Bucket); idx >= 0 && idx < nb {
+					rep.SetSeries[cls][idx]++
+				}
+			})
+		} else {
+			rep.Issued++
+			kv.GetAsync(key, cfg.ValLen, func(_ []byte, _ sim.Time, ok bool) {
+				if !ok {
+					rep.Misses++
+					return
+				}
+				rep.Hits++
+				if idx := int((eng.Now() - start) / cfg.Bucket); idx >= 0 && idx < nb {
+					rep.Series[cls][idx]++
+				}
+			})
+		}
 		kv.Flush()
 		eng.After(cfg.Gap, issue)
 	}
@@ -149,9 +193,9 @@ func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport
 }
 
 // RunClosedLoop drives kv with Window concurrent users until Requests
-// operations have been issued and every get has completed, advancing
-// eng as needed. The engine must be otherwise idle: the run owns the
-// virtual clock until it returns.
+// operations have been issued and every operation has completed,
+// advancing eng as needed. The engine must be otherwise idle: the run
+// owns the virtual clock until it returns.
 func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport {
 	if cfg.Window < 1 {
 		cfg.Window = 1
@@ -163,38 +207,48 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 		cfg.ValLen = 64
 	}
 
-	stats := &sim.LatencyStats{}
+	getStats := &sim.LatencyStats{}
+	setStats := &sim.LatencyStats{}
 	rep := LoadReport{Requests: cfg.Requests}
 	start := eng.Now()
 	lastDone := start
 	issued := 0
 
-	// user is one closed-loop client: it burns through host-side sets
-	// without blocking, then issues a single get and waits for it.
+	// user is one closed-loop client: it keeps exactly one operation —
+	// get or set — outstanding at a time. Sets block the loop slot for
+	// their quorum-ack latency, just as gets block for their response.
 	var user func()
 	user = func() {
-		for issued < cfg.Requests {
-			issued++
-			key := cfg.Keys.Next()
-			if cfg.WriteEvery > 0 && issued%cfg.WriteEvery == 0 {
-				rep.Sets++
-				kv.Set(key, Value(key, int(cfg.ValLen)))
-				continue
-			}
-			rep.Gets++
-			kv.GetAsync(key, cfg.ValLen, func(_ []byte, lat sim.Time, ok bool) {
-				if ok {
-					rep.Hits++
-				} else {
-					rep.Misses++
+		if issued >= cfg.Requests {
+			return
+		}
+		issued++
+		key := cfg.Keys.Next()
+		if cfg.WriteEvery > 0 && issued%cfg.WriteEvery == 0 {
+			rep.Sets++
+			kv.SetAsync(key, Value(key, int(cfg.ValLen)), func(lat sim.Time, err error) {
+				if err != nil {
+					rep.SetErrs++
 				}
-				stats.Add(lat)
+				setStats.Add(lat)
 				lastDone = eng.Now()
 				user()
 				kv.Flush()
 			})
 			return
 		}
+		rep.Gets++
+		kv.GetAsync(key, cfg.ValLen, func(_ []byte, lat sim.Time, ok bool) {
+			if ok {
+				rep.Hits++
+			} else {
+				rep.Misses++
+			}
+			getStats.Add(lat)
+			lastDone = eng.Now()
+			user()
+			kv.Flush()
+		})
 	}
 	for i := 0; i < cfg.Window && issued < cfg.Requests; i++ {
 		user()
@@ -203,12 +257,20 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 	eng.Run()
 
 	rep.Elapsed = lastDone - start
-	if rep.Elapsed > 0 && rep.Gets > 0 {
-		rep.GetsPerSec = float64(rep.Gets) / rep.Elapsed.Seconds()
+	if rep.Elapsed > 0 {
+		if rep.Gets > 0 {
+			rep.GetsPerSec = float64(rep.Gets) / rep.Elapsed.Seconds()
+		}
+		if rep.Sets > 0 {
+			rep.SetsPerSec = float64(rep.Sets) / rep.Elapsed.Seconds()
+		}
 	}
-	rep.Avg = stats.Avg()
-	rep.P50 = stats.Percentile(50)
-	rep.P99 = stats.Percentile(99)
-	rep.P999 = stats.Percentile(99.9)
+	rep.Avg = getStats.Avg()
+	rep.P50 = getStats.Percentile(50)
+	rep.P99 = getStats.Percentile(99)
+	rep.P999 = getStats.Percentile(99.9)
+	rep.SetAvg = setStats.Avg()
+	rep.SetP50 = setStats.Percentile(50)
+	rep.SetP99 = setStats.Percentile(99)
 	return rep
 }

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"sort"
 	"testing"
@@ -102,21 +103,40 @@ func TestValueRoundTrip(t *testing.T) {
 	}
 }
 
-// fakeKV completes every get after a fixed simulated delay, with
-// capacity for arbitrarily many in flight — lets the closed-loop
-// driver's accounting be checked exactly.
+// fakeKV completes every operation after a fixed simulated delay, with
+// capacity for arbitrarily many in flight — lets the load drivers'
+// accounting be checked exactly. setsDown makes SetAsync fail while
+// true (write-outage injection).
 type fakeKV struct {
-	eng     *sim.Engine
-	store   map[uint64][]byte
-	delay   sim.Time
-	flushes int
-	pending int
-	maxPend int
+	eng      *sim.Engine
+	store    map[uint64][]byte
+	delay    sim.Time
+	flushes  int
+	pending  int
+	maxPend  int
+	setsDown bool
 }
 
-func (f *fakeKV) Set(key uint64, value []byte) error {
+// Set is the host-side preload helper (tests populate the store
+// synchronously before driving the async surface).
+func (f *fakeKV) Set(key uint64, value []byte) {
 	f.store[key] = value
-	return nil
+}
+
+func (f *fakeKV) SetAsync(key uint64, value []byte, cb func(sim.Time, error)) {
+	f.pending++
+	if f.pending > f.maxPend {
+		f.maxPend = f.pending
+	}
+	f.eng.After(f.delay, func() {
+		f.pending--
+		if f.setsDown {
+			cb(f.delay, errTestSetsDown)
+			return
+		}
+		f.store[key] = value
+		cb(f.delay, nil)
+	})
 }
 
 func (f *fakeKV) GetAsync(key, valLen uint64, cb func([]byte, sim.Time, bool)) {
@@ -132,6 +152,8 @@ func (f *fakeKV) GetAsync(key, valLen uint64, cb func([]byte, sim.Time, bool)) {
 }
 
 func (f *fakeKV) Flush() { f.flushes++ }
+
+var errTestSetsDown = errors.New("sets down")
 
 func TestRunClosedLoopAccounting(t *testing.T) {
 	eng := sim.NewEngine()
@@ -169,18 +191,26 @@ func TestRunClosedLoopAccounting(t *testing.T) {
 	if rep.P50 != 2*sim.Microsecond || rep.P999 != 2*sim.Microsecond {
 		t.Fatalf("latency percentiles %v/%v, want the fixed 2us delay", rep.P50, rep.P999)
 	}
-	// 300 gets, 8 at a time, 2us each: elapsed ~ 300/8*2us; throughput
-	// must be close to window/delay.
-	wantRate := 8.0 / (2e-6)
+	if rep.SetP50 != 2*sim.Microsecond || rep.SetErrs != 0 {
+		t.Fatalf("set p50 %v errs %d, want the fixed delay and none", rep.SetP50, rep.SetErrs)
+	}
+	// 400 ops (3/4 gets), 8 at a time, 2us each: get throughput is the
+	// gets' share of window/delay.
+	wantRate := 8.0 * 0.75 / (2e-6)
 	if math.Abs(rep.GetsPerSec-wantRate)/wantRate > 0.1 {
 		t.Fatalf("throughput %.0f, want ~%.0f", rep.GetsPerSec, wantRate)
+	}
+	wantSetRate := 8.0 * 0.25 / (2e-6)
+	if math.Abs(rep.SetsPerSec-wantSetRate)/wantSetRate > 0.1 {
+		t.Fatalf("set throughput %.0f, want ~%.0f", rep.SetsPerSec, wantSetRate)
 	}
 	if kv.flushes == 0 {
 		t.Fatal("driver never flushed")
 	}
 }
 
-// A pure-write run must terminate without engine involvement.
+// A pure-write run drives every operation through the async write path
+// and accounts its latency like gets.
 func TestRunClosedLoopAllWrites(t *testing.T) {
 	eng := sim.NewEngine()
 	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: sim.Microsecond}
@@ -192,6 +222,12 @@ func TestRunClosedLoopAllWrites(t *testing.T) {
 	}
 	if len(kv.store) != 10 {
 		t.Fatalf("store has %d keys", len(kv.store))
+	}
+	if rep.SetP50 != sim.Microsecond {
+		t.Fatalf("set p50 %v, want the fixed 1us delay", rep.SetP50)
+	}
+	if kv.maxPend != 4 {
+		t.Fatalf("window 4 not honored by writes: max %d in flight", kv.maxPend)
 	}
 }
 
@@ -242,5 +278,47 @@ func TestRunOpenLoopTimeline(t *testing.T) {
 	steady := rep.Series[1][2]
 	if got := rep.BucketsBelow(1, 0, 10, steady/2); got != 0 {
 		t.Fatalf("odd keys below half rate in %d buckets, want 0", got)
+	}
+}
+
+// With WriteEvery, the open loop interleaves paced writes, buckets the
+// acked ones per class, and a write outage shows up in SetSeries while
+// the read timeline stays untouched.
+func TestRunOpenLoopWriteTimeline(t *testing.T) {
+	eng := sim.NewEngine()
+	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: sim.Microsecond}
+	ks := seqKeys(10)
+	for _, k := range ks {
+		kv.Set(k, Value(k, 8))
+	}
+	// Writes go dark for the middle of the run; reads keep serving.
+	eng.At(400*sim.Microsecond, func() { kv.setsDown = true })
+	eng.At(700*sim.Microsecond, func() { kv.setsDown = false })
+	rep := RunOpenLoop(eng, kv, OpenLoopConfig{
+		Duration:   sim.Millisecond,
+		Gap:        10 * sim.Microsecond,
+		Bucket:     100 * sim.Microsecond,
+		Keys:       &Sequential{Keys: ks},
+		ValLen:     8,
+		WriteEvery: 2,
+	})
+	if rep.Issued != 50 || rep.SetsIssued != 50 {
+		t.Fatalf("issued %d gets / %d sets, want 50/50", rep.Issued, rep.SetsIssued)
+	}
+	if rep.SetsAcked+rep.SetErrs != rep.SetsIssued {
+		t.Fatalf("acked %d + errs %d != issued %d", rep.SetsAcked, rep.SetErrs, rep.SetsIssued)
+	}
+	if rep.SetErrs == 0 {
+		t.Fatal("write outage produced no set errors")
+	}
+	// Write buckets 4-6 are dark (the outage window), read buckets never.
+	if got := rep.SetBucketsBelow(0, 4, 7, 0.5); got != 3 {
+		t.Fatalf("write outage spans %d buckets, want 3", got)
+	}
+	if got := rep.SetBucketsBelow(0, 0, 4, 0.5); got != 0 {
+		t.Fatalf("pre-outage write buckets dark: %d", got)
+	}
+	if got := rep.BucketsBelow(0, 0, 10, 0.5); got != 0 {
+		t.Fatalf("read timeline dark in %d buckets despite write-only outage", got)
 	}
 }

@@ -22,14 +22,17 @@
 //	cli := tb.NewClient(srv, redn.LookupSingle)
 //	val, lat, _ := cli.Get(42, 5)
 //
-// Beyond the paper, Service scales the offloaded get path out: a
-// consistent-hash ring shards keys across N server NICs, and each
-// client connection keeps K gets in flight over a pool of independent
-// offload contexts:
+// Beyond the paper, Service scales both offloaded paths out: a
+// consistent-hash ring shards keys across N server NICs, each client
+// connection keeps K gets and K sets in flight over pools of
+// independent offload contexts, and writes claim their cuckoo bucket
+// with a NIC-side CAS on every replica owner (W-of-N quorum, hinted
+// handoff across crashes):
 //
 //	s := redn.NewService(8, 2) // 8 shards, 2 pipelined clients each
-//	s.Set(42, []byte("hello"))
+//	s.Set(42, []byte("hello")) // fabric write: CAS claim + staged value
 //	s.GetAsync(42, 5, func(val []byte, lat redn.Duration, ok bool) { ... })
+//	s.SetAsync(42, []byte("world"), func(lat redn.Duration, err error) { ... })
 //	s.Flush()
 //	s.Run()
 package redn
@@ -79,6 +82,19 @@ func (t *Testbed) Now() Duration { return t.clu.Eng.Now() }
 
 // Engine exposes the discrete-event engine driving the testbed.
 func (t *Testbed) Engine() *sim.Engine { return t.clu.Eng }
+
+// stepUntil advances the simulation in fine slices until *done flips
+// or no work remains, and reports whether it flipped — the shared
+// drive loop of the blocking Set wrappers. Slices stay small so bulk
+// preloads cannot skew experiment timelines scheduled in absolute
+// virtual time.
+func (t *Testbed) stepUntil(done *bool) bool {
+	eng := t.clu.Eng
+	for !*done && eng.Pending() > 0 {
+		eng.RunUntil(eng.Now() + 2*sim.Microsecond)
+	}
+	return *done
+}
 
 // Server is a node hosting RedN offloads.
 type Server struct {

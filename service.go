@@ -69,6 +69,14 @@ type ServiceConfig struct {
 	Mode            LookupMode // probe strategy of every offload context
 	Replicas        int        // ring owners written per Set (>=1)
 
+	// WriteQuorum is W of the W-of-N write quorum: a set acknowledges
+	// once W of its Replicas owners have applied it; the remaining
+	// owners complete in the background (or via hinted handoff when
+	// down). 0 selects write-all (W = Replicas), under which any owner
+	// failure surfaces as a *QuorumError — with the replicas that did
+	// apply rolled forward through hints, never rolled back.
+	WriteQuorum int
+
 	ReadPolicy  ReadPolicy // which replica owner serves a get
 	HotKeyTrack int        // top-k tracker size (0 = 64 when hot routing/caching is on)
 	HotKeyCache int        // client-side hot-value cache entries (0 = disabled)
@@ -118,12 +126,21 @@ type serviceShard struct {
 	rr      int            // round-robin client cursor
 
 	// Crash-detection state, driven purely by observed timeouts.
-	hostDown     bool     // host-side service (sets) unavailable
+	hostDown     bool     // host-side service (kick-path sets) unavailable
 	consecMiss   int      // timeouts since the last confirmed hit
 	suspectUntil sim.Time // while Now < this, gets prefer other owners
 
+	// Write-path state: hints hold the newest value each down owner is
+	// missing (hinted handoff), inflightSet serializes same-key sets so
+	// per-key order survives the pipelined fabric.
+	hints       map[uint64]*hint
+	inflightSet map[uint64][]func()
+
 	sets, spills, gets uint64
 	rebuilds           uint64 // client reconnects after process crashes
+
+	fabricSets, hostSets                    uint64
+	hintsQueued, hintsApplied, hintsDropped uint64
 }
 
 // inflight sums outstanding and queued gets across the shard's client
@@ -141,10 +158,13 @@ func (sh *serviceShard) suspect(now sim.Time) bool { return now < sh.suspectUnti
 
 // Service is a sharded key-value service served entirely by NICs: a
 // consistent-hash ring routes 48-bit keys across N server nodes, each
-// running a hopscotch table and a pre-armed LookupOffload pool per
-// client connection. Gets are asynchronous and pipelined; sets are
-// host-side writes (the paper's Memcached modification keeps writes on
-// the CPU path, §5.4).
+// running a hopscotch table with a pre-armed LookupOffload pool and a
+// SetOffload pool per client connection. Gets and sets are both
+// asynchronous and pipelined through the fabric: a set claims the
+// key's bucket with a NIC-side CAS on each of its replica owners and
+// acknowledges at a W-of-N quorum, with hinted handoff carrying the
+// write to owners that were down (see service_write.go). Only the
+// cuckoo-kick relocation path still runs on the host CPU.
 type Service struct {
 	cfg    ServiceConfig
 	tb     *Testbed
@@ -157,8 +177,29 @@ type Service struct {
 	setEpoch map[uint64]uint64 // per-key write counter guarding cache admission
 	rrSpread int               // rotation cursor for spreading policies
 
-	hits, misses       uint64
-	retries, cacheHits uint64
+	// nextSeq issues per-key write sequence numbers: the coordinator
+	// serializes same-key writes, and hints carry their sequence so a
+	// drain can never resurrect a superseded value.
+	nextSeq map[uint64]uint64
+	// unsettled counts writes per key that some owner has not yet
+	// resolved (applied, drained, or superseded). While nonzero, a
+	// lagging replica may legally serve an older value — so the cache
+	// must not admit reads of the key (a stale admission would outlive
+	// the lag it came from).
+	unsettled map[uint64]int
+
+	// settleHook, when set (tests), runs once per write when every
+	// owner has resolved it: applied, drained, or superseded by a newer
+	// hint. The write's value can no longer "appear late" anywhere.
+	settleHook func(key, seq uint64)
+	// applyHook, when set (tests), runs on every successful owner-level
+	// apply (fabric ack, host path, or hint drain) — the linearizability
+	// checker's per-replica visibility signal.
+	applyHook func(shardID string, key, seq uint64)
+
+	hits, misses        uint64
+	retries, cacheHits  uint64
+	setOps, quorumFails uint64
 }
 
 // NewService builds a service of nShards server nodes, each serving
@@ -184,6 +225,9 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	}
 	if cfg.Replicas > cfg.Shards {
 		cfg.Replicas = cfg.Shards
+	}
+	if cfg.WriteQuorum < 1 || cfg.WriteQuorum > cfg.Replicas {
+		cfg.WriteQuorum = cfg.Replicas
 	}
 	if cfg.Buckets == 0 {
 		cfg.Buckets = def.Buckets
@@ -214,7 +258,8 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	}
 
 	s := &Service{cfg: cfg, tb: NewTestbed(), ring: shard.NewRing(cfg.VirtualNodes),
-		shards: make(map[string]*serviceShard)}
+		shards: make(map[string]*serviceShard), nextSeq: make(map[uint64]uint64),
+		unsettled: make(map[uint64]int)}
 	if cfg.HotKeyTrack > 0 {
 		s.hot = shard.NewHotKeys(cfg.HotKeyTrack)
 	}
@@ -228,7 +273,8 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 		nc.MemSize = cfg.ServerMem
 		node := s.tb.clu.AddNode(nc)
 		srv := &Server{tb: s.tb, node: node, builder: core.NewBuilder(node.Dev, 1<<16)}
-		sh := &serviceShard{id: id, srv: srv, table: srv.NewHashTable(cfg.Buckets), mode: cfg.Mode}
+		sh := &serviceShard{id: id, srv: srv, table: srv.NewHashTable(cfg.Buckets), mode: cfg.Mode,
+			hints: make(map[uint64]*hint), inflightSet: make(map[uint64][]func())}
 		for c := 0; c < cfg.ClientsPerShard; c++ {
 			cc := fabric.DefaultNodeConfig(fmt.Sprintf("%s-client%d", id, c))
 			cc.MemSize = cfg.ClientMem
@@ -275,39 +321,24 @@ func (s *Service) Owners(key uint64) []string {
 // ShardID returns the id of the i-th shard.
 func (s *Service) ShardID(i int) string { return s.order[i].id }
 
-// Set stores key -> value on every replica owner, host-side (writes
-// stay on the CPU path, as in the paper's Memcached). Placement keeps
-// keys offload-reachable: a key must sit exactly at one of its two
-// candidate buckets for the NIC's probe to find it, so Set places at a
-// candidate bucket, cuckoo-kicking residents to their alternate
-// candidates when needed. Keys that still spill to neighborhood slots
-// after MaxKicks are CPU-visible but NIC-unreachable (gets miss); the
-// Spills stat counts them.
+// Set stores key -> value on its replica owners through the fabric
+// write path, blocking until the W-of-N quorum acknowledges (or
+// fails): a convenience wrapper over SetAsync that advances the
+// simulation, mirroring Get. Replication to the remaining owners
+// continues in the background after Set returns.
 func (s *Service) Set(key uint64, value []byte) error {
-	key &= hopscotch.KeyMask
-	owners := s.owners(key)
-	// Refuse before writing anywhere: a partial write would diverge
-	// the replicas, and recovery rebuilds connections, not data.
-	for _, id := range owners {
-		if s.shards[id].hostDown {
-			return fmt.Errorf("redn: shard %s host down", id)
-		}
+	var (
+		err  error
+		done bool
+	)
+	s.SetAsync(key, value, func(_ Duration, e error) {
+		err, done = e, true
+	})
+	s.Flush()
+	if !s.tb.stepUntil(&done) {
+		return fmt.Errorf("redn: set(%#x) never completed", key)
 	}
-	for _, id := range owners {
-		if err := s.shards[id].set(key, value); err != nil {
-			return err
-		}
-	}
-	if s.cache != nil {
-		// Bump the key's write epoch so an in-flight get that read the
-		// old value cannot be admitted after this write...
-		s.setEpoch[key]++
-		// ...and write through: a cached hot value must never go stale.
-		if _, ok := s.cache[key]; ok {
-			s.cache[key] = append([]byte(nil), value...)
-		}
-	}
-	return nil
+	return err
 }
 
 // MaxKicks bounds the cuckoo relocation walk of a Set.
@@ -351,6 +382,15 @@ func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
 		sh.spills++
 		return t.Insert(key, valAddr, valLen)
 	}
+	// The kick walk records every displacement so a failed spill can be
+	// rolled back: without the trail, an exhausted walk whose final
+	// neighborhood insert also fails would lose the last evictee — a
+	// previously acknowledged resident — forever.
+	type move struct {
+		bucket     uint64 // bucket index the evictee was taken from
+		kk, va, vl uint64
+	}
+	var trail []move
 	curKey, curVa, curVl := key, valAddr, valLen
 	fn := 0
 	for kick := 0; ; kick++ {
@@ -376,6 +416,7 @@ func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
 		// its own alternate candidate on the next iteration.
 		b := t.Hash(curKey, fn)
 		vk, vva, vvl, _ := t.EntryAt(b)
+		trail = append(trail, move{bucket: b, kk: vk, va: vva, vl: vvl})
 		if err := t.InsertAt(curKey, curVa, curVl, fn, 0); err != nil {
 			return err
 		}
@@ -389,8 +430,22 @@ func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
 	// Walk exhausted: spill the last evictee into a neighborhood slot.
 	// It stays CPU-visible (host Lookup scans neighborhoods) but the
 	// NIC's exact-bucket probes will miss it.
+	if err := t.Insert(curKey, curVa, curVl); err != nil {
+		// No room even in the neighborhoods: undo the walk — each
+		// kicked resident goes back to exactly the bucket it was taken
+		// from (by recorded index, not by hash: an evictee may have
+		// been a spilled resident living at neither of its candidate
+		// buckets) — and fail the set without losing anyone.
+		for i := len(trail) - 1; i >= 0; i-- {
+			m := trail[i]
+			if rerr := t.WriteBucket(m.bucket, m.kk, m.va, m.vl); rerr != nil {
+				return rerr
+			}
+		}
+		return err
+	}
 	sh.spills++
-	return t.Insert(curKey, curVa, curVl)
+	return nil
 }
 
 // readOrder returns key's replica owners in the order gets should try
@@ -527,6 +582,11 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			sh.suspectUntil = 0
 			s.hits++
 			s.maybeCache(key, valLen, val, epoch)
+			// A hit proves the shard live: if handoff hints piled up
+			// behind a false suspicion, deliver them now.
+			if len(sh.hints) > 0 && !sh.hostDown {
+				s.drainHints(sh)
+			}
 			cb(val, lat, true)
 			return
 		}
@@ -566,6 +626,12 @@ func (s *Service) maybeCache(key, valLen uint64, val []byte, epoch uint64) {
 	if s.setEpoch[key] != epoch {
 		return
 	}
+	// While any write to the key is unsettled, this read may have come
+	// from a replica that has not applied it yet — admitting it would
+	// let the stale bytes outlive the replication lag.
+	if s.unsettled[key] > 0 {
+		return
+	}
 	if _, ok := s.cache[key]; ok {
 		return
 	}
@@ -596,6 +662,9 @@ func (s *Service) CrashShard(i int, k failure.Kind, at Duration) {
 			if !s.cfg.HullParent {
 				s.reconnect(sh)
 			}
+			// The owner is reachable again: hand off the writes it
+			// missed while down.
+			s.drainHints(sh)
 		},
 	}.InjectAt(s.tb.clu.Eng, at)
 }
@@ -627,10 +696,17 @@ func (s *Service) Flush() {
 // ShardStats is one shard's counters.
 type ShardStats struct {
 	ID       string
-	Sets     uint64
+	Sets     uint64 // owner writes applied (fabric acks + host path + drained hints)
 	Spills   uint64 // keys resident but NIC-unreachable
 	Gets     uint64 // get attempts routed here (failover retries included)
 	Rebuilds uint64 // client reconnects after process crashes
+
+	FabricSets   uint64 // owner writes attempted through the NIC claim chain
+	HostSets     uint64 // owner writes that fell back to the host CPU (kicks, spilled residents, claim races)
+	HintsPending uint64 // handoff hints currently queued for this owner
+	HintsQueued  uint64 // hints ever queued
+	HintsApplied uint64 // hints delivered on reconnect (exactly once each)
+	HintsDropped uint64 // hints superseded by a newer write before draining
 }
 
 // ServiceStats aggregates service counters.
@@ -644,17 +720,36 @@ type ServiceStats struct {
 	Retries     uint64 // failover attempts beyond each get's first owner
 	CacheHits   uint64 // gets served from the client-side hot-key cache
 	MaxInFlight int    // high-water mark of overlapping gets, any client
+
+	SetOps       uint64 // client-visible writes issued (before replication fan-out)
+	QuorumFails  uint64 // writes that failed their W-of-N quorum
+	FabricSets   uint64
+	HostSets     uint64
+	HintsPending uint64
+	HintsQueued  uint64
+	HintsApplied uint64
+	HintsDropped uint64
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() ServiceStats {
-	out := ServiceStats{Hits: s.hits, Misses: s.misses, Retries: s.retries, CacheHits: s.cacheHits}
+	out := ServiceStats{Hits: s.hits, Misses: s.misses, Retries: s.retries, CacheHits: s.cacheHits,
+		SetOps: s.setOps, QuorumFails: s.quorumFails}
 	for _, sh := range s.order {
 		out.Shards = append(out.Shards, ShardStats{ID: sh.id, Sets: sh.sets, Spills: sh.spills,
-			Gets: sh.gets, Rebuilds: sh.rebuilds})
+			Gets: sh.gets, Rebuilds: sh.rebuilds,
+			FabricSets: sh.fabricSets, HostSets: sh.hostSets,
+			HintsPending: uint64(len(sh.hints)), HintsQueued: sh.hintsQueued,
+			HintsApplied: sh.hintsApplied, HintsDropped: sh.hintsDropped})
 		out.Sets += sh.sets
 		out.Spills += sh.spills
 		out.Gets += sh.gets
+		out.FabricSets += sh.fabricSets
+		out.HostSets += sh.hostSets
+		out.HintsPending += uint64(len(sh.hints))
+		out.HintsQueued += sh.hintsQueued
+		out.HintsApplied += sh.hintsApplied
+		out.HintsDropped += sh.hintsDropped
 		for _, cli := range sh.clients {
 			if cli.maxInFlight > out.MaxInFlight {
 				out.MaxInFlight = cli.maxInFlight

@@ -2,6 +2,7 @@ package redn
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/failure"
@@ -422,9 +423,30 @@ func TestServiceAbsentKeysDoNotSuspect(t *testing.T) {
 	}
 }
 
-// A set refused because one owner's host is down must not have written
-// the other owners — replicas never diverge.
-func TestServiceSetAllOrNothing(t *testing.T) {
+// ownerValue reads key's bytes straight out of one owner's table (the
+// CPU-visible ground truth, bypassing the fabric).
+func ownerValue(t *testing.T, s *Service, id string, key uint64) ([]byte, bool) {
+	t.Helper()
+	sh := s.shards[id]
+	va, vl, ok := sh.table.Table().Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	v, err := sh.srv.node.Mem.Read(va, vl)
+	if err != nil {
+		t.Fatalf("owner %s value read: %v", id, err)
+	}
+	return v, true
+}
+
+// Regression for the torn-replica bug: the old Set returned on the
+// first owner error, leaving earlier owners updated and the write
+// neither done nor undone. Partial writes are now explicit: a failed
+// write-all quorum reports a typed *QuorumError, the owners that
+// applied KEEP the new value (roll forward, never roll back), and
+// hinted handoff completes the write on the dead owner at recovery —
+// replicas converge instead of diverging.
+func TestServiceSetRollsForward(t *testing.T) {
 	s := NewServiceWith(ServiceConfig{
 		Shards: 2, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq, Replicas: 2,
 	})
@@ -432,24 +454,47 @@ func TestServiceSetAllOrNothing(t *testing.T) {
 	if err := s.Set(key, Value(key, 64)); err != nil {
 		t.Fatal(err)
 	}
-	// Take one owner's host down and overwrite: the set must fail and
-	// leave BOTH owners serving the old value.
-	owner1 := s.Owners(key)[1]
-	s.shards[owner1].hostDown = true
-	if err := s.Set(key, Value(key+1, 64)); err == nil {
-		t.Fatal("set succeeded with an owner down")
+	owners := s.Owners(key)
+	idx := 0
+	for i := 0; i < s.NumShards(); i++ {
+		if s.ShardID(i) == owners[1] {
+			idx = i
+		}
 	}
-	s.shards[owner1].hostDown = false
-	for _, id := range s.Owners(key) {
-		sh := s.shards[id]
-		va, vl, ok := sh.table.Table().Lookup(key)
-		if !ok {
-			t.Fatalf("owner %s lost the key", id)
+	crashAt := s.Now() + sim.Millisecond
+	s.CrashShard(idx, failure.ProcessCrash, crashAt)
+	s.Testbed().RunFor(2 * sim.Millisecond) // NIC frozen, host down
+
+	// Overwrite with one of two owners dead under write-all (W=N=2).
+	err := s.Set(key, Value(key+1, 64))
+	var qe *QuorumError
+	if !errors.As(err, &qe) {
+		t.Fatalf("want *QuorumError with an owner down, got %v", err)
+	}
+	if qe.Acks != 1 || qe.Need != 2 {
+		t.Fatalf("quorum error %+v, want 1/2 acks", qe)
+	}
+	// The live owner rolled FORWARD: it serves the new value already.
+	if v, ok := ownerValue(t, s, owners[0], key); !ok || !bytes.Equal(v, Value(key+1, 64)) {
+		t.Fatal("surviving owner does not hold the new value after a failed quorum")
+	}
+	// The dead owner still has the old value, with a hint queued.
+	if v, ok := ownerValue(t, s, owners[1], key); !ok || !bytes.Equal(v, Value(key, 64)) {
+		t.Fatal("dead owner's table changed while its host was down")
+	}
+	if st := s.Stats(); st.HintsPending != 1 || st.QuorumFails != 1 {
+		t.Fatalf("hints pending %d / quorum fails %d, want 1/1", st.HintsPending, st.QuorumFails)
+	}
+	// Recovery drains the hint: replicas converge on the new value.
+	s.Testbed().RunFor(4 * sim.Second)
+	for _, id := range owners {
+		if v, ok := ownerValue(t, s, id, key); !ok || !bytes.Equal(v, Value(key+1, 64)) {
+			t.Fatalf("owner %s did not converge after handoff", id)
 		}
-		v, _ := sh.srv.node.Mem.Read(va, vl)
-		if !bytes.Equal(v, Value(key, 64)) {
-			t.Fatalf("owner %s diverged after a refused set", id)
-		}
+	}
+	st := s.Stats()
+	if st.HintsApplied != 1 || st.HintsPending != 0 {
+		t.Fatalf("hints applied %d pending %d, want 1/0", st.HintsApplied, st.HintsPending)
 	}
 }
 
@@ -477,5 +522,411 @@ func TestServiceCacheAdmissionSetRace(t *testing.T) {
 	val, _, ok := s.Get(hot, 64)
 	if !ok || !bytes.Equal(val, Value(hot+1, 64)) {
 		t.Fatal("stale value served after a racing set")
+	}
+}
+
+// ---- write-path consistency suite ----
+
+// Linearizability-style checker over a concurrent mixed history: every
+// value a read returns must have been written by an overlapping or
+// earlier write, and once a write has settled on EVERY owner (applied,
+// drained, or superseded — the settle hook), no later read may return
+// an older value. Replica lag and hinted handoff are allowed to serve
+// stale values only while the newer write is still unsettled; the
+// client cache is in the loop. A shard crashes and recovers mid-run.
+func TestServiceLinearizableMixedHistory(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 3, ClientsPerShard: 2, Pipeline: 8, Mode: LookupSeq,
+		Replicas: 3, WriteQuorum: 2, ReadPolicy: ReadRoundRobin, HotKeyCache: 8,
+		Buckets: 1 << 12,
+	})
+	const nKeys = 8
+	const valLen = 48
+
+	type wrec struct {
+		seq   uint64
+		start sim.Time
+		acked bool
+		err   error
+	}
+	writes := make(map[uint64][]*wrec)
+	// applies[key][owner] is the monotone (time, seq) apply log of one
+	// replica — the ground truth for when a value became visible there.
+	type apply struct {
+		at  sim.Time
+		seq uint64
+	}
+	applies := make(map[uint64]map[string][]apply)
+	s.applyHook = func(shardID string, key, seq uint64) {
+		if applies[key] == nil {
+			applies[key] = make(map[string][]apply)
+		}
+		log := applies[key][shardID]
+		if n := len(log); n > 0 && seq < log[n-1].seq {
+			t.Fatalf("owner %s applied key %d seq %d after seq %d — replica went backward",
+				shardID, key, seq, log[n-1].seq)
+		}
+		applies[key][shardID] = append(log, apply{at: s.Now(), seq: seq})
+	}
+	val := func(key, seq uint64) []byte { return Value(key*1_000_000+seq, valLen) }
+
+	// Preload every key (seq 1) while all shards are healthy, so the
+	// history never races a key's very first bucket claim.
+	for k := uint64(1); k <= nKeys; k++ {
+		w := &wrec{seq: 1, start: s.Now()}
+		writes[k] = append(writes[k], w)
+		if err := s.Set(k, val(k, 1)); err != nil {
+			t.Fatal(err)
+		}
+		w.acked = true
+	}
+
+	type rrec struct {
+		key        uint64
+		start, end sim.Time
+		val        []byte
+	}
+	var reads []rrec
+
+	rng := workload.Rng(3)
+	const totalOps = 4000
+	ops := 0
+	var worker func()
+	worker = func() {
+		if ops >= totalOps {
+			return
+		}
+		ops++
+		key := uint64(rng.Intn(nKeys) + 1)
+		if rng.Intn(3) == 0 {
+			w := &wrec{seq: uint64(len(writes[key]) + 1), start: s.Now()}
+			writes[key] = append(writes[key], w)
+			s.SetAsync(key, val(key, w.seq), func(_ Duration, err error) {
+				w.acked, w.err = err == nil, err
+				worker()
+				s.Flush()
+			})
+		} else {
+			start := s.Now()
+			s.GetAsync(key, valLen, func(v []byte, _ Duration, ok bool) {
+				if ok {
+					reads = append(reads, rrec{key: key, start: start, end: s.Now(),
+						val: append([]byte(nil), v...)})
+				}
+				worker()
+				s.Flush()
+			})
+		}
+	}
+	for i := 0; i < 12; i++ {
+		worker()
+	}
+	s.Flush()
+	s.CrashShard(0, failure.ProcessCrash, s.Now()+500*sim.Microsecond)
+	s.Run()
+	s.Testbed().RunFor(4 * sim.Second) // recovery + handoff drain
+	if ops != totalOps {
+		t.Fatalf("history stalled at %d of %d ops", ops, totalOps)
+	}
+	if len(reads) == 0 {
+		t.Fatal("history recorded no successful reads")
+	}
+
+	// Validate every read against the per-key write history: the value
+	// must come from a real write that did not start after the read
+	// ended, and must be at least as new as the floor every replica had
+	// already applied when the read began (replica lag and handoff may
+	// serve older values only while some owner still lacks the newer
+	// one; the cache only ever runs ahead).
+	for i, r := range reads {
+		var match *wrec
+		for _, w := range writes[r.key] {
+			if bytes.Equal(r.val, val(r.key, w.seq)) {
+				match = w
+				break
+			}
+		}
+		if match == nil {
+			t.Fatalf("read %d of key %d returned bytes no write produced", i, r.key)
+		}
+		if match.start > r.end {
+			t.Fatalf("read %d of key %d returned a write issued after the read completed", i, r.key)
+		}
+		stable := uint64(0)
+		for j, id := range s.Owners(r.key) {
+			ownerMax := uint64(0)
+			for _, a := range applies[r.key][id] {
+				if a.at <= r.start && a.seq > ownerMax {
+					ownerMax = a.seq
+				}
+			}
+			if j == 0 || ownerMax < stable {
+				stable = ownerMax
+			}
+		}
+		if match.seq < stable {
+			t.Fatalf("read %d of key %d resurrected seq %d although every owner held >= seq %d before the read began",
+				i, r.key, match.seq, stable)
+		}
+	}
+
+	// The crash must actually have exercised the handoff machinery.
+	st := s.Stats()
+	if st.HintsQueued == 0 || st.HintsApplied == 0 {
+		t.Fatalf("history never exercised handoff (queued %d applied %d)", st.HintsQueued, st.HintsApplied)
+	}
+	if st.HintsPending != 0 {
+		t.Fatalf("%d hints still pending after recovery window", st.HintsPending)
+	}
+}
+
+// Crash-during-write: inject a NodeCrash while a quorum write is in
+// flight to one of its owners.
+//
+//	(a) W<N: the surviving owners acknowledge, the hint replays exactly
+//	    once on reconnect;
+//	(b) W=N: the write reports a typed *QuorumError;
+//	(c) a second crash that kills the drain itself must not apply the
+//	    hint twice — it stays queued and lands once, after the second
+//	    recovery.
+func TestServiceCrashDuringWriteQuorum(t *testing.T) {
+	setup := func(quorum int) (*Service, uint64, int) {
+		s := NewServiceWith(ServiceConfig{
+			Shards: 3, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq,
+			Replicas: 2, WriteQuorum: quorum, Buckets: 1 << 12,
+		})
+		const key = 33
+		if err := s.Set(key, Value(key, 64)); err != nil {
+			t.Fatal(err)
+		}
+		victim := s.Owners(key)[1] // crash a non-primary owner
+		idx := 0
+		for i := 0; i < s.NumShards(); i++ {
+			if s.ShardID(i) == victim {
+				idx = i
+			}
+		}
+		return s, key, idx
+	}
+
+	// (a) W=1 of 2: quorum acks despite the crash; handoff replays once.
+	s, key, idx := setup(1)
+	s.CrashShard(idx, failure.ProcessCrash, s.Now()+sim.Microsecond)
+	var aerr error
+	done := false
+	s.SetAsync(key, Value(key+1, 64), func(_ Duration, err error) { aerr, done = err, true })
+	s.Flush()
+	s.Testbed().RunFor(sim.Millisecond) // crash lands mid-quorum; timeout fails the dead owner
+	if !done {
+		t.Fatal("W<N write did not complete while one owner was crashing")
+	}
+	if aerr != nil {
+		t.Fatalf("W<N write failed despite a live owner: %v", aerr)
+	}
+	st := s.Stats()
+	if st.HintsQueued != 1 || st.HintsApplied != 0 {
+		t.Fatalf("hints queued/applied %d/%d mid-crash, want 1/0", st.HintsQueued, st.HintsApplied)
+	}
+	s.Testbed().RunFor(4 * sim.Second)
+	st = s.Stats()
+	if st.HintsApplied != 1 || st.HintsPending != 0 {
+		t.Fatalf("hint replayed %d times (pending %d), want exactly once", st.HintsApplied, st.HintsPending)
+	}
+	if v, ok := ownerValue(t, s, s.Owners(key)[1], key); !ok || !bytes.Equal(v, Value(key+1, 64)) {
+		t.Fatal("recovered owner missing the handed-off write")
+	}
+
+	// (b) W=N: the same crash surfaces as a typed quorum error.
+	s, key, idx = setup(2)
+	s.CrashShard(idx, failure.ProcessCrash, s.Now()+sim.Microsecond)
+	var berr error
+	done = false
+	s.SetAsync(key, Value(key+2, 64), func(_ Duration, err error) { berr, done = err, true })
+	s.Flush()
+	s.Testbed().RunFor(sim.Millisecond)
+	if !done {
+		t.Fatal("W=N write never completed")
+	}
+	var qe *QuorumError
+	if !errors.As(berr, &qe) {
+		t.Fatalf("W=N write during a crash returned %v, want *QuorumError", berr)
+	}
+
+	// (c) Double crash: the second crash kills the drain in flight; the
+	// hint survives and applies exactly once after the second recovery.
+	s, key, idx = setup(1)
+	crashAt := s.Now() + sim.Microsecond
+	s.CrashShard(idx, failure.ProcessCrash, crashAt)
+	done = false
+	s.SetAsync(key, Value(key+3, 64), func(_ Duration, err error) { done = true })
+	s.Flush()
+	// The first recovery's OnUp fires the drain; refreeze 1us later,
+	// before the drain's chain can ack.
+	recoverAt := crashAt + 2250*sim.Millisecond
+	s.CrashShard(idx, failure.ProcessCrash, recoverAt+sim.Microsecond)
+	s.Testbed().RunFor(2300 * sim.Millisecond)
+	if !done {
+		t.Fatal("write never completed")
+	}
+	st = s.Stats()
+	if st.HintsApplied != 0 || st.HintsPending != 1 {
+		t.Fatalf("drain survived the second crash: applied %d pending %d", st.HintsApplied, st.HintsPending)
+	}
+	s.Testbed().RunFor(4 * sim.Second) // second recovery drains for real
+	st = s.Stats()
+	if st.HintsApplied != 1 || st.HintsPending != 0 {
+		t.Fatalf("hint applied %d times after a double crash, want exactly once", st.HintsApplied)
+	}
+	if v, ok := ownerValue(t, s, s.Owners(key)[1], key); !ok || !bytes.Equal(v, Value(key+3, 64)) {
+		t.Fatal("double-crashed owner missing the handed-off write")
+	}
+	if st.Shards[idx].Rebuilds != 2 {
+		t.Fatalf("victim rebuilt %d times, want 2", st.Shards[idx].Rebuilds)
+	}
+}
+
+// Property test for cuckoo placement under interleaved fabric sets,
+// deletes and gets: an acknowledged key is never lost (host-visible
+// with exact bytes), NIC reachability matches candidate-bucket
+// residency, and spills appear only under overload — never while the
+// table has slack.
+func TestServicePlacementProperty(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 1, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq,
+		Buckets: 64, MaxValLen: 64,
+	})
+	sh := s.order[0]
+	rng := workload.Rng(9)
+	model := map[uint64][]byte{}
+	const valLen = 48
+
+	checkModel := func(step int) {
+		table := sh.table.Table()
+		for k, want := range model {
+			va, vl, ok := table.Lookup(k)
+			if !ok {
+				t.Fatalf("step %d: acked key %d lost", step, k)
+			}
+			got, _ := sh.srv.node.Mem.Read(va, vl)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("step %d: key %d bytes diverged", step, k)
+			}
+			// NIC gets agree exactly with candidate-bucket residency.
+			atCandidate := false
+			for fn := 0; fn < 2; fn++ {
+				if kk, _, _, okb := table.EntryAt(table.Hash(k, fn)); okb && kk == k {
+					atCandidate = true
+				}
+			}
+			v, _, okGet := s.Get(k, valLen)
+			if okGet != atCandidate {
+				t.Fatalf("step %d: key %d NIC-get=%v but candidate-resident=%v", step, k, okGet, atCandidate)
+			}
+			if okGet && !bytes.Equal(v, want) {
+				t.Fatalf("step %d: key %d NIC get returned wrong bytes", step, k)
+			}
+		}
+	}
+
+	op := func(step int, maxKey int) {
+		key := uint64(rng.Intn(maxKey) + 1)
+		switch r := rng.Intn(10); {
+		case r < 6: // set (fabric path, host kick fallback)
+			v := Value(key+uint64(step)<<20, valLen)
+			if err := s.Set(key, v); err == nil {
+				model[key] = v
+			}
+		case r < 8: // delete
+			s.Delete(key)
+			delete(model, key)
+		default: // get of a random key
+			s.Get(key, valLen)
+		}
+	}
+
+	// Phase 1: light load (<50% of 64 buckets) — kicks may run, spills
+	// must not: MaxKicks is never exhausted with this much slack.
+	for i := 0; i < 300; i++ {
+		op(i, 28)
+	}
+	checkModel(300)
+	if st := s.Stats(); st.Spills != 0 {
+		t.Fatalf("%d spills at <50%% load — spilling without exhausting MaxKicks", st.Spills)
+	}
+
+	// Phase 2: overload (up to 140% of capacity) — spills are now the
+	// expected last resort, and acked keys still never disappear.
+	for i := 300; i < 1200; i++ {
+		op(i, 90)
+	}
+	checkModel(1200)
+	if st := s.Stats(); st.Spills == 0 {
+		t.Fatal("overload phase never spilled — the walk-exhaustion path went unexercised")
+	}
+}
+
+// Regression: a failed kick walk must restore every evictee to the
+// exact bucket it was taken from — including evictees that were
+// SPILLED residents living at neither of their candidate buckets.
+// Restoring such a key "by hash" would overwrite an unrelated resident
+// and leave the walker key squatting in the spilled key's bucket.
+func TestServicePlaceRollbackRestoresSpilledEvictee(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 1, ClientsPerShard: 1, Pipeline: 2, Mode: LookupSeq,
+		Buckets: 16, MaxValLen: 32,
+	})
+	sh := s.order[0]
+	tb := sh.table.Table()
+	n := tb.NumBuckets()
+
+	// A key S homed at a bucket that is NOT one of its candidates (the
+	// shape Insert's neighborhood spill produces).
+	var spilled, bucket uint64
+	for k := uint64(1); k < 100000; k++ {
+		b := (tb.Hash(k, 0) + 1) % n
+		if b != tb.Hash(k, 0) && b != tb.Hash(k, 1) {
+			spilled, bucket = k, b
+			break
+		}
+	}
+	if err := tb.WriteBucket(bucket, spilled, 0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	// Fill every other bucket so the walk can never succeed.
+	filler := uint64(500000)
+	for i := uint64(0); i < n; i++ {
+		if i == bucket {
+			continue
+		}
+		filler++
+		if err := tb.WriteBucket(i, filler, 0x2000+i*8, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type ent struct{ k, va, vl uint64 }
+	snap := make([]ent, n)
+	for i := uint64(0); i < n; i++ {
+		k, va, vl, _ := tb.EntryAt(i)
+		snap[i] = ent{k, va, vl}
+	}
+
+	// A new key whose first candidate is S's bucket: the walk evicts S
+	// first, grinds through the full table, and fails.
+	var newKey uint64
+	for k := uint64(600000); ; k++ {
+		if tb.Hash(k, 0) == bucket && tb.Hash(k, 1) != bucket {
+			newKey = k
+			break
+		}
+	}
+	if err := sh.place(newKey, 0x9000, 8); err == nil {
+		t.Fatal("place succeeded on a completely full table")
+	}
+	for i := uint64(0); i < n; i++ {
+		k, va, vl, ok := tb.EntryAt(i)
+		if !ok || k != snap[i].k || va != snap[i].va || vl != snap[i].vl {
+			t.Fatalf("bucket %d changed across a failed walk: got (%d,%#x,%d) want (%d,%#x,%d)",
+				i, k, va, vl, snap[i].k, snap[i].va, snap[i].vl)
+		}
 	}
 }

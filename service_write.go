@@ -1,0 +1,470 @@
+package redn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hopscotch"
+	"repro/internal/sim"
+)
+
+// The fabric write path.
+//
+// A Service set fans out to the key's LookupN replica owners. On each
+// owner the coordinator computes a bucket claim from its view of that
+// owner's table — overwrite in place when the key already sits at a
+// candidate bucket, claim the first empty candidate otherwise — and
+// issues it through the owner's Client.SetAsync pipeline, where the
+// NIC's CAS-claim chain (core.SetOffload) installs the key and
+// repoints the bucket at the staged value. Keys that need cuckoo-kick
+// relocation (both candidates taken) or that live in spilled
+// neighborhood slots fall back to the host CPU at a modeled two-sided
+// RPC cost; a claim refused by the CAS (a racing writer won the
+// bucket) rolls forward on the host the same way.
+//
+// The write acknowledges to the caller once W = WriteQuorum owners
+// have applied it. Owners that fail — frozen NIC, host down, suspected
+// dead — receive a handoff hint instead: the newest value that owner
+// is missing, keyed by the write's per-key sequence number. Hints
+// drain when the owner proves reachable again (crash recovery's OnUp,
+// or a successful get through it) and are applied exactly once; a
+// newer write to the same key supersedes a pending hint, so a drain
+// can never resurrect a stale value. Quorum failures (more than N-W
+// owners down) surface as *QuorumError, with the owners that did
+// apply left in place and the missing ones rolled forward via hints —
+// never rolled back.
+//
+// Same-key writes are serialized per owner (inflightSet): the
+// coordinator is the single write path, so per-key order is issue
+// order everywhere, which is what the sequence numbers certify.
+
+// HostSetLat models the cost of a write that must involve the owner's
+// CPU: a two-sided RPC (SEND + handler + response) plus the insert
+// itself — the §5.4 "writes stay on the CPU path" cost the fabric
+// claim chain avoids.
+const HostSetLat = 2500 * sim.Nanosecond
+
+// QuorumError reports a write that could not reach its W-of-N quorum.
+// Replicas that did apply are rolled forward via hinted handoff; the
+// write may still complete after the down owners recover.
+type QuorumError struct {
+	Key    uint64
+	Acks   int // owners that applied before the quorum was declared dead
+	Need   int // W, the configured write quorum
+	Owners int
+}
+
+func (e *QuorumError) Error() string {
+	return fmt.Sprintf("redn: write quorum failed for key %#x: %d/%d acks (W=%d)",
+		e.Key, e.Acks, e.Owners, e.Need)
+}
+
+// hint is one queued handoff write: the newest value an unreachable
+// owner is missing.
+type hint struct {
+	key, seq uint64
+	val      []byte
+	op       *setOp
+	draining bool
+	settled  bool
+}
+
+// setOp tracks one client-visible write across its owner fan-out.
+type setOp struct {
+	key, seq     uint64
+	need, owners int
+	acks, fails  int
+	start        sim.Time
+	cb           func(lat Duration, err error)
+	done         bool
+	settleLeft   int
+}
+
+func (op *setOp) ack(s *Service) {
+	op.acks++
+	if !op.done && op.acks >= op.need {
+		op.done = true
+		if op.cb != nil {
+			op.cb(s.tb.Now()-op.start, nil)
+		}
+	}
+}
+
+func (op *setOp) fail(s *Service) {
+	op.fails++
+	if !op.done && op.fails > op.owners-op.need {
+		op.done = true
+		s.quorumFails++
+		if op.cb != nil {
+			op.cb(s.tb.Now()-op.start, &QuorumError{
+				Key: op.key, Acks: op.acks, Need: op.need, Owners: op.owners})
+		}
+	}
+}
+
+// settleOne records that one more owner has resolved this write
+// (applied, drained, or superseded); when the last one does, the
+// write's value can no longer appear anywhere it has not already, and
+// the key becomes cache-admissible again.
+func (op *setOp) settleOne(s *Service) {
+	op.settleLeft--
+	if op.settleLeft != 0 {
+		return
+	}
+	if s.unsettled[op.key]--; s.unsettled[op.key] <= 0 {
+		delete(s.unsettled, op.key)
+	}
+	if s.settleHook != nil {
+		s.settleHook(op.key, op.seq)
+	}
+}
+
+// SetAsync stores key -> value on its replica owners through the
+// fabric and returns immediately; cb runs when the W-of-N quorum has
+// acknowledged (err == nil) or can no longer be reached (err is a
+// *QuorumError). Sets have real modeled latency — a NIC CAS-claim
+// chain per owner — and pipeline like gets; call Flush after posting a
+// batch. The write-through cache and the key's write epoch update at
+// issue time, so a reader of this coordinator observes its own writes
+// immediately and a racing get can never install a stale cache entry.
+func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err error)) {
+	key &= hopscotch.KeyMask
+	s.setOps++
+	s.nextSeq[key]++
+	seq := s.nextSeq[key]
+	s.unsettled[key]++
+	if s.cache != nil {
+		s.setEpoch[key]++
+		if _, ok := s.cache[key]; ok {
+			s.cache[key] = append([]byte(nil), value...)
+		}
+	}
+	owners := s.owners(key)
+	op := &setOp{key: key, seq: seq, need: s.cfg.WriteQuorum, owners: len(owners),
+		start: s.tb.Now(), cb: cb, settleLeft: len(owners)}
+	val := append([]byte(nil), value...)
+	for _, id := range owners {
+		sh := s.shards[id]
+		s.ownerSet(sh, key, val, func(st ownerWriteStatus) {
+			switch st {
+			case ownerApplied:
+				if s.applyHook != nil {
+					s.applyHook(sh.id, key, seq)
+				}
+				s.dropHint(sh, key, seq)
+				op.ack(s)
+				op.settleOne(s)
+			case ownerUnreachable:
+				s.queueHint(sh, key, val, seq, op)
+				op.fail(s)
+			case ownerRejected:
+				// Definitive refusal: fail the owner without handoff.
+				op.fail(s)
+				op.settleOne(s)
+			}
+		})
+	}
+}
+
+// withKeySlot serializes same-key work on one owner: run executes
+// immediately if the (owner, key) write slot is free, else it queues
+// behind the in-flight write. Every run must end by calling setNext.
+func (s *Service) withKeySlot(sh *serviceShard, key uint64, run func()) {
+	if q, busy := sh.inflightSet[key]; busy {
+		sh.inflightSet[key] = append(q, run)
+		return
+	}
+	sh.inflightSet[key] = nil
+	run()
+}
+
+// ownerSet applies one write on one owner, serializing same-key writes
+// so per-key order survives the pipelined fabric. done always runs
+// asynchronously (from the simulation).
+func (s *Service) ownerSet(sh *serviceShard, key uint64, val []byte, done func(st ownerWriteStatus)) {
+	s.withKeySlot(sh, key, func() {
+		s.ownerSetNow(sh, key, val, func(st ownerWriteStatus) {
+			done(st)
+			s.setNext(sh, key)
+		})
+	})
+}
+
+// setNext releases the per-(owner,key) write slot and issues the next
+// queued same-key write, if any.
+func (s *Service) setNext(sh *serviceShard, key uint64) {
+	if q := sh.inflightSet[key]; len(q) > 0 {
+		next := q[0]
+		sh.inflightSet[key] = q[1:]
+		next()
+		return
+	}
+	delete(sh.inflightSet, key)
+}
+
+// ownerWriteStatus classifies one owner write's outcome. The
+// distinction matters for handoff: an unreachable owner gets a hint
+// (the write applies at recovery), a definitive rejection — the table
+// refused the insert — does not: deferring a capacity failure would
+// resurrect a write its caller was told failed.
+type ownerWriteStatus int
+
+const (
+	ownerApplied ownerWriteStatus = iota
+	ownerUnreachable
+	ownerRejected
+)
+
+// ownerSetNow routes one owner write: fabric claim chain when the key
+// can be claimed at a candidate bucket, host CPU otherwise, handoff
+// failure when neither can run.
+func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, done func(st ownerWriteStatus)) {
+	now := s.tb.Now()
+	if sh.suspect(now) {
+		// Circuit breaker: don't burn a MissTimeout per write on a
+		// shard the read path already declared dead.
+		s.tb.clu.Eng.After(0, func() { done(ownerUnreachable) })
+		return
+	}
+	claim, fabric := sh.claimFor(key)
+	if !fabric {
+		if sh.hostDown {
+			s.tb.clu.Eng.After(0, func() { done(ownerUnreachable) })
+			return
+		}
+		s.hostSet(sh, key, val, done)
+		return
+	}
+	sh.fabricSets++
+	cli := sh.setClient(key)
+	cli.SetAsyncClaim(key, val, claim, func(_ Duration, ok bool) {
+		if ok {
+			sh.consecMiss = 0
+			sh.suspectUntil = 0
+			sh.sets++
+			done(ownerApplied)
+			return
+		}
+		if !cli.LastSetExecuted() {
+			// The chain never ran: dead NIC, count toward suspicion.
+			sh.consecMiss++
+			if sh.consecMiss >= s.cfg.SuspectAfter {
+				sh.suspectUntil = s.tb.Now() + s.cfg.SuspectFor
+			}
+		}
+		// Claim refused (a racing writer took the bucket) or the NIC is
+		// gone: roll forward on the CPU if the host is up.
+		if sh.hostDown {
+			done(ownerUnreachable)
+			return
+		}
+		s.hostSet(sh, key, val, done)
+	})
+	// Writes issued from completion callbacks run outside the caller's
+	// batch; kick them directly, like get retries.
+	cli.Flush()
+}
+
+// setClient picks the owner connection a key's writes always use —
+// deterministic by key, so same-key writes share one ordered QP.
+func (sh *serviceShard) setClient(key uint64) *Client {
+	return sh.clients[int(key)%len(sh.clients)]
+}
+
+// claimForTable computes key's bucket claim against a table, honoring
+// the lookup mode's probe reach. The bool result reports whether the
+// fabric can carry this write: false means only the host can run it —
+// cuckoo-kick relocation (all reachable candidates taken), or the key
+// lives in a spilled neighborhood slot the NIC cannot address (a NIC
+// claim would install an unreadable duplicate). Shared by the service
+// router and the standalone client so the two views cannot drift.
+func claimForTable(t *hopscotch.Table, mode LookupMode, key uint64) (core.SetClaim, bool) {
+	kc := core.ClaimCtrl(key)
+	probes := 2
+	if mode == LookupSingle {
+		// Single-probe lookups read H1 only; a claim at H2 would be
+		// acknowledged yet permanently unreadable.
+		probes = 1
+	}
+	for fn := 0; fn < probes; fn++ {
+		b := t.Hash(key, fn)
+		if k, _, _, ok := t.EntryAt(b); ok && k == key {
+			return core.SetClaim{BucketAddr: t.BucketAddr(b), Expect: kc, New: kc}, true
+		}
+	}
+	if _, _, ok := t.Lookup(key); ok {
+		// Resident but not at a reachable candidate bucket: only the
+		// CPU's neighborhood scan can update it.
+		return core.SetClaim{}, false
+	}
+	for fn := 0; fn < probes; fn++ {
+		b := t.Hash(key, fn)
+		if _, _, _, ok := t.EntryAt(b); !ok {
+			return core.SetClaim{BucketAddr: t.BucketAddr(b), New: kc}, true
+		}
+	}
+	return core.SetClaim{}, false
+}
+
+// claimFor computes key's bucket claim from the owner's table.
+func (sh *serviceShard) claimFor(key uint64) (core.SetClaim, bool) {
+	return claimForTable(sh.table.table, sh.mode, key)
+}
+
+// hostSet applies one owner write on the host CPU at the modeled
+// two-sided RPC cost: the kick path, and the roll-forward path for
+// refused claims.
+func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, done func(st ownerWriteStatus)) {
+	sh.hostSets++
+	s.tb.clu.Eng.After(HostSetLat, func() {
+		if sh.hostDown {
+			// Crashed while the RPC was in flight.
+			done(ownerUnreachable)
+			return
+		}
+		if err := sh.set(key, val); err != nil {
+			// The table itself refused (kick walk and neighborhoods
+			// exhausted): a definitive rejection, not unavailability.
+			done(ownerRejected)
+			return
+		}
+		done(ownerApplied)
+	})
+}
+
+// queueHint records the newest value an unreachable owner is missing.
+// An older pending hint for the same key is superseded (its write is
+// settled — a newer value stands in for it); an incoming write older
+// than the pending hint settles immediately.
+func (s *Service) queueHint(sh *serviceShard, key uint64, val []byte, seq uint64, op *setOp) {
+	if cur, ok := sh.hints[key]; ok {
+		if cur.seq >= seq {
+			sh.hintsDropped++
+			op.settleOne(s)
+			return
+		}
+		sh.hintsDropped++
+		s.settleHint(cur)
+	}
+	sh.hints[key] = &hint{key: key, seq: seq, val: val, op: op}
+	sh.hintsQueued++
+}
+
+// dropHint discards a pending hint made redundant by a successful
+// newer (or equal) write to the same owner.
+func (s *Service) dropHint(sh *serviceShard, key, seq uint64) {
+	if cur, ok := sh.hints[key]; ok && cur.seq <= seq {
+		delete(sh.hints, key)
+		sh.hintsDropped++
+		s.settleHint(cur)
+	}
+}
+
+// settleHint settles a hint's originating write exactly once.
+func (s *Service) settleHint(h *hint) {
+	if h.settled {
+		return
+	}
+	h.settled = true
+	h.op.settleOne(s)
+}
+
+// drainHints hands off every pending hint to a reachable owner, in
+// key order for determinism.
+func (s *Service) drainHints(sh *serviceShard) {
+	if len(sh.hints) == 0 {
+		return
+	}
+	keys := make([]uint64, 0, len(sh.hints))
+	for k := range sh.hints {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		s.drainHint(sh, k)
+	}
+}
+
+// drainHint replays one hint through the ordinary owner write path.
+// On failure (the owner died again mid-drain) the hint stays queued
+// for the next recovery — it is applied exactly once, when a drain
+// finally succeeds. Staleness is re-checked when the drain actually
+// reaches the owner's per-key write slot: a drain queued behind an
+// in-flight newer write for the same key must never replay the old
+// value over it. On success, a hint queued while this one was in
+// flight (a newer failed write) drains immediately after.
+func (s *Service) drainHint(sh *serviceShard, key uint64) {
+	h, ok := sh.hints[key]
+	if !ok || h.draining {
+		return
+	}
+	h.draining = true
+	s.withKeySlot(sh, key, func() {
+		if cur, still := sh.hints[key]; !still || cur != h {
+			// Dropped or replaced while queued: a newer write already
+			// reached this owner (or superseded the hint). Skip, and
+			// pick up whatever hint stands now.
+			h.draining = false
+			s.setNext(sh, key)
+			s.drainHint(sh, key)
+			return
+		}
+		s.ownerSetNow(sh, key, h.val, func(st ownerWriteStatus) {
+			h.draining = false
+			switch st {
+			case ownerApplied:
+				if s.applyHook != nil {
+					s.applyHook(sh.id, key, h.seq)
+				}
+				if cur, still := sh.hints[key]; still && cur == h {
+					delete(sh.hints, key)
+					sh.hintsApplied++
+					s.settleHint(h)
+				}
+			case ownerRejected:
+				// The recovered table refused the replay (capacity):
+				// retrying forever would spin, so retire the hint.
+				if cur, still := sh.hints[key]; still && cur == h {
+					delete(sh.hints, key)
+					sh.hintsDropped++
+					s.settleHint(h)
+				}
+			}
+			s.setNext(sh, key)
+			if st == ownerApplied {
+				s.drainHint(sh, key)
+			}
+		})
+	})
+}
+
+// Delete removes key from every replica owner, host-side: deletes are
+// a control-plane operation (the claim chain installs keys, the CPU
+// retires them), kept synchronous for simplicity. Pending handoff
+// hints for the key are discarded so a later drain cannot resurrect
+// it.
+func (s *Service) Delete(key uint64) bool {
+	key &= hopscotch.KeyMask
+	s.nextSeq[key]++
+	if s.cache != nil {
+		s.setEpoch[key]++
+		delete(s.cache, key)
+	}
+	any := false
+	for _, id := range s.owners(key) {
+		sh := s.shards[id]
+		if cur, ok := sh.hints[key]; ok {
+			delete(sh.hints, key)
+			sh.hintsDropped++
+			s.settleHint(cur)
+		}
+		if sh.hostDown {
+			continue
+		}
+		if sh.table.table.Delete(key) {
+			any = true
+		}
+	}
+	return any
+}
