@@ -168,3 +168,13 @@ func BenchmarkMixed(b *testing.B) {
 		report(b, experiments.MixedWorkload())
 	}
 }
+
+// BenchmarkChurn measures the extent lifecycle subsystem: sustained
+// overwrite+delete churn with the log-structured arena and background
+// compaction (bounded footprint, fabric-real delete latency) against
+// the pre-lifecycle leak-forever allocator.
+func BenchmarkChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Churn())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/extent"
 	"repro/internal/fabric"
 	"repro/internal/hopscotch"
 	"repro/internal/rnic"
@@ -103,6 +104,15 @@ type Client struct {
 	swaiting []*setReq
 	sdirty   bool // posted set WRs awaiting a doorbell
 
+	// prevVal tracks, per key, the extent the bucket held after this
+	// client's last acknowledged standalone set — freed exactly once
+	// when the NEXT same-key ack supersedes it. Closure-captured
+	// "old value" snapshots cannot do this: two pipelined same-key
+	// overwrites would capture the same extent and free it twice.
+	// Only the SetAsync/DeleteAsync lifecycle path populates it; the
+	// Service drives SetAsyncClaim and owns extent lifecycle itself.
+	prevVal map[uint64]uint64
+
 	// Set chains deliver exactly one signaled ack completion per
 	// executed instance (WRITE on claim, NOOP otherwise); the same
 	// armed-vs-seen accounting as gets detects a dead server NIC.
@@ -114,6 +124,42 @@ type Client struct {
 
 	sets, setAcks, setFails uint64
 	maxSetsInFlight         int
+
+	// ---- delete path (a third connection, mirroring the set path) ----
+
+	cliDelQP *rnic.QP
+	dpool    *core.DeletePool
+	arena    *extent.Arena // server arena freed extents return to
+
+	dtrig []uint64 // per-slot delete-trigger buffers
+	dack  []uint64 // per-slot ack landing buffers
+	dfree []int
+
+	dslots   []*delReq
+	dwaiting []*delReq
+	ddirty   bool // posted delete SENDs awaiting a doorbell
+
+	darmCount  []uint64
+	dexecSeen  []uint64
+	dwedged    []bool
+	dnWedged   int
+	lastDelRan bool // did the most recent failed delete's chain execute?
+
+	dels, delAcks, delFails uint64
+	maxDelsInFlight         int
+
+	gcFreed, gcStale uint64 // to-free ring drains: extents returned / already gone
+}
+
+// delReq is one in-flight (or queued) delete.
+type delReq struct {
+	key    uint64
+	claim  core.DeleteClaim
+	slot   int
+	start  sim.Time
+	cb     func(lat Duration, ok bool)
+	done   bool
+	issued bool
 }
 
 // setReq is one in-flight (or queued) set.
@@ -126,6 +172,9 @@ type setReq struct {
 	cb     func(lat Duration, ok bool)
 	done   bool
 	issued bool
+
+	staging   uint64 // server staging extent this set's chain targets
+	lifecycle bool   // standalone path: client manages extent retirement
 }
 
 // getReq is one in-flight (or queued) get.
@@ -153,13 +202,15 @@ func (t *Testbed) NewPipelinedClient(srv *Server, mode LookupMode, depth int) *C
 	}
 	t.n++
 	node := t.clu.AddNode(fabric.DefaultNodeConfig(fmt.Sprintf("client%d", t.n)))
-	return newClientOnNode(t, node, srv, mode, depth, DefaultMaxValLen)
+	return newClientOnNode(t, node, srv, mode, depth, DefaultMaxValLen, srv.Arena())
 }
 
 // newClientOnNode wires the connection, the offload context pool and
 // the demultiplexer; the Service uses it to place clients on its own
-// nodes.
-func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode, depth int, maxVal uint64) *Client {
+// nodes. arena supplies (and reclaims) the server-side value extents
+// this connection's writes stage into; nil reproduces the leak-forever
+// bump allocator.
+func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode, depth int, maxVal uint64, arena *extent.Arena) *Client {
 	// Trigger connection: client SQ paces SENDs, server RQ holds one
 	// pre-posted RECV per armed instance.
 	srvRQ := 2048
@@ -256,7 +307,9 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 	c.sarmCount = make([]uint64, depth)
 	c.sexecSeen = make([]uint64, depth)
 	c.swedged = make([]bool, depth)
-	c.spool = core.NewSetPool(srv.builder, srvSetQP, sresp, maxVal)
+	c.arena = arena
+	c.prevVal = make(map[uint64]uint64)
+	c.spool = core.NewSetPool(srv.builder, srvSetQP, sresp, maxVal, c.arena)
 	for i := range c.spool.Ctxs {
 		slot := i
 		srecord := func(e rnic.CQE) {
@@ -268,6 +321,42 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 		}
 		sresp[i].SendCQ().SetAutoDrain(true)
 		sresp[i].SendCQ().OnDeliver(srecord)
+	}
+
+	// Delete path: a third connection with its own trigger RQ (arrival
+	// counters sequence each path independently), per-slot ack QPs, and
+	// a pool of delete contexts over a shared to-free ring.
+	cliDelQP, srvDelQP := t.clu.Connect(node, srv.node,
+		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
+		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
+	c.cliDelQP = cliDelQP
+	srvDelQP.RecvCQ().SetAutoDrain(true)
+	srvDelQP.SendCQ().SetAutoDrain(true)
+	dresp := make([]*rnic.QP, depth)
+	for i := 0; i < depth; i++ {
+		c.dtrig = append(c.dtrig, node.Mem.Alloc(128, 8))
+		c.dack = append(c.dack, node.Mem.Alloc(8, 8))
+		c.dfree = append(c.dfree, i)
+		_, dresp[i] = t.clu.Connect(node, srv.node,
+			rnic.QPConfig{SQDepth: 8, RQDepth: 8},
+			rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
+	}
+	c.dslots = make([]*delReq, depth)
+	c.darmCount = make([]uint64, depth)
+	c.dexecSeen = make([]uint64, depth)
+	c.dwedged = make([]bool, depth)
+	c.dpool = core.NewDeletePool(srv.builder, srvDelQP, dresp)
+	for i := range c.dpool.Ctxs {
+		slot := i
+		drecord := func(e rnic.CQE) {
+			c.dexecSeen[slot]++
+			if e.Op == wqe.OpWrite {
+				c.onDelAck(slot, e.WRID, e.At)
+			}
+			c.dreclaim(slot)
+		}
+		dresp[i].SendCQ().SetAutoDrain(true)
+		dresp[i].SendCQ().OnDeliver(drecord)
 	}
 	return c
 }
@@ -378,6 +467,10 @@ func (c *Client) Flush() {
 	if c.sdirty {
 		c.sdirty = false
 		c.cliSetQP.RingSQ()
+	}
+	if c.ddirty {
+		c.ddirty = false
+		c.cliDelQP.RingSQ()
 	}
 }
 
@@ -549,6 +642,17 @@ func (c *Client) SetAsync(key uint64, value []byte, cb func(lat Duration, ok boo
 	if c.table == nil {
 		panic("redn: Bind a table before Set")
 	}
+	if key&hopscotch.PendingBit != 0 || key&hopscotch.KeyMask == 0 {
+		// Reserved id space: pending/tombstone words must never be
+		// resident keys, and key 0's control word IS the empty-bucket
+		// marker.
+		c.tb.clu.Eng.After(0, func() {
+			if cb != nil {
+				cb(0, false)
+			}
+		})
+		return
+	}
 	claim, ok := c.setClaim(key)
 	if !ok {
 		c.tb.clu.Eng.After(0, func() {
@@ -558,16 +662,34 @@ func (c *Client) SetAsync(key uint64, value []byte, cb func(lat Duration, ok boo
 		})
 		return
 	}
-	c.SetAsyncClaim(key, value, claim, cb)
+	// An acknowledged overwrite repoints the bucket at the new staging
+	// extent; the superseded extent is retired from sfinish via the
+	// per-key prevVal chain (exactly once, in ack order — see prevVal).
+	// Seed the chain with the table's current extent so the first
+	// overwrite retires the preloaded value. (Service writes pass
+	// SetAsyncClaim directly — their coordinator owns the lifecycle.)
+	k := key & hopscotch.KeyMask
+	if c.arena != nil {
+		if _, tracked := c.prevVal[k]; !tracked {
+			if va, _, ok := c.table.table.Lookup(k); ok {
+				c.prevVal[k] = va
+			}
+		}
+	}
+	c.setAsyncReq(&setReq{key: k, val: value, claim: claim, cb: cb, lifecycle: true})
 }
 
 // SetAsyncClaim is SetAsync with an explicit, caller-computed bucket
 // claim — the service layer's entry point (its router owns placement).
 func (c *Client) SetAsyncClaim(key uint64, value []byte, claim core.SetClaim, cb func(lat Duration, ok bool)) {
-	if uint64(len(value)) > c.maxVal {
-		panic(fmt.Sprintf("redn: value %d exceeds client max %d", len(value), c.maxVal))
+	c.setAsyncReq(&setReq{key: key & hopscotch.KeyMask, val: value, claim: claim, cb: cb})
+}
+
+// setAsyncReq routes one set request into the pipeline.
+func (c *Client) setAsyncReq(req *setReq) {
+	if uint64(len(req.val)) > c.maxVal {
+		panic(fmt.Sprintf("redn: value %d exceeds client max %d", len(req.val), c.maxVal))
 	}
-	req := &setReq{key: key & hopscotch.KeyMask, val: value, claim: claim, cb: cb}
 	if len(c.sfree) == 0 {
 		if c.snWedged == c.depth {
 			c.sets++
@@ -611,7 +733,8 @@ func (c *Client) sissue(req *setReq) {
 	}
 
 	ctx := c.spool.Ctxs[slot]
-	staging := ctx.Arm()
+	staging := ctx.Arm(req.key)
+	req.staging = staging
 	c.node.Mem.Write(c.sval[slot], req.val)
 	payload := ctx.TriggerPayload(req.key, req.claim, uint64(len(req.val)), c.sack[slot])
 	c.node.Mem.Write(c.strig[slot], payload)
@@ -654,6 +777,8 @@ func (c *Client) sfinish(req *setReq, lat Duration, ok bool) {
 	req.done = true
 	c.sslots[req.slot] = nil
 	if !ok && c.sarmCount[req.slot]-c.sexecSeen[req.slot] >= 1 {
+		// Never executed: the staging extent stays allocated — a
+		// straggling chain could still repoint the bucket at it.
 		c.lastSetRan = false
 		c.swedged[req.slot] = true
 		c.snWedged++
@@ -665,9 +790,21 @@ func (c *Client) sfinish(req *setReq, lat Duration, ok bool) {
 		}
 	} else {
 		if !ok {
+			// The chain ran and refused the claim: the staged bytes can
+			// never become the bucket's value, so retire the extent.
 			c.lastSetRan = true
+			c.spool.Ctxs[req.slot].ReleaseStaging()
 		}
 		c.sfree = append(c.sfree, req.slot)
+	}
+	if ok && req.lifecycle && c.arena != nil {
+		// This ack's staging is the bucket's value now; the extent the
+		// previous same-key ack installed is superseded — retire it
+		// after the read grace (an in-flight get may hold its pointer).
+		if prev, tracked := c.prevVal[req.key]; tracked && prev != req.staging {
+			c.tb.clu.Eng.After(ExtentGraceLat, func() { c.arena.Free(prev) })
+		}
+		c.prevVal[req.key] = req.staging
 	}
 	if req.cb != nil {
 		req.cb(lat, ok)
@@ -711,6 +848,251 @@ func (c *Client) Set(key uint64, value []byte) (Duration, bool) {
 		done bool
 	)
 	c.SetAsync(key, value, func(l Duration, acked bool) {
+		lat, ok, done = l, acked, true
+	})
+	c.Flush()
+	c.tb.stepUntil(&done)
+	return lat, ok
+}
+
+// ---- delete path ----
+
+// DeletesInFlight returns the number of deletes currently occupying
+// slots.
+func (c *Client) DeletesInFlight() int { return c.depth - len(c.dfree) - c.dnWedged }
+
+// DeletesQueued returns the deletes waiting client-side for a slot.
+func (c *Client) DeletesQueued() int { return len(c.dwaiting) }
+
+// DeletesWedged returns the number of quarantined delete slots.
+func (c *Client) DeletesWedged() int { return c.dnWedged }
+
+// LastDeleteExecuted reports whether the most recent failed delete's
+// offload chain executed on the server NIC (a genuine claim refusal —
+// the key was absent or already tombstoned) as opposed to never
+// running (dead connection). Meaningful inside a failed-delete
+// callback.
+func (c *Client) LastDeleteExecuted() bool { return c.lastDelRan }
+
+// GCStats reports to-free ring drain counters: extents returned to the
+// arena, and stale ring entries whose extent was already gone (the
+// tolerated straggler double-unlink).
+func (c *Client) GCStats() (freed, stale uint64) { return c.gcFreed, c.gcStale }
+
+// deleteClaim computes the delete claim for key against the client's
+// view of the bound table: the key must sit at a candidate bucket the
+// NIC probes. Spilled residents only a CPU scan can reach — and keys
+// that are absent outright — cannot be claimed from here.
+func (c *Client) deleteClaim(key uint64) (core.DeleteClaim, bool) {
+	return deleteClaimForTable(c.table.table, c.pool.Mode, key&hopscotch.KeyMask)
+}
+
+// DeleteAsync issues one offloaded delete of key, computing the bucket
+// claim from the bound table, and returns immediately; cb runs when
+// the NIC's ack lands or MissTimeout expires. Deletes beyond the
+// pipeline depth queue client-side; call Flush after posting a batch.
+// A key that is not at a NIC-reachable candidate bucket fails after a
+// zero-cost hop: retiring spilled residents is host work.
+func (c *Client) DeleteAsync(key uint64, cb func(lat Duration, ok bool)) {
+	if c.table == nil {
+		panic("redn: Bind a table before Delete")
+	}
+	if key&hopscotch.PendingBit != 0 || key&hopscotch.KeyMask == 0 {
+		c.tb.clu.Eng.After(0, func() {
+			if cb != nil {
+				cb(0, false)
+			}
+		})
+		return
+	}
+	claim, ok := c.deleteClaim(key)
+	if !ok {
+		c.tb.clu.Eng.After(0, func() {
+			if cb != nil {
+				cb(0, false)
+			}
+		})
+		return
+	}
+	c.DeleteAsyncClaim(key, claim, cb)
+}
+
+// DeleteAsyncClaim is DeleteAsync with an explicit, caller-computed
+// bucket claim — the service layer's entry point.
+func (c *Client) DeleteAsyncClaim(key uint64, claim core.DeleteClaim, cb func(lat Duration, ok bool)) {
+	req := &delReq{key: key & hopscotch.KeyMask, claim: claim, cb: cb}
+	if len(c.dfree) == 0 {
+		if c.dnWedged == c.depth {
+			c.dels++
+			c.dfailLater(req)
+			return
+		}
+		c.dwaiting = append(c.dwaiting, req)
+		return
+	}
+	c.dissue(req)
+}
+
+// dfailLater completes req as failed one MissTimeout from now unless a
+// reclaimed slot picked it up in the meantime.
+func (c *Client) dfailLater(req *delReq) {
+	c.tb.clu.Eng.After(c.MissTimeout, func() {
+		if req.done || req.issued {
+			return
+		}
+		req.done = true
+		c.delFails++
+		c.lastDelRan = false
+		if req.cb != nil {
+			req.cb(c.MissTimeout, false)
+		}
+	})
+}
+
+// dissue arms one delete instance and posts the trigger SEND
+// (doorbell-less; Flush kicks it).
+func (c *Client) dissue(req *delReq) {
+	slot := c.dfree[len(c.dfree)-1]
+	c.dfree = c.dfree[:len(c.dfree)-1]
+	req.slot = slot
+	req.issued = true
+	c.dslots[slot] = req
+	c.darmCount[slot]++
+	c.dels++
+	if f := c.depth - len(c.dfree); f > c.maxDelsInFlight {
+		c.maxDelsInFlight = f
+	}
+
+	ctx := c.dpool.Ctxs[slot]
+	ctx.Arm()
+	payload := ctx.TriggerPayload(req.key, req.claim, c.dack[slot])
+	c.node.Mem.Write(c.dtrig[slot], payload)
+
+	req.start = c.tb.clu.Eng.Now()
+	c.cliDelQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.dtrig[slot], Len: uint64(len(payload))})
+	c.ddirty = true
+	c.tb.clu.Eng.After(c.MissTimeout, func() { c.onDelTimeout(req) })
+}
+
+// onDelAck completes slot's in-flight delete: the conditional ack
+// WRITE carries the claimed key in its id field, rejecting stragglers
+// from instances whose request already timed out.
+func (c *Client) onDelAck(slot int, key uint64, at sim.Time) {
+	req := c.dslots[slot]
+	if req == nil || req.key != key {
+		return
+	}
+	c.delAcks++
+	c.dfinish(req, at-req.start, true)
+}
+
+// onDelTimeout completes req as failed if it is still outstanding.
+func (c *Client) onDelTimeout(req *delReq) {
+	if req.done || c.dslots[req.slot] != req {
+		return
+	}
+	c.delFails++
+	c.dfinish(req, c.MissTimeout, false)
+}
+
+// dfinish mirrors sfinish: release (or quarantine) the slot, drain the
+// to-free ring on success so unlinked extents return to the arena, run
+// the callback, refill from the waiting queue.
+func (c *Client) dfinish(req *delReq, lat Duration, ok bool) {
+	req.done = true
+	c.dslots[req.slot] = nil
+	if !ok && c.darmCount[req.slot]-c.dexecSeen[req.slot] >= 1 {
+		c.lastDelRan = false
+		c.dwedged[req.slot] = true
+		c.dnWedged++
+		if c.dnWedged == c.depth {
+			for _, w := range c.dwaiting {
+				c.dfailLater(w)
+			}
+			c.dwaiting = nil
+		}
+	} else {
+		if !ok {
+			c.lastDelRan = true
+		}
+		c.dfree = append(c.dfree, req.slot)
+	}
+	if ok {
+		// The unlink just retired the bucket's extent through the ring;
+		// the standalone lifecycle chain must not free it again on the
+		// next same-key set ack.
+		delete(c.prevVal, req.key)
+	}
+	// Drain on every completion, not just acks: a straggler chain from
+	// a timed-out delete deposits into a ring slot that a later re-arm
+	// of the same context would otherwise overwrite, losing the extent.
+	c.DrainFreed()
+	if req.cb != nil {
+		req.cb(lat, ok)
+	}
+	c.dpump()
+	c.Flush()
+}
+
+// DrainFreed drains this connection's to-free ring into the server's
+// arena: each entry a delete chain unlinked is returned exactly once,
+// after the read grace (a get that probed the bucket just before the
+// tombstone may still hold the pointer); entries whose extent is
+// already gone (a straggling chain double-unlinked during its claim
+// window) are counted and skipped.
+func (c *Client) DrainFreed() int {
+	return c.dpool.Ring.Drain(func(tag, addr, size uint64) {
+		// The tag is the pending word the delete chain claimed; the
+		// extent is freed only while the arena still attributes the
+		// address to that key — a straggler's double-deposit of an
+		// address recycled to another key is stale, not a free.
+		key := tag & hopscotch.KeyMask &^ hopscotch.PendingBit
+		if c.arena != nil {
+			if cookie, live := c.arena.Cookie(addr); live && cookie == key {
+				c.gcFreed++
+				c.tb.clu.Eng.After(ExtentGraceLat, func() { c.arena.Free(addr) })
+				return
+			}
+		}
+		c.gcStale++
+	})
+}
+
+// dreclaim returns a quarantined delete slot once its completion
+// backlog clears (the last armed chain executed on a live NIC).
+func (c *Client) dreclaim(slot int) {
+	if !c.dwedged[slot] || c.darmCount[slot]-c.dexecSeen[slot] >= 1 {
+		return
+	}
+	c.dwedged[slot] = false
+	c.dnWedged--
+	c.dfree = append(c.dfree, slot)
+	c.dpump()
+	c.Flush()
+}
+
+// dpump issues queued deletes while free slots remain.
+func (c *Client) dpump() {
+	for len(c.dwaiting) > 0 && len(c.dfree) > 0 {
+		next := c.dwaiting[0]
+		c.dwaiting = c.dwaiting[1:]
+		if next.done {
+			continue
+		}
+		c.dissue(next)
+	}
+}
+
+// Delete performs one offloaded delete, advancing the simulation until
+// the ack lands (or MissTimeout for refused claims). It returns the
+// observed latency and whether the NIC acknowledged the retirement.
+func (c *Client) Delete(key uint64) (Duration, bool) {
+	var (
+		lat  Duration
+		ok   bool
+		done bool
+	)
+	c.DeleteAsync(key, func(l Duration, acked bool) {
 		lat, ok, done = l, acked, true
 	})
 	c.Flush()

@@ -455,3 +455,204 @@ func TestClientSetSingleModeRefusesUnreachableClaim(t *testing.T) {
 		t.Fatal("blocker lost after the refused claim")
 	}
 }
+
+// A NIC-claimed delete round-trips: the claim chain tombstones the
+// bucket, a subsequent get misses, the unlinked extent returns to the
+// server arena through the to-free ring, and the delete's latency is a
+// real fabric round trip — never zero.
+func TestClientDeleteRoundTrip(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(4096)
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 8)
+	cli.Bind(table)
+
+	for k := uint64(1); k <= 16; k++ {
+		if _, ok := cli.Set(k, Value(k, 64)); !ok {
+			t.Fatalf("set(%d) failed", k)
+		}
+	}
+	liveBefore := srv.Arena().LiveBytes()
+	for k := uint64(1); k <= 16; k++ {
+		lat, ok := cli.Delete(k)
+		if !ok {
+			t.Fatalf("delete(%d) not acknowledged", k)
+		}
+		if lat <= 0 {
+			t.Fatalf("delete(%d) completed in zero virtual time — not a fabric delete", k)
+		}
+	}
+	for k := uint64(1); k <= 16; k++ {
+		if _, _, ok := cli.Get(k, 64); ok {
+			t.Fatalf("get(%d) hit after NIC delete", k)
+		}
+	}
+	// The chain installs tombstone words directly in bucket memory (the
+	// host-side Len/Tombstones counters only see CPU-path mutations):
+	// every deleted key's bucket must now hold the tombstone.
+	ht := table.Table()
+	tombs := 0
+	for k := uint64(1); k <= 16; k++ {
+		for fn := 0; fn < 2; fn++ {
+			if ht.TombstoneAt(ht.Hash(k, fn)) {
+				tombs++
+				break
+			}
+		}
+	}
+	if tombs != 16 {
+		t.Fatalf("%d tombstoned buckets after 16 NIC deletes", tombs)
+	}
+	// Every deleted value extent came back to the arena.
+	if freed, stale := cli.GCStats(); freed != 16 || stale != 0 {
+		t.Fatalf("gc freed=%d stale=%d, want 16/0", freed, stale)
+	}
+	if live := srv.Arena().LiveBytes(); live >= liveBefore {
+		t.Fatalf("arena live bytes %d did not drop from %d after deletes", live, liveBefore)
+	}
+}
+
+// Deleting an absent (or already-deleted) key refuses the claim before
+// any chain runs; a forged claim against a live bucket of a DIFFERENT
+// key is refused BY the chain — executed, resident intact.
+func TestClientDeleteRefused(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1024)
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 4)
+	cli.Bind(table)
+
+	// Absent key: fails with a zero-cost hop, no chain armed.
+	if _, ok := cli.Delete(404); ok {
+		t.Fatal("delete of an absent key acknowledged")
+	}
+
+	const key = 5
+	if _, ok := cli.Set(key, Value(key, 64)); !ok {
+		t.Fatal("setup set failed")
+	}
+	ht := table.Table()
+	var bucket uint64
+	for fn := 0; fn < 2; fn++ {
+		if k, _, _, ok := ht.EntryAt(ht.Hash(key, fn)); ok && k == key {
+			bucket = ht.BucketAddr(ht.Hash(key, fn))
+		}
+	}
+	if bucket == 0 {
+		t.Fatal("key not at a candidate bucket")
+	}
+	// A delete claim for key 777 against key 5's bucket: the claim CAS
+	// expects NOOP|777 and must fail against NOOP|5.
+	var executed, acked bool
+	done := false
+	cli.DeleteAsyncClaim(777, core.DeleteClaim{BucketAddr: bucket},
+		func(_ Duration, ok bool) {
+			acked, executed, done = ok, cli.LastDeleteExecuted(), true
+		})
+	cli.Flush()
+	tb.Run()
+	if !done {
+		t.Fatal("forged delete never completed")
+	}
+	if acked {
+		t.Fatal("forged delete was acknowledged")
+	}
+	if !executed {
+		t.Fatal("refused delete reported as never-executed (would trip the crash detector)")
+	}
+	// The resident survived, bit-exact, and a double delete of the now
+	// genuinely-deleted key is refused by the tombstone.
+	if val, _, ok := cli.Get(key, 64); !ok || !bytes.Equal(val, Value(key, 64)) {
+		t.Fatal("resident corrupted by a refused delete claim")
+	}
+	if _, ok := cli.Delete(key); !ok {
+		t.Fatal("genuine delete failed")
+	}
+	if _, ok := cli.Delete(key); ok {
+		t.Fatal("second delete of the same key acknowledged")
+	}
+}
+
+// Pipelined deletes overlap on the fabric like sets and gets.
+func TestClientDeletePipelineOverlaps(t *testing.T) {
+	elapsed := func(depth int) Duration {
+		tb := NewTestbed()
+		srv := tb.NewServer()
+		table := srv.NewHashTable(4096)
+		cli := tb.NewPipelinedClient(srv, LookupSeq, depth)
+		cli.Bind(table)
+		for k := uint64(1); k <= 32; k++ {
+			if _, ok := cli.Set(k, Value(k, 64)); !ok {
+				t.Fatalf("set(%d) failed", k)
+			}
+		}
+		start := tb.Now()
+		done := 0
+		var lastDone Duration
+		for k := uint64(1); k <= 32; k++ {
+			key := k
+			cli.DeleteAsync(key, func(_ Duration, ok bool) {
+				if !ok {
+					t.Errorf("delete(%d) failed", key)
+				}
+				done++
+				lastDone = tb.Now()
+			})
+		}
+		cli.Flush()
+		tb.Run()
+		if done != 32 {
+			t.Fatalf("completed %d of 32 deletes", done)
+		}
+		if depth > 1 && cli.maxDelsInFlight < depth {
+			t.Fatalf("delete pipeline never filled: high-water %d of %d", cli.maxDelsInFlight, depth)
+		}
+		return lastDone - start
+	}
+	blocking := elapsed(1)
+	piped := elapsed(8)
+	if piped*3 > blocking {
+		t.Fatalf("8-deep deletes took %v vs blocking %v — no overlap", piped, blocking)
+	}
+}
+
+// A refused set claim hands its staging extent straight back to the
+// arena; churning refusals must not grow the arena.
+func TestClientRefusedSetReleasesStaging(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1024)
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 4)
+	cli.Bind(table)
+
+	const key = 5
+	if _, ok := cli.Set(key, Value(key, 64)); !ok {
+		t.Fatal("setup set failed")
+	}
+	ht := table.Table()
+	var bucket uint64
+	for fn := 0; fn < 2; fn++ {
+		if k, _, _, ok := ht.EntryAt(ht.Hash(key, fn)); ok && k == key {
+			bucket = ht.BucketAddr(ht.Hash(key, fn))
+		}
+	}
+	live := srv.Arena().LiveBytes()
+	for i := 0; i < 20; i++ {
+		done := false
+		cli.SetAsyncClaim(777, Value(777, 64), coreSetClaim(bucket, 0, 777),
+			func(_ Duration, ok bool) {
+				if ok {
+					t.Error("stale claim acknowledged")
+				}
+				done = true
+			})
+		cli.Flush()
+		tb.Run()
+		if !done {
+			t.Fatal("refused set never completed")
+		}
+	}
+	if got := srv.Arena().LiveBytes(); got != live {
+		t.Fatalf("arena grew %d -> %d live bytes across 20 refused claims", live, got)
+	}
+}

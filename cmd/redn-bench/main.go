@@ -7,6 +7,7 @@
 //	redn-bench fig10                # run one experiment
 //	redn-bench -json fig10 fig11    # machine-readable results
 //	redn-bench -scale-requests 1000000 scaleout
+//	redn-bench -churn 100000        # churn with an explicit op count
 //	redn-bench list                 # list experiment ids
 package main
 
@@ -23,6 +24,7 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	scaleReq := flag.Int("scale-requests", 0, "request count per scaleout configuration (0 = default)")
+	churnReq := flag.Int("churn", 0, "request count for the churn experiment (0 = default; longer runs sharpen the leak-baseline divergence)")
 	flag.Parse()
 	args := flag.Args()
 
@@ -39,9 +41,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running %-8s ...", id)
 		start := time.Now()
 		var r *experiments.Result
-		if id == "scaleout" && *scaleReq > 0 {
+		switch {
+		case id == "scaleout" && *scaleReq > 0:
 			r = experiments.ScaleOutN(*scaleReq)
-		} else {
+		case id == "churn" && *churnReq > 0:
+			r = experiments.ChurnN(*churnReq)
+		default:
 			r = experiments.ByID(id)
 		}
 		fmt.Fprintf(os.Stderr, " done in %.1fs\n", time.Since(start).Seconds())

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"repro/internal/extent"
+	"repro/internal/hopscotch"
+	"repro/internal/rnic"
+	"repro/internal/wqe"
+)
+
+// The hash-delete offload: the retirement sibling of the set chain.
+//
+// A delete must do three things atomically with respect to other
+// fabric writers: take the key out of the table, hand its value extent
+// to the allocator, and tell the client — and RedN's self-modifying
+// machinery covers all three without the host CPU. A client delete is
+// one SEND whose payload is scattered into a pre-armed chain:
+//
+//	RECV      scatter claim/cond operands + bucket addr + ack addrs
+//	claimCAS  bucket.keyCtrl: NOOP|key -> PENDING|key (the delete claim)
+//	readBack  READ bucket.keyCtrl -> unlink.ctrl      (observe the claim)
+//	condCAS   unlink.ctrl: PENDING|key -> WRITE|key   (arm iff claimed)
+//	unlink    WRITE bucket.[keyCtrl,valAddr,valLen] -> to-free ring slot
+//	tombCAS   bucket.keyCtrl: PENDING|key -> TOMBSTONE (finalize)
+//	ackRead   READ unlink.ctrl -> ack.ctrl            (propagate verdict)
+//	ack       WRITE 8B -> client ack buffer           (iff claimed)
+//
+// The claim parks the bucket on the per-key PENDING word
+// (hopscotch.PendingCtrl) — the same claimed-but-unpublished marker
+// fresh set claims use, and for the same reason: a lookup chain's
+// probe READ injects bucket words verbatim into its response WQE, so
+// the parked word must stay an inert NOOP or a concurrent get would
+// execute it and serve the extent being retired. readBack lands the
+// bucket word in the unlink WQE and condCAS flips it to an executable
+// WRITE exactly when it is this chain's pending word — the set chain's
+// conditional idiom. A failed claim (key absent, already tombstoned,
+// or a racing writer) leaves an unmatchable word and the chain falls
+// through: no unlink, no ack, and the client times out, the same
+// no-negative-acknowledgement discipline as gets and sets. Concurrent
+// gets during the pending window miss — they linearize after the
+// delete.
+//
+// The unlink WRITE copies the bucket's first three words — the claimed
+// (pending) key word plus [valAddr, valLen] — onto a slot of the
+// server's to-free ring before tombCAS retires the bucket; the host GC
+// drains the ring into the extent arena at its leisure, using the key
+// word to verify the extent still belongs to the deleted key before
+// freeing (a straggler's double-deposit of a since-recycled address is
+// dropped as stale).
+//
+// One hazard survives: a straggling chain from a delete the client
+// already timed out can deposit the same extent a newer chain just
+// deposited. The drain's key-word verification makes the duplicate a
+// counted stale no-op — whether the address is already gone or has
+// been recycled to another key — not corruption.
+
+// DeleteClaim names the bucket a delete claims. The CAS operands are
+// derived from the key: Expect is NOOP|key (the live occupant), the
+// intermediate claim word the per-key pending marker, and the final
+// word the shared tombstone.
+type DeleteClaim struct {
+	BucketAddr uint64
+}
+
+// deleteRingSlots is the per-context depth of the to-free ring: one
+// delete is in flight per context, so a few slots absorb stragglers
+// until the next drain.
+const deleteRingSlots = 8
+
+// DeleteOffload is an armed conditional-delete offload for one request
+// slot of a client connection's delete path.
+type DeleteOffload struct {
+	B *Builder
+	// Trig is the server side of the connection's delete-trigger QP;
+	// its RQ receives delete SENDs, shared by every slot of the pool.
+	Trig *rnic.QP
+	// Resp is the slot's dedicated managed QP back to the client for
+	// the conditional ack (per-slot: an ENABLE grants every earlier
+	// WQE on a ring).
+	Resp *rnic.QP
+
+	// Ring is the to-free ring unlink WRITEs target; slotBase is this
+	// context's first slot within it.
+	Ring     *extent.FreeRing
+	slotBase uint64
+
+	w2 *rnic.QP // managed chain ring: claim, readback, tombstone, ack read
+	w3 *rnic.QP // managed ring for the unlink WRITE
+
+	armed uint64
+}
+
+// deleteChainWQEs is the busiest-ring WQE budget of one instance (w2):
+// claim, readback, conditional arm, tombstone, ack read.
+const deleteChainWQEs = 5
+
+// NewDeleteOffload builds one delete context over ring slots
+// [slotBase, slotBase+deleteRingSlots) of ring.
+func NewDeleteOffload(b *Builder, trig, resp *rnic.QP, ring *extent.FreeRing, slotBase uint64) *DeleteOffload {
+	o := &DeleteOffload{B: b, Trig: trig, Resp: resp, Ring: ring, slotBase: slotBase,
+		w2: b.NewManagedQPOnPU(2*deleteChainWQEs+4, -1),
+		w3: b.NewManagedQPOnPU(8, -1)}
+	o.w2.SendCQ().SetAutoDrain(true)
+	o.w3.SendCQ().SetAutoDrain(true)
+	return o
+}
+
+// Arm posts one delete instance. Re-arming models the client rewriting
+// the registered code region over RDMA (§3.5), exactly like sets.
+func (o *DeleteOffload) Arm() {
+	b := o.B
+	o.armed++
+	ringSlot := o.Ring.SlotAddr(o.slotBase + (o.armed-1)%deleteRingSlots)
+
+	// unlink copies the bucket's [keyCtrl, valAddr, valLen] onto the
+	// ring slot; readBack injects its control word, so it posts as an
+	// inert NOOP.
+	unlink := b.Post(o.w3, wqe.WQE{Op: wqe.OpNoop, Dst: ringSlot, Len: 24,
+		Flags: wqe.FlagSignaled})
+	// The ack's 8-byte payload is the ring slot's first word — any
+	// server-resident token works; the key stamped in the CQE id field
+	// is what the client demultiplexes on.
+	ack := b.Post(o.Resp, wqe.WQE{Op: wqe.OpNoop, Src: ringSlot, Flags: wqe.FlagSignaled})
+	claim := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS, Flags: wqe.FlagSignaled})
+	readBack := b.Post(o.w2, wqe.WQE{Op: wqe.OpRead,
+		Dst: unlink.FieldAddr(wqe.OffCtrl), Len: 8, Flags: wqe.FlagSignaled})
+	condCAS := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS,
+		Dst: unlink.FieldAddr(wqe.OffCtrl), Flags: wqe.FlagSignaled})
+	tomb := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS, Flags: wqe.FlagSignaled})
+	ackRead := b.Post(o.w2, wqe.WQE{Op: wqe.OpRead,
+		Src: unlink.FieldAddr(wqe.OffCtrl),
+		Dst: ack.FieldAddr(wqe.OffCtrl), Len: 8, Flags: wqe.FlagSignaled})
+
+	recvTarget := b.ExpectRecv(o.Trig, o.armed, []wqe.ScatterEntry{
+		{Addr: claim.FieldAddr(wqe.OffCmp), Len: 8},
+		{Addr: claim.FieldAddr(wqe.OffSwap), Len: 8},
+		{Addr: claim.FieldAddr(wqe.OffDst), Len: 8},
+		{Addr: readBack.FieldAddr(wqe.OffSrc), Len: 8},
+		{Addr: condCAS.FieldAddr(wqe.OffCmp), Len: 8},
+		{Addr: condCAS.FieldAddr(wqe.OffSwap), Len: 8},
+		{Addr: unlink.FieldAddr(wqe.OffSrc), Len: 8},
+		{Addr: tomb.FieldAddr(wqe.OffCmp), Len: 8},
+		{Addr: tomb.FieldAddr(wqe.OffSwap), Len: 8},
+		{Addr: tomb.FieldAddr(wqe.OffDst), Len: 8},
+		{Addr: ack.FieldAddr(wqe.OffDst), Len: 8},
+		{Addr: ack.FieldAddr(wqe.OffLen), Len: 8},
+	})
+	b.WaitRecv(o.Trig, recvTarget)
+	for _, step := range []StepRef{claim, readBack, condCAS, unlink, tomb, ackRead} {
+		b.Enable(step)
+		b.WaitStep(step)
+	}
+	b.Enable(ack)
+	b.Ctrl.RingSQ()
+}
+
+// Armed returns the number of delete instances armed so far.
+func (o *DeleteOffload) Armed() uint64 { return o.armed }
+
+// DeleteWRsPerOp reports the work requests one armed delete posts —
+// the retirement path's Table 2-style budget: RECV + 7 data verbs and
+// the WAIT/ENABLE verbs sequencing them, matching the set chain's
+// budget verb for verb (claim, observe, arm, move, finalize, verdict,
+// ack).
+func DeleteWRsPerOp() (data, sync int) { return 8, 14 }
+
+// TriggerPayload builds the client SEND payload for a delete of key at
+// claim, acking 8 bytes into the client-side ackAddr. Field order
+// matches Arm's scatter list.
+func (o *DeleteOffload) TriggerPayload(key uint64, claim DeleteClaim, ackAddr uint64) []byte {
+	k := key & hopscotch.KeyMask
+	occupant := wqe.MakeCtrl(wqe.OpNoop, k)
+	pending := hopscotch.PendingCtrl(k)
+	armed := wqe.MakeCtrl(wqe.OpWrite, k)
+	fields := []uint64{
+		occupant, pending, claim.BucketAddr, // claim CAS
+		claim.BucketAddr, // readback source
+		pending, armed,   // conditional arm of the unlink WRITE
+		claim.BucketAddr,                               // unlink source: [keyCtrl, valAddr, valLen]
+		pending, hopscotch.Tombstone, claim.BucketAddr, // tombstone CAS
+		ackAddr, 8, // ack destination and length
+	}
+	out := make([]byte, len(fields)*8)
+	for i, f := range fields {
+		binary.BigEndian.PutUint64(out[i*8:], f)
+	}
+	return out
+}
+
+// DeletePool is a pool of K independent delete contexts sharing one
+// client connection's trigger RQ, mirroring SetPool: per-slot private
+// control queues and chain rings spread over the port's PUs, WAITs
+// targeting absolute arrival counts of the shared trigger CQ, and one
+// shared to-free ring partitioned across contexts.
+type DeletePool struct {
+	Trig *rnic.QP
+	Ctxs []*DeleteOffload
+	Ring *extent.FreeRing
+}
+
+// NewDeletePool builds K = len(resp) delete contexts over the trig
+// connection, carving a to-free ring in the server's memory.
+func NewDeletePool(b *Builder, trig *rnic.QP, resp []*rnic.QP) *DeletePool {
+	if len(resp) == 0 {
+		panic("core: DeletePool needs at least one response QP")
+	}
+	ring := extent.NewFreeRing(b.Dev.Mem(), deleteRingSlots*len(resp))
+	p := &DeletePool{Trig: trig, Ring: ring}
+	const ctrlDepth = 64
+	for i := range resp {
+		cb := b.SubBuilder(ctrlDepth, -1)
+		p.Ctxs = append(p.Ctxs, NewDeleteOffload(cb, trig, resp[i], ring,
+			uint64(i)*deleteRingSlots))
+	}
+	return p
+}
+
+// Depth returns the number of contexts (max overlapping deletes).
+func (p *DeletePool) Depth() int { return len(p.Ctxs) }
+
+// Arm arms one instance on context i. Triggers must go out in global
+// arm order — arrival order sequences the shared trigger CQ.
+func (p *DeletePool) Arm(i int) { p.Ctxs[i].Arm() }

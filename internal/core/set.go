@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 
+	"repro/internal/extent"
 	"repro/internal/hopscotch"
 	"repro/internal/rnic"
 	"repro/internal/wqe"
@@ -31,34 +32,70 @@ import (
 //	readBack  READ bucket.keyCtrl -> valWr.ctrl  (observe the claim)
 //	condCAS   valWr.ctrl: NOOP|key -> WRITE|key  (flip iff claimed)
 //	valWr     WRITE [stagingAddr, valLen] -> bucket.[valAddr, valLen]
+//	pubCAS    bucket.keyCtrl: New -> NOOP|key    (publish, fresh claims)
 //	ackRead   READ valWr.ctrl -> ack.ctrl        (propagate the verdict)
 //	ack       WRITE 8B -> client ack buffer      (iff the bucket is ours)
+//
+// The claim word New depends on the claim kind. An overwrite of a
+// resident key claims NOOP|key -> NOOP|key: the bucket stays readable
+// throughout, and a concurrent lookup that lands mid-chain serves the
+// old value (it linearizes before the overwrite). A FRESH claim — an
+// empty or tombstoned bucket — must not do that: the bucket's
+// [valAddr, valLen] words still carry whatever extent the previous
+// occupant (or its delete) left behind, so making the bucket readable
+// before the repoint would let a concurrent lookup serve resurrected
+// bytes through the stale pointer. Fresh claims therefore install the
+// PENDING word (hopscotch.PendingCtrl: a NOOP with a reserved id bit —
+// inert if a lookup's probe READ injects it, matched by no lookup's
+// conditional) and the pubCAS verb publishes NOOP|key only after valWr
+// has landed the new pointer. For overwrites pubCAS degenerates to
+// NOOP|key -> NOOP|key, a harmless self-swap, so one chain shape
+// serves both. condCAS likewise compares against claim.New, covering
+// both claim kinds with one injected operand.
 //
 // The ack needs no CAS of its own: after condCAS, valWr's control word
 // is WRITE|key exactly when the claim succeeded, so one READ of those
 // 8 bytes onto the ack's control word flips the ack and stamps the key
 // into its id field in a single verb.
 //
-// Values live in per-instance staging extents carved from a
-// pre-registered server arena; an overwrite installs a fresh extent
-// and leaks the old one (log-structured writes; compaction is host
-// housekeeping, out of scope).
+// Values live in per-instance staging extents carved from the server's
+// extent arena (log-structured writes: an overwrite installs a fresh
+// extent and the coordinator retires the old one through the arena;
+// compaction evacuates sparse segments — see internal/extent and the
+// delete chain in delete.go). Without an arena the offload falls back
+// to the raw bump allocator, which leaks every overwrite — the
+// pre-lifecycle behavior, kept for standalone core tests.
 
 // SetClaim names the bucket a set claims and the CAS operands that
 // claim it: Expect is the bucket's current key/control word (0 for an
-// empty bucket, NOOP|key for an overwrite) and New the word installed
-// on success. The caller computes it from its view of the table — a
-// stale view fails the CAS harmlessly and the set times out.
+// empty bucket, the tombstone for a reclaimed one, NOOP|key for an
+// overwrite) and New the word installed on success — NOOP|key for
+// overwrites, the intermediate WRITE|key (ClaimPendingCtrl) for fresh
+// claims, published to NOOP|key by the chain's pubCAS only after the
+// value pointer is in place. The caller computes it from its view of
+// the table — a stale view fails the CAS harmlessly and the set times
+// out.
 type SetClaim struct {
 	BucketAddr uint64
 	Expect     uint64
 	New        uint64
 }
 
-// ClaimCtrl returns the key/control word a claimed bucket holds:
+// ClaimCtrl returns the key/control word a published bucket holds:
 // exactly the word the lookup offload's conditional compares against.
 func ClaimCtrl(key uint64) uint64 {
 	return wqe.MakeCtrl(wqe.OpNoop, key&hopscotch.KeyMask)
+}
+
+// ClaimPendingCtrl returns the intermediate claimed-but-unpublished
+// word a fresh claim installs: lookups miss it (their conditional
+// compares against ClaimCtrl, and the reserved id bit matches no key),
+// and — critically — it stays a NOOP, because a probe READ injects
+// bucket words verbatim into response WQEs: an executable opcode here
+// would serve the stale extent pointer the bucket still carries
+// mid-repoint.
+func ClaimPendingCtrl(key uint64) uint64 {
+	return hopscotch.PendingCtrl(key)
 }
 
 // SetOffload is an armed conditional-put offload for one request slot
@@ -74,19 +111,34 @@ type SetOffload struct {
 	Resp *rnic.QP
 	// MaxVal sizes the per-instance staging extents.
 	MaxVal uint64
+	// Arena, when set, supplies (and reclaims) staging extents; nil
+	// falls back to leak-forever bump allocation.
+	Arena *extent.Arena
 
 	w2 *rnic.QP // managed chain ring: claim, readback, conditionals
 	w3 *rnic.QP // managed ring for the bucket-pointer WRITE
 
-	armed uint64
+	// args is a small rotating ring of scatter-target buffers (one per
+	// in-flight-or-straggling instance) so arming does not grow server
+	// memory per set.
+	args [argsRing]uint64
+
+	armed   uint64
+	staging uint64 // staging extent of the most recently armed instance
 }
+
+// argsRing is the depth of the per-context args-buffer rotation: one
+// instance is in flight per context, so anything past a couple covers
+// stragglers from timed-out instances.
+const argsRing = 8
 
 // NewSetOffload builds one set context. trig is the server-side QP of
 // the client's set connection (managed RQ); resp a server-side managed
-// QP connected back to the client for the ack.
-func NewSetOffload(b *Builder, trig, resp *rnic.QP, maxVal uint64) *SetOffload {
+// QP connected back to the client for the ack. arena supplies staging
+// extents (nil: bump allocation).
+func NewSetOffload(b *Builder, trig, resp *rnic.QP, maxVal uint64, arena *extent.Arena) *SetOffload {
 	// Per-slot rings hold one in-flight instance (ring wrap needs 2x).
-	o := &SetOffload{B: b, Trig: trig, Resp: resp, MaxVal: maxVal,
+	o := &SetOffload{B: b, Trig: trig, Resp: resp, MaxVal: maxVal, Arena: arena,
 		w2: b.NewManagedQPOnPU(2*setChainWQEs+4, -1),
 		w3: b.NewManagedQPOnPU(8, -1)}
 	// Chain verbs are posted signaled to gate the WAITs; nothing polls
@@ -96,23 +148,37 @@ func NewSetOffload(b *Builder, trig, resp *rnic.QP, maxVal uint64) *SetOffload {
 	return o
 }
 
-// setChainWQEs is the busiest-ring WQE budget of one instance (w2).
-const setChainWQEs = 4
+// setChainWQEs is the busiest-ring WQE budget of one instance (w2):
+// claim, readback, conditional flip, publish, ack read.
+const setChainWQEs = 5
 
 // Arm posts one set instance and returns the staging extent the
-// client's value WRITE must target. Each instance serves exactly one
-// set; re-arming models the client rewriting the registered code
-// region over RDMA (§3.5), so the set path — like pre-armed lookups —
+// client's value WRITE must target. cookie tags the extent in the
+// arena (the service passes the key, which compaction later surfaces
+// to find the owning bucket). Each instance serves exactly one set;
+// re-arming models the client rewriting the registered code region
+// over RDMA (§3.5), so the set path — like pre-armed lookups —
 // survives host failures that leave the NIC alive.
-func (o *SetOffload) Arm() (staging uint64) {
+func (o *SetOffload) Arm(cookie uint64) (staging uint64) {
 	b := o.B
 	o.armed++
 	m := b.Dev.Mem()
-	staging = m.Alloc(o.MaxVal, 8)
+	if o.Arena != nil {
+		staging = o.Arena.Alloc(o.MaxVal, cookie)
+	} else {
+		staging = m.Alloc(o.MaxVal, 8)
+	}
+	o.staging = staging
 	// args holds the 16 bytes valWr copies over the bucket's
 	// [valAddr, valLen]: the staging address (known now) and the value
-	// length (scattered in by the trigger).
-	args := m.Alloc(16, 8)
+	// length (scattered in by the trigger). Buffers rotate through a
+	// fixed ring — one live instance per context — instead of growing
+	// server memory per set.
+	slot := (o.armed - 1) % argsRing
+	if o.args[slot] == 0 {
+		o.args[slot] = m.Alloc(16, 8)
+	}
+	args := o.args[slot]
 	m.PutU64(args, staging)
 
 	valWr := b.Post(o.w3, wqe.WQE{Op: wqe.OpNoop, Src: args, Len: 16, Flags: wqe.FlagSignaled})
@@ -125,6 +191,7 @@ func (o *SetOffload) Arm() (staging uint64) {
 		Dst: valWr.FieldAddr(wqe.OffCtrl), Len: 8, Flags: wqe.FlagSignaled})
 	condCAS := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS,
 		Dst: valWr.FieldAddr(wqe.OffCtrl), Flags: wqe.FlagSignaled})
+	pubCAS := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS, Flags: wqe.FlagSignaled})
 	ackRead := b.Post(o.w2, wqe.WQE{Op: wqe.OpRead,
 		Src: valWr.FieldAddr(wqe.OffCtrl),
 		Dst: ack.FieldAddr(wqe.OffCtrl), Len: 8, Flags: wqe.FlagSignaled})
@@ -138,11 +205,14 @@ func (o *SetOffload) Arm() (staging uint64) {
 		{Addr: condCAS.FieldAddr(wqe.OffSwap), Len: 8},
 		{Addr: valWr.FieldAddr(wqe.OffDst), Len: 8},
 		{Addr: args + 8, Len: 8},
+		{Addr: pubCAS.FieldAddr(wqe.OffCmp), Len: 8},
+		{Addr: pubCAS.FieldAddr(wqe.OffSwap), Len: 8},
+		{Addr: pubCAS.FieldAddr(wqe.OffDst), Len: 8},
 		{Addr: ack.FieldAddr(wqe.OffDst), Len: 8},
 		{Addr: ack.FieldAddr(wqe.OffLen), Len: 8},
 	})
 	b.WaitRecv(o.Trig, recvTarget)
-	for _, step := range []StepRef{claim, readBack, condCAS, valWr, ackRead} {
+	for _, step := range []StepRef{claim, readBack, condCAS, valWr, pubCAS, ackRead} {
 		b.Enable(step)
 		b.WaitStep(step)
 	}
@@ -154,22 +224,44 @@ func (o *SetOffload) Arm() (staging uint64) {
 // Armed returns the number of set instances armed so far.
 func (o *SetOffload) Armed() uint64 { return o.armed }
 
+// ReleaseStaging retires the most recently armed instance's staging
+// extent back to the arena — the client calls it when the chain
+// definitively refused the claim (the bucket was taken), at which
+// point the staged bytes can never become the bucket's value. Slots
+// that time out WITHOUT executing keep their extent: a straggling
+// chain could still repoint the bucket at it, so reclaiming would risk
+// handing live bytes to the next set (those rare extents leak instead,
+// bounded by wedge events).
+func (o *SetOffload) ReleaseStaging() {
+	if o.Arena != nil && o.staging != 0 {
+		o.Arena.Free(o.staging)
+	}
+	o.staging = 0
+}
+
 // SetWRsPerOp reports the work requests one armed set posts — the
-// write path's Table 2-style budget: RECV + 6 data verbs, and the WAIT
+// write path's Table 2-style budget: RECV + 7 data verbs, and the WAIT
 // and ENABLE verbs sequencing them.
-func SetWRsPerOp() (data, sync int) { return 7, 12 }
+func SetWRsPerOp() (data, sync int) { return 8, 14 }
 
 // TriggerPayload builds the client SEND payload for a set of key under
 // claim, writing valLen staged bytes and acking 8 bytes into the
-// client-side ackAddr. Field order matches Arm's scatter list.
+// client-side ackAddr. Field order matches Arm's scatter list. The
+// publish CAS's operands derive from the claim: it swaps claim.New for
+// the published NOOP|key — a real transition for fresh claims, a
+// harmless self-swap for overwrites.
 func (o *SetOffload) TriggerPayload(key uint64, claim SetClaim, valLen, ackAddr uint64) []byte {
 	xc := wqe.MakeCtrl(wqe.OpNoop, key&hopscotch.KeyMask)
 	xw := wqe.MakeCtrl(wqe.OpWrite, key&hopscotch.KeyMask)
 	fields := []uint64{
 		claim.Expect, claim.New, claim.BucketAddr, // claim CAS
 		claim.BucketAddr, // readback source
-		xc, xw,           // conditional flip of the value-pointer WRITE
+		// The conditional flip compares against whatever word a
+		// successful claim left in the bucket — NOOP|key for overwrites,
+		// the pending word for fresh claims — and arms the WRITE.
+		claim.New, xw,
 		claim.BucketAddr + hopscotch.OffValAddr, valLen, // bucket repoint
+		claim.New, xc, claim.BucketAddr, // publish CAS
 		ackAddr, 8, // ack destination and length
 	}
 	out := make([]byte, len(fields)*8)
@@ -192,8 +284,9 @@ type SetPool struct {
 
 // NewSetPool builds K = len(resp) set contexts over the trig
 // connection. resp are server-side managed QPs connected back to the
-// client, one per context, carrying the conditional acks.
-func NewSetPool(b *Builder, trig *rnic.QP, resp []*rnic.QP, maxVal uint64) *SetPool {
+// client, one per context, carrying the conditional acks. arena
+// supplies staging extents for every context (nil: bump allocation).
+func NewSetPool(b *Builder, trig *rnic.QP, resp []*rnic.QP, maxVal uint64, arena *extent.Arena) *SetPool {
 	if len(resp) == 0 {
 		panic("core: SetPool needs at least one response QP")
 	}
@@ -201,7 +294,7 @@ func NewSetPool(b *Builder, trig *rnic.QP, resp []*rnic.QP, maxVal uint64) *SetP
 	const ctrlDepth = 64
 	for i := range resp {
 		cb := b.SubBuilder(ctrlDepth, -1)
-		p.Ctxs = append(p.Ctxs, NewSetOffload(cb, trig, resp[i], maxVal))
+		p.Ctxs = append(p.Ctxs, NewSetOffload(cb, trig, resp[i], maxVal, arena))
 	}
 	return p
 }
@@ -212,4 +305,4 @@ func (p *SetPool) Depth() int { return len(p.Ctxs) }
 // Arm arms one instance on context i and returns its staging extent.
 // As with LookupPool, the caller must send triggers in global arm
 // order — arrival order sequences the shared trigger CQ.
-func (p *SetPool) Arm(i int) (staging uint64) { return p.Ctxs[i].Arm() }
+func (p *SetPool) Arm(i int, cookie uint64) (staging uint64) { return p.Ctxs[i].Arm(cookie) }

@@ -26,6 +26,15 @@ const (
 // KeyMask bounds keys to 48 bits.
 const KeyMask = wqe.IDMask
 
+// TombstoneID is the reserved id marking a deleted bucket (keys of
+// this value are rejected); the tombstone word is an inert NOOP, so
+// the shared RedN lookup offload misses tombstoned buckets with no
+// special casing — same convention as package hopscotch.
+const TombstoneID = wqe.IDMask
+
+// Tombstone is the control word of a deleted bucket.
+var Tombstone = wqe.MakeCtrl(wqe.OpNoop, TombstoneID)
+
 // MaxKicks bounds the displacement chain before declaring the table full.
 const MaxKicks = 64
 
@@ -39,8 +48,10 @@ type Table struct {
 	nBuckets uint64
 	entries  int
 
-	kicks uint64 // residents displaced across all inserts
-	fulls uint64 // inserts that exhausted MaxKicks and rolled back
+	kicks      uint64 // residents displaced across all inserts
+	fulls      uint64 // inserts that exhausted MaxKicks and rolled back
+	tombstones uint64 // buckets currently holding delete tombstones
+	reclaims   uint64 // tombstone slots reused by later inserts
 }
 
 // New allocates a table with nBuckets (rounded to a power of two).
@@ -69,6 +80,26 @@ func (t *Table) Kicks() uint64 { return t.kicks }
 // back (each returned ErrFull); Fulls grows only when a displacement
 // chain truly ran dry, never on a successful placement.
 func (t *Table) Fulls() uint64 { return t.fulls }
+
+// Tombstones returns the buckets currently holding delete tombstones.
+// They no longer count toward occupancy: the next insert or kick walk
+// that reaches one reclaims the slot.
+func (t *Table) Tombstones() uint64 { return t.tombstones }
+
+// Stats is a snapshot of the table's occupancy and churn counters.
+type Stats struct {
+	Entries    int
+	Kicks      uint64 // residents displaced across all inserts
+	Fulls      uint64 // inserts that exhausted MaxKicks and rolled back
+	Tombstones uint64 // buckets holding delete tombstones right now
+	Reclaims   uint64 // tombstone slots reused by later inserts/kicks
+}
+
+// Stats snapshots the table counters.
+func (t *Table) Stats() Stats {
+	return Stats{Entries: t.entries, Kicks: t.kicks, Fulls: t.fulls,
+		Tombstones: t.tombstones, Reclaims: t.reclaims}
+}
 
 func (t *Table) hash(k uint64, fn int) uint64 {
 	x := k & KeyMask
@@ -108,11 +139,29 @@ func (t *Table) writeBucket(addr, keyCtrl, va, vl uint64) {
 	t.mem.PutU64(addr+OffValLen, vl)
 }
 
+// claimFree stores an entry into an empty or tombstoned bucket,
+// reclaiming the tombstone — the satellite fix for tombstoned buckets
+// silently counting toward occupancy: the next insert (or kick walk
+// reaching the slot) reuses it.
+func (t *Table) claimFree(addr, prevKC, kc, va, vl uint64) {
+	if prevKC == Tombstone {
+		t.tombstones--
+		t.reclaims++
+	}
+	t.writeBucket(addr, kc, va, vl)
+	t.entries++
+}
+
 // Insert stores key -> (valAddr, valLen), displacing residents cuckoo
-// style when both candidate buckets are taken.
+// style when both candidate buckets are taken. Tombstoned buckets are
+// free slots: both the direct placement and the kick walk reclaim
+// them.
 func (t *Table) Insert(key, valAddr, valLen uint64) error {
 	if key&^KeyMask != 0 {
 		return fmt.Errorf("cuckoo: key %#x exceeds 48 bits", key)
+	}
+	if key == TombstoneID {
+		return fmt.Errorf("cuckoo: key %#x is the reserved tombstone id", key)
 	}
 	kc := wqe.MakeCtrl(wqe.OpNoop, key)
 	// Overwrite in place if present.
@@ -135,16 +184,14 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 		_, curKey := wqe.SplitCtrl(curKC)
 		addr := t.HashAddr(curKey, fn)
 		resKC, resVA, resVL := t.readBucket(addr)
-		if resKC == 0 {
-			t.writeBucket(addr, curKC, curVA, curVL)
-			t.entries++
+		if resKC == 0 || resKC == Tombstone {
+			t.claimFree(addr, resKC, curKC, curVA, curVL)
 			return nil
 		}
 		// Try the other candidate before displacing.
 		alt := t.HashAddr(curKey, 1-fn)
-		if altKC, _, _ := t.readBucket(alt); altKC == 0 {
-			t.writeBucket(alt, curKC, curVA, curVL)
-			t.entries++
+		if altKC, _, _ := t.readBucket(alt); altKC == 0 || altKC == Tombstone {
+			t.claimFree(alt, altKC, curKC, curVA, curVL)
 			return nil
 		}
 		// Displace the resident to its other candidate bucket.
@@ -171,8 +218,14 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 	return ErrFull
 }
 
-// Lookup scans both candidate buckets for key (host-CPU path).
+// Lookup scans both candidate buckets for key (host-CPU path). Keys in
+// the reserved id space never match: their control words double as the
+// tombstone/pending markers, so comparing them would phantom-hit a
+// deleted bucket.
 func (t *Table) Lookup(key uint64) (valAddr, valLen uint64, ok bool) {
+	if key&KeyMask == TombstoneID {
+		return 0, 0, false
+	}
 	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
 	for fn := 0; fn < 2; fn++ {
 		addr := t.HashAddr(key, fn)
@@ -185,6 +238,9 @@ func (t *Table) Lookup(key uint64) (valAddr, valLen uint64, ok bool) {
 
 // LookupBucket reports which candidate (0 or 1) holds key, or -1.
 func (t *Table) LookupBucket(key uint64) int {
+	if key&KeyMask == TombstoneID {
+		return -1
+	}
 	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
 	for fn := 0; fn < 2; fn++ {
 		if cur, _, _ := t.readBucket(t.HashAddr(key, fn)); cur == kc {
@@ -194,14 +250,22 @@ func (t *Table) LookupBucket(key uint64) int {
 	return -1
 }
 
-// Delete removes key if present.
+// Delete removes key if present, leaving a tombstone in its bucket —
+// exactly what the NIC delete chain's claim CAS installs — rather than
+// zeroing it, so host- and fabric-side deletes leave the table in the
+// same state. The slot is reclaimed by the next insert or kick walk
+// that reaches it.
 func (t *Table) Delete(key uint64) bool {
+	if key&KeyMask == TombstoneID {
+		return false // reserved id: matching it would "delete" a tombstone
+	}
 	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
 	for fn := 0; fn < 2; fn++ {
 		addr := t.HashAddr(key, fn)
 		if cur, _, _ := t.readBucket(addr); cur == kc {
-			t.writeBucket(addr, 0, 0, 0)
+			t.writeBucket(addr, Tombstone, 0, 0)
 			t.entries--
+			t.tombstones++
 			return true
 		}
 	}

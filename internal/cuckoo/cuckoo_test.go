@@ -200,3 +200,94 @@ func TestCuckooPropertyRandomOps(t *testing.T) {
 		t.Fatal("run never displaced a resident — no cuckoo behavior exercised")
 	}
 }
+
+// Deletes leave tombstones that no longer count toward occupancy: a
+// saturated neighborhood whose resident is deleted accepts a new key
+// by reclaiming the tombstone slot — both on direct placement and via
+// the kick walk.
+func TestTombstoneReclaim(t *testing.T) {
+	tbl := newTable(64)
+	if err := tbl.Insert(1, 0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Delete(1) {
+		t.Fatal("delete of resident failed")
+	}
+	st := tbl.Stats()
+	if st.Tombstones != 1 || st.Entries != 0 {
+		t.Fatalf("after delete: %+v, want 1 tombstone / 0 entries", st)
+	}
+	// Lookup must not see through the tombstone.
+	if _, _, ok := tbl.Lookup(1); ok {
+		t.Fatal("lookup found a tombstoned key")
+	}
+	// A new key whose first candidate is exactly the tombstoned bucket
+	// reclaims it (Insert placed key 1 at its first candidate, and
+	// Delete tombstoned it there).
+	var k uint64
+	for k = 100; ; k++ {
+		if tbl.Hash(k, 0) == tbl.Hash(1, 0) {
+			break
+		}
+	}
+	if err := tbl.Insert(k, 0x2000, 8); err != nil {
+		t.Fatal(err)
+	}
+	st = tbl.Stats()
+	if st.Tombstones != 0 || st.Reclaims != 1 {
+		t.Fatalf("after reinsert: %+v, want 0 tombstones / 1 reclaim", st)
+	}
+}
+
+// A full table whose only slack is tombstones must still place new
+// keys: the kick walk treats tombstoned buckets as free instead of
+// displacing through them forever.
+func TestTombstonesDoNotCountTowardOccupancy(t *testing.T) {
+	tbl := newTable(32)
+	n := tbl.nBuckets
+	// Saturate until full.
+	var resident []uint64
+	for k := uint64(1); uint64(len(resident)) < n && k < 100000; k++ {
+		if tbl.Insert(k, k*16, 8) == nil {
+			resident = append(resident, k)
+		}
+	}
+	if uint64(len(resident)) < n/2 {
+		t.Fatalf("only %d of %d buckets filled", len(resident), n)
+	}
+	// Delete half the residents: occupancy must drop accordingly.
+	for i, k := range resident {
+		if i%2 == 0 {
+			if !tbl.Delete(k) {
+				t.Fatalf("delete(%d) failed", k)
+			}
+		}
+	}
+	deleted := (len(resident) + 1) / 2
+	if got := int(tbl.Stats().Tombstones); got != deleted {
+		t.Fatalf("tombstones %d, want %d", got, deleted)
+	}
+	// New inserts reclaim the tombstone slack; at least half of the
+	// deleted capacity must be reusable (both-candidates-tombstoned
+	// collisions can strand a few).
+	placed := 0
+	for k := uint64(200000); k < 300000 && placed < deleted; k++ {
+		if tbl.Insert(k, k*16, 8) == nil {
+			placed++
+		}
+	}
+	if placed < deleted/2 {
+		t.Fatalf("reclaimed only %d of %d tombstoned slots", placed, deleted)
+	}
+	if tbl.Stats().Reclaims == 0 {
+		t.Fatal("no reclaim was counted")
+	}
+}
+
+// The reserved tombstone id is not a usable key.
+func TestTombstoneIDRejected(t *testing.T) {
+	tbl := newTable(16)
+	if err := tbl.Insert(TombstoneID, 0x1000, 8); err == nil {
+		t.Fatal("insert of the reserved tombstone id succeeded")
+	}
+}

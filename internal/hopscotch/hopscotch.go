@@ -40,6 +40,41 @@ const DefaultNeighborhood = 6
 // KeyMask bounds keys to 48 bits (the paper's operand/key width).
 const KeyMask = wqe.IDMask
 
+// PendingBit is the reserved top bit of the 48-bit id space: keys must
+// keep it clear (Insert rejects violators), so NOOP|(key|PendingBit) is
+// a per-key bucket word that can never be a resident entry. Fabric
+// write and delete chains park a bucket on it between claiming and
+// publishing. The whole family of special bucket words — zero,
+// tombstone, pending — shares the NOOP opcode deliberately: a lookup
+// chain's probe READ copies the bucket word VERBATIM onto its response
+// WQE's control field, so any non-NOOP opcode in a bucket would arm
+// the response and serve whatever stale pointer the bucket carries.
+// Inert-under-injection is the safety invariant of every bucket word.
+const PendingBit = uint64(1) << 47
+
+// TombstoneID is the reserved 48-bit id marking a deleted bucket; keys
+// of this value are rejected by Insert (it has PendingBit set, so the
+// general reservation already excludes it). The tombstone control word
+// is a NOOP — inert under probe injection, and the conditional CAS
+// compares against NOOP|key which can never match the reserved id —
+// so a tombstoned bucket misses on the NIC path with no special
+// casing.
+const TombstoneID = wqe.IDMask
+
+// PendingCtrl returns the claimed-but-unpublished bucket word for key:
+// inert under probe injection (NOOP opcode), matching no lookup's
+// conditional (reserved id bit), yet key-specific so only the claiming
+// chain's follow-up CAS can advance it.
+func PendingCtrl(key uint64) uint64 {
+	return wqe.MakeCtrl(wqe.OpNoop, (key&KeyMask)|PendingBit)
+}
+
+// Tombstone is the bucket control word of a deleted entry:
+// NOOP | TombstoneID. Distinct from zero so a delete chain's CAS can
+// tell "deleted" from "never present", yet executable as a harmless
+// NOOP anywhere self-modifying machinery copies it.
+var Tombstone = wqe.MakeCtrl(wqe.OpNoop, TombstoneID)
+
 // ErrFull reports that neither candidate neighborhood has room.
 var ErrFull = errors.New("hopscotch: table full (both neighborhoods exhausted)")
 
@@ -51,6 +86,7 @@ type Table struct {
 	hashes       int    // H
 	neighborhood int
 	entries      int
+	tombstones   int
 }
 
 // New allocates a table with nBuckets (rounded up to a power of two)
@@ -83,6 +119,14 @@ func (t *Table) Neighborhood() int { return t.neighborhood }
 // Len returns the number of stored entries.
 func (t *Table) Len() int { return t.entries }
 
+// Tombstones returns the number of buckets currently holding delete
+// tombstones. Tombstoned buckets are reclaimed by the next insert (or
+// kick walk) that reaches them, so the count falls as churn reuses the
+// slots. Like Len, this tracks HOST-path mutations only: fabric chains
+// write bucket memory directly, so under mixed fabric/host traffic the
+// counters are an approximation (scan TombstoneAt for ground truth).
+func (t *Table) Tombstones() int { return t.tombstones }
+
 // BucketAddr returns the address of bucket i.
 func (t *Table) BucketAddr(i uint64) uint64 { return t.base + (i%t.nBuckets)*BucketSize }
 
@@ -110,8 +154,13 @@ func (t *Table) Hash(key uint64, fn int) uint64 { return t.hash(key, fn) }
 // the value clients send as H1(x)/H2(x) in the lookup trigger.
 func (t *Table) HashAddr(key uint64, fn int) uint64 { return t.BucketAddr(t.hash(key, fn)) }
 
-// slotFor finds the first free slot in key's candidate neighborhoods.
+// slotFor finds key's slot in its candidate neighborhoods: the key's
+// existing bucket when resident (overwrite — checked across BOTH
+// neighborhoods before any free slot is taken, so a hole opened by an
+// earlier delete can never shadow the live entry with a duplicate),
+// else the first empty or tombstoned slot (inserts reclaim tombstones).
 func (t *Table) slotFor(key uint64) (uint64, error) {
+	free := uint64(0)
 	for fn := 0; fn < t.hashes; fn++ {
 		h := t.hash(key, fn)
 		for d := 0; d < t.neighborhood; d++ {
@@ -120,27 +169,26 @@ func (t *Table) slotFor(key uint64) (uint64, error) {
 			if err != nil {
 				return 0, err
 			}
-			if ctrl == 0 {
-				return addr, nil
+			if ctrl == 0 || ctrl == Tombstone {
+				if free == 0 {
+					free = addr
+				}
+				continue
 			}
 			if _, k := wqe.SplitCtrl(ctrl); k == key&KeyMask {
 				return addr, nil // overwrite existing
 			}
 		}
 	}
+	if free != 0 {
+		return free, nil
+	}
 	return 0, ErrFull
 }
 
-// Insert stores key -> (valAddr, valLen). Keys wider than 48 bits are
-// rejected rather than silently truncated.
-func (t *Table) Insert(key, valAddr, valLen uint64) error {
-	if key&^KeyMask != 0 {
-		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
-	}
-	addr, err := t.slotFor(key)
-	if err != nil {
-		return err
-	}
+// storeBucket writes key -> (valAddr, valLen) at addr, maintaining the
+// entry and tombstone accounting against the slot's previous state.
+func (t *Table) storeBucket(addr, key, valAddr, valLen uint64) error {
 	prev, _ := t.mem.U64(addr + OffKeyCtrl)
 	if err := t.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
 		return err
@@ -151,10 +199,35 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 	if err := t.mem.PutU64(addr+OffValLen, valLen); err != nil {
 		return err
 	}
-	if prev == 0 {
+	if prev == Tombstone {
+		// Clamped: fabric chains install tombstones directly in bucket
+		// memory without touching these host-side counters, so a host
+		// insert can reclaim a tombstone the counter never saw.
+		if t.tombstones > 0 {
+			t.tombstones--
+		}
+		t.entries++
+	} else if prev == 0 {
 		t.entries++
 	}
 	return nil
+}
+
+// Insert stores key -> (valAddr, valLen). Keys wider than 48 bits —
+// and the reserved tombstone id — are rejected rather than silently
+// truncated.
+func (t *Table) Insert(key, valAddr, valLen uint64) error {
+	if key&^KeyMask != 0 {
+		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
+	}
+	if key&PendingBit != 0 {
+		return fmt.Errorf("hopscotch: key %#x uses the reserved pending/tombstone id space", key)
+	}
+	addr, err := t.slotFor(key)
+	if err != nil {
+		return err
+	}
+	return t.storeBucket(addr, key, valAddr, valLen)
 }
 
 // InsertAt places key directly into the d-th slot of its fn-th
@@ -165,21 +238,10 @@ func (t *Table) InsertAt(key, valAddr, valLen uint64, fn, d int) error {
 	if key&^KeyMask != 0 {
 		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
 	}
-	addr := t.BucketAddr(t.hash(key, fn) + uint64(d))
-	prev, _ := t.mem.U64(addr + OffKeyCtrl)
-	if err := t.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
-		return err
+	if key&PendingBit != 0 {
+		return fmt.Errorf("hopscotch: key %#x uses the reserved pending/tombstone id space", key)
 	}
-	if err := t.mem.PutU64(addr+OffValAddr, valAddr); err != nil {
-		return err
-	}
-	if err := t.mem.PutU64(addr+OffValLen, valLen); err != nil {
-		return err
-	}
-	if prev == 0 {
-		t.entries++
-	}
-	return nil
+	return t.storeBucket(t.BucketAddr(t.hash(key, fn)+uint64(d)), key, valAddr, valLen)
 }
 
 // WriteBucket stores key -> (valAddr, valLen) directly into bucket i,
@@ -191,29 +253,20 @@ func (t *Table) WriteBucket(i, key, valAddr, valLen uint64) error {
 	if key&^KeyMask != 0 {
 		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
 	}
-	addr := t.BucketAddr(i)
-	prev, _ := t.mem.U64(addr + OffKeyCtrl)
-	if err := t.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
-		return err
+	if key&PendingBit != 0 {
+		return fmt.Errorf("hopscotch: key %#x uses the reserved pending/tombstone id space", key)
 	}
-	if err := t.mem.PutU64(addr+OffValAddr, valAddr); err != nil {
-		return err
-	}
-	if err := t.mem.PutU64(addr+OffValLen, valLen); err != nil {
-		return err
-	}
-	if prev == 0 {
-		t.entries++
-	}
-	return nil
+	return t.storeBucket(t.BucketAddr(i), key, valAddr, valLen)
 }
 
-// EntryAt reports the entry stored in bucket i (ok=false when empty).
-// The service layer's placement uses it to find cuckoo-kick victims.
+// EntryAt reports the entry stored in bucket i (ok=false when empty or
+// tombstoned). The service layer's placement uses it to find
+// cuckoo-kick victims — a tombstoned bucket is a reclaimable slot, not
+// a resident.
 func (t *Table) EntryAt(i uint64) (key, valAddr, valLen uint64, ok bool) {
 	addr := t.BucketAddr(i)
 	ctrl, err := t.mem.U64(addr + OffKeyCtrl)
-	if err != nil || ctrl == 0 {
+	if err != nil || ctrl == 0 || ctrl == Tombstone {
 		return 0, 0, 0, false
 	}
 	_, key = wqe.SplitCtrl(ctrl)
@@ -222,26 +275,48 @@ func (t *Table) EntryAt(i uint64) (key, valAddr, valLen uint64, ok bool) {
 	return key, valAddr, valLen, true
 }
 
-// Delete removes key if present.
-func (t *Table) Delete(key uint64) bool {
+// TombstoneAt reports whether bucket i holds a delete tombstone. The
+// write router needs the distinction: claiming a tombstoned bucket
+// CASes against the tombstone word, claiming an empty one against
+// zero.
+func (t *Table) TombstoneAt(i uint64) bool {
+	ctrl, _ := t.mem.U64(t.BucketAddr(i) + OffKeyCtrl)
+	return ctrl == Tombstone
+}
+
+// Remove tombstones key's bucket if present and returns the value
+// extent it referenced, so the caller can retire it. The host-CPU
+// delete path — the spilled-resident fallback the NIC delete chain
+// cannot reach — and crash-recovery housekeeping both run through
+// here.
+func (t *Table) Remove(key uint64) (valAddr, valLen uint64, ok bool) {
 	for fn := 0; fn < t.hashes; fn++ {
 		h := t.hash(key, fn)
 		for d := 0; d < t.neighborhood; d++ {
 			addr := t.BucketAddr(h + uint64(d))
 			ctrl, _ := t.mem.U64(addr + OffKeyCtrl)
-			if ctrl == 0 {
+			if ctrl == 0 || ctrl == Tombstone {
 				continue
 			}
 			if _, k := wqe.SplitCtrl(ctrl); k == key&KeyMask {
-				t.mem.PutU64(addr+OffKeyCtrl, 0)
+				valAddr, _ = t.mem.U64(addr + OffValAddr)
+				valLen, _ = t.mem.U64(addr + OffValLen)
+				t.mem.PutU64(addr+OffKeyCtrl, Tombstone)
 				t.mem.PutU64(addr+OffValAddr, 0)
 				t.mem.PutU64(addr+OffValLen, 0)
 				t.entries--
-				return true
+				t.tombstones++
+				return valAddr, valLen, true
 			}
 		}
 	}
-	return false
+	return 0, 0, false
+}
+
+// Delete removes key if present (tombstoning its bucket).
+func (t *Table) Delete(key uint64) bool {
+	_, _, ok := t.Remove(key)
+	return ok
 }
 
 // Lookup is the host-CPU lookup used by two-sided baselines: scan both

@@ -140,3 +140,98 @@ func TestInsertLookupProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Deletes tombstone buckets; inserts reclaim them, and an overwrite of
+// a key that sits beyond an earlier hole must update the resident
+// entry, never shadow it with a duplicate in the hole.
+func TestTombstoneLifecycle(t *testing.T) {
+	tbl, _ := newTable(t, 64)
+	if err := tbl.Insert(5, 0x1000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if va, vl, ok := tbl.Remove(5); !ok || va != 0x1000 || vl != 16 {
+		t.Fatalf("remove returned (%#x,%d,%v), want the extent", va, vl, ok)
+	}
+	if tbl.Tombstones() != 1 || tbl.Len() != 0 {
+		t.Fatalf("tombstones=%d len=%d after remove", tbl.Tombstones(), tbl.Len())
+	}
+	if _, _, ok := tbl.Lookup(5); ok {
+		t.Fatal("lookup found a tombstoned key")
+	}
+	if !tbl.TombstoneAt(tbl.Hash(5, 0)) {
+		t.Fatal("TombstoneAt missed the tombstoned bucket")
+	}
+	if _, _, _, ok := tbl.EntryAt(tbl.Hash(5, 0)); ok {
+		t.Fatal("EntryAt reported a tombstone as a resident")
+	}
+	// Reinsert reclaims the tombstone.
+	if err := tbl.Insert(5, 0x2000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Tombstones() != 0 || tbl.Len() != 1 {
+		t.Fatalf("tombstones=%d len=%d after reinsert", tbl.Tombstones(), tbl.Len())
+	}
+}
+
+// A hole opened in a neighborhood before a resident's slot must not
+// swallow an overwrite of that resident: slotFor scans for the key
+// across both neighborhoods before taking any free slot.
+func TestOverwriteSkipsEarlierHole(t *testing.T) {
+	tbl, _ := newTable(t, 64)
+	const key = 9
+	h := tbl.Hash(key, 0)
+	// Occupy the first two slots of key's neighborhood with keys that
+	// genuinely hash there (so Remove can find one), then place key in
+	// the third slot.
+	var fillers []uint64
+	for k := uint64(1000000); len(fillers) < 2; k++ {
+		if tbl.Hash(k, 0) == h {
+			fillers = append(fillers, k)
+		}
+	}
+	if err := tbl.InsertAt(fillers[0], 0x100, 8, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.InsertAt(fillers[1], 0x200, 8, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.InsertAt(key, 0x300, 8, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Open a hole ahead of key (tombstone via Remove of the first
+	// filler), then overwrite key.
+	if _, _, ok := tbl.Remove(fillers[0]); !ok {
+		t.Fatal("remove of filler failed")
+	}
+	if err := tbl.Insert(key, 0x999, 8); err != nil {
+		t.Fatal(err)
+	}
+	// The resident slot must carry the new extent, and only one copy of
+	// the key may exist in the neighborhood.
+	copies := 0
+	for d := 0; d < tbl.Neighborhood(); d++ {
+		if k, va, _, ok := tbl.EntryAt(h + uint64(d)); ok && k == key {
+			copies++
+			if va != 0x999 {
+				t.Fatalf("resident holds %#x, want the overwrite", va)
+			}
+		}
+	}
+	if copies != 1 {
+		t.Fatalf("%d copies of the key after overwrite-past-hole, want 1", copies)
+	}
+}
+
+// The reserved tombstone id is not a usable key anywhere keys enter.
+func TestTombstoneIDRejectedEverywhere(t *testing.T) {
+	tbl, _ := newTable(t, 16)
+	if err := tbl.Insert(TombstoneID, 0x1000, 8); err == nil {
+		t.Fatal("Insert accepted the tombstone id")
+	}
+	if err := tbl.InsertAt(TombstoneID, 0x1000, 8, 0, 0); err == nil {
+		t.Fatal("InsertAt accepted the tombstone id")
+	}
+	if err := tbl.WriteBucket(0, TombstoneID, 0x1000, 8); err == nil {
+		t.Fatal("WriteBucket accepted the tombstone id")
+	}
+}

@@ -7,11 +7,14 @@ import (
 )
 
 // AsyncKV is the service surface the load generators drive: pipelined
-// asynchronous gets AND sets — both travel the fabric and both have
-// real modeled latency. redn.Service implements it.
+// asynchronous gets, sets AND deletes — all travel the fabric and all
+// have real modeled latency. redn.Service implements it.
 type AsyncKV interface {
 	SetAsync(key uint64, value []byte, cb func(lat sim.Time, err error))
 	GetAsync(key, valLen uint64, cb func(val []byte, lat sim.Time, ok bool))
+	// DeleteAsync retires a key through the fabric delete path; err is
+	// non-nil when the delete failed its write quorum.
+	DeleteAsync(key uint64, cb func(lat sim.Time, err error))
 	// Flush kicks doorbells for operations posted since the last flush.
 	Flush()
 }
@@ -33,6 +36,12 @@ type ClosedLoopConfig struct {
 	// chain per replica owner — so they occupy the user's loop slot
 	// until the write quorum acknowledges, exactly like gets.
 	WriteEvery int
+	// DeleteEvery makes every n-th operation a delete of the sampled
+	// key (0 = none), checked before WriteEvery. Deletes travel the NIC
+	// tombstone chain and block the loop slot for their quorum ack; a
+	// deleted key misses until the key stream writes it again — the
+	// churn workload's steady state.
+	DeleteEvery int
 }
 
 // LoadReport summarizes a run. Get latency percentiles cover gets only
@@ -43,22 +52,26 @@ type LoadReport struct {
 	Requests int
 	Gets     int
 	Sets     int
+	Dels     int
 	Hits     int
 	Misses   int
 	SetErrs  int // sets that failed their write quorum
+	DelErrs  int // deletes that failed their write quorum
 
 	Elapsed    sim.Time
 	GetsPerSec float64
 	SetsPerSec float64
+	DelsPerSec float64
 
 	Avg, P50, P99, P999    sim.Time
 	SetAvg, SetP50, SetP99 sim.Time
+	DelAvg, DelP50, DelP99 sim.Time
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf("%d ops (%d gets, %d sets, %d misses, %d set errs) in %v: %.0f gets/s %.0f sets/s, p50=%v p99=%v p999=%v set-p50=%v set-p99=%v",
-		r.Requests, r.Gets, r.Sets, r.Misses, r.SetErrs, r.Elapsed,
-		r.GetsPerSec, r.SetsPerSec, r.P50, r.P99, r.P999, r.SetP50, r.SetP99)
+	return fmt.Sprintf("%d ops (%d gets, %d sets, %d dels, %d misses, %d set errs, %d del errs) in %v: %.0f gets/s %.0f sets/s %.0f dels/s, p50=%v p99=%v p999=%v set-p50=%v set-p99=%v del-p50=%v",
+		r.Requests, r.Gets, r.Sets, r.Dels, r.Misses, r.SetErrs, r.DelErrs, r.Elapsed,
+		r.GetsPerSec, r.SetsPerSec, r.DelsPerSec, r.P50, r.P99, r.P999, r.SetP50, r.SetP99, r.DelP50)
 }
 
 // OpenLoopConfig shapes a paced, timeline-bucketed run — the Fig 16
@@ -209,14 +222,16 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 
 	getStats := &sim.LatencyStats{}
 	setStats := &sim.LatencyStats{}
+	delStats := &sim.LatencyStats{}
 	rep := LoadReport{Requests: cfg.Requests}
 	start := eng.Now()
 	lastDone := start
 	issued := 0
 
 	// user is one closed-loop client: it keeps exactly one operation —
-	// get or set — outstanding at a time. Sets block the loop slot for
-	// their quorum-ack latency, just as gets block for their response.
+	// get, set or delete — outstanding at a time. Sets and deletes
+	// block the loop slot for their quorum-ack latency, just as gets
+	// block for their response.
 	var user func()
 	user = func() {
 		if issued >= cfg.Requests {
@@ -224,6 +239,19 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 		}
 		issued++
 		key := cfg.Keys.Next()
+		if cfg.DeleteEvery > 0 && issued%cfg.DeleteEvery == 0 {
+			rep.Dels++
+			kv.DeleteAsync(key, func(lat sim.Time, err error) {
+				if err != nil {
+					rep.DelErrs++
+				}
+				delStats.Add(lat)
+				lastDone = eng.Now()
+				user()
+				kv.Flush()
+			})
+			return
+		}
 		if cfg.WriteEvery > 0 && issued%cfg.WriteEvery == 0 {
 			rep.Sets++
 			kv.SetAsync(key, Value(key, int(cfg.ValLen)), func(lat sim.Time, err error) {
@@ -264,6 +292,9 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 		if rep.Sets > 0 {
 			rep.SetsPerSec = float64(rep.Sets) / rep.Elapsed.Seconds()
 		}
+		if rep.Dels > 0 {
+			rep.DelsPerSec = float64(rep.Dels) / rep.Elapsed.Seconds()
+		}
 	}
 	rep.Avg = getStats.Avg()
 	rep.P50 = getStats.Percentile(50)
@@ -272,5 +303,8 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 	rep.SetAvg = setStats.Avg()
 	rep.SetP50 = setStats.Percentile(50)
 	rep.SetP99 = setStats.Percentile(99)
+	rep.DelAvg = delStats.Avg()
+	rep.DelP50 = delStats.Percentile(50)
+	rep.DelP99 = delStats.Percentile(99)
 	return rep
 }

@@ -151,6 +151,18 @@ func (f *fakeKV) GetAsync(key, valLen uint64, cb func([]byte, sim.Time, bool)) {
 	})
 }
 
+func (f *fakeKV) DeleteAsync(key uint64, cb func(sim.Time, error)) {
+	f.pending++
+	if f.pending > f.maxPend {
+		f.maxPend = f.pending
+	}
+	f.eng.After(f.delay, func() {
+		f.pending--
+		delete(f.store, key)
+		cb(f.delay, nil)
+	})
+}
+
 func (f *fakeKV) Flush() { f.flushes++ }
 
 var errTestSetsDown = errors.New("sets down")
@@ -320,5 +332,45 @@ func TestRunOpenLoopWriteTimeline(t *testing.T) {
 	}
 	if got := rep.BucketsBelow(0, 0, 10, 0.5); got != 0 {
 		t.Fatalf("read timeline dark in %d buckets despite write-only outage", got)
+	}
+}
+
+// DeleteEvery interleaves fabric deletes into the closed loop: counts,
+// latency percentiles, and the deleted-then-rewritten churn steady
+// state all account exactly.
+func TestRunClosedLoopDeletes(t *testing.T) {
+	eng := sim.NewEngine()
+	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: 2 * sim.Microsecond}
+	keys := []uint64{1, 2, 3, 4}
+	for _, k := range keys {
+		kv.Set(k, Value(k, 16))
+	}
+	rep := RunClosedLoop(eng, kv, ClosedLoopConfig{
+		Requests:    600,
+		Window:      4,
+		Keys:        &Uniform{Keys: keys, Rng: Rng(2)},
+		ValLen:      16,
+		WriteEvery:  3,
+		DeleteEvery: 5,
+	})
+	if rep.Dels != 600/5 {
+		t.Fatalf("dels %d, want %d", rep.Dels, 600/5)
+	}
+	if rep.Gets+rep.Sets+rep.Dels != 600 {
+		t.Fatalf("ops %d+%d+%d don't sum to 600", rep.Gets, rep.Sets, rep.Dels)
+	}
+	if rep.DelErrs != 0 {
+		t.Fatalf("%d delete errors from the fake", rep.DelErrs)
+	}
+	if rep.DelP50 != 2*sim.Microsecond {
+		t.Fatalf("del p50 %v, want the fake's fixed delay", rep.DelP50)
+	}
+	if rep.DelsPerSec <= 0 {
+		t.Fatal("dels/sec not computed")
+	}
+	// Deletes hit the store: some gets must have missed keys awaiting
+	// their next write.
+	if rep.Misses == 0 {
+		t.Fatal("churn produced no misses — deletes never landed")
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/extent"
 	"repro/internal/fabric"
 	"repro/internal/hopscotch"
 	"repro/internal/sim"
@@ -101,6 +102,7 @@ type Server struct {
 	tb      *Testbed
 	node    *fabric.Node
 	builder *core.Builder
+	arena   *extent.Arena
 }
 
 // NewServer adds a server node (ConnectX-5, one port by default).
@@ -113,6 +115,18 @@ func (t *Testbed) NewServer() *Server {
 // Builder exposes the server's RedN program builder for custom
 // offloads (conditionals, loops, mov chains).
 func (s *Server) Builder() *core.Builder { return s.builder }
+
+// Arena returns the server's value-extent arena, created on first use.
+// Every value the server stores — preloads, host-path writes, and the
+// staging extents fabric set chains repoint buckets at — is carved
+// from it, so overwrites and deletes can retire their old extents
+// instead of leaking them.
+func (s *Server) Arena() *extent.Arena {
+	if s.arena == nil {
+		s.arena = extent.NewArena(s.node.Mem, 0)
+	}
+	return s.arena
+}
 
 // Node exposes the underlying simulated node.
 func (s *Server) Node() *fabric.Node { return s.node }
@@ -129,14 +143,31 @@ func (s *Server) NewHashTable(nBuckets uint64) *HashTable {
 	return &HashTable{srv: s, table: hopscotch.New(s.node.Mem, nBuckets, 0)}
 }
 
-// Set stores key (48-bit) -> value.
+// Set stores key (48-bit) -> value, retiring the key's old extent on
+// overwrite (unless the new bytes fit its allocated capacity in
+// place).
 func (h *HashTable) Set(key uint64, value []byte) error {
 	m := h.srv.node.Mem
-	addr := m.Alloc(uint64(len(value)), 8)
+	a := h.srv.Arena()
+	n := uint64(len(value))
+	oldVa, _, hadOld := h.table.Lookup(key)
+	if hadOld {
+		if cap, live := a.Size(oldVa); live && n <= cap {
+			if err := m.Write(oldVa, value); err != nil {
+				return err
+			}
+			return h.table.Insert(key, oldVa, n)
+		}
+	}
+	addr := a.Alloc(n, key)
 	if err := m.Write(addr, value); err != nil {
 		return err
 	}
-	return h.table.Insert(key, addr, uint64(len(value)))
+	if hadOld {
+		// Tolerated failure: tests plant extents the arena never issued.
+		a.Free(oldVa)
+	}
+	return h.table.Insert(key, addr, n)
 }
 
 // Table exposes the underlying hopscotch table.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/extent"
 	"repro/internal/fabric"
 	"repro/internal/failure"
 	"repro/internal/hopscotch"
@@ -93,6 +94,22 @@ type ServiceConfig struct {
 
 	ServerMem uint64 // simulated bytes per server node
 	ClientMem uint64 // simulated bytes per client node
+
+	// SegmentSize is the extent arena's segment granularity per shard
+	// (0 = a power-of-two multiple of MaxValLen; see NewServiceWith).
+	SegmentSize uint64
+	// CompactEvery, when nonzero, runs a background compaction pass per
+	// shard on that period: sealed segments whose live fraction is
+	// below CompactThreshold are evacuated at modeled host copy cost.
+	CompactEvery Duration
+	// CompactThreshold is the live fraction below which a segment is
+	// evacuated (0 = 0.5).
+	CompactThreshold float64
+	// NoReclaim puts every shard arena in leak-forever mode: frees
+	// still account (live bytes stay truthful) but memory is never
+	// reused and compaction is a no-op — reproducing the pre-lifecycle
+	// allocator. Only the churn experiment's baseline should want this.
+	NoReclaim bool
 }
 
 // DefaultServiceConfig returns the production-shaped defaults: 16-deep
@@ -130,17 +147,44 @@ type serviceShard struct {
 	consecMiss   int      // timeouts since the last confirmed hit
 	suspectUntil sim.Time // while Now < this, gets prefer other owners
 
-	// Write-path state: hints hold the newest value each down owner is
-	// missing (hinted handoff), inflightSet serializes same-key sets so
-	// per-key order survives the pipelined fabric.
+	// Write-path state: hints hold the newest value (or tombstone) each
+	// down owner is missing (hinted handoff), inflightSet serializes
+	// same-key writes AND deletes so per-key order survives the
+	// pipelined fabric.
 	hints       map[uint64]*hint
 	inflightSet map[uint64][]func()
+
+	// arena is the shard's value-extent allocator — always present;
+	// under NoReclaim it keeps accounting but never reuses memory
+	// (extent.SetNoReclaim), so every allocation path is uniform.
+	arena *extent.Arena
 
 	sets, spills, gets uint64
 	rebuilds           uint64 // client reconnects after process crashes
 
 	fabricSets, hostSets                    uint64
+	dels, fabricDels, hostDels              uint64
 	hintsQueued, hintsApplied, hintsDropped uint64
+	compactPasses, compactSkips             uint64
+	compactMoved, compactMovedBytes         uint64
+	compactArmed                            bool
+}
+
+// ExtentGraceLat is how long a superseded or deleted value extent
+// cools before returning to the arena. A lookup chain that probed the
+// bucket just before it was repointed still holds the old extent
+// pointer in its response WQE; the response WRITE executes within the
+// chain's own span (well under this grace), so deferring the free
+// keeps arena reuse from handing those bytes to another key while a
+// reader is mid-flight. Chains the NIC never received don't probe at
+// all, so nothing outlives the grace.
+const ExtentGraceLat = 10 * sim.Microsecond
+
+// retireExtent returns addr to the shard's arena after the read-grace
+// period. Extents that were never published to a bucket (refused-claim
+// staging) skip the grace and free directly.
+func (sh *serviceShard) retireExtent(addr uint64) {
+	sh.srv.tb.clu.Eng.After(ExtentGraceLat, func() { sh.arena.Free(addr) })
 }
 
 // inflight sums outstanding and queued gets across the shard's client
@@ -200,6 +244,7 @@ type Service struct {
 	hits, misses        uint64
 	retries, cacheHits  uint64
 	setOps, quorumFails uint64
+	delOps              uint64
 }
 
 // NewService builds a service of nShards server nodes, each serving
@@ -256,6 +301,15 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	if cfg.HotKeyTrack == 0 && (cfg.ReadPolicy == ReadHotSpread || cfg.HotKeyCache > 0) {
 		cfg.HotKeyTrack = shard.DefaultHotKeys
 	}
+	if cfg.SegmentSize == 0 {
+		cfg.SegmentSize = 16 * cfg.MaxValLen
+		if cfg.SegmentSize < extent.DefaultSegmentSize {
+			cfg.SegmentSize = extent.DefaultSegmentSize
+		}
+	}
+	if cfg.CompactThreshold == 0 {
+		cfg.CompactThreshold = 0.5
+	}
 
 	s := &Service{cfg: cfg, tb: NewTestbed(), ring: shard.NewRing(cfg.VirtualNodes),
 		shards: make(map[string]*serviceShard), nextSeq: make(map[uint64]uint64),
@@ -273,7 +327,10 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 		nc.MemSize = cfg.ServerMem
 		node := s.tb.clu.AddNode(nc)
 		srv := &Server{tb: s.tb, node: node, builder: core.NewBuilder(node.Dev, 1<<16)}
+		srv.arena = extent.NewArena(node.Mem, cfg.SegmentSize)
+		srv.arena.SetNoReclaim(cfg.NoReclaim)
 		sh := &serviceShard{id: id, srv: srv, table: srv.NewHashTable(cfg.Buckets), mode: cfg.Mode,
+			arena: srv.arena,
 			hints: make(map[uint64]*hint), inflightSet: make(map[uint64][]func())}
 		for c := 0; c < cfg.ClientsPerShard; c++ {
 			cc := fabric.DefaultNodeConfig(fmt.Sprintf("%s-client%d", id, c))
@@ -293,7 +350,7 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 
 // newShardClient wires one pipelined client connection to sh's server.
 func (s *Service) newShardClient(sh *serviceShard, cn *fabric.Node) *Client {
-	cli := newClientOnNode(s.tb, cn, sh.srv, s.cfg.Mode, s.cfg.Pipeline, s.cfg.MaxValLen)
+	cli := newClientOnNode(s.tb, cn, sh.srv, s.cfg.Mode, s.cfg.Pipeline, s.cfg.MaxValLen, sh.arena)
 	cli.MissTimeout = s.cfg.MissTimeout
 	cli.Bind(sh.table)
 	return cli
@@ -348,20 +405,53 @@ func (sh *serviceShard) set(key uint64, value []byte) error {
 	sh.sets++
 	t := sh.table.table
 	m := sh.srv.node.Mem
+	n := uint64(len(value))
 
-	// Overwrite in place when the key is already stored and fits.
-	if va, vl, ok := t.Lookup(key); ok && uint64(len(value)) <= vl {
-		if err := m.Write(va, value); err != nil {
-			return err
+	oldVa, oldVl, hadOld := t.Lookup(key)
+	// Overwrite in place when the key is already stored and the new
+	// bytes fit the extent's allocated capacity (falling back to the
+	// bucket length for extents the arena does not own).
+	if hadOld {
+		fit := oldVl
+		if cap, live := sh.arena.Size(oldVa); live {
+			fit = cap
 		}
-		return t.Insert(key, va, uint64(len(value)))
+		if n <= fit {
+			if err := m.Write(oldVa, value); err != nil {
+				return err
+			}
+			return t.Insert(key, oldVa, n)
+		}
 	}
 
-	addr := m.Alloc(uint64(len(value)), 8)
+	addr := sh.arena.Alloc(n, key)
 	if err := m.Write(addr, value); err != nil {
 		return err
 	}
-	return sh.place(key, addr, uint64(len(value)))
+	if err := sh.place(key, addr, n); err != nil {
+		// The table refused: the key keeps its old extent (or stays
+		// absent); the orphaned new one was never published — free it
+		// directly, no reader can hold it.
+		sh.arena.Free(addr)
+		return err
+	}
+	if hadOld {
+		sh.retireExtent(oldVa)
+	}
+	return nil
+}
+
+// del removes key on the host CPU — the retirement path for spilled
+// residents the NIC delete chain cannot address, and the roll-forward
+// for refused delete claims. The freed extent returns to the arena
+// directly (no to-free ring hop: the CPU already holds the pointer).
+func (sh *serviceShard) del(key uint64) bool {
+	va, _, ok := sh.table.table.Remove(key)
+	if !ok {
+		return false
+	}
+	sh.retireExtent(va)
+	return true
 }
 
 // place stores key at one of its candidate buckets, relocating
@@ -707,6 +797,20 @@ type ShardStats struct {
 	HintsQueued  uint64 // hints ever queued
 	HintsApplied uint64 // hints delivered on reconnect (exactly once each)
 	HintsDropped uint64 // hints superseded by a newer write before draining
+
+	Deletes       uint64 // owner deletes applied (fabric + host + trivial absents)
+	FabricDeletes uint64 // owner deletes attempted through the NIC tombstone chain
+	HostDeletes   uint64 // owner deletes that fell back to the host CPU
+	GCFreed       uint64 // to-free ring extents returned to the arena
+	GCStale       uint64 // ring entries whose extent was already gone
+	CompactPasses uint64 // compaction ticks that ran on this shard
+	CompactMoves  uint64 // extents relocated by compaction
+	CompactBytes  uint64 // capacity bytes relocated by compaction
+	CompactSkips  uint64 // relocations declined (busy keys, stale records)
+	ArenaLive     uint64 // live extent bytes in the shard's arena
+	ArenaPeakLive uint64 // high-water live bytes (working-set size)
+	ArenaFoot     uint64 // bytes of server memory the arena holds
+	ArenaPeak     uint64 // high-water arena footprint
 }
 
 // ServiceStats aggregates service counters.
@@ -722,39 +826,77 @@ type ServiceStats struct {
 	MaxInFlight int    // high-water mark of overlapping gets, any client
 
 	SetOps       uint64 // client-visible writes issued (before replication fan-out)
-	QuorumFails  uint64 // writes that failed their W-of-N quorum
+	DelOps       uint64 // client-visible deletes issued
+	QuorumFails  uint64 // writes/deletes that failed their W-of-N quorum
 	FabricSets   uint64
 	HostSets     uint64
 	HintsPending uint64
 	HintsQueued  uint64
 	HintsApplied uint64
 	HintsDropped uint64
+
+	Deletes       uint64
+	FabricDeletes uint64
+	HostDeletes   uint64
+	GCFreed       uint64
+	GCStale       uint64
+	CompactPasses uint64
+	CompactMoves  uint64
+	CompactBytes  uint64
+	ArenaLive     uint64 // live extent bytes across all shard arenas
+	ArenaPeakLive uint64 // summed high-water live bytes
+	ArenaFoot     uint64 // arena footprint across all shards
+	ArenaPeak     uint64 // summed high-water footprints
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() ServiceStats {
 	out := ServiceStats{Hits: s.hits, Misses: s.misses, Retries: s.retries, CacheHits: s.cacheHits,
-		SetOps: s.setOps, QuorumFails: s.quorumFails}
+		SetOps: s.setOps, DelOps: s.delOps, QuorumFails: s.quorumFails}
 	for _, sh := range s.order {
-		out.Shards = append(out.Shards, ShardStats{ID: sh.id, Sets: sh.sets, Spills: sh.spills,
+		ss := ShardStats{ID: sh.id, Sets: sh.sets, Spills: sh.spills,
 			Gets: sh.gets, Rebuilds: sh.rebuilds,
 			FabricSets: sh.fabricSets, HostSets: sh.hostSets,
 			HintsPending: uint64(len(sh.hints)), HintsQueued: sh.hintsQueued,
-			HintsApplied: sh.hintsApplied, HintsDropped: sh.hintsDropped})
-		out.Sets += sh.sets
-		out.Spills += sh.spills
-		out.Gets += sh.gets
-		out.FabricSets += sh.fabricSets
-		out.HostSets += sh.hostSets
-		out.HintsPending += uint64(len(sh.hints))
-		out.HintsQueued += sh.hintsQueued
-		out.HintsApplied += sh.hintsApplied
-		out.HintsDropped += sh.hintsDropped
+			HintsApplied: sh.hintsApplied, HintsDropped: sh.hintsDropped,
+			Deletes: sh.dels, FabricDeletes: sh.fabricDels, HostDeletes: sh.hostDels,
+			CompactPasses: sh.compactPasses, CompactSkips: sh.compactSkips,
+			CompactMoves: sh.compactMoved, CompactBytes: sh.compactMovedBytes}
 		for _, cli := range sh.clients {
+			freed, stale := cli.GCStats()
+			ss.GCFreed += freed
+			ss.GCStale += stale
 			if cli.maxInFlight > out.MaxInFlight {
 				out.MaxInFlight = cli.maxInFlight
 			}
 		}
+		ast := sh.arena.Stats()
+		ss.ArenaLive = ast.LiveBytes
+		ss.ArenaPeakLive = ast.PeakLive
+		ss.ArenaFoot = ast.Footprint
+		ss.ArenaPeak = ast.Peak
+		out.Shards = append(out.Shards, ss)
+		out.Sets += ss.Sets
+		out.Spills += ss.Spills
+		out.Gets += ss.Gets
+		out.FabricSets += ss.FabricSets
+		out.HostSets += ss.HostSets
+		out.HintsPending += ss.HintsPending
+		out.HintsQueued += ss.HintsQueued
+		out.HintsApplied += ss.HintsApplied
+		out.HintsDropped += ss.HintsDropped
+		out.Deletes += ss.Deletes
+		out.FabricDeletes += ss.FabricDeletes
+		out.HostDeletes += ss.HostDeletes
+		out.GCFreed += ss.GCFreed
+		out.GCStale += ss.GCStale
+		out.CompactPasses += ss.CompactPasses
+		out.CompactMoves += ss.CompactMoves
+		out.CompactBytes += ss.CompactBytes
+		out.ArenaLive += ss.ArenaLive
+		out.ArenaPeakLive += ss.ArenaPeakLive
+		out.ArenaFoot += ss.ArenaFoot
+		out.ArenaPeak += ss.ArenaPeak
 	}
 	return out
 }

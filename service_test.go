@@ -527,24 +527,31 @@ func TestServiceCacheAdmissionSetRace(t *testing.T) {
 
 // ---- write-path consistency suite ----
 
-// Linearizability-style checker over a concurrent mixed history: every
-// value a read returns must have been written by an overlapping or
-// earlier write, and once a write has settled on EVERY owner (applied,
-// drained, or superseded — the settle hook), no later read may return
-// an older value. Replica lag and hinted handoff are allowed to serve
-// stale values only while the newer write is still unsettled; the
-// client cache is in the loop. A shard crashes and recovers mid-run.
+// Linearizability-style checker over a concurrent mixed history of
+// gets, sets AND deletes: every value a read returns must have been
+// written by an overlapping or earlier write, and once a write has
+// settled on EVERY owner (applied, drained, or superseded — the settle
+// hook), no later read may return an older value; a read may observe
+// "absent" only when a delete could explain it. Replica lag and hinted
+// handoff are allowed to serve stale states only while the newer
+// write/delete is still unsettled; the client cache AND the background
+// compactor are in the loop. A shard crashes and recovers mid-run.
 func TestServiceLinearizableMixedHistory(t *testing.T) {
 	s := NewServiceWith(ServiceConfig{
 		Shards: 3, ClientsPerShard: 2, Pipeline: 8, Mode: LookupSeq,
 		Replicas: 3, WriteQuorum: 2, ReadPolicy: ReadRoundRobin, HotKeyCache: 8,
-		Buckets: 1 << 12,
+		Buckets: 1 << 12, MaxValLen: 64,
+		// Compaction churns the arena underneath the history: relocated
+		// extents must never corrupt or resurrect anything. Small
+		// segments (16 extents each) keep it genuinely busy.
+		CompactEvery: 250 * sim.Microsecond, SegmentSize: 1 << 10,
 	})
 	const nKeys = 8
 	const valLen = 48
 
 	type wrec struct {
 		seq   uint64
+		del   bool
 		start sim.Time
 		acked bool
 		err   error
@@ -585,6 +592,7 @@ func TestServiceLinearizableMixedHistory(t *testing.T) {
 		key        uint64
 		start, end sim.Time
 		val        []byte
+		miss       bool
 	}
 	var reads []rrec
 
@@ -598,7 +606,16 @@ func TestServiceLinearizableMixedHistory(t *testing.T) {
 		}
 		ops++
 		key := uint64(rng.Intn(nKeys) + 1)
-		if rng.Intn(3) == 0 {
+		switch r := rng.Intn(6); {
+		case r == 0: // delete
+			w := &wrec{seq: uint64(len(writes[key]) + 1), del: true, start: s.Now()}
+			writes[key] = append(writes[key], w)
+			s.DeleteAsync(key, func(_ Duration, err error) {
+				w.acked, w.err = err == nil, err
+				worker()
+				s.Flush()
+			})
+		case r <= 2: // set
 			w := &wrec{seq: uint64(len(writes[key]) + 1), start: s.Now()}
 			writes[key] = append(writes[key], w)
 			s.SetAsync(key, val(key, w.seq), func(_ Duration, err error) {
@@ -606,13 +623,11 @@ func TestServiceLinearizableMixedHistory(t *testing.T) {
 				worker()
 				s.Flush()
 			})
-		} else {
+		default: // get
 			start := s.Now()
 			s.GetAsync(key, valLen, func(v []byte, _ Duration, ok bool) {
-				if ok {
-					reads = append(reads, rrec{key: key, start: start, end: s.Now(),
-						val: append([]byte(nil), v...)})
-				}
+				reads = append(reads, rrec{key: key, start: start, end: s.Now(),
+					val: append([]byte(nil), v...), miss: !ok})
 				worker()
 				s.Flush()
 			})
@@ -632,26 +647,17 @@ func TestServiceLinearizableMixedHistory(t *testing.T) {
 		t.Fatal("history recorded no successful reads")
 	}
 
-	// Validate every read against the per-key write history: the value
-	// must come from a real write that did not start after the read
-	// ended, and must be at least as new as the floor every replica had
-	// already applied when the read began (replica lag and handoff may
-	// serve older values only while some owner still lacks the newer
-	// one; the cache only ever runs ahead).
+	// Validate every read against the per-key write history. A hit's
+	// value must come from a real (non-delete) write that did not start
+	// after the read ended, and must be at least as new as the floor
+	// every replica had already applied when the read began (replica
+	// lag and handoff may serve older states only while some owner
+	// still lacks the newer one; the cache only ever runs ahead). A
+	// miss must be explainable by a delete: one no older than the
+	// stable floor, issued before the read ended — absent that, the
+	// read dropped a key every owner provably held.
+	misses := 0
 	for i, r := range reads {
-		var match *wrec
-		for _, w := range writes[r.key] {
-			if bytes.Equal(r.val, val(r.key, w.seq)) {
-				match = w
-				break
-			}
-		}
-		if match == nil {
-			t.Fatalf("read %d of key %d returned bytes no write produced", i, r.key)
-		}
-		if match.start > r.end {
-			t.Fatalf("read %d of key %d returned a write issued after the read completed", i, r.key)
-		}
 		stable := uint64(0)
 		for j, id := range s.Owners(r.key) {
 			ownerMax := uint64(0)
@@ -664,19 +670,59 @@ func TestServiceLinearizableMixedHistory(t *testing.T) {
 				stable = ownerMax
 			}
 		}
+		if r.miss {
+			misses++
+			justified := false
+			for _, w := range writes[r.key] {
+				if w.del && w.start <= r.end && w.seq >= stable {
+					justified = true
+					break
+				}
+			}
+			if !justified {
+				t.Fatalf("read %d of key %d observed ABSENT although every owner held seq %d (a set) before the read began and no delete could explain it",
+					i, r.key, stable)
+			}
+			continue
+		}
+		var match *wrec
+		for _, w := range writes[r.key] {
+			if !w.del && bytes.Equal(r.val, val(r.key, w.seq)) {
+				match = w
+				break
+			}
+		}
+		if match == nil {
+			t.Fatalf("read %d of key %d returned bytes no write produced", i, r.key)
+		}
+		if match.start > r.end {
+			t.Fatalf("read %d of key %d returned a write issued after the read completed", i, r.key)
+		}
 		if match.seq < stable {
 			t.Fatalf("read %d of key %d resurrected seq %d although every owner held >= seq %d before the read began",
 				i, r.key, match.seq, stable)
 		}
 	}
+	if misses == 0 {
+		t.Fatal("history recorded no misses — deletes never surfaced to readers")
+	}
 
-	// The crash must actually have exercised the handoff machinery.
+	// The crash must actually have exercised the handoff machinery, and
+	// the history must have exercised the lifecycle subsystem: fabric
+	// deletes retiring extents and the compactor relocating live ones
+	// underneath the readers.
 	st := s.Stats()
 	if st.HintsQueued == 0 || st.HintsApplied == 0 {
 		t.Fatalf("history never exercised handoff (queued %d applied %d)", st.HintsQueued, st.HintsApplied)
 	}
 	if st.HintsPending != 0 {
 		t.Fatalf("%d hints still pending after recovery window", st.HintsPending)
+	}
+	if st.DelOps == 0 || st.Deletes == 0 {
+		t.Fatalf("history issued %d deletes, applied %d — deletes not in the loop", st.DelOps, st.Deletes)
+	}
+	if st.CompactPasses == 0 || st.CompactMoves == 0 {
+		t.Fatalf("compaction not in the loop (passes %d, moves %d)", st.CompactPasses, st.CompactMoves)
 	}
 }
 
@@ -927,6 +973,214 @@ func TestServicePlaceRollbackRestoresSpilledEvictee(t *testing.T) {
 		if !ok || k != snap[i].k || va != snap[i].va || vl != snap[i].vl {
 			t.Fatalf("bucket %d changed across a failed walk: got (%d,%#x,%d) want (%d,%#x,%d)",
 				i, k, va, vl, snap[i].k, snap[i].va, snap[i].vl)
+		}
+	}
+}
+
+// ---- extent lifecycle / delete suite ----
+
+// Fabric deletes round-trip end to end: quorum-acked with real
+// latency, gets miss afterward, and every retired value extent returns
+// to the shard arenas through the to-free rings.
+func TestServiceDeleteRoundTrip(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 4, ClientsPerShard: 2, Pipeline: 8, Mode: LookupSeq,
+	})
+	const nKeys = 400
+	for k := uint64(1); k <= nKeys; k++ {
+		if err := s.Set(k, Value(k, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	liveBefore := s.Stats().ArenaLive
+	if liveBefore == 0 {
+		t.Fatal("arena tracked no live bytes after the preload")
+	}
+	for k := uint64(1); k <= nKeys; k++ {
+		if !s.Delete(k) {
+			t.Fatalf("delete(%d) reported the key absent", k)
+		}
+	}
+	for k := uint64(1); k <= nKeys; k++ {
+		if _, _, ok := s.Get(k, 64); ok {
+			t.Fatalf("get(%d) hit after delete", k)
+		}
+	}
+	st := s.Stats()
+	if st.DelOps != nKeys {
+		t.Fatalf("delete ops %d, want %d", st.DelOps, nKeys)
+	}
+	if st.FabricDeletes == 0 {
+		t.Fatal("no delete ever traveled the NIC tombstone chain")
+	}
+	if st.GCFreed == 0 {
+		t.Fatal("no extent came back through the to-free ring")
+	}
+	if st.ArenaLive >= liveBefore {
+		t.Fatalf("arena live bytes %d did not drop from %d", st.ArenaLive, liveBefore)
+	}
+	// Deleted keys' space is reusable: re-setting the same keys after
+	// the purge (same per-shard load) must not grow the arena past its
+	// previous footprint.
+	foot := st.ArenaFoot
+	for k := uint64(1); k <= nKeys; k++ {
+		if err := s.Set(k, Value(k+1, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Stats().ArenaFoot; got > foot {
+		t.Fatalf("arena footprint grew %d -> %d refilling freed space", foot, got)
+	}
+}
+
+// Satellite regression: a value cached client-side for a hot key must
+// not outlive that key's delete — the delete invalidates the cache, so
+// the next get misses instead of serving deleted bytes.
+func TestServiceDeleteInvalidatesHotCache(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 8, Mode: LookupSeq,
+		Replicas: 2, HotKeyCache: 8,
+	})
+	const hot = 99
+	if err := s.Set(hot, Value(hot, 64)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, _, ok := s.Get(hot, 64); !ok {
+			t.Fatal("hot get missed")
+		}
+	}
+	if s.Stats().CacheHits == 0 {
+		t.Fatal("key never became cache-served — test setup is wrong")
+	}
+	if !s.Delete(hot) {
+		t.Fatal("delete failed")
+	}
+	if _, _, ok := s.Get(hot, 64); ok {
+		t.Fatal("get after delete served a value (stale cache entry)")
+	}
+	// And the miss must not have re-admitted anything.
+	if _, ok := s.cache[hot]; ok {
+		t.Fatal("deleted key still resident in the client-side cache")
+	}
+}
+
+// A tombstone hint supersedes an older value hint for the same key,
+// and the recovery drain applies the delete — never resurrecting the
+// value the dead owner missed.
+func TestServiceDeleteHintSupersedesValueHint(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 3, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq,
+		Replicas: 2, WriteQuorum: 1, Buckets: 1 << 12,
+	})
+	const key = 33
+	if err := s.Set(key, Value(key, 64)); err != nil {
+		t.Fatal(err)
+	}
+	victim := s.Owners(key)[1]
+	idx := 0
+	for i := 0; i < s.NumShards(); i++ {
+		if s.ShardID(i) == victim {
+			idx = i
+		}
+	}
+	s.CrashShard(idx, failure.ProcessCrash, s.Now()+sim.Microsecond)
+	s.Testbed().RunFor(sim.Millisecond)
+
+	// A write the dead owner misses -> value hint. Then the delete ->
+	// tombstone hint must supersede it. (The blocking wrappers return
+	// at quorum; ride past the dead owner's MissTimeout so its failure
+	// — and the hint — actually lands before asserting.)
+	if err := s.Set(key, Value(key+1, 64)); err != nil {
+		t.Fatalf("W=1 write failed: %v", err)
+	}
+	s.Testbed().RunFor(sim.Millisecond)
+	if st := s.Stats(); st.HintsPending != 1 {
+		t.Fatalf("hints pending %d after write-to-dead-owner, want 1", st.HintsPending)
+	}
+	if !s.Delete(key) {
+		t.Fatal("delete failed")
+	}
+	s.Testbed().RunFor(sim.Millisecond)
+	sh := s.shards[victim]
+	h, ok := sh.hints[key]
+	if !ok || !h.del {
+		t.Fatalf("pending hint is not the tombstone (ok=%v del=%v)", ok, ok && h.del)
+	}
+	// Recovery drains the tombstone: the key must be gone EVERYWHERE —
+	// in particular the recovered owner must not serve the hinted value.
+	s.Testbed().RunFor(4 * sim.Second)
+	for _, id := range s.Owners(key) {
+		if _, okv := ownerValue(t, s, id, key); okv {
+			t.Fatalf("owner %s resurrected a deleted key after handoff", id)
+		}
+	}
+	st := s.Stats()
+	if st.HintsPending != 0 {
+		t.Fatalf("%d hints still pending after recovery", st.HintsPending)
+	}
+	if _, _, ok := s.Get(key, 64); ok {
+		t.Fatal("get served a deleted key after recovery")
+	}
+}
+
+// Background compaction keeps the arena bounded under churn and moves
+// values without corrupting them, while skipping keys with writes in
+// flight.
+func TestServiceCompactionBoundsArena(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 1, ClientsPerShard: 2, Pipeline: 8, Mode: LookupSeq,
+		Buckets: 1 << 12, MaxValLen: 256,
+		CompactEvery: 5 * sim.Millisecond, SegmentSize: 8 << 10,
+	})
+	const nKeys = 200
+	keys := make([]uint64, nKeys)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		if err := s.Set(keys[i], Value(keys[i], 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sustained churn: overwrite and delete/reinsert across many
+	// compaction ticks.
+	rng := workload.Rng(5)
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 50; i++ {
+			k := keys[rng.Intn(nKeys)]
+			if rng.Intn(4) == 0 {
+				s.Delete(k)
+				if err := s.Set(k, Value(k+uint64(round)<<24, 64)); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := s.Set(k, Value(k*7+uint64(round), 64)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Testbed().RunFor(2 * sim.Millisecond)
+	}
+	s.Run()
+	st := s.Stats()
+	if st.CompactPasses == 0 || st.CompactMoves == 0 {
+		t.Fatalf("compaction never ran/moved (passes=%d moves=%d)", st.CompactPasses, st.CompactMoves)
+	}
+	if st.ArenaLive == 0 {
+		t.Fatal("no live bytes tracked")
+	}
+	if st.ArenaFoot > 4*st.ArenaLive+2*(8<<10) {
+		t.Fatalf("arena footprint %d unbounded vs %d live bytes despite compaction",
+			st.ArenaFoot, st.ArenaLive)
+	}
+	// Every key still reads back its latest bytes through the NIC.
+	sh := s.order[0]
+	for _, k := range keys {
+		va, vl, ok := sh.table.Table().Lookup(k)
+		if !ok {
+			continue // deleted in the final round and re-set under a mangled key
+		}
+		want, _ := sh.srv.node.Mem.Read(va, vl)
+		got, _, okGet := s.Get(k, vl)
+		if okGet && !bytes.Equal(got, want) {
+			t.Fatalf("key %d bytes diverged after compaction", k)
 		}
 	}
 }

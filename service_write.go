@@ -1,6 +1,7 @@
 package redn
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -45,6 +46,13 @@ import (
 // claim chain avoids.
 const HostSetLat = 2500 * sim.Nanosecond
 
+// ErrReservedKey reports a write or delete of a key in the reserved
+// pending/tombstone id space (hopscotch.PendingBit set): the fabric
+// claim machinery depends on those words never being resident keys, so
+// the async paths reject them exactly as the tables' host-side inserts
+// do.
+var ErrReservedKey = errors.New("redn: key uses the reserved pending/tombstone id space")
+
 // QuorumError reports a write that could not reach its W-of-N quorum.
 // Replicas that did apply are rolled forward via hinted handoff; the
 // write may still complete after the down owners recover.
@@ -60,19 +68,26 @@ func (e *QuorumError) Error() string {
 		e.Key, e.Acks, e.Owners, e.Need)
 }
 
-// hint is one queued handoff write: the newest value an unreachable
-// owner is missing.
+// hint is one queued handoff write: the newest value — or tombstone —
+// an unreachable owner is missing. A delete hint (del=true) carries no
+// bytes; by living in the same per-key slot and sequence order as
+// value hints, it supersedes any older value hint for the key, and a
+// drain replays it as a delete — so a recovering owner can never
+// resurrect a key deleted while it was down.
 type hint struct {
 	key, seq uint64
 	val      []byte
+	del      bool
 	op       *setOp
 	draining bool
 	settled  bool
 }
 
-// setOp tracks one client-visible write across its owner fan-out.
+// setOp tracks one client-visible write (or delete: del=true) across
+// its owner fan-out.
 type setOp struct {
 	key, seq     uint64
+	del          bool
 	need, owners int
 	acks, fails  int
 	start        sim.Time
@@ -130,6 +145,18 @@ func (op *setOp) settleOne(s *Service) {
 // immediately and a racing get can never install a stale cache entry.
 func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err error)) {
 	key &= hopscotch.KeyMask
+	if key&hopscotch.PendingBit != 0 || key == 0 {
+		// The reserved id space (pending/tombstone words) would void the
+		// claim chain's published/unpublished distinction, and key 0's
+		// control word is the empty-bucket marker; reject both on the
+		// fabric path exactly as the tables do on the host path.
+		s.tb.clu.Eng.After(0, func() {
+			if cb != nil {
+				cb(0, ErrReservedKey)
+			}
+		})
+		return
+	}
 	s.setOps++
 	s.nextSeq[key]++
 	seq := s.nextSeq[key]
@@ -156,7 +183,7 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 				op.ack(s)
 				op.settleOne(s)
 			case ownerUnreachable:
-				s.queueHint(sh, key, val, seq, op)
+				s.queueHint(sh, key, val, false, seq, op)
 				op.fail(s)
 			case ownerRejected:
 				// Definitive refusal: fail the owner without handoff.
@@ -183,6 +210,7 @@ func (s *Service) withKeySlot(sh *serviceShard, key uint64, run func()) {
 // so per-key order survives the pipelined fabric. done always runs
 // asynchronously (from the simulation).
 func (s *Service) ownerSet(sh *serviceShard, key uint64, val []byte, done func(st ownerWriteStatus)) {
+	s.armCompaction(sh)
 	s.withKeySlot(sh, key, func() {
 		s.ownerSetNow(sh, key, val, func(st ownerWriteStatus) {
 			done(st)
@@ -237,12 +265,19 @@ func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, done fun
 		return
 	}
 	sh.fabricSets++
+	// An acked fabric set repoints the bucket at the chain's staging
+	// extent; the old extent — captured here, under the per-key write
+	// slot — is retired on the ack, after the read-grace period.
+	oldVa, _, hadOld := sh.table.table.Lookup(key)
 	cli := sh.setClient(key)
 	cli.SetAsyncClaim(key, val, claim, func(_ Duration, ok bool) {
 		if ok {
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
 			sh.sets++
+			if hadOld {
+				sh.retireExtent(oldVa)
+			}
 			done(ownerApplied)
 			return
 		}
@@ -301,7 +336,21 @@ func claimForTable(t *hopscotch.Table, mode LookupMode, key uint64) (core.SetCla
 	for fn := 0; fn < probes; fn++ {
 		b := t.Hash(key, fn)
 		if _, _, _, ok := t.EntryAt(b); !ok {
-			return core.SetClaim{BucketAddr: t.BucketAddr(b), New: kc}, true
+			// A free candidate is either genuinely empty (CAS against
+			// zero) or tombstoned by an earlier delete — the claim CAS
+			// reclaims the tombstone in place, keeping delete churn on
+			// the fabric instead of bouncing every reinsert to the host.
+			// Fresh claims install the PENDING word: the bucket still
+			// carries its previous occupant's stale [valAddr, valLen],
+			// so the chain publishes NOOP|key only after the repoint —
+			// otherwise a concurrent lookup could resurrect the old
+			// extent through the stale pointer.
+			claim := core.SetClaim{BucketAddr: t.BucketAddr(b),
+				New: core.ClaimPendingCtrl(key)}
+			if t.TombstoneAt(b) {
+				claim.Expect = hopscotch.Tombstone
+			}
+			return claim, true
 		}
 	}
 	return core.SetClaim{}, false
@@ -310,6 +359,26 @@ func claimForTable(t *hopscotch.Table, mode LookupMode, key uint64) (core.SetCla
 // claimFor computes key's bucket claim from the owner's table.
 func (sh *serviceShard) claimFor(key uint64) (core.SetClaim, bool) {
 	return claimForTable(sh.table.table, sh.mode, key)
+}
+
+// deleteClaimForTable computes key's delete claim against a table,
+// honoring the lookup mode's probe reach. The bool result reports
+// whether the fabric can carry the delete: the key must sit at a
+// candidate bucket the NIC addresses — spilled residents (and keys not
+// present at all) are the host's business. Shared by the service
+// router and the standalone client, like claimForTable.
+func deleteClaimForTable(t *hopscotch.Table, mode LookupMode, key uint64) (core.DeleteClaim, bool) {
+	probes := 2
+	if mode == LookupSingle {
+		probes = 1
+	}
+	for fn := 0; fn < probes; fn++ {
+		b := t.Hash(key, fn)
+		if k, _, _, ok := t.EntryAt(b); ok && k == key {
+			return core.DeleteClaim{BucketAddr: t.BucketAddr(b)}, true
+		}
+	}
+	return core.DeleteClaim{}, false
 }
 
 // hostSet applies one owner write on the host CPU at the modeled
@@ -333,11 +402,15 @@ func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, done func(st
 	})
 }
 
-// queueHint records the newest value an unreachable owner is missing.
-// An older pending hint for the same key is superseded (its write is
-// settled — a newer value stands in for it); an incoming write older
-// than the pending hint settles immediately.
-func (s *Service) queueHint(sh *serviceShard, key uint64, val []byte, seq uint64, op *setOp) {
+// queueHint records the newest value (or tombstone: del=true) an
+// unreachable owner is missing. An older pending hint for the same key
+// is superseded (its write is settled — a newer value stands in for
+// it); an incoming write older than the pending hint settles
+// immediately. Because supersession is purely by sequence number, a
+// tombstone hint replaces any older value hint — and a value hint
+// newer than a pending tombstone replaces it just as correctly (the
+// delete happened-before the new write).
+func (s *Service) queueHint(sh *serviceShard, key uint64, val []byte, del bool, seq uint64, op *setOp) {
 	if cur, ok := sh.hints[key]; ok {
 		if cur.seq >= seq {
 			sh.hintsDropped++
@@ -347,7 +420,7 @@ func (s *Service) queueHint(sh *serviceShard, key uint64, val []byte, seq uint64
 		sh.hintsDropped++
 		s.settleHint(cur)
 	}
-	sh.hints[key] = &hint{key: key, seq: seq, val: val, op: op}
+	sh.hints[key] = &hint{key: key, seq: seq, val: val, del: del, op: op}
 	sh.hintsQueued++
 }
 
@@ -410,7 +483,14 @@ func (s *Service) drainHint(sh *serviceShard, key uint64) {
 			s.drainHint(sh, key)
 			return
 		}
-		s.ownerSetNow(sh, key, h.val, func(st ownerWriteStatus) {
+		apply := func(done func(st ownerWriteStatus)) {
+			if h.del {
+				s.ownerDeleteNow(sh, key, done)
+			} else {
+				s.ownerSetNow(sh, key, h.val, done)
+			}
+		}
+		apply(func(st ownerWriteStatus) {
 			h.draining = false
 			switch st {
 			case ownerApplied:
@@ -437,34 +517,4 @@ func (s *Service) drainHint(sh *serviceShard, key uint64) {
 			}
 		})
 	})
-}
-
-// Delete removes key from every replica owner, host-side: deletes are
-// a control-plane operation (the claim chain installs keys, the CPU
-// retires them), kept synchronous for simplicity. Pending handoff
-// hints for the key are discarded so a later drain cannot resurrect
-// it.
-func (s *Service) Delete(key uint64) bool {
-	key &= hopscotch.KeyMask
-	s.nextSeq[key]++
-	if s.cache != nil {
-		s.setEpoch[key]++
-		delete(s.cache, key)
-	}
-	any := false
-	for _, id := range s.owners(key) {
-		sh := s.shards[id]
-		if cur, ok := sh.hints[key]; ok {
-			delete(sh.hints, key)
-			sh.hintsDropped++
-			s.settleHint(cur)
-		}
-		if sh.hostDown {
-			continue
-		}
-		if sh.table.table.Delete(key) {
-			any = true
-		}
-	}
-	return any
 }
