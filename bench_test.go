@@ -178,3 +178,14 @@ func BenchmarkChurn(b *testing.B) {
 		report(b, experiments.Churn())
 	}
 }
+
+// BenchmarkRepair measures the replica repair subsystem: genuinely
+// injected divergence (capacity rejections + crash-missed writes with
+// lost hints) converged by NIC version probes on the read path and by
+// anti-entropy digest sweeps with zero reads, plus the probe chain's
+// get-throughput cost.
+func BenchmarkRepair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Repair())
+	}
+}

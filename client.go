@@ -149,12 +149,52 @@ type Client struct {
 	maxDelsInFlight         int
 
 	gcFreed, gcStale uint64 // to-free ring drains: extents returned / already gone
+
+	// ---- probe path (a fourth connection, the repair subsystem's
+	// version interrogation — structures mirror the delete path) ----
+
+	cliPrbQP *rnic.QP
+	ppool    *core.ProbePool
+
+	ptrig []uint64 // per-slot probe-trigger buffers
+	presp []uint64 // per-slot version landing buffers
+	pfree []int
+
+	pslots   []*probeReq
+	pwaiting []*probeReq
+	pdirty   bool // posted probe SENDs awaiting a doorbell
+
+	parmCount  []uint64
+	pexecSeen  []uint64
+	pwedged    []bool
+	pnWedged   int
+	lastPrbRan bool // did the most recent failed probe's chain execute?
+
+	probes, probeAcks, probeFails uint64
+
+	// nextVer issues versions for the standalone SetAsync/DeleteAsync
+	// lifecycle path (a per-client monotone counter standing in for the
+	// coordinator's quorum sequence). Service writes pass explicit
+	// versions through the *Claim entry points.
+	nextVer map[uint64]uint64
+}
+
+// probeReq is one in-flight (or queued) version probe.
+type probeReq struct {
+	key    uint64
+	target core.ProbeTarget
+	slot   int
+	start  sim.Time
+	cb     func(ver uint64, lat Duration, ok bool)
+	done   bool
+	issued bool
 }
 
 // delReq is one in-flight (or queued) delete.
 type delReq struct {
 	key    uint64
 	claim  core.DeleteClaim
+	ver    uint64 // version stamped onto the tombstone
 	slot   int
 	start  sim.Time
 	cb     func(lat Duration, ok bool)
@@ -167,6 +207,7 @@ type setReq struct {
 	key    uint64
 	val    []byte
 	claim  core.SetClaim
+	ver    uint64 // version published with the bucket repoint
 	slot   int
 	start  sim.Time
 	cb     func(lat Duration, ok bool)
@@ -358,6 +399,43 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 		dresp[i].SendCQ().SetAutoDrain(true)
 		dresp[i].SendCQ().OnDeliver(drecord)
 	}
+
+	// Probe path: a fourth connection with its own trigger RQ, per-slot
+	// response QPs, and a pool of version-probe contexts — the repair
+	// subsystem's version interrogation (see internal/core/probe.go).
+	cliPrbQP, srvPrbQP := t.clu.Connect(node, srv.node,
+		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
+		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
+	c.cliPrbQP = cliPrbQP
+	srvPrbQP.RecvCQ().SetAutoDrain(true)
+	srvPrbQP.SendCQ().SetAutoDrain(true)
+	presp := make([]*rnic.QP, depth)
+	for i := 0; i < depth; i++ {
+		c.ptrig = append(c.ptrig, node.Mem.Alloc(64, 8))
+		c.presp = append(c.presp, node.Mem.Alloc(8, 8))
+		c.pfree = append(c.pfree, i)
+		_, presp[i] = t.clu.Connect(node, srv.node,
+			rnic.QPConfig{SQDepth: 8, RQDepth: 8},
+			rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
+	}
+	c.pslots = make([]*probeReq, depth)
+	c.parmCount = make([]uint64, depth)
+	c.pexecSeen = make([]uint64, depth)
+	c.pwedged = make([]bool, depth)
+	c.nextVer = make(map[uint64]uint64)
+	c.ppool = core.NewProbePool(srv.builder, srvPrbQP, presp)
+	for i := range c.ppool.Ctxs {
+		slot := i
+		precord := func(e rnic.CQE) {
+			c.pexecSeen[slot]++
+			if e.Op == wqe.OpWrite {
+				c.onProbeAck(slot, e.WRID, e.At)
+			}
+			c.preclaim(slot)
+		}
+		presp[i].SendCQ().SetAutoDrain(true)
+		presp[i].SendCQ().OnDeliver(precord)
+	}
 	return c
 }
 
@@ -471,6 +549,10 @@ func (c *Client) Flush() {
 	if c.ddirty {
 		c.ddirty = false
 		c.cliDelQP.RingSQ()
+	}
+	if c.pdirty {
+		c.pdirty = false
+		c.cliPrbQP.RingSQ()
 	}
 }
 
@@ -676,13 +758,16 @@ func (c *Client) SetAsync(key uint64, value []byte, cb func(lat Duration, ok boo
 			}
 		}
 	}
-	c.setAsyncReq(&setReq{key: k, val: value, claim: claim, cb: cb, lifecycle: true})
+	c.nextVer[k]++
+	c.setAsyncReq(&setReq{key: k, val: value, claim: claim, ver: c.nextVer[k],
+		cb: cb, lifecycle: true})
 }
 
 // SetAsyncClaim is SetAsync with an explicit, caller-computed bucket
-// claim — the service layer's entry point (its router owns placement).
-func (c *Client) SetAsyncClaim(key uint64, value []byte, claim core.SetClaim, cb func(lat Duration, ok bool)) {
-	c.setAsyncReq(&setReq{key: key & hopscotch.KeyMask, val: value, claim: claim, cb: cb})
+// claim and version — the service layer's entry point (its router owns
+// placement and the quorum sequence the version publishes).
+func (c *Client) SetAsyncClaim(key uint64, value []byte, claim core.SetClaim, ver uint64, cb func(lat Duration, ok bool)) {
+	c.setAsyncReq(&setReq{key: key & hopscotch.KeyMask, val: value, claim: claim, ver: ver, cb: cb})
 }
 
 // setAsyncReq routes one set request into the pipeline.
@@ -736,7 +821,7 @@ func (c *Client) sissue(req *setReq) {
 	staging := ctx.Arm(req.key)
 	req.staging = staging
 	c.node.Mem.Write(c.sval[slot], req.val)
-	payload := ctx.TriggerPayload(req.key, req.claim, uint64(len(req.val)), c.sack[slot])
+	payload := ctx.TriggerPayload(req.key, req.claim, uint64(len(req.val)), req.ver, c.sack[slot])
 	c.node.Mem.Write(c.strig[slot], payload)
 
 	req.start = c.tb.clu.Eng.Now()
@@ -914,13 +999,14 @@ func (c *Client) DeleteAsync(key uint64, cb func(lat Duration, ok bool)) {
 		})
 		return
 	}
-	c.DeleteAsyncClaim(key, claim, cb)
+	c.nextVer[key&hopscotch.KeyMask]++
+	c.DeleteAsyncClaim(key, claim, c.nextVer[key&hopscotch.KeyMask], cb)
 }
 
 // DeleteAsyncClaim is DeleteAsync with an explicit, caller-computed
-// bucket claim — the service layer's entry point.
-func (c *Client) DeleteAsyncClaim(key uint64, claim core.DeleteClaim, cb func(lat Duration, ok bool)) {
-	req := &delReq{key: key & hopscotch.KeyMask, claim: claim, cb: cb}
+// bucket claim and tombstone version — the service layer's entry point.
+func (c *Client) DeleteAsyncClaim(key uint64, claim core.DeleteClaim, ver uint64, cb func(lat Duration, ok bool)) {
+	req := &delReq{key: key & hopscotch.KeyMask, claim: claim, ver: ver, cb: cb}
 	if len(c.dfree) == 0 {
 		if c.dnWedged == c.depth {
 			c.dels++
@@ -965,7 +1051,7 @@ func (c *Client) dissue(req *delReq) {
 
 	ctx := c.dpool.Ctxs[slot]
 	ctx.Arm()
-	payload := ctx.TriggerPayload(req.key, req.claim, c.dack[slot])
+	payload := ctx.TriggerPayload(req.key, req.claim, req.ver, c.dack[slot])
 	c.node.Mem.Write(c.dtrig[slot], payload)
 
 	req.start = c.tb.clu.Eng.Now()
@@ -1098,4 +1184,202 @@ func (c *Client) Delete(key uint64) (Duration, bool) {
 	c.Flush()
 	c.tb.stepUntil(&done)
 	return lat, ok
+}
+
+// ---- probe path ----
+
+// ProbesInFlight returns the number of probes currently occupying
+// slots.
+func (c *Client) ProbesInFlight() int { return c.depth - len(c.pfree) - c.pnWedged }
+
+// ProbesQueued returns the probes waiting client-side for a slot.
+func (c *Client) ProbesQueued() int { return len(c.pwaiting) }
+
+// ProbesWedged returns the number of quarantined probe slots.
+func (c *Client) ProbesWedged() int { return c.pnWedged }
+
+// LastProbeExecuted reports whether the most recent failed probe's
+// offload chain executed on the server NIC (a genuine conditional miss
+// — the bucket does not hold the probed key) as opposed to never
+// running (dead connection). Meaningful inside a failed-probe callback.
+func (c *Client) LastProbeExecuted() bool { return c.lastPrbRan }
+
+// probeTarget computes the probe target for key against the client's
+// view of the bound table: the candidate bucket that holds the key.
+// Keys not at a NIC-reachable candidate (spilled, tombstoned, absent)
+// cannot be probed from here — the repair layer's host-side comparison
+// covers those.
+func (c *Client) probeTarget(key uint64) (core.ProbeTarget, bool) {
+	return probeTargetForTable(c.table.table, c.pool.Mode, key&hopscotch.KeyMask)
+}
+
+// ProbeAsync issues one offloaded version probe of key, computing the
+// target bucket from the bound table, and returns immediately; cb runs
+// with the replica's version word when the NIC's response lands, or
+// ok=false after MissTimeout (key absent at the probed bucket, or dead
+// connection — LastProbeExecuted tells them apart). Probes beyond the
+// pipeline depth queue client-side; call Flush after posting a batch.
+func (c *Client) ProbeAsync(key uint64, cb func(ver uint64, lat Duration, ok bool)) {
+	if c.table == nil {
+		panic("redn: Bind a table before Probe")
+	}
+	target, ok := c.probeTarget(key)
+	if !ok {
+		c.tb.clu.Eng.After(0, func() {
+			if cb != nil {
+				cb(0, 0, false)
+			}
+		})
+		return
+	}
+	c.ProbeAsyncTarget(key, target, cb)
+}
+
+// ProbeAsyncTarget is ProbeAsync with an explicit, caller-computed
+// probe target — the service layer's entry point.
+func (c *Client) ProbeAsyncTarget(key uint64, target core.ProbeTarget, cb func(ver uint64, lat Duration, ok bool)) {
+	req := &probeReq{key: key & hopscotch.KeyMask, target: target, cb: cb}
+	if len(c.pfree) == 0 {
+		if c.pnWedged == c.depth {
+			c.probes++
+			c.pfailLater(req)
+			return
+		}
+		c.pwaiting = append(c.pwaiting, req)
+		return
+	}
+	c.pissue(req)
+}
+
+// pfailLater completes req as failed one MissTimeout from now unless a
+// reclaimed slot picked it up in the meantime.
+func (c *Client) pfailLater(req *probeReq) {
+	c.tb.clu.Eng.After(c.MissTimeout, func() {
+		if req.done || req.issued {
+			return
+		}
+		req.done = true
+		c.probeFails++
+		c.lastPrbRan = false
+		if req.cb != nil {
+			req.cb(0, c.MissTimeout, false)
+		}
+	})
+}
+
+// pissue arms one probe instance and posts the trigger SEND
+// (doorbell-less; Flush kicks it).
+func (c *Client) pissue(req *probeReq) {
+	slot := c.pfree[len(c.pfree)-1]
+	c.pfree = c.pfree[:len(c.pfree)-1]
+	req.slot = slot
+	req.issued = true
+	c.pslots[slot] = req
+	c.parmCount[slot]++
+	c.probes++
+
+	ctx := c.ppool.Ctxs[slot]
+	ctx.Arm()
+	payload := ctx.TriggerPayload(req.key, req.target, c.presp[slot])
+	c.node.Mem.Write(c.ptrig[slot], payload)
+	c.node.Mem.PutU64(c.presp[slot], 0)
+
+	req.start = c.tb.clu.Eng.Now()
+	c.cliPrbQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.ptrig[slot], Len: uint64(len(payload))})
+	c.pdirty = true
+	c.tb.clu.Eng.After(c.MissTimeout, func() { c.onProbeTimeout(req) })
+}
+
+// onProbeAck completes slot's in-flight probe: the response WRITE
+// carries the probed key in its id field, rejecting stragglers from
+// instances whose request already timed out.
+func (c *Client) onProbeAck(slot int, key uint64, at sim.Time) {
+	req := c.pslots[slot]
+	if req == nil || req.key != key {
+		return
+	}
+	c.probeAcks++
+	ver, _ := c.node.Mem.U64(c.presp[slot])
+	c.pfinish(req, ver, at-req.start, true)
+}
+
+// onProbeTimeout completes req as failed if it is still outstanding.
+func (c *Client) onProbeTimeout(req *probeReq) {
+	if req.done || c.pslots[req.slot] != req {
+		return
+	}
+	c.probeFails++
+	c.pfinish(req, 0, c.MissTimeout, false)
+}
+
+// pfinish mirrors dfinish: release (or quarantine) the slot, run the
+// callback, refill from the waiting queue.
+func (c *Client) pfinish(req *probeReq, ver uint64, lat Duration, ok bool) {
+	req.done = true
+	c.pslots[req.slot] = nil
+	if !ok && c.parmCount[req.slot]-c.pexecSeen[req.slot] >= 1 {
+		c.lastPrbRan = false
+		c.pwedged[req.slot] = true
+		c.pnWedged++
+		if c.pnWedged == c.depth {
+			for _, w := range c.pwaiting {
+				c.pfailLater(w)
+			}
+			c.pwaiting = nil
+		}
+	} else {
+		if !ok {
+			c.lastPrbRan = true
+		}
+		c.pfree = append(c.pfree, req.slot)
+	}
+	if req.cb != nil {
+		req.cb(ver, lat, ok)
+	}
+	c.ppump()
+	c.Flush()
+}
+
+// preclaim returns a quarantined probe slot once its completion backlog
+// clears (the last armed chain executed on a live NIC).
+func (c *Client) preclaim(slot int) {
+	if !c.pwedged[slot] || c.parmCount[slot]-c.pexecSeen[slot] >= 1 {
+		return
+	}
+	c.pwedged[slot] = false
+	c.pnWedged--
+	c.pfree = append(c.pfree, slot)
+	c.ppump()
+	c.Flush()
+}
+
+// ppump issues queued probes while free slots remain.
+func (c *Client) ppump() {
+	for len(c.pwaiting) > 0 && len(c.pfree) > 0 {
+		next := c.pwaiting[0]
+		c.pwaiting = c.pwaiting[1:]
+		if next.done {
+			continue
+		}
+		c.pissue(next)
+	}
+}
+
+// Probe performs one offloaded version probe, advancing the simulation
+// until the response lands (or MissTimeout for conditional misses). It
+// returns the replica's version word, the observed latency, and whether
+// the NIC answered.
+func (c *Client) Probe(key uint64) (uint64, Duration, bool) {
+	var (
+		ver  uint64
+		lat  Duration
+		ok   bool
+		done bool
+	)
+	c.ProbeAsync(key, func(v uint64, l Duration, answered bool) {
+		ver, lat, ok, done = v, l, answered, true
+	})
+	c.Flush()
+	c.tb.stepUntil(&done)
+	return ver, lat, ok
 }

@@ -362,7 +362,7 @@ func TestClientSetClaimRefused(t *testing.T) {
 	doneOK := true
 	cli.SetAsyncClaim(777, Value(777, 64),
 		// Claim key's bucket for key 777 expecting it empty.
-		coreSetClaim(bucket, 0, 777),
+		coreSetClaim(bucket, 0, 777), 1,
 		func(_ Duration, ok bool) {
 			doneOK = ok
 			executed = cli.LastSetExecuted()
@@ -545,7 +545,7 @@ func TestClientDeleteRefused(t *testing.T) {
 	// expects NOOP|777 and must fail against NOOP|5.
 	var executed, acked bool
 	done := false
-	cli.DeleteAsyncClaim(777, core.DeleteClaim{BucketAddr: bucket},
+	cli.DeleteAsyncClaim(777, core.DeleteClaim{BucketAddr: bucket}, 1,
 		func(_ Duration, ok bool) {
 			acked, executed, done = ok, cli.LastDeleteExecuted(), true
 		})
@@ -639,7 +639,7 @@ func TestClientRefusedSetReleasesStaging(t *testing.T) {
 	live := srv.Arena().LiveBytes()
 	for i := 0; i < 20; i++ {
 		done := false
-		cli.SetAsyncClaim(777, Value(777, 64), coreSetClaim(bucket, 0, 777),
+		cli.SetAsyncClaim(777, Value(777, 64), coreSetClaim(bucket, 0, 777), 1,
 			func(_ Duration, ok bool) {
 				if ok {
 					t.Error("stale claim acknowledged")
@@ -654,5 +654,114 @@ func TestClientRefusedSetReleasesStaging(t *testing.T) {
 	}
 	if got := srv.Arena().LiveBytes(); got != live {
 		t.Fatalf("arena grew %d -> %d live bytes across 20 refused claims", live, got)
+	}
+}
+
+// The probe path end to end: fabric sets publish monotonically
+// increasing versions into their buckets, ProbeAsync reads them back
+// through the NIC chain in one round trip, and a probe of an absent key
+// times out with its chain executed (a genuine conditional miss, not a
+// dead connection).
+func TestClientProbeRoundTrip(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1 << 10)
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 4)
+	cli.Bind(table)
+
+	const key = 42
+	if _, ok := cli.Set(key, Value(key, 64)); !ok {
+		t.Fatal("set failed")
+	}
+	ver, lat, ok := cli.Probe(key)
+	if !ok {
+		t.Fatal("probe of a resident key missed")
+	}
+	if ver != 1 {
+		t.Fatalf("probe returned version %d after the first set, want 1", ver)
+	}
+	if lat <= 0 || lat >= cli.MissTimeout {
+		t.Fatalf("probe latency %v not fabric-real", lat)
+	}
+	// The version word advances with every overwrite — written by the
+	// set chain's repoint WRITE, read back by the probe chain.
+	if _, ok := cli.Set(key, Value(key+1, 64)); !ok {
+		t.Fatal("overwrite failed")
+	}
+	if ver, _, ok = cli.Probe(key); !ok || ver != 2 {
+		t.Fatalf("probe after overwrite = %d,%v want 2,true", ver, ok)
+	}
+	// Ground truth: the bucket's version word matches what probes see.
+	if v, resident := table.Table().VersionOf(key); !resident || v != 2 {
+		t.Fatalf("bucket version word = %d,%v want 2,true", v, resident)
+	}
+
+	// An absent key: the probe target cannot even be computed — the
+	// client fails it after a zero-cost hop.
+	if _, _, ok := cli.Probe(9999); ok {
+		t.Fatal("probe of an absent key answered")
+	}
+
+	// A stale target (key deleted between computing the target and the
+	// chain running): conditional miss on a live NIC.
+	target, okT := probeTargetForTable(table.Table(), LookupSeq, key)
+	if !okT {
+		t.Fatal("no probe target for a resident key")
+	}
+	if _, delOK := cli.Delete(key); !delOK {
+		t.Fatal("delete failed")
+	}
+	var executed, answered bool
+	done := false
+	cli.ProbeAsyncTarget(key, target, func(_ uint64, _ Duration, ok bool) {
+		answered, executed, done = ok, cli.LastProbeExecuted(), true
+	})
+	cli.Flush()
+	tb.Run()
+	if !done {
+		t.Fatal("stale probe never completed")
+	}
+	if answered {
+		t.Fatal("probe of a tombstoned bucket was answered")
+	}
+	if !executed {
+		t.Fatal("conditional miss reported as never-executed (would trip the crash detector)")
+	}
+}
+
+// The delete chain stamps the tombstone's version word: after a
+// fabric delete, the bucket carries the delete's sequence — the
+// ordering evidence the repair subsystem reads.
+func TestClientDeleteStampsTombstoneVersion(t *testing.T) {
+	tb := NewTestbed()
+	srv := tb.NewServer()
+	table := srv.NewHashTable(1 << 10)
+	cli := tb.NewPipelinedClient(srv, LookupSeq, 4)
+	cli.Bind(table)
+
+	const key = 7
+	if _, ok := cli.Set(key, Value(key, 64)); !ok {
+		t.Fatal("set failed")
+	}
+	ht := table.Table()
+	var bucket uint64
+	found := false
+	for fn := 0; fn < 2; fn++ {
+		if k, _, _, ok := ht.EntryAt(ht.Hash(key, fn)); ok && k == key {
+			bucket, found = ht.Hash(key, fn), true
+		}
+	}
+	if !found {
+		t.Fatal("key not at a candidate bucket")
+	}
+	if _, ok := cli.Delete(key); !ok {
+		t.Fatal("delete failed")
+	}
+	if !ht.TombstoneAt(bucket) {
+		t.Fatal("no tombstone after fabric delete")
+	}
+	// Set was seq 1, delete seq 2 on the client's per-key counter.
+	if v := ht.VersionAt(bucket); v != 2 {
+		t.Fatalf("tombstone version = %d, want 2", v)
 	}
 }

@@ -8,6 +8,7 @@
 //	redn-bench -json fig10 fig11    # machine-readable results
 //	redn-bench -scale-requests 1000000 scaleout
 //	redn-bench -churn 100000        # churn with an explicit op count
+//	redn-bench -repair 50000        # repair with an explicit read count
 //	redn-bench list                 # list experiment ids
 package main
 
@@ -25,6 +26,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit results as a JSON array instead of text tables")
 	scaleReq := flag.Int("scale-requests", 0, "request count per scaleout configuration (0 = default)")
 	churnReq := flag.Int("churn", 0, "request count for the churn experiment (0 = default; longer runs sharpen the leak-baseline divergence)")
+	repairReq := flag.Int("repair", 0, "read count for the repair experiment's convergence phase (0 = default)")
 	flag.Parse()
 	args := flag.Args()
 
@@ -46,6 +48,8 @@ func main() {
 			r = experiments.ScaleOutN(*scaleReq)
 		case id == "churn" && *churnReq > 0:
 			r = experiments.ChurnN(*churnReq)
+		case id == "repair" && *repairReq > 0:
+			r = experiments.RepairN(*repairReq)
 		default:
 			r = experiments.ByID(id)
 		}

@@ -22,6 +22,8 @@ import (
 //	readBack  READ bucket.keyCtrl -> unlink.ctrl      (observe the claim)
 //	condCAS   unlink.ctrl: PENDING|key -> WRITE|key   (arm iff claimed)
 //	unlink    WRITE bucket.[keyCtrl,valAddr,valLen] -> to-free ring slot
+//	verRead   READ unlink.ctrl -> verWr.ctrl          (copy the verdict)
+//	verWr     WRITE 8B version -> bucket.version      (iff claimed)
 //	tombCAS   bucket.keyCtrl: PENDING|key -> TOMBSTONE (finalize)
 //	ackRead   READ unlink.ctrl -> ack.ctrl            (propagate verdict)
 //	ack       WRITE 8B -> client ack buffer           (iff claimed)
@@ -54,6 +56,16 @@ import (
 // deposited. The drain's key-word verification makes the duplicate a
 // counted stale no-op — whether the address is already gone or has
 // been recycled to another key — not corruption.
+//
+// verRead/verWr stamp the delete's version (the coordinator's quorum
+// sequence, scattered into a per-instance args word) onto the bucket's
+// version word, so a tombstone is ordered against live replicas: the
+// repair subsystem compares versions to decide whether an absent key
+// means "deleted at seq v" or "never saw the write". The WRITE is
+// conditionally armed exactly like the unlink — verRead copies
+// unlink.ctrl (WRITE|key iff the claim succeeded, an inert NOOP-family
+// word otherwise) onto verWr's control word — so a failed claim stamps
+// nothing.
 
 // DeleteClaim names the bucket a delete claims. The CAS operands are
 // derived from the key: Expect is NOOP|key (the live occupant), the
@@ -86,21 +98,26 @@ type DeleteOffload struct {
 	slotBase uint64
 
 	w2 *rnic.QP // managed chain ring: claim, readback, tombstone, ack read
-	w3 *rnic.QP // managed ring for the unlink WRITE
+	w3 *rnic.QP // managed ring for the unlink + version WRITEs
+
+	// args is a small rotating ring of 8-byte version words (one per
+	// in-flight-or-straggling instance), the verWr source — same idiom
+	// as the set chain's args buffers.
+	args [argsRing]uint64
 
 	armed uint64
 }
 
 // deleteChainWQEs is the busiest-ring WQE budget of one instance (w2):
-// claim, readback, conditional arm, tombstone, ack read.
-const deleteChainWQEs = 5
+// claim, readback, conditional arm, verdict copy, tombstone, ack read.
+const deleteChainWQEs = 6
 
 // NewDeleteOffload builds one delete context over ring slots
 // [slotBase, slotBase+deleteRingSlots) of ring.
 func NewDeleteOffload(b *Builder, trig, resp *rnic.QP, ring *extent.FreeRing, slotBase uint64) *DeleteOffload {
 	o := &DeleteOffload{B: b, Trig: trig, Resp: resp, Ring: ring, slotBase: slotBase,
 		w2: b.NewManagedQPOnPU(2*deleteChainWQEs+4, -1),
-		w3: b.NewManagedQPOnPU(8, -1)}
+		w3: b.NewManagedQPOnPU(16, -1)} // unlink + verWr per instance
 	o.w2.SendCQ().SetAutoDrain(true)
 	o.w3.SendCQ().SetAutoDrain(true)
 	return o
@@ -111,12 +128,23 @@ func NewDeleteOffload(b *Builder, trig, resp *rnic.QP, ring *extent.FreeRing, sl
 func (o *DeleteOffload) Arm() {
 	b := o.B
 	o.armed++
+	m := b.Dev.Mem()
 	ringSlot := o.Ring.SlotAddr(o.slotBase + (o.armed-1)%deleteRingSlots)
+	aslot := (o.armed - 1) % argsRing
+	if o.args[aslot] == 0 {
+		o.args[aslot] = m.Alloc(8, 8)
+	}
+	args := o.args[aslot]
 
 	// unlink copies the bucket's [keyCtrl, valAddr, valLen] onto the
 	// ring slot; readBack injects its control word, so it posts as an
 	// inert NOOP.
 	unlink := b.Post(o.w3, wqe.WQE{Op: wqe.OpNoop, Dst: ringSlot, Len: 24,
+		Flags: wqe.FlagSignaled})
+	// verWr stamps the delete's version (scattered into args) onto the
+	// bucket's version word; verRead arms it with the unlink's verdict,
+	// so it fires only on a successful claim.
+	verWr := b.Post(o.w3, wqe.WQE{Op: wqe.OpNoop, Src: args, Len: 8,
 		Flags: wqe.FlagSignaled})
 	// The ack's 8-byte payload is the ring slot's first word — any
 	// server-resident token works; the key stamped in the CQE id field
@@ -127,6 +155,9 @@ func (o *DeleteOffload) Arm() {
 		Dst: unlink.FieldAddr(wqe.OffCtrl), Len: 8, Flags: wqe.FlagSignaled})
 	condCAS := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS,
 		Dst: unlink.FieldAddr(wqe.OffCtrl), Flags: wqe.FlagSignaled})
+	verRead := b.Post(o.w2, wqe.WQE{Op: wqe.OpRead,
+		Src: unlink.FieldAddr(wqe.OffCtrl),
+		Dst: verWr.FieldAddr(wqe.OffCtrl), Len: 8, Flags: wqe.FlagSignaled})
 	tomb := b.Post(o.w2, wqe.WQE{Op: wqe.OpCAS, Flags: wqe.FlagSignaled})
 	ackRead := b.Post(o.w2, wqe.WQE{Op: wqe.OpRead,
 		Src: unlink.FieldAddr(wqe.OffCtrl),
@@ -140,6 +171,8 @@ func (o *DeleteOffload) Arm() {
 		{Addr: condCAS.FieldAddr(wqe.OffCmp), Len: 8},
 		{Addr: condCAS.FieldAddr(wqe.OffSwap), Len: 8},
 		{Addr: unlink.FieldAddr(wqe.OffSrc), Len: 8},
+		{Addr: args, Len: 8},
+		{Addr: verWr.FieldAddr(wqe.OffDst), Len: 8},
 		{Addr: tomb.FieldAddr(wqe.OffCmp), Len: 8},
 		{Addr: tomb.FieldAddr(wqe.OffSwap), Len: 8},
 		{Addr: tomb.FieldAddr(wqe.OffDst), Len: 8},
@@ -147,7 +180,7 @@ func (o *DeleteOffload) Arm() {
 		{Addr: ack.FieldAddr(wqe.OffLen), Len: 8},
 	})
 	b.WaitRecv(o.Trig, recvTarget)
-	for _, step := range []StepRef{claim, readBack, condCAS, unlink, tomb, ackRead} {
+	for _, step := range []StepRef{claim, readBack, condCAS, unlink, verRead, verWr, tomb, ackRead} {
 		b.Enable(step)
 		b.WaitStep(step)
 	}
@@ -159,16 +192,17 @@ func (o *DeleteOffload) Arm() {
 func (o *DeleteOffload) Armed() uint64 { return o.armed }
 
 // DeleteWRsPerOp reports the work requests one armed delete posts —
-// the retirement path's Table 2-style budget: RECV + 7 data verbs and
-// the WAIT/ENABLE verbs sequencing them, matching the set chain's
-// budget verb for verb (claim, observe, arm, move, finalize, verdict,
-// ack).
-func DeleteWRsPerOp() (data, sync int) { return 8, 14 }
+// the retirement path's Table 2-style budget: RECV + 9 data verbs
+// (claim, observe, arm, move, verdict copy, version stamp, finalize,
+// verdict, ack) and the WAIT/ENABLE verbs sequencing them. Two verbs
+// past the set chain: the price of stamping a tombstone's version
+// conditionally.
+func DeleteWRsPerOp() (data, sync int) { return 10, 18 }
 
 // TriggerPayload builds the client SEND payload for a delete of key at
-// claim, acking 8 bytes into the client-side ackAddr. Field order
-// matches Arm's scatter list.
-func (o *DeleteOffload) TriggerPayload(key uint64, claim DeleteClaim, ackAddr uint64) []byte {
+// claim with version ver, acking 8 bytes into the client-side ackAddr.
+// Field order matches Arm's scatter list.
+func (o *DeleteOffload) TriggerPayload(key uint64, claim DeleteClaim, ver, ackAddr uint64) []byte {
 	k := key & hopscotch.KeyMask
 	occupant := wqe.MakeCtrl(wqe.OpNoop, k)
 	pending := hopscotch.PendingCtrl(k)
@@ -177,7 +211,8 @@ func (o *DeleteOffload) TriggerPayload(key uint64, claim DeleteClaim, ackAddr ui
 		occupant, pending, claim.BucketAddr, // claim CAS
 		claim.BucketAddr, // readback source
 		pending, armed,   // conditional arm of the unlink WRITE
-		claim.BucketAddr,                               // unlink source: [keyCtrl, valAddr, valLen]
+		claim.BucketAddr,                             // unlink source: [keyCtrl, valAddr, valLen]
+		ver, claim.BucketAddr + hopscotch.OffVersion, // version stamp
 		pending, hopscotch.Tombstone, claim.BucketAddr, // tombstone CAS
 		ackAddr, 8, // ack destination and length
 	}

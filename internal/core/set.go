@@ -31,7 +31,8 @@ import (
 //	claimCAS  bucket.keyCtrl: Expect -> New      (the bucket claim)
 //	readBack  READ bucket.keyCtrl -> valWr.ctrl  (observe the claim)
 //	condCAS   valWr.ctrl: NOOP|key -> WRITE|key  (flip iff claimed)
-//	valWr     WRITE [stagingAddr, valLen] -> bucket.[valAddr, valLen]
+//	valWr     WRITE [stagingAddr, valLen, version]
+//	          -> bucket.[valAddr, valLen, version]
 //	pubCAS    bucket.keyCtrl: New -> NOOP|key    (publish, fresh claims)
 //	ackRead   READ valWr.ctrl -> ack.ctrl        (propagate the verdict)
 //	ack       WRITE 8B -> client ack buffer      (iff the bucket is ours)
@@ -169,19 +170,22 @@ func (o *SetOffload) Arm(cookie uint64) (staging uint64) {
 		staging = m.Alloc(o.MaxVal, 8)
 	}
 	o.staging = staging
-	// args holds the 16 bytes valWr copies over the bucket's
-	// [valAddr, valLen]: the staging address (known now) and the value
-	// length (scattered in by the trigger). Buffers rotate through a
-	// fixed ring — one live instance per context — instead of growing
-	// server memory per set.
+	// args holds the 24 bytes valWr copies over the bucket's
+	// [valAddr, valLen, version]: the staging address (known now) plus
+	// the value length and the write's version, both scattered in by the
+	// trigger. Landing the version in the same WRITE as the repoint
+	// keeps [pointer, length, version] a single atomic publication — a
+	// probe chain can never observe the new version with the old extent.
+	// Buffers rotate through a fixed ring — one live instance per
+	// context — instead of growing server memory per set.
 	slot := (o.armed - 1) % argsRing
 	if o.args[slot] == 0 {
-		o.args[slot] = m.Alloc(16, 8)
+		o.args[slot] = m.Alloc(24, 8)
 	}
 	args := o.args[slot]
 	m.PutU64(args, staging)
 
-	valWr := b.Post(o.w3, wqe.WQE{Op: wqe.OpNoop, Src: args, Len: 16, Flags: wqe.FlagSignaled})
+	valWr := b.Post(o.w3, wqe.WQE{Op: wqe.OpNoop, Src: args, Len: 24, Flags: wqe.FlagSignaled})
 	// The ack's 8-byte payload is the staging address from args —
 	// any server-resident token works; the CQE's key-stamped id field
 	// is what the client demultiplexes on.
@@ -205,6 +209,7 @@ func (o *SetOffload) Arm(cookie uint64) (staging uint64) {
 		{Addr: condCAS.FieldAddr(wqe.OffSwap), Len: 8},
 		{Addr: valWr.FieldAddr(wqe.OffDst), Len: 8},
 		{Addr: args + 8, Len: 8},
+		{Addr: args + 16, Len: 8},
 		{Addr: pubCAS.FieldAddr(wqe.OffCmp), Len: 8},
 		{Addr: pubCAS.FieldAddr(wqe.OffSwap), Len: 8},
 		{Addr: pubCAS.FieldAddr(wqe.OffDst), Len: 8},
@@ -245,12 +250,13 @@ func (o *SetOffload) ReleaseStaging() {
 func SetWRsPerOp() (data, sync int) { return 8, 14 }
 
 // TriggerPayload builds the client SEND payload for a set of key under
-// claim, writing valLen staged bytes and acking 8 bytes into the
-// client-side ackAddr. Field order matches Arm's scatter list. The
-// publish CAS's operands derive from the claim: it swaps claim.New for
-// the published NOOP|key — a real transition for fresh claims, a
-// harmless self-swap for overwrites.
-func (o *SetOffload) TriggerPayload(key uint64, claim SetClaim, valLen, ackAddr uint64) []byte {
+// claim, writing valLen staged bytes at version ver and acking 8 bytes
+// into the client-side ackAddr. Field order matches Arm's scatter list.
+// The publish CAS's operands derive from the claim: it swaps claim.New
+// for the published NOOP|key — a real transition for fresh claims, a
+// harmless self-swap for overwrites. ver lands in the bucket's version
+// word through the same WRITE as the repoint.
+func (o *SetOffload) TriggerPayload(key uint64, claim SetClaim, valLen, ver, ackAddr uint64) []byte {
 	xc := wqe.MakeCtrl(wqe.OpNoop, key&hopscotch.KeyMask)
 	xw := wqe.MakeCtrl(wqe.OpWrite, key&hopscotch.KeyMask)
 	fields := []uint64{
@@ -260,7 +266,7 @@ func (o *SetOffload) TriggerPayload(key uint64, claim SetClaim, valLen, ackAddr 
 		// successful claim left in the bucket — NOOP|key for overwrites,
 		// the pending word for fresh claims — and arms the WRITE.
 		claim.New, xw,
-		claim.BucketAddr + hopscotch.OffValAddr, valLen, // bucket repoint
+		claim.BucketAddr + hopscotch.OffValAddr, valLen, ver, // bucket repoint + version
 		claim.New, xc, claim.BucketAddr, // publish CAS
 		ackAddr, 8, // ack destination and length
 	}

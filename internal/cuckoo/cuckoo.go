@@ -21,6 +21,7 @@ const (
 	OffKeyCtrl = 0
 	OffValAddr = 8
 	OffValLen  = 16
+	OffVersion = 24 // per-key write version (same contract as hopscotch)
 )
 
 // KeyMask bounds keys to 48 bits.
@@ -126,37 +127,69 @@ func (t *Table) HashAddr(key uint64, fn int) uint64 {
 
 func (t *Table) bucketAddr(i uint64) uint64 { return t.base + (i%t.nBuckets)*BucketSize }
 
-func (t *Table) readBucket(addr uint64) (keyCtrl, va, vl uint64) {
+func (t *Table) readBucket(addr uint64) (keyCtrl, va, vl, ver uint64) {
 	keyCtrl, _ = t.mem.U64(addr + OffKeyCtrl)
 	va, _ = t.mem.U64(addr + OffValAddr)
 	vl, _ = t.mem.U64(addr + OffValLen)
+	ver, _ = t.mem.U64(addr + OffVersion)
 	return
 }
 
+// writeBucket stores the entry's first three words, leaving the
+// version word untouched — unversioned writes must not regress a
+// version a versioned path already published, the same contract as
+// hopscotch's storeBucket.
 func (t *Table) writeBucket(addr, keyCtrl, va, vl uint64) {
 	t.mem.PutU64(addr+OffKeyCtrl, keyCtrl)
 	t.mem.PutU64(addr+OffValAddr, va)
 	t.mem.PutU64(addr+OffValLen, vl)
 }
 
+// writeBucketV is writeBucket stamping the version word too — entry
+// and version move as one unit, exactly as the 32-byte bucket moves
+// under the fabric chains.
+func (t *Table) writeBucketV(addr, keyCtrl, va, vl, ver uint64) {
+	t.writeBucket(addr, keyCtrl, va, vl)
+	t.mem.PutU64(addr+OffVersion, ver)
+}
+
 // claimFree stores an entry into an empty or tombstoned bucket,
 // reclaiming the tombstone — the satellite fix for tombstoned buckets
 // silently counting toward occupancy: the next insert (or kick walk
-// reaching the slot) reuses it.
-func (t *Table) claimFree(addr, prevKC, kc, va, vl uint64) {
+// reaching the slot) reuses it. stamp selects whether ver is written
+// or the slot's version word is preserved.
+func (t *Table) claimFree(addr, prevKC, kc, va, vl, ver uint64, stamp bool) {
 	if prevKC == Tombstone {
 		t.tombstones--
 		t.reclaims++
 	}
-	t.writeBucket(addr, kc, va, vl)
+	if stamp {
+		t.writeBucketV(addr, kc, va, vl, ver)
+	} else {
+		t.writeBucket(addr, kc, va, vl)
+	}
 	t.entries++
 }
 
 // Insert stores key -> (valAddr, valLen), displacing residents cuckoo
 // style when both candidate buckets are taken. Tombstoned buckets are
 // free slots: both the direct placement and the kick walk reclaim
-// them.
+// them. The entry's version word is left untouched (an unversioned
+// overwrite must not regress a published version); versioned callers
+// use InsertV.
 func (t *Table) Insert(key, valAddr, valLen uint64) error {
+	return t.insert(key, valAddr, valLen, 0, false)
+}
+
+// InsertV is Insert stamping ver into the stored bucket's version word.
+func (t *Table) InsertV(key, valAddr, valLen, ver uint64) error {
+	return t.insert(key, valAddr, valLen, ver, true)
+}
+
+// insert implements Insert/InsertV. Displaced residents always carry
+// their own versions along the kick walk (and back, on rollback) —
+// only the incoming entry's stamp is optional.
+func (t *Table) insert(key, valAddr, valLen, ver uint64, stamp bool) error {
 	if key&^KeyMask != 0 {
 		return fmt.Errorf("cuckoo: key %#x exceeds 48 bits", key)
 	}
@@ -167,38 +200,47 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 	// Overwrite in place if present.
 	for fn := 0; fn < 2; fn++ {
 		addr := t.HashAddr(key, fn)
-		if cur, _, _ := t.readBucket(addr); cur == kc {
-			t.writeBucket(addr, kc, valAddr, valLen)
+		if cur, _, _, _ := t.readBucket(addr); cur == kc {
+			if stamp {
+				t.writeBucketV(addr, kc, valAddr, valLen, ver)
+			} else {
+				t.writeBucket(addr, kc, valAddr, valLen)
+			}
 			return nil
 		}
 	}
 	type move struct {
-		addr       uint64
-		kc, va, vl uint64 // displaced resident (to restore on rollback)
+		addr            uint64
+		kc, va, vl, ver uint64 // displaced resident (to restore on rollback)
 	}
 	var trail []move
 
-	curKC, curVA, curVL := kc, valAddr, valLen
+	curKC, curVA, curVL, curVer, curStamp := kc, valAddr, valLen, ver, stamp
 	fn := 0
 	for kick := 0; kick < MaxKicks; kick++ {
 		_, curKey := wqe.SplitCtrl(curKC)
 		addr := t.HashAddr(curKey, fn)
-		resKC, resVA, resVL := t.readBucket(addr)
+		resKC, resVA, resVL, resVer := t.readBucket(addr)
 		if resKC == 0 || resKC == Tombstone {
-			t.claimFree(addr, resKC, curKC, curVA, curVL)
+			t.claimFree(addr, resKC, curKC, curVA, curVL, curVer, curStamp)
 			return nil
 		}
 		// Try the other candidate before displacing.
 		alt := t.HashAddr(curKey, 1-fn)
-		if altKC, _, _ := t.readBucket(alt); altKC == 0 || altKC == Tombstone {
-			t.claimFree(alt, altKC, curKC, curVA, curVL)
+		if altKC, _, _, _ := t.readBucket(alt); altKC == 0 || altKC == Tombstone {
+			t.claimFree(alt, altKC, curKC, curVA, curVL, curVer, curStamp)
 			return nil
 		}
 		// Displace the resident to its other candidate bucket.
 		t.kicks++
-		trail = append(trail, move{addr: addr, kc: resKC, va: resVA, vl: resVL})
-		t.writeBucket(addr, curKC, curVA, curVL)
-		curKC, curVA, curVL = resKC, resVA, resVL
+		trail = append(trail, move{addr: addr, kc: resKC, va: resVA, vl: resVL, ver: resVer})
+		if curStamp {
+			t.writeBucketV(addr, curKC, curVA, curVL, curVer)
+		} else {
+			t.writeBucket(addr, curKC, curVA, curVL)
+		}
+		curKC, curVA, curVL, curVer = resKC, resVA, resVL, resVer
+		curStamp = true // displaced residents carry their versions
 		_, resKey := wqe.SplitCtrl(resKC)
 		// The displaced key must move to whichever of its candidates
 		// is not the bucket it just vacated.
@@ -213,9 +255,25 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 	t.fulls++
 	for i := len(trail) - 1; i >= 0; i-- {
 		m := trail[i]
-		t.writeBucket(m.addr, m.kc, m.va, m.vl)
+		t.writeBucketV(m.addr, m.kc, m.va, m.vl, m.ver)
 	}
 	return ErrFull
+}
+
+// VersionOf returns the version word of key's bucket (ok=false when
+// absent).
+func (t *Table) VersionOf(key uint64) (uint64, bool) {
+	if key&KeyMask == TombstoneID {
+		return 0, false
+	}
+	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
+	for fn := 0; fn < 2; fn++ {
+		addr := t.HashAddr(key, fn)
+		if cur, _, _, ver := t.readBucket(addr); cur == kc {
+			return ver, true
+		}
+	}
+	return 0, false
 }
 
 // Lookup scans both candidate buckets for key (host-CPU path). Keys in
@@ -229,7 +287,7 @@ func (t *Table) Lookup(key uint64) (valAddr, valLen uint64, ok bool) {
 	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
 	for fn := 0; fn < 2; fn++ {
 		addr := t.HashAddr(key, fn)
-		if cur, va, vl := t.readBucket(addr); cur == kc {
+		if cur, va, vl, _ := t.readBucket(addr); cur == kc {
 			return va, vl, true
 		}
 	}
@@ -243,7 +301,7 @@ func (t *Table) LookupBucket(key uint64) int {
 	}
 	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
 	for fn := 0; fn < 2; fn++ {
-		if cur, _, _ := t.readBucket(t.HashAddr(key, fn)); cur == kc {
+		if cur, _, _, _ := t.readBucket(t.HashAddr(key, fn)); cur == kc {
 			return fn
 		}
 	}
@@ -256,14 +314,29 @@ func (t *Table) LookupBucket(key uint64) int {
 // same state. The slot is reclaimed by the next insert or kick walk
 // that reaches it.
 func (t *Table) Delete(key uint64) bool {
+	return t.del(key, 0, false)
+}
+
+// DeleteV is Delete stamping ver into the tombstoned bucket's version
+// word, so the tombstone carries the delete's quorum sequence; plain
+// Delete leaves the version word untouched.
+func (t *Table) DeleteV(key, ver uint64) bool {
+	return t.del(key, ver, true)
+}
+
+func (t *Table) del(key, ver uint64, stamp bool) bool {
 	if key&KeyMask == TombstoneID {
 		return false // reserved id: matching it would "delete" a tombstone
 	}
 	kc := wqe.MakeCtrl(wqe.OpNoop, key&KeyMask)
 	for fn := 0; fn < 2; fn++ {
 		addr := t.HashAddr(key, fn)
-		if cur, _, _ := t.readBucket(addr); cur == kc {
-			t.writeBucket(addr, Tombstone, 0, 0)
+		if cur, _, _, _ := t.readBucket(addr); cur == kc {
+			if stamp {
+				t.writeBucketV(addr, Tombstone, 0, 0, ver)
+			} else {
+				t.writeBucket(addr, Tombstone, 0, 0)
+			}
 			t.entries--
 			t.tombstones++
 			return true

@@ -291,3 +291,67 @@ func TestTombstoneIDRejected(t *testing.T) {
 		t.Fatal("insert of the reserved tombstone id succeeded")
 	}
 }
+
+// Versions move with their entries: a kick walk that displaces a
+// resident carries its version to the new bucket, a rolled-back walk
+// restores every version, and DeleteV stamps the tombstone.
+func TestVersionRidesKicks(t *testing.T) {
+	tbl := newTable(64)
+	stored := uint64(0)
+	for k := uint64(1); k <= 40; k++ {
+		if err := tbl.InsertV(k, 0x1000+k*64, 64, k*10); err != nil {
+			break // table full: versions of everything placed so far still hold
+		}
+		stored = k
+	}
+	if tbl.Kicks() == 0 {
+		t.Fatal("load produced no kicks — test shape is wrong")
+	}
+	for k := uint64(1); k <= stored; k++ {
+		if v, ok := tbl.VersionOf(k); !ok || v != k*10 {
+			t.Fatalf("key %d version = %d,%v want %d", k, v, ok, k*10)
+		}
+	}
+	if !tbl.DeleteV(7, 99) {
+		t.Fatal("delete failed")
+	}
+	addr := tbl.HashAddr(7, tombstoneCandidate(tbl, 7))
+	if v, _ := tbl.mem.U64(addr + OffVersion); v != 99 {
+		t.Fatalf("tombstone version = %d, want 99", v)
+	}
+}
+
+// tombstoneCandidate finds which candidate bucket of key holds a
+// tombstone (test helper; exactly one after a successful DeleteV).
+func tombstoneCandidate(tbl *Table, key uint64) int {
+	for fn := 0; fn < 2; fn++ {
+		if kc, _ := tbl.mem.U64(tbl.HashAddr(key, fn) + OffKeyCtrl); kc == Tombstone {
+			return fn
+		}
+	}
+	return 0
+}
+
+// Plain (unversioned) Insert and Delete must preserve the bucket's
+// version word — the same contract as hopscotch: an unversioned
+// relocation or overwrite can never regress a version a versioned
+// path already published.
+func TestVersionPreservedByUnversionedOps(t *testing.T) {
+	tbl := newTable(256)
+	if err := tbl.InsertV(42, 0x1000, 64, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(42, 0x2000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tbl.VersionOf(42); !ok || v != 7 {
+		t.Fatalf("plain Insert clobbered the version: %d,%v want 7,true", v, ok)
+	}
+	if !tbl.Delete(42) {
+		t.Fatal("delete failed")
+	}
+	addr := tbl.HashAddr(42, tombstoneCandidate(tbl, 42))
+	if v, _ := tbl.mem.U64(addr + OffVersion); v != 7 {
+		t.Fatalf("plain Delete clobbered the tombstone version: %d, want 7", v)
+	}
+}

@@ -103,7 +103,7 @@ func All() []*Result {
 		Table1(), Table2(), Table3(), Fig7(), Fig8(),
 		Fig10(), Fig11(), Table4(), Table5(),
 		Fig13(), Fig14(), Fig15(), Fig16(), Table6(),
-		ScaleOut(), HotKey(), Failover(), MixedWorkload(), Churn(),
+		ScaleOut(), HotKey(), Failover(), MixedWorkload(), Churn(), Repair(),
 	}
 }
 
@@ -148,6 +148,8 @@ func ByID(id string) *Result {
 		return MixedWorkload()
 	case "churn":
 		return Churn()
+	case "repair":
+		return Repair()
 	}
 	return nil
 }
@@ -156,7 +158,7 @@ func ByID(id string) *Result {
 func IDs() []string {
 	return []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig7", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16",
-		"scaleout", "hotkey", "failover", "mixed", "churn"}
+		"scaleout", "hotkey", "failover", "mixed", "churn", "repair"}
 }
 
 // ---- shared harness helpers ----

@@ -29,7 +29,7 @@ const (
 	OffKeyCtrl = 0  // MakeCtrl(OpNoop, key48); zero means empty
 	OffValAddr = 8  // address of the value bytes
 	OffValLen  = 16 // value length in bytes
-	OffPad     = 24
+	OffVersion = 24 // per-key write version (the coordinator's quorum sequence)
 )
 
 // DefaultNeighborhood is FaRM's default neighborhood size (§5.2: "the
@@ -186,8 +186,48 @@ func (t *Table) slotFor(key uint64) (uint64, error) {
 	return 0, ErrFull
 }
 
+// VersionAt returns the version word of bucket i. The version is the
+// coordinator's per-key quorum sequence, stamped by every versioned
+// write and delete; replicas compare it to detect divergence (probe
+// chains read it over RDMA, the repair subsystem rolls laggards
+// forward). It lives in the bucket's fourth word — outside the 16 bytes
+// a lookup probe READ injects — so carrying it costs the inert-under-
+// injection invariant nothing.
+func (t *Table) VersionAt(i uint64) uint64 {
+	v, _ := t.mem.U64(t.BucketAddr(i) + OffVersion)
+	return v
+}
+
+// SetVersionAt stamps bucket i's version word.
+func (t *Table) SetVersionAt(i, ver uint64) error {
+	return t.mem.PutU64(t.BucketAddr(i)+OffVersion, ver)
+}
+
+// VersionOf returns the version word of key's bucket, scanning both
+// candidate neighborhoods like Lookup (ok=false when absent).
+func (t *Table) VersionOf(key uint64) (uint64, bool) {
+	for fn := 0; fn < t.hashes; fn++ {
+		h := t.hash(key, fn)
+		for d := 0; d < t.neighborhood; d++ {
+			addr := t.BucketAddr(h + uint64(d))
+			ctrl, err := t.mem.U64(addr + OffKeyCtrl)
+			if err != nil || ctrl == 0 || ctrl == Tombstone {
+				continue
+			}
+			if _, k := wqe.SplitCtrl(ctrl); k == key&KeyMask {
+				v, _ := t.mem.U64(addr + OffVersion)
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
 // storeBucket writes key -> (valAddr, valLen) at addr, maintaining the
 // entry and tombstone accounting against the slot's previous state.
+// The version word is left untouched: unversioned writes (compaction
+// relocations, raw test plumbing) must not regress a version a fabric
+// chain already published — versioned paths go through the *V variants.
 func (t *Table) storeBucket(addr, key, valAddr, valLen uint64) error {
 	prev, _ := t.mem.U64(addr + OffKeyCtrl)
 	if err := t.mem.PutU64(addr+OffKeyCtrl, wqe.MakeCtrl(wqe.OpNoop, key)); err != nil {
@@ -230,6 +270,25 @@ func (t *Table) Insert(key, valAddr, valLen uint64) error {
 	return t.storeBucket(addr, key, valAddr, valLen)
 }
 
+// InsertV is Insert stamping ver into the stored bucket's version word
+// — the host-path sibling of the fabric set chain's version WRITE.
+func (t *Table) InsertV(key, valAddr, valLen, ver uint64) error {
+	if key&^KeyMask != 0 {
+		return fmt.Errorf("hopscotch: key %#x exceeds 48 bits", key)
+	}
+	if key&PendingBit != 0 {
+		return fmt.Errorf("hopscotch: key %#x uses the reserved pending/tombstone id space", key)
+	}
+	addr, err := t.slotFor(key)
+	if err != nil {
+		return err
+	}
+	if err := t.storeBucket(addr, key, valAddr, valLen); err != nil {
+		return err
+	}
+	return t.mem.PutU64(addr+OffVersion, ver)
+}
+
 // InsertAt places key directly into the d-th slot of its fn-th
 // neighborhood, overwriting any occupant — for experiments that force
 // collisions (Fig 11 places every key in the second bucket) and for
@@ -242,6 +301,16 @@ func (t *Table) InsertAt(key, valAddr, valLen uint64, fn, d int) error {
 		return fmt.Errorf("hopscotch: key %#x uses the reserved pending/tombstone id space", key)
 	}
 	return t.storeBucket(t.BucketAddr(t.hash(key, fn)+uint64(d)), key, valAddr, valLen)
+}
+
+// InsertAtV is InsertAt stamping ver into the bucket's version word —
+// the service layer's versioned placement (kick walks carry each
+// evictee's version along with its entry).
+func (t *Table) InsertAtV(key, valAddr, valLen, ver uint64, fn, d int) error {
+	if err := t.InsertAt(key, valAddr, valLen, fn, d); err != nil {
+		return err
+	}
+	return t.SetVersionAt(t.hash(key, fn)+uint64(d), ver)
 }
 
 // WriteBucket stores key -> (valAddr, valLen) directly into bucket i,
@@ -257,6 +326,15 @@ func (t *Table) WriteBucket(i, key, valAddr, valLen uint64) error {
 		return fmt.Errorf("hopscotch: key %#x uses the reserved pending/tombstone id space", key)
 	}
 	return t.storeBucket(t.BucketAddr(i), key, valAddr, valLen)
+}
+
+// WriteBucketV is WriteBucket stamping ver into the bucket's version
+// word — the restore primitive for versioned rollbacks.
+func (t *Table) WriteBucketV(i, key, valAddr, valLen, ver uint64) error {
+	if err := t.WriteBucket(i, key, valAddr, valLen); err != nil {
+		return err
+	}
+	return t.SetVersionAt(i, ver)
 }
 
 // EntryAt reports the entry stored in bucket i (ok=false when empty or
@@ -290,6 +368,18 @@ func (t *Table) TombstoneAt(i uint64) bool {
 // cannot reach — and crash-recovery housekeeping both run through
 // here.
 func (t *Table) Remove(key uint64) (valAddr, valLen uint64, ok bool) {
+	return t.remove(key, 0, false)
+}
+
+// RemoveV is Remove stamping ver into the tombstoned bucket's version
+// word — the host-path sibling of the fabric delete chain's version
+// WRITE, so a tombstone carries the delete's quorum sequence and the
+// repair subsystem can order it against live replicas.
+func (t *Table) RemoveV(key, ver uint64) (valAddr, valLen uint64, ok bool) {
+	return t.remove(key, ver, true)
+}
+
+func (t *Table) remove(key, ver uint64, stamp bool) (valAddr, valLen uint64, ok bool) {
 	for fn := 0; fn < t.hashes; fn++ {
 		h := t.hash(key, fn)
 		for d := 0; d < t.neighborhood; d++ {
@@ -304,6 +394,9 @@ func (t *Table) Remove(key uint64) (valAddr, valLen uint64, ok bool) {
 				t.mem.PutU64(addr+OffKeyCtrl, Tombstone)
 				t.mem.PutU64(addr+OffValAddr, 0)
 				t.mem.PutU64(addr+OffValLen, 0)
+				if stamp {
+					t.mem.PutU64(addr+OffVersion, ver)
+				}
 				t.entries--
 				t.tombstones++
 				return valAddr, valLen, true

@@ -235,3 +235,70 @@ func TestTombstoneIDRejectedEverywhere(t *testing.T) {
 		t.Fatal("WriteBucket accepted the tombstone id")
 	}
 }
+
+// Version words ride every versioned mutation: InsertV stamps, plain
+// Insert (compaction's relocation path) preserves, RemoveV carries the
+// delete's sequence onto the tombstone, and direct-placement variants
+// stamp their buckets.
+func TestVersionWord(t *testing.T) {
+	tbl, _ := newTable(t, 256)
+	if err := tbl.InsertV(42, 0x1000, 64, 7); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tbl.VersionOf(42); !ok || v != 7 {
+		t.Fatalf("VersionOf = %d,%v want 7,true", v, ok)
+	}
+	// An unversioned overwrite (the compactor relocating the extent)
+	// must not regress the version.
+	if err := tbl.Insert(42, 0x2000, 64); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tbl.VersionOf(42); v != 7 {
+		t.Fatalf("plain Insert clobbered the version: %d", v)
+	}
+	// A newer versioned overwrite advances it.
+	if err := tbl.InsertV(42, 0x3000, 64, 9); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tbl.VersionOf(42); v != 9 {
+		t.Fatalf("version after overwrite = %d, want 9", v)
+	}
+	// RemoveV stamps the tombstoned bucket with the delete's sequence.
+	b := tbl.Hash(42, 0)
+	var home uint64
+	for fn := 0; fn < 2; fn++ {
+		if k, _, _, ok := tbl.EntryAt(tbl.Hash(42, fn)); ok && k == 42 {
+			home = tbl.Hash(42, fn)
+		}
+	}
+	_ = b
+	if _, _, ok := tbl.RemoveV(42, 10); !ok {
+		t.Fatal("RemoveV missed a resident key")
+	}
+	if !tbl.TombstoneAt(home) {
+		t.Fatal("RemoveV left no tombstone")
+	}
+	if v := tbl.VersionAt(home); v != 10 {
+		t.Fatalf("tombstone version = %d, want 10", v)
+	}
+	if _, ok := tbl.VersionOf(42); ok {
+		t.Fatal("VersionOf matched a tombstone")
+	}
+}
+
+// InsertAtV / WriteBucketV stamp the exact bucket they place into.
+func TestVersionDirectPlacement(t *testing.T) {
+	tbl, _ := newTable(t, 64)
+	if err := tbl.InsertAtV(5, 0x100, 8, 3, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if v := tbl.VersionAt(tbl.Hash(5, 1)); v != 3 {
+		t.Fatalf("InsertAtV version = %d, want 3", v)
+	}
+	if err := tbl.WriteBucketV(17, 9, 0x200, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if v := tbl.VersionAt(17); v != 4 {
+		t.Fatalf("WriteBucketV version = %d, want 4", v)
+	}
+}

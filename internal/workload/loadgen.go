@@ -42,6 +42,13 @@ type ClosedLoopConfig struct {
 	// deleted key misses until the key stream writes it again — the
 	// churn workload's steady state.
 	DeleteEvery int
+
+	// SampleEvery, with OnSample set, invokes OnSample(completedOps)
+	// after every SampleEvery-th operation completes — the hook the
+	// repair experiment uses to track an external metric (stale
+	// replicas) against workload progress without owning the loop.
+	SampleEvery int
+	OnSample    func(done int)
 }
 
 // LoadReport summarizes a run. Get latency percentiles cover gets only
@@ -227,6 +234,13 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 	start := eng.Now()
 	lastDone := start
 	issued := 0
+	completed := 0
+	sample := func() {
+		completed++
+		if cfg.SampleEvery > 0 && cfg.OnSample != nil && completed%cfg.SampleEvery == 0 {
+			cfg.OnSample(completed)
+		}
+	}
 
 	// user is one closed-loop client: it keeps exactly one operation —
 	// get, set or delete — outstanding at a time. Sets and deletes
@@ -247,6 +261,7 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 				}
 				delStats.Add(lat)
 				lastDone = eng.Now()
+				sample()
 				user()
 				kv.Flush()
 			})
@@ -260,6 +275,7 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 				}
 				setStats.Add(lat)
 				lastDone = eng.Now()
+				sample()
 				user()
 				kv.Flush()
 			})
@@ -274,6 +290,7 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 			}
 			getStats.Add(lat)
 			lastDone = eng.Now()
+			sample()
 			user()
 			kv.Flush()
 		})

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/failure"
 	"repro/internal/hopscotch"
+	"repro/internal/repair"
 	"repro/internal/shard"
 	"repro/internal/sim"
 )
@@ -110,6 +111,34 @@ type ServiceConfig struct {
 	// reused and compaction is a no-op — reproducing the pre-lifecycle
 	// allocator. Only the churn experiment's baseline should want this.
 	NoReclaim bool
+
+	// ReadRepair enables version probes on replicated gets: every
+	// ProbeEvery-th hit also interrogates one other owner's version
+	// word through the NIC probe chain (core.ProbeOffload), and any
+	// skew enqueues a repair that rolls the laggard forward. Requires
+	// Replicas > 1 to do anything.
+	ReadRepair bool
+	// ProbeEvery probes every n-th replicated hit (0 or 1 = every hit).
+	ProbeEvery int
+	// RepairEvery is the repair queue's service tick: pending records
+	// are applied in batches on this period, activity-armed like the
+	// compactor (0 = 50us). The queue is live whenever Replicas > 1 —
+	// capacity-rejected owners land in it even with ReadRepair off.
+	RepairEvery Duration
+	// AntiEntropyEvery, when nonzero, runs the background anti-entropy
+	// sweeper: each tick scans one shard (rotating), diffs Merkle-style
+	// segment digests against every co-owner, and enqueues repairs for
+	// divergent keys — bounding staleness even for keys no client ever
+	// reads. Activity-armed like the compactor.
+	AntiEntropyEvery Duration
+	// AntiEntropySegments is the per-shard digest segment count over
+	// which sweeps summarize bucket versions (0 = 64).
+	AntiEntropySegments int
+	// NoRepair disables the repair subsystem entirely — capacity
+	// rejections are dropped on the floor again and nothing probes or
+	// sweeps. The pre-repair behavior, kept for the repair experiment's
+	// divergence baseline.
+	NoRepair bool
 }
 
 // DefaultServiceConfig returns the production-shaped defaults: 16-deep
@@ -154,6 +183,14 @@ type serviceShard struct {
 	hints       map[uint64]*hint
 	inflightSet map[uint64][]func()
 
+	// tombVer records the newest delete sequence THIS owner applied per
+	// key — coordinator metadata standing in for scanning tombstoned
+	// buckets, whose version words lose their key identity once the
+	// bucket is reclaimed by another key. ownerState consults it so the
+	// repair subsystem can order "deleted at seq v" against a live
+	// replica instead of conflating deletion with a missed write.
+	tombVer map[uint64]uint64
+
 	// arena is the shard's value-extent allocator — always present;
 	// under NoReclaim it keeps accounting but never reuses memory
 	// (extent.SetNoReclaim), so every allocation path is uniform.
@@ -168,6 +205,10 @@ type serviceShard struct {
 	compactPasses, compactSkips             uint64
 	compactMoved, compactMovedBytes         uint64
 	compactArmed                            bool
+
+	repairsQueued, repairsApplied     uint64
+	repairsSuperseded, repairsDropped uint64
+	aeRepairs                         uint64 // repairs the sweeper enqueued for this owner
 }
 
 // ExtentGraceLat is how long a superseded or deleted value extent
@@ -237,14 +278,29 @@ type Service struct {
 	// hint. The write's value can no longer "appear late" anywhere.
 	settleHook func(key, seq uint64)
 	// applyHook, when set (tests), runs on every successful owner-level
-	// apply (fabric ack, host path, or hint drain) — the linearizability
-	// checker's per-replica visibility signal.
+	// apply (fabric ack, host path, hint drain, or repair) — the
+	// linearizability checker's per-replica visibility signal.
 	applyHook func(shardID string, key, seq uint64)
+
+	// Repair subsystem state (service_repair.go): the pending-record
+	// queue, its activity-armed tick, the anti-entropy sweeper's arm
+	// and rotating shard cursor, and the read-repair probe rotation.
+	repq        *repair.Queue
+	repairArmed bool
+	aeArmed     bool
+	aeCursor    int
+	aeCleanRun  int // consecutive sweeps that found no divergence
+	probeTick   uint64
+	probeCursor int
 
 	hits, misses        uint64
 	retries, cacheHits  uint64
 	setOps, quorumFails uint64
 	delOps              uint64
+
+	probes, probeSkews     uint64
+	aePasses, aeSegsDiffed uint64
+	aeKeysChecked          uint64
 }
 
 // NewService builds a service of nShards server nodes, each serving
@@ -310,10 +366,19 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	if cfg.CompactThreshold == 0 {
 		cfg.CompactThreshold = 0.5
 	}
+	if cfg.ProbeEvery < 1 {
+		cfg.ProbeEvery = 1
+	}
+	if cfg.RepairEvery == 0 {
+		cfg.RepairEvery = DefaultRepairEvery
+	}
+	if cfg.AntiEntropySegments == 0 {
+		cfg.AntiEntropySegments = DefaultAntiEntropySegments
+	}
 
 	s := &Service{cfg: cfg, tb: NewTestbed(), ring: shard.NewRing(cfg.VirtualNodes),
 		shards: make(map[string]*serviceShard), nextSeq: make(map[uint64]uint64),
-		unsettled: make(map[uint64]int)}
+		unsettled: make(map[uint64]int), repq: repair.NewQueue()}
 	if cfg.HotKeyTrack > 0 {
 		s.hot = shard.NewHotKeys(cfg.HotKeyTrack)
 	}
@@ -331,7 +396,8 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 		srv.arena.SetNoReclaim(cfg.NoReclaim)
 		sh := &serviceShard{id: id, srv: srv, table: srv.NewHashTable(cfg.Buckets), mode: cfg.Mode,
 			arena: srv.arena,
-			hints: make(map[uint64]*hint), inflightSet: make(map[uint64][]func())}
+			hints: make(map[uint64]*hint), inflightSet: make(map[uint64][]func()),
+			tombVer: make(map[uint64]uint64)}
 		for c := 0; c < cfg.ClientsPerShard; c++ {
 			cc := fabric.DefaultNodeConfig(fmt.Sprintf("%s-client%d", id, c))
 			cc.MemSize = cfg.ClientMem
@@ -401,7 +467,7 @@ func (s *Service) Set(key uint64, value []byte) error {
 // MaxKicks bounds the cuckoo relocation walk of a Set.
 const MaxKicks = 16
 
-func (sh *serviceShard) set(key uint64, value []byte) error {
+func (sh *serviceShard) set(key uint64, value []byte, ver uint64) error {
 	sh.sets++
 	t := sh.table.table
 	m := sh.srv.node.Mem
@@ -420,7 +486,7 @@ func (sh *serviceShard) set(key uint64, value []byte) error {
 			if err := m.Write(oldVa, value); err != nil {
 				return err
 			}
-			return t.Insert(key, oldVa, n)
+			return t.InsertV(key, oldVa, n, ver)
 		}
 	}
 
@@ -428,7 +494,7 @@ func (sh *serviceShard) set(key uint64, value []byte) error {
 	if err := m.Write(addr, value); err != nil {
 		return err
 	}
-	if err := sh.place(key, addr, n); err != nil {
+	if err := sh.place(key, addr, n, ver); err != nil {
 		// The table refused: the key keeps its old extent (or stays
 		// absent); the orphaned new one was never published — free it
 		// directly, no reader can hold it.
@@ -445,8 +511,10 @@ func (sh *serviceShard) set(key uint64, value []byte) error {
 // residents the NIC delete chain cannot address, and the roll-forward
 // for refused delete claims. The freed extent returns to the arena
 // directly (no to-free ring hop: the CPU already holds the pointer).
-func (sh *serviceShard) del(key uint64) bool {
-	va, _, ok := sh.table.table.Remove(key)
+// ver stamps the tombstone's version word (the delete's quorum
+// sequence).
+func (sh *serviceShard) del(key, ver uint64) bool {
+	va, _, ok := sh.table.table.RemoveV(key, ver)
 	if !ok {
 		return false
 	}
@@ -463,25 +531,27 @@ func (sh *serviceShard) del(key uint64) bool {
 // has one reachable home. The capacity cost is the latency trade-off
 // of §5.2: single-probe gets are cheaper but the table saturates
 // sooner.
-func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
+func (sh *serviceShard) place(key, valAddr, valLen, ver uint64) error {
 	t := sh.table.table
 	if sh.mode == LookupSingle {
 		if k, _, _, ok := t.EntryAt(t.Hash(key, 0)); !ok || k == key {
-			return t.InsertAt(key, valAddr, valLen, 0, 0)
+			return t.InsertAtV(key, valAddr, valLen, ver, 0, 0)
 		}
 		sh.spills++
-		return t.Insert(key, valAddr, valLen)
+		return t.InsertV(key, valAddr, valLen, ver)
 	}
 	// The kick walk records every displacement so a failed spill can be
 	// rolled back: without the trail, an exhausted walk whose final
 	// neighborhood insert also fails would lose the last evictee — a
-	// previously acknowledged resident — forever.
+	// previously acknowledged resident — forever. Versions travel with
+	// their entries: an evictee's version moves (and rolls back) along
+	// with its key and extent pointer.
 	type move struct {
-		bucket     uint64 // bucket index the evictee was taken from
-		kk, va, vl uint64
+		bucket          uint64 // bucket index the evictee was taken from
+		kk, va, vl, ver uint64
 	}
 	var trail []move
-	curKey, curVa, curVl := key, valAddr, valLen
+	curKey, curVa, curVl, curVer := key, valAddr, valLen, ver
 	fn := 0
 	for kick := 0; ; kick++ {
 		// A free (or same-key) candidate bucket ends the walk.
@@ -489,7 +559,7 @@ func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
 		for _, f := range []int{0, 1} {
 			b := t.Hash(curKey, f)
 			if k, _, _, ok := t.EntryAt(b); !ok || k == curKey {
-				if err := t.InsertAt(curKey, curVa, curVl, f, 0); err != nil {
+				if err := t.InsertAtV(curKey, curVa, curVl, curVer, f, 0); err != nil {
 					return err
 				}
 				placed = true
@@ -506,11 +576,12 @@ func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
 		// its own alternate candidate on the next iteration.
 		b := t.Hash(curKey, fn)
 		vk, vva, vvl, _ := t.EntryAt(b)
-		trail = append(trail, move{bucket: b, kk: vk, va: vva, vl: vvl})
-		if err := t.InsertAt(curKey, curVa, curVl, fn, 0); err != nil {
+		vver := t.VersionAt(b)
+		trail = append(trail, move{bucket: b, kk: vk, va: vva, vl: vvl, ver: vver})
+		if err := t.InsertAtV(curKey, curVa, curVl, curVer, fn, 0); err != nil {
 			return err
 		}
-		curKey, curVa, curVl = vk, vva, vvl
+		curKey, curVa, curVl, curVer = vk, vva, vvl, vver
 		if t.Hash(curKey, 0) == b {
 			fn = 1
 		} else {
@@ -520,7 +591,7 @@ func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
 	// Walk exhausted: spill the last evictee into a neighborhood slot.
 	// It stays CPU-visible (host Lookup scans neighborhoods) but the
 	// NIC's exact-bucket probes will miss it.
-	if err := t.Insert(curKey, curVa, curVl); err != nil {
+	if err := t.InsertV(curKey, curVa, curVl, curVer); err != nil {
 		// No room even in the neighborhoods: undo the walk — each
 		// kicked resident goes back to exactly the bucket it was taken
 		// from (by recorded index, not by hash: an evictee may have
@@ -528,7 +599,7 @@ func (sh *serviceShard) place(key, valAddr, valLen uint64) error {
 		// buckets) — and fail the set without losing anyone.
 		for i := len(trail) - 1; i >= 0; i-- {
 			m := trail[i]
-			if rerr := t.WriteBucket(m.bucket, m.kk, m.va, m.vl); rerr != nil {
+			if rerr := t.WriteBucketV(m.bucket, m.kk, m.va, m.vl, m.ver); rerr != nil {
 				return rerr
 			}
 		}
@@ -677,6 +748,10 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			if len(sh.hints) > 0 && !sh.hostDown {
 				s.drainHints(sh)
 			}
+			// Read-repair: a replicated hit also interrogates one other
+			// owner's version word through the NIC probe chain; skew
+			// enqueues a roll-forward (service_repair.go).
+			s.maybeReadRepair(key, sh, order)
 			cb(val, lat, true)
 			return
 		}
@@ -697,6 +772,15 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			return
 		}
 		s.misses++
+		// Miss-path read-repair: a miss on every owner is itself a
+		// version report ("I hold nothing the NIC can reach"). If the
+		// coordinator's view says some owner does hold the key — a
+		// spilled resident offloaded probes cannot reach, or a replica
+		// the others are missing — repair the laggards; reads of
+		// genuinely absent keys no-op.
+		if s.cfg.ReadRepair && s.repairEnabled() && len(order) > 1 {
+			s.scheduleSkewRepair(key)
+		}
 		cb(val, lat, false)
 	})
 	if i > 0 {
@@ -753,8 +837,14 @@ func (s *Service) CrashShard(i int, k failure.Kind, at Duration) {
 				s.reconnect(sh)
 			}
 			// The owner is reachable again: hand off the writes it
-			// missed while down.
+			// missed while down, wake any repairs parked in backoff,
+			// and schedule an anti-entropy rotation — recovery is
+			// exactly when divergence (lost hints, crash-era misses)
+			// is worth hunting.
 			s.drainHints(sh)
+			s.aeCleanRun = 0
+			s.armRepair()
+			s.armAntiEntropy()
 		},
 	}.InjectAt(s.tb.clu.Eng, at)
 }
@@ -807,10 +897,16 @@ type ShardStats struct {
 	CompactMoves  uint64 // extents relocated by compaction
 	CompactBytes  uint64 // capacity bytes relocated by compaction
 	CompactSkips  uint64 // relocations declined (busy keys, stale records)
-	ArenaLive     uint64 // live extent bytes in the shard's arena
-	ArenaPeakLive uint64 // high-water live bytes (working-set size)
-	ArenaFoot     uint64 // bytes of server memory the arena holds
-	ArenaPeak     uint64 // high-water arena footprint
+
+	RepairsQueued     uint64 // repair records enqueued for this owner
+	RepairsApplied    uint64 // repairs that rolled this owner forward
+	RepairsSuperseded uint64 // repairs satisfied before applying (owner caught up)
+	RepairsDropped    uint64 // repairs abandoned after bounded retries
+	AERepairs         uint64 // repairs the anti-entropy sweeper found for this owner
+	ArenaLive         uint64 // live extent bytes in the shard's arena
+	ArenaPeakLive     uint64 // high-water live bytes (working-set size)
+	ArenaFoot         uint64 // bytes of server memory the arena holds
+	ArenaPeak         uint64 // high-water arena footprint
 }
 
 // ServiceStats aggregates service counters.
@@ -847,12 +943,27 @@ type ServiceStats struct {
 	ArenaPeakLive uint64 // summed high-water live bytes
 	ArenaFoot     uint64 // arena footprint across all shards
 	ArenaPeak     uint64 // summed high-water footprints
+
+	Probes            uint64 // version probes issued on replicated hits
+	ProbeSkews        uint64 // probes (and host fallbacks) that found version skew
+	RepairsQueued     uint64
+	RepairsApplied    uint64
+	RepairsSuperseded uint64
+	RepairsDropped    uint64
+	RepairsPending    uint64 // records still in the queue
+	AEPasses          uint64 // anti-entropy sweep ticks that ran
+	AESegsDiffed      uint64 // segments whose digests disagreed
+	AEKeysChecked     uint64 // per-key comparisons inside flagged segments
+	AERepairs         uint64 // repairs the sweeper enqueued
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() ServiceStats {
 	out := ServiceStats{Hits: s.hits, Misses: s.misses, Retries: s.retries, CacheHits: s.cacheHits,
-		SetOps: s.setOps, DelOps: s.delOps, QuorumFails: s.quorumFails}
+		SetOps: s.setOps, DelOps: s.delOps, QuorumFails: s.quorumFails,
+		Probes: s.probes, ProbeSkews: s.probeSkews,
+		RepairsPending: uint64(s.repq.Len()),
+		AEPasses:       s.aePasses, AESegsDiffed: s.aeSegsDiffed, AEKeysChecked: s.aeKeysChecked}
 	for _, sh := range s.order {
 		ss := ShardStats{ID: sh.id, Sets: sh.sets, Spills: sh.spills,
 			Gets: sh.gets, Rebuilds: sh.rebuilds,
@@ -861,7 +972,10 @@ func (s *Service) Stats() ServiceStats {
 			HintsApplied: sh.hintsApplied, HintsDropped: sh.hintsDropped,
 			Deletes: sh.dels, FabricDeletes: sh.fabricDels, HostDeletes: sh.hostDels,
 			CompactPasses: sh.compactPasses, CompactSkips: sh.compactSkips,
-			CompactMoves: sh.compactMoved, CompactBytes: sh.compactMovedBytes}
+			CompactMoves: sh.compactMoved, CompactBytes: sh.compactMovedBytes,
+			RepairsQueued: sh.repairsQueued, RepairsApplied: sh.repairsApplied,
+			RepairsSuperseded: sh.repairsSuperseded, RepairsDropped: sh.repairsDropped,
+			AERepairs: sh.aeRepairs}
 		for _, cli := range sh.clients {
 			freed, stale := cli.GCStats()
 			ss.GCFreed += freed
@@ -897,6 +1011,11 @@ func (s *Service) Stats() ServiceStats {
 		out.ArenaPeakLive += ss.ArenaPeakLive
 		out.ArenaFoot += ss.ArenaFoot
 		out.ArenaPeak += ss.ArenaPeak
+		out.RepairsQueued += ss.RepairsQueued
+		out.RepairsApplied += ss.RepairsApplied
+		out.RepairsSuperseded += ss.RepairsSuperseded
+		out.RepairsDropped += ss.RepairsDropped
+		out.AERepairs += ss.AERepairs
 	}
 	return out
 }

@@ -71,12 +71,13 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 		owners: len(owners), start: s.tb.Now(), cb: cb, settleLeft: len(owners)}
 	for _, id := range owners {
 		sh := s.shards[id]
-		s.ownerDelete(sh, key, func(st ownerWriteStatus) {
+		s.ownerDelete(sh, key, seq, func(st ownerWriteStatus) {
 			switch st {
 			case ownerApplied:
 				if s.applyHook != nil {
 					s.applyHook(sh.id, key, seq)
 				}
+				sh.noteDeleted(key, seq)
 				s.dropHint(sh, key, seq)
 				op.ack(s)
 				op.settleOne(s)
@@ -85,7 +86,10 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 				op.fail(s)
 			case ownerRejected:
 				// Deletes have no capacity to run out of; kept for
-				// symmetry with the set fan-out.
+				// symmetry with the set fan-out — and, like sets, a
+				// definitive refusal lands in the repair queue rather
+				// than diverging silently.
+				s.queueRepair(sh, key, seq)
 				op.fail(s)
 				op.settleOne(s)
 			}
@@ -96,10 +100,11 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 // ownerDelete applies one delete on one owner, serializing through the
 // same per-(owner, key) write slot as sets so a delete can never
 // overtake — or be overtaken by — a write to the same key.
-func (s *Service) ownerDelete(sh *serviceShard, key uint64, done func(st ownerWriteStatus)) {
+func (s *Service) ownerDelete(sh *serviceShard, key, ver uint64, done func(st ownerWriteStatus)) {
 	s.armCompaction(sh)
+	s.armAntiEntropy()
 	s.withKeySlot(sh, key, func() {
-		s.ownerDeleteNow(sh, key, func(st ownerWriteStatus) {
+		s.ownerDeleteNow(sh, key, ver, func(st ownerWriteStatus) {
 			done(st)
 			s.setNext(sh, key)
 		})
@@ -109,8 +114,9 @@ func (s *Service) ownerDelete(sh *serviceShard, key uint64, done func(st ownerWr
 // ownerDeleteNow routes one owner delete: NIC tombstone chain when the
 // key sits at a reachable candidate bucket, host CPU for spilled
 // residents, a trivial ack when the owner never had the key, handoff
-// failure when the owner is gone.
-func (s *Service) ownerDeleteNow(sh *serviceShard, key uint64, done func(st ownerWriteStatus)) {
+// failure when the owner is gone. ver is the delete's quorum sequence,
+// stamped onto the tombstone's version word by whichever path applies.
+func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, done func(st ownerWriteStatus)) {
 	now := s.tb.Now()
 	if sh.suspect(now) {
 		s.tb.clu.Eng.After(0, func() { done(ownerUnreachable) })
@@ -131,12 +137,12 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key uint64, done func(st owne
 			s.tb.clu.Eng.After(0, func() { done(ownerUnreachable) })
 			return
 		}
-		s.hostDelete(sh, key, done)
+		s.hostDelete(sh, key, ver, done)
 		return
 	}
 	sh.fabricDels++
 	cli := sh.setClient(key)
-	cli.DeleteAsyncClaim(key, claim, func(_ Duration, ok bool) {
+	cli.DeleteAsyncClaim(key, claim, ver, func(_ Duration, ok bool) {
 		if ok {
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
@@ -157,7 +163,7 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key uint64, done func(st owne
 			done(ownerUnreachable)
 			return
 		}
-		s.hostDelete(sh, key, done)
+		s.hostDelete(sh, key, ver, done)
 	})
 	cli.Flush()
 }
@@ -165,14 +171,14 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key uint64, done func(st owne
 // hostDelete retires one owner's copy of key on the host CPU at the
 // modeled two-sided RPC cost. Deleting an absent key is still applied:
 // the owner is at the end state either way.
-func (s *Service) hostDelete(sh *serviceShard, key uint64, done func(st ownerWriteStatus)) {
+func (s *Service) hostDelete(sh *serviceShard, key, ver uint64, done func(st ownerWriteStatus)) {
 	sh.hostDels++
 	s.tb.clu.Eng.After(HostDeleteLat, func() {
 		if sh.hostDown {
 			done(ownerUnreachable)
 			return
 		}
-		sh.del(key)
+		sh.del(key, ver)
 		sh.dels++
 		done(ownerApplied)
 	})

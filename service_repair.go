@@ -1,0 +1,601 @@
+package redn
+
+import (
+	"sort"
+
+	"repro/internal/hopscotch"
+	"repro/internal/repair"
+	"repro/internal/sim"
+)
+
+// The replica repair subsystem.
+//
+// Replicas diverge three ways the write path cannot fully heal:
+// capacity rejections (an owner's table refused the insert — the old
+// handoff machinery deliberately dropped those), lost hints (bounded
+// hint queues overflow in any Dynamo-style system; DropHints models
+// it), and crash windows that outlive the hint's owner. Per-bucket
+// version words close the gap: every set and delete publishes the
+// coordinator's quorum sequence into its bucket (the fabric chains
+// write it directly, host paths through the tables' *V variants), so
+// "which replica is newest" becomes an 8-byte comparison any chain can
+// make.
+//
+// Three mechanisms converge on those versions:
+//
+//  1. Read-repair (maybeReadRepair): every ProbeEvery-th replicated hit
+//     issues a core.ProbeOffload chain — READ of the partner's bucket
+//     word injected into the response WQE, CAS flipping NOOP to WRITE
+//     iff the bucket holds the key, WRITE returning the version word
+//     (4 data + 6 sync WRs, no host RPC) — against one rotating other
+//     owner. A version mismatch (or a probe miss explained by the
+//     partner's table) enqueues a repair. The common no-skew case costs
+//     the host nothing at all.
+//
+//  2. The repair queue (repairTick/applyRepair): pending records,
+//     activity-armed on RepairEvery ticks. Applying a record re-derives
+//     the winning state among the key's owners at apply time — newest
+//     version wins, value or tombstone — and rolls the laggard FORWARD
+//     through the ordinary owner write path (fabric claim chain or host
+//     RPC, modeled cost and all), never backward: a record is a claim
+//     that someone lags, not a payload. Unreachable or still-rejecting
+//     owners retry under exponential backoff, bounded by
+//     RepairMaxAttempts so a permanently full owner cannot spin the
+//     queue (a later sweep or probe re-enqueues when the world
+//     changes).
+//
+//  3. Anti-entropy (sweepShard): ticks rotate across shards. A sweep
+//     scans the shard's table once, bins resident (key, version) pairs
+//     into AntiEntropySegments Merkle-style leaf digests per co-owner
+//     (order-independent sums — see internal/repair), scans each
+//     partner the same way, and walks keys only inside segments whose
+//     digests disagree, at a modeled per-segment digest cost. Divergent
+//     keys — including keys one side is missing entirely, which break
+//     the digest by absence — are enqueued at the winning version.
+//     This bounds staleness for keys no client ever reads.
+//
+// Repairs that roll an owner forward also bump the key's client-cache
+// epoch and invalidate its cached value: a pre-repair value admitted
+// from the stale owner (legal while the write was settling) must not
+// outlive convergence.
+
+// DefaultRepairEvery is the repair queue's activity-armed tick period.
+const DefaultRepairEvery = 50 * sim.Microsecond
+
+// DefaultAntiEntropySegments is the per-shard digest segment count.
+const DefaultAntiEntropySegments = 64
+
+// RepairMaxAttempts bounds delivery attempts per repair record; a
+// record that keeps failing (owner down, capacity still exhausted) is
+// dropped — and re-created by the next probe or sweep that still sees
+// the divergence, with a fresh attempt budget.
+const RepairMaxAttempts = 8
+
+// repairBatch is how many due records one tick applies.
+const repairBatch = 32
+
+// AESegmentDigestLat models computing and comparing one segment digest
+// pair during an anti-entropy sweep (a linear scan of the segment's
+// buckets on both hosts, amortized).
+const AESegmentDigestLat = 300 * sim.Nanosecond
+
+// repairBackoff returns the retry gate for a record's n-th failure:
+// exponential from the configured tick period, so retries always span
+// multiple ticks no matter how RepairEvery is tuned.
+func (s *Service) repairBackoff(n int) Duration {
+	d := s.cfg.RepairEvery
+	for i := 0; i < n && d < 10*sim.Millisecond; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// repairEnabled reports whether the repair subsystem has anything to
+// do: divergence needs at least two replicas.
+func (s *Service) repairEnabled() bool { return s.cfg.Replicas > 1 && !s.cfg.NoRepair }
+
+// noteApplied records a value apply at seq on this owner: any tombstone
+// version at or below it is superseded.
+func (sh *serviceShard) noteApplied(key, seq uint64) {
+	if tv, ok := sh.tombVer[key]; ok && seq >= tv {
+		delete(sh.tombVer, key)
+	}
+}
+
+// noteDeleted records a delete apply at seq — the owner's newest
+// tombstone version for key.
+func (sh *serviceShard) noteDeleted(key, seq uint64) {
+	if tv, ok := sh.tombVer[key]; !ok || seq > tv {
+		sh.tombVer[key] = seq
+	}
+}
+
+// ownerState reports the newest versioned state owner holds for key:
+// the resident bucket's version word, or the newest tombstone the
+// coordinator recorded for it (del=true), whichever is newer. ok=false
+// means the owner holds no versioned state at all — it missed every
+// write to the key.
+func (s *Service) ownerState(sh *serviceShard, key uint64) (ver uint64, del, ok bool) {
+	if v, resident := sh.table.table.VersionOf(key); resident {
+		if tv, has := sh.tombVer[key]; has && tv > v {
+			return tv, true, true
+		}
+		return v, false, true
+	}
+	if tv, has := sh.tombVer[key]; has {
+		return tv, true, true
+	}
+	return 0, false, false
+}
+
+// winningState finds the newest versioned state any owner holds for
+// key: the roll-forward target every laggard converges to. del reports
+// a tombstone win; winner is the shard holding the winning value
+// (meaningless for tombstone wins).
+func (s *Service) winningState(key uint64) (ver uint64, del bool, winner *serviceShard, ok bool) {
+	for _, id := range s.owners(key) {
+		sh := s.shards[id]
+		v, d, has := s.ownerState(sh, key)
+		if !has {
+			continue
+		}
+		if !ok || v > ver {
+			ver, del, ok = v, d, true
+			if !d {
+				winner = sh
+			}
+		}
+	}
+	return ver, del, winner, ok
+}
+
+// StaleOwners reports how many (owner, key) replicas across keys lag
+// the newest version any owner holds — the divergence metric the
+// repair experiment tracks over time. Zero means every replica of
+// every key has converged.
+func (s *Service) StaleOwners(keys []uint64) int {
+	stale := 0
+	for _, key := range keys {
+		key &= hopscotch.KeyMask
+		winVer, _, _, ok := s.winningState(key)
+		if !ok || winVer == 0 {
+			continue
+		}
+		for _, id := range s.owners(key) {
+			if v, _, has := s.ownerState(s.shards[id], key); !has || v < winVer {
+				stale++
+			}
+		}
+	}
+	return stale
+}
+
+// DropHints discards every pending handoff hint on every shard,
+// settling their originating writes — the operator-visible model of a
+// bounded hint queue overflowing (Dynamo-style stores cap hinted
+// handoff; anti-entropy is the backstop for what dropped hints miss).
+// Hints are dropped WITHOUT leaving repair records: the point of the
+// model is that the repair subsystem must rediscover the divergence on
+// its own, through probes or sweeps. Returns the number dropped.
+func (s *Service) DropHints() int {
+	n := 0
+	for _, sh := range s.order {
+		if len(sh.hints) == 0 {
+			continue
+		}
+		keys := make([]uint64, 0, len(sh.hints))
+		for k := range sh.hints {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			h := sh.hints[k]
+			delete(sh.hints, k)
+			sh.hintsDropped++
+			s.settleHint(h)
+			n++
+		}
+	}
+	return n
+}
+
+// ---- read-repair ----
+
+// maybeReadRepair runs on every replicated hit: every ProbeEvery-th
+// one interrogates one rotating other owner's version word through the
+// NIC probe chain and enqueues a repair on skew. served is the owner
+// that answered the get; order is the get's policy-ordered owner list.
+func (s *Service) maybeReadRepair(key uint64, served *serviceShard, order []*serviceShard) {
+	if !s.cfg.ReadRepair || !s.repairEnabled() || len(order) < 2 {
+		return
+	}
+	s.probeTick++
+	if s.cfg.ProbeEvery > 1 && s.probeTick%uint64(s.cfg.ProbeEvery) != 0 {
+		return
+	}
+	// Rotate among the owners that did not serve this hit.
+	var partner *serviceShard
+	for range order {
+		s.probeCursor++
+		cand := order[s.probeCursor%len(order)]
+		if cand != served {
+			partner = cand
+			break
+		}
+	}
+	if partner == nil || partner.suspect(s.tb.Now()) {
+		return
+	}
+	servedVer, _, _ := s.ownerState(served, key)
+	target, fabricOK := probeTargetForTable(partner.table.table, partner.mode, key)
+	if !fabricOK {
+		// The key is not at a NIC-addressable bucket on the partner
+		// (absent, tombstoned, or spilled): the probe chain cannot ask,
+		// so compare coordinator-side — the same view the write router
+		// computes claims from.
+		s.compareVersions(partner, key, servedVer)
+		return
+	}
+	s.probes++
+	cli := partner.setClient(key)
+	cli.ProbeAsyncTarget(key, target, func(ver uint64, _ Duration, ok bool) {
+		if ok {
+			partner.consecMiss = 0
+			partner.suspectUntil = 0
+			if ver != servedVer {
+				s.probeSkews++
+				s.scheduleSkewRepair(key)
+			}
+			return
+		}
+		if cli.LastProbeExecuted() {
+			// The chain ran and the conditional missed: the bucket moved
+			// between computing the target and the probe landing (a
+			// racing write or relocation). Fall back to the host view.
+			s.compareVersions(partner, key, servedVer)
+		}
+		// Never executed: dead NIC — the suspect machinery owns that.
+	})
+	cli.Flush()
+}
+
+// compareVersions is the host-side fallback comparison for keys the
+// probe chain cannot interrogate on the partner.
+func (s *Service) compareVersions(partner *serviceShard, key, servedVer uint64) {
+	pv, _, ok := s.ownerState(partner, key)
+	if !ok && servedVer == 0 {
+		return // neither side holds versioned state
+	}
+	if !ok || pv != servedVer {
+		s.probeSkews++
+		s.scheduleSkewRepair(key)
+	}
+}
+
+// scheduleSkewRepair enqueues repairs for every owner of key lagging
+// the winning version. Keys with writes still in flight are skipped:
+// the write's own fan-out (or its hint) is already converging them,
+// and a mid-flight "skew" is just replication lag.
+func (s *Service) scheduleSkewRepair(key uint64) {
+	if s.unsettled[key] > 0 {
+		return
+	}
+	winVer, _, _, ok := s.winningState(key)
+	if !ok || winVer == 0 {
+		return
+	}
+	for _, id := range s.owners(key) {
+		sh := s.shards[id]
+		if v, _, has := s.ownerState(sh, key); !has || v < winVer {
+			s.queueRepair(sh, key, winVer)
+		}
+	}
+}
+
+// ---- the repair queue ----
+
+// queueRepair records that sh's replica of key lags seq and arms the
+// queue's tick, reporting whether a new record was created (a push for
+// an already-pending pair merges instead). The write path calls it on
+// capacity rejections — the fix for rejected owners silently staying
+// stale — and the probe and sweep paths on observed skew.
+func (s *Service) queueRepair(sh *serviceShard, key, seq uint64) bool {
+	if !s.repairEnabled() {
+		return false
+	}
+	fresh := s.repq.Push(sh.id, key, seq)
+	if fresh {
+		sh.repairsQueued++
+	}
+	// Fresh evidence of divergence: make the sweeper run a full clean
+	// rotation before going back to sleep.
+	s.aeCleanRun = 0
+	s.armRepair()
+	s.armAntiEntropy()
+	return fresh
+}
+
+// armRepair schedules the next repair tick unless one is pending or
+// the queue is empty — activity-armed like the compactor, so an idle
+// converged service leaves the engine drainable.
+func (s *Service) armRepair() {
+	if s.repairArmed || s.repq.Len() == 0 {
+		return
+	}
+	s.repairArmed = true
+	s.tb.clu.Eng.After(s.cfg.RepairEvery, func() {
+		s.repairArmed = false
+		s.repairTick()
+	})
+}
+
+// repairTick applies a batch of due records and re-arms while work
+// remains (records under backoff keep the tick alive until they retry
+// or exhaust their attempts).
+func (s *Service) repairTick() {
+	for _, r := range s.repq.Due(s.tb.Now(), repairBatch) {
+		s.applyRepair(r)
+	}
+	s.armRepair()
+}
+
+// requeueRepair puts a failed record back under exponential backoff,
+// dropping it after RepairMaxAttempts.
+func (s *Service) requeueRepair(sh *serviceShard, r *repair.Record) {
+	r.Attempts++
+	if r.Attempts >= RepairMaxAttempts {
+		sh.repairsDropped++
+		return
+	}
+	s.repq.Requeue(r, s.tb.Now()+s.repairBackoff(r.Attempts))
+	s.armRepair()
+}
+
+// applyRepair rolls one owner forward to the winning state of its key.
+// The winning state is re-derived under the owner's per-key write slot
+// — not from the record — so a repair can never undo a write that
+// landed while the record was queued: roll forward, never roll back.
+func (s *Service) applyRepair(r *repair.Record) {
+	sh, ok := s.shards[r.Owner]
+	if !ok {
+		return
+	}
+	key := r.Key
+	if s.unsettled[key] > 0 {
+		// A write is in flight: its own fan-out converges the owners
+		// (or queues hints/repairs of its own). Try again later.
+		s.requeueRepair(sh, r)
+		return
+	}
+	s.withKeySlot(sh, key, func() {
+		winVer, winDel, winner, has := s.winningState(key)
+		cur, _, curOK := s.ownerState(sh, key)
+		if !has || winVer == 0 || (curOK && cur >= winVer) {
+			// Nothing to do: the owner caught up (a newer write, a
+			// drained hint, or an earlier repair landed first).
+			sh.repairsSuperseded++
+			s.setNext(sh, key)
+			return
+		}
+		finish := func(st ownerWriteStatus) {
+			switch st {
+			case ownerApplied:
+				sh.repairsApplied++
+				if s.applyHook != nil {
+					s.applyHook(sh.id, key, winVer)
+				}
+				if winDel {
+					sh.noteDeleted(key, winVer)
+				} else {
+					sh.noteApplied(key, winVer)
+				}
+				s.dropHint(sh, key, winVer)
+				// Satellite fix: a value cached from the stale owner
+				// before this repair (legal while the write settled)
+				// must not outlive convergence — bump the epoch so
+				// in-flight gets cannot re-admit it either.
+				if s.cache != nil {
+					s.setEpoch[key]++
+					delete(s.cache, key)
+				}
+			default:
+				s.requeueRepair(sh, r)
+			}
+			s.setNext(sh, key)
+		}
+		if winDel {
+			s.ownerDeleteNow(sh, key, winVer, finish)
+			return
+		}
+		// Capture the winning bytes under the slot: the winner's table
+		// cannot be repointed for this key while we hold it only if the
+		// winner IS this shard — for cross-owner reads the unsettled
+		// check above keeps writes out, and compaction relocations
+		// preserve bytes.
+		va, vl, liveOK := winner.table.table.Lookup(key)
+		if !liveOK {
+			sh.repairsSuperseded++
+			s.setNext(sh, key)
+			return
+		}
+		val, err := winner.srv.node.Mem.Read(va, vl)
+		if err != nil {
+			s.requeueRepair(sh, r)
+			s.setNext(sh, key)
+			return
+		}
+		s.ownerSetNow(sh, key, val, winVer, finish)
+	})
+}
+
+// ---- anti-entropy ----
+
+// armAntiEntropy schedules one sweep tick AntiEntropyEvery from now,
+// unless one is already pending — armed by write, delete, repair and
+// recovery activity rather than free-running, exactly like the
+// compactor, so an idle service leaves the simulation drainable. Once
+// armed, sweeps keep rotating until a full clean rotation (every shard
+// swept with no divergence found) and then go back to sleep.
+func (s *Service) armAntiEntropy() {
+	if s.cfg.AntiEntropyEvery <= 0 || s.aeArmed || !s.repairEnabled() {
+		return
+	}
+	s.aeArmed = true
+	s.tb.clu.Eng.After(s.cfg.AntiEntropyEvery, func() {
+		s.aeArmed = false
+		sh := s.order[s.aeCursor%len(s.order)]
+		s.aeCursor++
+		s.sweepShard(sh)
+	})
+}
+
+// aeEntry is one resident (key, version) pair binned during a sweep
+// scan.
+type aeEntry struct {
+	key, ver uint64
+}
+
+// aeScan walks a shard's table ONCE and bins every resident into
+// per-co-owner, segment-indexed digests and key lists (an entry
+// replicated across k other owners lands in k bins). Segment identity
+// is the key's PRIMARY hash bucket divided into segs ranges —
+// identical geometry on every shard (tables share bucket counts and
+// hash functions), so the same key bins to the same segment everywhere
+// no matter which candidate bucket or neighborhood slot it occupies.
+func (s *Service) aeScan(sh *serviceShard, segs int) (map[string]map[uint64]repair.Digest, map[string]map[uint64][]aeEntry) {
+	t := sh.table.table
+	n := t.NumBuckets()
+	segW := (n + uint64(segs) - 1) / uint64(segs)
+	digs := make(map[string]map[uint64]repair.Digest)
+	keys := make(map[string]map[uint64][]aeEntry)
+	for i := uint64(0); i < n; i++ {
+		key, _, _, ok := t.EntryAt(i)
+		if !ok {
+			continue
+		}
+		seg := t.Hash(key, 0) / segW
+		ver := t.VersionAt(i)
+		for _, id := range s.owners(key) {
+			if id == sh.id {
+				continue
+			}
+			if digs[id] == nil {
+				digs[id] = make(map[uint64]repair.Digest)
+				keys[id] = make(map[uint64][]aeEntry)
+			}
+			d := digs[id][seg]
+			d.Add(key, ver)
+			digs[id][seg] = d
+			keys[id][seg] = append(keys[id][seg], aeEntry{key: key, ver: ver})
+		}
+	}
+	return digs, keys
+}
+
+// sweepShard runs one anti-entropy pass rooted at sh: against every
+// co-owning shard ordered AFTER it (each unordered pair is diffed by
+// exactly one root per rotation; the clean-rotation arming guarantees
+// every pair is still covered before sweeps go idle), diff per-segment
+// digests and compare versions key by key inside flagged segments,
+// enqueueing repairs for whichever side lags. Each involved table is
+// scanned exactly once per sweep. The pass is charged
+// AESegmentDigestLat per digest pair compared by deferring its
+// enqueues, modeling the host scan time; the repairs themselves then
+// pay the ordinary owner write costs through the queue.
+func (s *Service) sweepShard(sh *serviceShard) {
+	if sh.hostDown {
+		// No CPU to scan this shard — but a down shard must not halt
+		// the rotation for the healthy pairs behind it in the cursor
+		// order. Its own pairs are deferred, not dirty: recovery arms a
+		// fresh full rotation for them (OnUp), so count this slot as
+		// swept and keep rotating.
+		s.aeCleanRun++
+		if s.aeCleanRun < len(s.order) {
+			s.armAntiEntropy()
+		}
+		return
+	}
+	s.aePasses++
+	segs := s.cfg.AntiEntropySegments
+	segsCompared := 0
+	type found struct {
+		owner *serviceShard
+		key   uint64
+		seq   uint64
+	}
+	var repairs []found
+	rootDigs, rootKeys := s.aeScan(sh, segs)
+	for _, partner := range s.order {
+		if partner == sh || partner.hostDown || partner.id <= sh.id {
+			continue
+		}
+		digA, keysA := rootDigs[partner.id], rootKeys[partner.id]
+		pDigs, pKeys := s.aeScan(partner, segs)
+		digB, keysB := pDigs[sh.id], pKeys[sh.id]
+		// Union of segments either side populated, in order.
+		segSet := make(map[uint64]struct{}, len(digA)+len(digB))
+		for g := range digA {
+			segSet[g] = struct{}{}
+		}
+		for g := range digB {
+			segSet[g] = struct{}{}
+		}
+		ordered := make([]uint64, 0, len(segSet))
+		for g := range segSet {
+			ordered = append(ordered, g)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		for _, g := range ordered {
+			segsCompared++
+			if digA[g] == digB[g] {
+				continue
+			}
+			s.aeSegsDiffed++
+			// Per-key walk of the flagged segment: union both sides'
+			// keys, dedup, compare owner states.
+			seen := make(map[uint64]struct{})
+			for _, list := range [][]aeEntry{keysA[g], keysB[g]} {
+				for _, e := range list {
+					if _, dup := seen[e.key]; dup {
+						continue
+					}
+					seen[e.key] = struct{}{}
+					if s.unsettled[e.key] > 0 {
+						continue // an in-flight write explains the skew
+					}
+					s.aeKeysChecked++
+					va, _, aok := s.ownerState(sh, e.key)
+					vb, _, bok := s.ownerState(partner, e.key)
+					switch {
+					case aok && (!bok || vb < va):
+						repairs = append(repairs, found{owner: partner, key: e.key, seq: va})
+					case bok && (!aok || va < vb):
+						repairs = append(repairs, found{owner: sh, key: e.key, seq: vb})
+					}
+				}
+			}
+		}
+	}
+	// Charge the digest scan, then enqueue what it found. A divergent
+	// sweep resets the clean-rotation counter; sweeps continue until
+	// every shard has been swept clean in a row, then go idle until the
+	// next write, repair or recovery re-arms them.
+	s.tb.clu.Eng.After(Duration(segsCompared)*AESegmentDigestLat, func() {
+		if len(repairs) > 0 {
+			s.aeCleanRun = 0
+		} else {
+			s.aeCleanRun++
+		}
+		for _, f := range repairs {
+			// Count only records this sweep actually created: re-finding
+			// a key whose repair is already queued (in backoff, say) is
+			// not a new discovery.
+			if s.queueRepair(f.owner, f.key, f.seq) {
+				f.owner.aeRepairs++
+			}
+		}
+		if s.aeCleanRun < len(s.order) {
+			s.armAntiEntropy()
+		}
+	})
+}

@@ -537,7 +537,22 @@ func TestServiceCacheAdmissionSetRace(t *testing.T) {
 // write/delete is still unsettled; the client cache AND the background
 // compactor are in the loop. A shard crashes and recovers mid-run.
 func TestServiceLinearizableMixedHistory(t *testing.T) {
-	s := NewServiceWith(ServiceConfig{
+	runLinearizableHistory(t, false)
+}
+
+// The same checker with the repair subsystem fully in the loop:
+// read-repair probes on every replicated hit, the anti-entropy sweeper
+// rotating underneath the history, and — crucially — every handoff
+// hint DROPPED right after the crash, so the repair machinery (not
+// hinted handoff) is what converges the recovered shard. Repairs
+// re-apply old sequences to laggards; the checker's per-owner apply
+// logs prove they only ever roll replicas forward.
+func TestServiceLinearizableRepairHistory(t *testing.T) {
+	runLinearizableHistory(t, true)
+}
+
+func runLinearizableHistory(t *testing.T, withRepair bool) {
+	cfg := ServiceConfig{
 		Shards: 3, ClientsPerShard: 2, Pipeline: 8, Mode: LookupSeq,
 		Replicas: 3, WriteQuorum: 2, ReadPolicy: ReadRoundRobin, HotKeyCache: 8,
 		Buckets: 1 << 12, MaxValLen: 64,
@@ -545,7 +560,13 @@ func TestServiceLinearizableMixedHistory(t *testing.T) {
 		// extents must never corrupt or resurrect anything. Small
 		// segments (16 extents each) keep it genuinely busy.
 		CompactEvery: 250 * sim.Microsecond, SegmentSize: 1 << 10,
-	})
+	}
+	if withRepair {
+		cfg.ReadRepair = true
+		cfg.AntiEntropyEvery = 300 * sim.Microsecond
+		cfg.AntiEntropySegments = 16
+	}
+	s := NewServiceWith(cfg)
 	const nKeys = 8
 	const valLen = 48
 
@@ -637,7 +658,21 @@ func TestServiceLinearizableMixedHistory(t *testing.T) {
 		worker()
 	}
 	s.Flush()
-	s.CrashShard(0, failure.ProcessCrash, s.Now()+500*sim.Microsecond)
+	crashAt := s.Now() + 500*sim.Microsecond
+	s.CrashShard(0, failure.ProcessCrash, crashAt)
+	if withRepair {
+		// Lose every hint the crash accumulated, right before recovery
+		// would have drained them (kv.BootstrapTime + kv.RebuildTime
+		// after the crash): convergence must come from the repair
+		// subsystem, not handoff. The drop must find hints to drop, or
+		// a recovery-timing drift has silently degraded this test to
+		// the plain hint-drain variant.
+		s.tb.clu.Eng.At(crashAt+2249*sim.Millisecond, func() {
+			if s.DropHints() == 0 {
+				t.Error("nothing to drop at crash+2249ms — hints already drained; repair not exercised")
+			}
+		})
+	}
 	s.Run()
 	s.Testbed().RunFor(4 * sim.Second) // recovery + handoff drain
 	if ops != totalOps {
@@ -707,12 +742,35 @@ func TestServiceLinearizableMixedHistory(t *testing.T) {
 		t.Fatal("history recorded no misses — deletes never surfaced to readers")
 	}
 
-	// The crash must actually have exercised the handoff machinery, and
-	// the history must have exercised the lifecycle subsystem: fabric
-	// deletes retiring extents and the compactor relocating live ones
-	// underneath the readers.
+	// The crash must actually have exercised the handoff machinery (or,
+	// in the repair variant, the repair machinery standing in for the
+	// hints it dropped), and the history must have exercised the
+	// lifecycle subsystem: fabric deletes retiring extents and the
+	// compactor relocating live ones underneath the readers.
 	st := s.Stats()
-	if st.HintsQueued == 0 || st.HintsApplied == 0 {
+	if st.HintsQueued == 0 {
+		t.Fatal("history never queued a handoff hint")
+	}
+	if withRepair {
+		if st.Probes == 0 {
+			t.Fatal("read-repair probes never fired")
+		}
+		if st.AEPasses == 0 {
+			t.Fatal("the anti-entropy sweeper never ran")
+		}
+		if st.RepairsApplied == 0 {
+			t.Fatal("repairs never applied despite dropped hints")
+		}
+		// With hints lost, the repair subsystem must have fully
+		// converged every key by the end of the run.
+		allKeys := make([]uint64, nKeys)
+		for i := range allKeys {
+			allKeys[i] = uint64(i + 1)
+		}
+		if stale := s.StaleOwners(allKeys); stale != 0 {
+			t.Fatalf("%d stale replicas after the repair history", stale)
+		}
+	} else if st.HintsApplied == 0 {
 		t.Fatalf("history never exercised handoff (queued %d applied %d)", st.HintsQueued, st.HintsApplied)
 	}
 	if st.HintsPending != 0 {
@@ -965,7 +1023,7 @@ func TestServicePlaceRollbackRestoresSpilledEvictee(t *testing.T) {
 			break
 		}
 	}
-	if err := sh.place(newKey, 0x9000, 8); err == nil {
+	if err := sh.place(newKey, 0x9000, 8, 1); err == nil {
 		t.Fatal("place succeeded on a completely full table")
 	}
 	for i := uint64(0); i < n; i++ {
@@ -1182,5 +1240,223 @@ func TestServiceCompactionBoundsArena(t *testing.T) {
 		if okGet && !bytes.Equal(got, want) {
 			t.Fatalf("key %d bytes diverged after compaction", k)
 		}
+	}
+}
+
+// ---- replica repair suite ----
+
+// crashIdx returns the index of the shard with the given id.
+func crashIdx(t *testing.T, s *Service, id string) int {
+	t.Helper()
+	for i := 0; i < s.NumShards(); i++ {
+		if s.ShardID(i) == id {
+			return i
+		}
+	}
+	t.Fatalf("no shard %q", id)
+	return -1
+}
+
+// Satellite regression: a capacity-rejected owner used to stay stale
+// forever (the write path deliberately dropped rejections from
+// handoff). Now the rejection lands in the repair queue, and once the
+// owner's table has room again the queue rolls it forward — with NO
+// client traffic after the capacity frees.
+func TestServiceRejectedOwnerConverges(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 4, Mode: LookupSeq,
+		Replicas: 2, WriteQuorum: 1, Buckets: 16, MaxValLen: 64,
+	})
+	const key = 21
+	owners := s.Owners(key)
+	backup := s.shards[owners[1]]
+	bt := backup.table.Table()
+
+	// Stuff the backup's table completely full of filler keys so the
+	// write's insert there is REJECTED (kick walk and neighborhoods
+	// exhausted), while the primary applies normally.
+	n := bt.NumBuckets()
+	filler := uint64(500000)
+	for i := uint64(0); i < n; i++ {
+		filler++
+		if err := bt.WriteBucket(i, filler, 0x2000+i*8, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	err := s.Set(key, Value(key, 64))
+	if err != nil {
+		t.Fatalf("W=1 write failed despite a healthy primary: %v", err)
+	}
+	s.Testbed().RunFor(sim.Millisecond) // let the backup's rejection land
+	if v, ok := ownerValue(t, s, owners[0], key); !ok || !bytes.Equal(v, Value(key, 64)) {
+		t.Fatal("primary did not apply")
+	}
+	if _, ok := ownerValue(t, s, owners[1], key); ok {
+		t.Fatal("backup applied into a full table — rejection never happened")
+	}
+	st := s.Stats()
+	if st.RepairsQueued == 0 {
+		t.Fatal("capacity rejection left no repair record (the pre-repair bug)")
+	}
+	if got := s.StaleOwners([]uint64{key}); got != 1 {
+		t.Fatalf("stale replicas = %d, want 1 (the rejected backup)", got)
+	}
+
+	// Capacity frees (operator removes fillers) — and with ZERO further
+	// client operations, the repair queue converges the backup.
+	for i := uint64(0); i < n; i++ {
+		bt.Delete(500001 + i)
+	}
+	s.Testbed().RunFor(100 * sim.Millisecond)
+	if v, ok := ownerValue(t, s, owners[1], key); !ok || !bytes.Equal(v, Value(key, 64)) {
+		t.Fatal("rejected backup never converged without client traffic")
+	}
+	if got := s.StaleOwners([]uint64{key}); got != 0 {
+		t.Fatalf("stale replicas = %d after repair, want 0", got)
+	}
+	st = s.Stats()
+	if st.RepairsApplied == 0 {
+		t.Fatal("no repair recorded as applied")
+	}
+	// And the repaired bucket carries the write's version.
+	if v, ok := bt.VersionOf(key); !ok || v != 1 {
+		t.Fatalf("repaired backup version = %d,%v want 1,true", v, ok)
+	}
+}
+
+// Satellite regression: a value admitted to the client-side cache from
+// a stale owner (legal while the write's settle was pending) must not
+// outlive the repair that converges the owner — the repair bumps the
+// key's write epoch and drops the entry.
+func TestServiceRepairInvalidatesStaleCache(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 2, ClientsPerShard: 1, Pipeline: 8, Mode: LookupSeq,
+		Replicas: 2, WriteQuorum: 1, HotKeyCache: 8,
+		ReadRepair: true, Buckets: 1 << 12,
+		// A slow repair tick guarantees the stale value is admitted to
+		// the cache BEFORE the repair converges the owner — the exact
+		// ordering the epoch bump exists for.
+		RepairEvery: 5 * sim.Millisecond,
+	})
+	const key = 99
+	if err := s.Set(key, Value(key, 64)); err != nil {
+		t.Fatal(err)
+	}
+	owners := s.Owners(key)
+
+	// Crash the PRIMARY; overwrite v2 (backup acks the W=1 quorum, the
+	// primary gets a hint); lose the hint. After recovery the primary
+	// is stale at v1 — and ReadPrimary routes every get straight at it.
+	idx := crashIdx(t, s, owners[0])
+	s.CrashShard(idx, failure.ProcessCrash, s.Now()+sim.Microsecond)
+	s.Testbed().RunFor(sim.Millisecond)
+	if err := s.Set(key, Value(key+1, 64)); err != nil {
+		t.Fatalf("W=1 overwrite failed: %v", err)
+	}
+	s.Testbed().RunFor(sim.Millisecond) // primary's failure + hint land
+	if s.DropHints() == 0 {
+		t.Fatal("no hint to drop — divergence not injected")
+	}
+	s.Testbed().RunFor(4 * sim.Second) // recovery + reconnect
+
+	// Heat the key well past the admission threshold. Early gets serve
+	// the stale v1 from the primary (and may admit it to the cache);
+	// every hit probes the backup, whose newer version word flags the
+	// skew and queues the repair.
+	for i := 0; i < 3*cacheAdmitCount; i++ {
+		s.Get(key, 64)
+	}
+	// The stale v1 must actually be cache-resident now (admitted from
+	// the stale primary, with the repair still queued behind its tick):
+	// that is the hazard under test.
+	if v, cached := s.cache[key]; !cached || !bytes.Equal(v, Value(key, 64)) {
+		t.Fatal("stale value not cache-resident before the repair — test lost its race")
+	}
+	s.Testbed().RunFor(50 * sim.Millisecond) // repair queue drains
+
+	// The repaired primary AND the cache must now serve v2: without the
+	// epoch bump the cache would pin the pre-repair v1 forever.
+	val, _, ok := s.Get(key, 64)
+	if !ok || !bytes.Equal(val, Value(key+1, 64)) {
+		t.Fatalf("get after repair returned stale bytes (ok=%v)", ok)
+	}
+	if v, ok := ownerValue(t, s, owners[0], key); !ok || !bytes.Equal(v, Value(key+1, 64)) {
+		t.Fatal("primary never repaired")
+	}
+	st := s.Stats()
+	if st.Probes == 0 {
+		t.Fatal("read-repair never probed")
+	}
+	if st.ProbeSkews == 0 {
+		t.Fatal("version skew never detected")
+	}
+	if st.RepairsApplied == 0 {
+		t.Fatal("no repair applied")
+	}
+}
+
+// Anti-entropy alone — zero reads, no read-repair, hints lost — must
+// converge crash-era divergence: the sweeper's segment digests find
+// the keys the dead owner missed and roll it forward.
+func TestServiceAntiEntropyConvergesWithoutReads(t *testing.T) {
+	s := NewServiceWith(ServiceConfig{
+		Shards: 3, ClientsPerShard: 1, Pipeline: 8, Mode: LookupSeq,
+		Replicas: 2, WriteQuorum: 1, Buckets: 1 << 10,
+		AntiEntropyEvery: 200 * sim.Microsecond, AntiEntropySegments: 16,
+	})
+	keys := make([]uint64, 60)
+	for i := range keys {
+		keys[i] = uint64(i + 1)
+		if err := s.Set(keys[i], Value(keys[i], 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash one shard; overwrite everything at v2 and delete a few keys
+	// (their tombstones must propagate too); drop every hint.
+	s.CrashShard(0, failure.ProcessCrash, s.Now()+sim.Microsecond)
+	s.Testbed().RunFor(sim.Millisecond)
+	for _, k := range keys {
+		if err := s.Set(k, Value(k+1000, 64)); err != nil {
+			t.Fatalf("W=1 overwrite of %d failed: %v", k, err)
+		}
+	}
+	for _, k := range keys[:5] {
+		s.DeleteAsync(k, nil)
+	}
+	s.Flush()
+	s.Testbed().RunFor(2 * sim.Millisecond)
+	if s.DropHints() == 0 {
+		t.Fatal("no hints to drop — the crashed shard owned nothing?")
+	}
+	if s.StaleOwners(keys) == 0 {
+		t.Fatal("no divergence injected — test shape is wrong")
+	}
+
+	// ZERO further client operations: recovery arms the sweeper, the
+	// sweeper finds the divergent segments, the queue repairs them.
+	s.Testbed().RunFor(6 * sim.Second)
+	if got := s.StaleOwners(keys); got != 0 {
+		t.Fatalf("%d stale replicas after anti-entropy alone, want 0", got)
+	}
+	// Deleted keys must be ABSENT everywhere — a resurrected delete
+	// would show up as a hit.
+	for _, k := range keys[:5] {
+		if _, _, ok := s.Get(k, 64); ok {
+			t.Fatalf("deleted key %d resurrected by anti-entropy", k)
+		}
+	}
+	st := s.Stats()
+	if st.AEPasses == 0 {
+		t.Fatal("sweeper never ran")
+	}
+	if st.AERepairs == 0 {
+		t.Fatal("sweeper found nothing despite injected divergence")
+	}
+	if st.RepairsApplied == 0 {
+		t.Fatal("no repairs applied")
+	}
+	if st.Probes != 0 {
+		t.Fatal("probes fired with ReadRepair disabled")
 	}
 }

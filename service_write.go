@@ -173,12 +173,13 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 	val := append([]byte(nil), value...)
 	for _, id := range owners {
 		sh := s.shards[id]
-		s.ownerSet(sh, key, val, func(st ownerWriteStatus) {
+		s.ownerSet(sh, key, val, seq, func(st ownerWriteStatus) {
 			switch st {
 			case ownerApplied:
 				if s.applyHook != nil {
 					s.applyHook(sh.id, key, seq)
 				}
+				sh.noteApplied(key, seq)
 				s.dropHint(sh, key, seq)
 				op.ack(s)
 				op.settleOne(s)
@@ -186,7 +187,12 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 				s.queueHint(sh, key, val, false, seq, op)
 				op.fail(s)
 			case ownerRejected:
-				// Definitive refusal: fail the owner without handoff.
+				// Definitive refusal — but no longer a silent divergence:
+				// the repair queue records the laggard so read-repair or
+				// anti-entropy rolls it forward once capacity frees
+				// (pre-repair, a rejected owner simply stayed stale until
+				// the next overwrite).
+				s.queueRepair(sh, key, seq)
 				op.fail(s)
 				op.settleOne(s)
 			}
@@ -209,10 +215,11 @@ func (s *Service) withKeySlot(sh *serviceShard, key uint64, run func()) {
 // ownerSet applies one write on one owner, serializing same-key writes
 // so per-key order survives the pipelined fabric. done always runs
 // asynchronously (from the simulation).
-func (s *Service) ownerSet(sh *serviceShard, key uint64, val []byte, done func(st ownerWriteStatus)) {
+func (s *Service) ownerSet(sh *serviceShard, key uint64, val []byte, ver uint64, done func(st ownerWriteStatus)) {
 	s.armCompaction(sh)
+	s.armAntiEntropy()
 	s.withKeySlot(sh, key, func() {
-		s.ownerSetNow(sh, key, val, func(st ownerWriteStatus) {
+		s.ownerSetNow(sh, key, val, ver, func(st ownerWriteStatus) {
 			done(st)
 			s.setNext(sh, key)
 		})
@@ -246,8 +253,9 @@ const (
 
 // ownerSetNow routes one owner write: fabric claim chain when the key
 // can be claimed at a candidate bucket, host CPU otherwise, handoff
-// failure when neither can run.
-func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, done func(st ownerWriteStatus)) {
+// failure when neither can run. ver is the write's quorum sequence,
+// published into the bucket's version word by whichever path applies.
+func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, ver uint64, done func(st ownerWriteStatus)) {
 	now := s.tb.Now()
 	if sh.suspect(now) {
 		// Circuit breaker: don't burn a MissTimeout per write on a
@@ -261,7 +269,7 @@ func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, done fun
 			s.tb.clu.Eng.After(0, func() { done(ownerUnreachable) })
 			return
 		}
-		s.hostSet(sh, key, val, done)
+		s.hostSet(sh, key, val, ver, done)
 		return
 	}
 	sh.fabricSets++
@@ -270,7 +278,7 @@ func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, done fun
 	// slot — is retired on the ack, after the read-grace period.
 	oldVa, _, hadOld := sh.table.table.Lookup(key)
 	cli := sh.setClient(key)
-	cli.SetAsyncClaim(key, val, claim, func(_ Duration, ok bool) {
+	cli.SetAsyncClaim(key, val, claim, ver, func(_ Duration, ok bool) {
 		if ok {
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
@@ -294,7 +302,7 @@ func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, done fun
 			done(ownerUnreachable)
 			return
 		}
-		s.hostSet(sh, key, val, done)
+		s.hostSet(sh, key, val, ver, done)
 	})
 	// Writes issued from completion callbacks run outside the caller's
 	// batch; kick them directly, like get retries.
@@ -381,10 +389,30 @@ func deleteClaimForTable(t *hopscotch.Table, mode LookupMode, key uint64) (core.
 	return core.DeleteClaim{}, false
 }
 
+// probeTargetForTable computes key's version-probe target against a
+// table, honoring the lookup mode's probe reach: the candidate bucket
+// holding the key, which is the only bucket the NIC probe chain can
+// interrogate. Spilled residents, tombstones and absent keys are the
+// repair layer's host-side comparison. Shared by the service router and
+// the standalone client, like claimForTable.
+func probeTargetForTable(t *hopscotch.Table, mode LookupMode, key uint64) (core.ProbeTarget, bool) {
+	probes := 2
+	if mode == LookupSingle {
+		probes = 1
+	}
+	for fn := 0; fn < probes; fn++ {
+		b := t.Hash(key, fn)
+		if k, _, _, ok := t.EntryAt(b); ok && k == key {
+			return core.ProbeTarget{BucketAddr: t.BucketAddr(b)}, true
+		}
+	}
+	return core.ProbeTarget{}, false
+}
+
 // hostSet applies one owner write on the host CPU at the modeled
 // two-sided RPC cost: the kick path, and the roll-forward path for
 // refused claims.
-func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, done func(st ownerWriteStatus)) {
+func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, ver uint64, done func(st ownerWriteStatus)) {
 	sh.hostSets++
 	s.tb.clu.Eng.After(HostSetLat, func() {
 		if sh.hostDown {
@@ -392,7 +420,7 @@ func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, done func(st
 			done(ownerUnreachable)
 			return
 		}
-		if err := sh.set(key, val); err != nil {
+		if err := sh.set(key, val, ver); err != nil {
 			// The table itself refused (kick walk and neighborhoods
 			// exhausted): a definitive rejection, not unavailability.
 			done(ownerRejected)
@@ -485,9 +513,9 @@ func (s *Service) drainHint(sh *serviceShard, key uint64) {
 		}
 		apply := func(done func(st ownerWriteStatus)) {
 			if h.del {
-				s.ownerDeleteNow(sh, key, done)
+				s.ownerDeleteNow(sh, key, h.seq, done)
 			} else {
-				s.ownerSetNow(sh, key, h.val, done)
+				s.ownerSetNow(sh, key, h.val, h.seq, done)
 			}
 		}
 		apply(func(st ownerWriteStatus) {
@@ -496,6 +524,11 @@ func (s *Service) drainHint(sh *serviceShard, key uint64) {
 			case ownerApplied:
 				if s.applyHook != nil {
 					s.applyHook(sh.id, key, h.seq)
+				}
+				if h.del {
+					sh.noteDeleted(key, h.seq)
+				} else {
+					sh.noteApplied(key, h.seq)
 				}
 				if cur, still := sh.hints[key]; still && cur == h {
 					delete(sh.hints, key)
