@@ -9,6 +9,7 @@ import (
 	"repro/internal/hopscotch"
 	"repro/internal/rnic"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wqe"
 )
 
@@ -177,6 +178,73 @@ type Client struct {
 	// coordinator's quorum sequence). Service writes pass explicit
 	// versions through the *Claim entry points.
 	nextVer map[uint64]uint64
+
+	// ---- telemetry (nil tracer = disabled, zero cost) ----
+
+	tr      *telemetry.Tracer
+	trLabel string
+	// Per-path per-slot track names, precomputed at SetTracer so the
+	// issue/finish hot paths never format strings.
+	trGet, trSet, trDel, trPrb []string
+}
+
+// SetTracer attaches a tracer for slot-occupancy spans and doorbell
+// instants, labeling this client's tracks (typically the node name).
+func (c *Client) SetTracer(tr *telemetry.Tracer, label string) {
+	c.tr = tr
+	c.trLabel = label
+	if !tr.Enabled() {
+		return
+	}
+	c.trGet = make([]string, c.depth)
+	c.trSet = make([]string, c.depth)
+	c.trDel = make([]string, c.depth)
+	c.trPrb = make([]string, c.depth)
+	for i := 0; i < c.depth; i++ {
+		c.trGet[i] = fmt.Sprintf("get/slot%d", i)
+		c.trSet[i] = fmt.Sprintf("set/slot%d", i)
+		c.trDel[i] = fmt.Sprintf("del/slot%d", i)
+		c.trPrb[i] = fmt.Sprintf("probe/slot%d", i)
+	}
+}
+
+// ClientStats is a point-in-time snapshot of the client's counters
+// across all four paths — the single surface Service.Stats and tests
+// read instead of poking one-off accessors.
+type ClientStats struct {
+	Gets, Hits, Misses uint64
+	MaxInFlight        int // pipeline high-water, get path
+
+	Sets, SetAcks, SetFails uint64
+	MaxSetsInFlight         int
+
+	Dels, DelAcks, DelFails uint64
+	MaxDelsInFlight         int
+
+	Probes, ProbeAcks, ProbeFails uint64
+
+	// GCFreed/GCStale count to-free ring drains: extents returned to
+	// the arena vs entries whose extent was already gone.
+	GCFreed, GCStale uint64
+
+	// Quarantined slots per path (armed chain never executed).
+	Wedged, SetsWedged, DelsWedged, ProbesWedged int
+}
+
+// Stats snapshots every per-client counter.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Gets: c.gets, Hits: c.hits, Misses: c.misses,
+		MaxInFlight: c.maxInFlight,
+		Sets:        c.sets, SetAcks: c.setAcks, SetFails: c.setFails,
+		MaxSetsInFlight: c.maxSetsInFlight,
+		Dels:            c.dels, DelAcks: c.delAcks, DelFails: c.delFails,
+		MaxDelsInFlight: c.maxDelsInFlight,
+		Probes:          c.probes, ProbeAcks: c.probeAcks, ProbeFails: c.probeFails,
+		GCFreed: c.gcFreed, GCStale: c.gcStale,
+		Wedged: c.nWedged, SetsWedged: c.snWedged,
+		DelsWedged: c.dnWedged, ProbesWedged: c.pnWedged,
+	}
 }
 
 // probeReq is one in-flight (or queued) version probe.
@@ -188,6 +256,7 @@ type probeReq struct {
 	cb     func(ver uint64, lat Duration, ok bool)
 	done   bool
 	issued bool
+	op     uint64 // trace op id (0 = untraced)
 }
 
 // delReq is one in-flight (or queued) delete.
@@ -200,6 +269,7 @@ type delReq struct {
 	cb     func(lat Duration, ok bool)
 	done   bool
 	issued bool
+	op     uint64 // trace op id (0 = untraced)
 }
 
 // setReq is one in-flight (or queued) set.
@@ -216,6 +286,7 @@ type setReq struct {
 
 	staging   uint64 // server staging extent this set's chain targets
 	lifecycle bool   // standalone path: client manages extent retirement
+	op        uint64 // trace op id (0 = untraced)
 }
 
 // getReq is one in-flight (or queued) get.
@@ -226,6 +297,7 @@ type getReq struct {
 	cb          func(val []byte, lat Duration, ok bool)
 	done        bool
 	issued      bool
+	op          uint64 // trace op id (0 = untraced)
 }
 
 // NewClient adds a client node connected back-to-back to srv, keeping
@@ -496,7 +568,7 @@ func (c *Client) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration, 
 	if valLen > c.maxVal {
 		panic(fmt.Sprintf("redn: valLen %d exceeds client max %d", valLen, c.maxVal))
 	}
-	req := &getReq{key: key & hopscotch.KeyMask, valLen: valLen, cb: cb}
+	req := &getReq{key: key & hopscotch.KeyMask, valLen: valLen, cb: cb, op: c.tr.Op()}
 	if len(c.free) == 0 {
 		if c.nWedged == c.depth {
 			// Every slot is quarantined: the connection is dead. Fail
@@ -541,18 +613,30 @@ func (c *Client) Flush() {
 	if c.dirty {
 		c.dirty = false
 		c.cliQP.RingSQ()
+		if c.tr.Enabled() {
+			c.tr.Instant(c.trLabel, "doorbell:get", 0)
+		}
 	}
 	if c.sdirty {
 		c.sdirty = false
 		c.cliSetQP.RingSQ()
+		if c.tr.Enabled() {
+			c.tr.Instant(c.trLabel, "doorbell:set", 0)
+		}
 	}
 	if c.ddirty {
 		c.ddirty = false
 		c.cliDelQP.RingSQ()
+		if c.tr.Enabled() {
+			c.tr.Instant(c.trLabel, "doorbell:del", 0)
+		}
 	}
 	if c.pdirty {
 		c.pdirty = false
 		c.cliPrbQP.RingSQ()
+		if c.tr.Enabled() {
+			c.tr.Instant(c.trLabel, "doorbell:probe", 0)
+		}
 	}
 }
 
@@ -571,6 +655,9 @@ func (c *Client) issue(req *getReq) {
 	}
 
 	ctx := c.pool.Ctxs[slot]
+	if c.tr.Enabled() {
+		ctx.SetTraceOp(req.op)
+	}
 	ctx.Arm()
 	payload := ctx.TriggerPayload(req.key, req.valLen, c.resp[slot])
 	c.node.Mem.Write(c.trig[slot], payload)
@@ -621,6 +708,9 @@ func (c *Client) onTimeout(req *getReq) {
 // the chain ran.
 func (c *Client) finish(req *getReq, val []byte, lat Duration, ok bool) {
 	req.done = true
+	if c.tr.Enabled() {
+		c.tr.Exec(c.trLabel, c.trGet[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
+	}
 	c.slots[req.slot] = nil
 	if !ok && c.pendingCQEs(req.slot) >= uint64(c.respPerGet) {
 		c.lastMissExecuted = false
@@ -772,6 +862,7 @@ func (c *Client) SetAsyncClaim(key uint64, value []byte, claim core.SetClaim, ve
 
 // setAsyncReq routes one set request into the pipeline.
 func (c *Client) setAsyncReq(req *setReq) {
+	req.op = c.tr.Op()
 	if uint64(len(req.val)) > c.maxVal {
 		panic(fmt.Sprintf("redn: value %d exceeds client max %d", len(req.val), c.maxVal))
 	}
@@ -818,6 +909,9 @@ func (c *Client) sissue(req *setReq) {
 	}
 
 	ctx := c.spool.Ctxs[slot]
+	if c.tr.Enabled() {
+		ctx.SetTraceOp(req.op)
+	}
 	staging := ctx.Arm(req.key)
 	req.staging = staging
 	c.node.Mem.Write(c.sval[slot], req.val)
@@ -860,6 +954,9 @@ func (c *Client) onSetTimeout(req *setReq) {
 // callback, refill from the waiting queue.
 func (c *Client) sfinish(req *setReq, lat Duration, ok bool) {
 	req.done = true
+	if c.tr.Enabled() {
+		c.tr.Exec(c.trLabel, c.trSet[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
+	}
 	c.sslots[req.slot] = nil
 	if !ok && c.sarmCount[req.slot]-c.sexecSeen[req.slot] >= 1 {
 		// Never executed: the staging extent stays allocated — a
@@ -959,11 +1056,6 @@ func (c *Client) DeletesWedged() int { return c.dnWedged }
 // callback.
 func (c *Client) LastDeleteExecuted() bool { return c.lastDelRan }
 
-// GCStats reports to-free ring drain counters: extents returned to the
-// arena, and stale ring entries whose extent was already gone (the
-// tolerated straggler double-unlink).
-func (c *Client) GCStats() (freed, stale uint64) { return c.gcFreed, c.gcStale }
-
 // deleteClaim computes the delete claim for key against the client's
 // view of the bound table: the key must sit at a candidate bucket the
 // NIC probes. Spilled residents only a CPU scan can reach — and keys
@@ -1006,7 +1098,7 @@ func (c *Client) DeleteAsync(key uint64, cb func(lat Duration, ok bool)) {
 // DeleteAsyncClaim is DeleteAsync with an explicit, caller-computed
 // bucket claim and tombstone version — the service layer's entry point.
 func (c *Client) DeleteAsyncClaim(key uint64, claim core.DeleteClaim, ver uint64, cb func(lat Duration, ok bool)) {
-	req := &delReq{key: key & hopscotch.KeyMask, claim: claim, ver: ver, cb: cb}
+	req := &delReq{key: key & hopscotch.KeyMask, claim: claim, ver: ver, cb: cb, op: c.tr.Op()}
 	if len(c.dfree) == 0 {
 		if c.dnWedged == c.depth {
 			c.dels++
@@ -1050,6 +1142,9 @@ func (c *Client) dissue(req *delReq) {
 	}
 
 	ctx := c.dpool.Ctxs[slot]
+	if c.tr.Enabled() {
+		ctx.SetTraceOp(req.op)
+	}
 	ctx.Arm()
 	payload := ctx.TriggerPayload(req.key, req.claim, req.ver, c.dack[slot])
 	c.node.Mem.Write(c.dtrig[slot], payload)
@@ -1086,6 +1181,9 @@ func (c *Client) onDelTimeout(req *delReq) {
 // the callback, refill from the waiting queue.
 func (c *Client) dfinish(req *delReq, lat Duration, ok bool) {
 	req.done = true
+	if c.tr.Enabled() {
+		c.tr.Exec(c.trLabel, c.trDel[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
+	}
 	c.dslots[req.slot] = nil
 	if !ok && c.darmCount[req.slot]-c.dexecSeen[req.slot] >= 1 {
 		c.lastDelRan = false
@@ -1238,7 +1336,7 @@ func (c *Client) ProbeAsync(key uint64, cb func(ver uint64, lat Duration, ok boo
 // ProbeAsyncTarget is ProbeAsync with an explicit, caller-computed
 // probe target — the service layer's entry point.
 func (c *Client) ProbeAsyncTarget(key uint64, target core.ProbeTarget, cb func(ver uint64, lat Duration, ok bool)) {
-	req := &probeReq{key: key & hopscotch.KeyMask, target: target, cb: cb}
+	req := &probeReq{key: key & hopscotch.KeyMask, target: target, cb: cb, op: c.tr.Op()}
 	if len(c.pfree) == 0 {
 		if c.pnWedged == c.depth {
 			c.probes++
@@ -1279,6 +1377,9 @@ func (c *Client) pissue(req *probeReq) {
 	c.probes++
 
 	ctx := c.ppool.Ctxs[slot]
+	if c.tr.Enabled() {
+		ctx.SetTraceOp(req.op)
+	}
 	ctx.Arm()
 	payload := ctx.TriggerPayload(req.key, req.target, c.presp[slot])
 	c.node.Mem.Write(c.ptrig[slot], payload)
@@ -1316,6 +1417,9 @@ func (c *Client) onProbeTimeout(req *probeReq) {
 // callback, refill from the waiting queue.
 func (c *Client) pfinish(req *probeReq, ver uint64, lat Duration, ok bool) {
 	req.done = true
+	if c.tr.Enabled() {
+		c.tr.Exec(c.trLabel, c.trPrb[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
+	}
 	c.pslots[req.slot] = nil
 	if !ok && c.parmCount[req.slot]-c.pexecSeen[req.slot] >= 1 {
 		c.lastPrbRan = false

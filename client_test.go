@@ -504,8 +504,8 @@ func TestClientDeleteRoundTrip(t *testing.T) {
 		t.Fatalf("%d tombstoned buckets after 16 NIC deletes", tombs)
 	}
 	// Every deleted value extent came back to the arena.
-	if freed, stale := cli.GCStats(); freed != 16 || stale != 0 {
-		t.Fatalf("gc freed=%d stale=%d, want 16/0", freed, stale)
+	if st := cli.Stats(); st.GCFreed != 16 || st.GCStale != 0 {
+		t.Fatalf("gc freed=%d stale=%d, want 16/0", st.GCFreed, st.GCStale)
 	}
 	if live := srv.Arena().LiveBytes(); live >= liveBefore {
 		t.Fatalf("arena live bytes %d did not drop from %d after deletes", live, liveBefore)

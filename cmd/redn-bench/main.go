@@ -9,6 +9,7 @@
 //	redn-bench -scale-requests 1000000 scaleout
 //	redn-bench -churn 100000        # churn with an explicit op count
 //	redn-bench -repair 50000        # repair with an explicit read count
+//	redn-bench -trace out.json      # trace a mixed run (Perfetto-loadable)
 //	redn-bench list                 # list experiment ids
 package main
 
@@ -27,8 +28,32 @@ func main() {
 	scaleReq := flag.Int("scale-requests", 0, "request count per scaleout configuration (0 = default)")
 	churnReq := flag.Int("churn", 0, "request count for the churn experiment (0 = default; longer runs sharpen the leak-baseline divergence)")
 	repairReq := flag.Int("repair", 0, "read count for the repair experiment's convergence phase (0 = default)")
+	tracePath := flag.String("trace", "", "run a traced mixed workload and write Chrome trace-event JSON (load in Perfetto) to this path")
 	flag.Parse()
 	args := flag.Args()
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tracing mixed workload ...")
+		start := time.Now()
+		st, err := experiments.WriteTrace(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\ntrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, " done in %.1fs -> %s\n", time.Since(start).Seconds(), *tracePath)
+		fmt.Println(experiments.UtilizationSummary(st, 5))
+		if len(args) == 0 {
+			return
+		}
+	}
 
 	if len(args) == 1 && args[0] == "list" {
 		for _, id := range experiments.IDs() {

@@ -108,6 +108,16 @@ type DeleteOffload struct {
 	armed uint64
 }
 
+// SetTraceOp tags this context's private rings (control, chain,
+// unlink, response) so the next armed instance's WRs attribute to op
+// in traces; the shared trigger QP stays untagged.
+func (o *DeleteOffload) SetTraceOp(op uint64) {
+	o.B.Ctrl.SetTraceOp(op)
+	o.w2.SetTraceOp(op)
+	o.w3.SetTraceOp(op)
+	o.Resp.SetTraceOp(op)
+}
+
 // deleteChainWQEs is the busiest-ring WQE budget of one instance (w2):
 // claim, readback, conditional arm, verdict copy, tombstone, ack read.
 const deleteChainWQEs = 6

@@ -78,6 +78,27 @@ type LookupOffload struct {
 	armed uint64
 }
 
+// SetTraceOp tags this context's private rings (control, chain,
+// response) so the WRs of the instance armed next attribute to op in
+// traces. The shared trigger QP stays untagged: its batched SENDs
+// interleave ops.
+func (o *LookupOffload) SetTraceOp(op uint64) {
+	o.B.Ctrl.SetTraceOp(op)
+	o.w2.SetTraceOp(op)
+	if o.w2b != nil && o.w2b != o.w2 {
+		o.w2b.SetTraceOp(op)
+	}
+	if o.ctrlB != nil {
+		o.ctrlB.SetTraceOp(op)
+	}
+	if o.Resp != nil {
+		o.Resp.SetTraceOp(op)
+	}
+	if o.Resp2 != nil {
+		o.Resp2.SetTraceOp(op)
+	}
+}
+
 // NewLookupOffload builds the offload. trig must be the server-side QP
 // of a client connection with a managed SQ. resp2 (parallel mode only)
 // is a second server-side client-connected managed QP. chainDepth sizes

@@ -62,6 +62,15 @@ type ProbeOffload struct {
 	armed uint64
 }
 
+// SetTraceOp tags this context's private rings (control, chain,
+// response) so the next armed instance's WRs attribute to op in
+// traces; the shared trigger QP stays untagged.
+func (o *ProbeOffload) SetTraceOp(op uint64) {
+	o.B.Ctrl.SetTraceOp(op)
+	o.w2.SetTraceOp(op)
+	o.Resp.SetTraceOp(op)
+}
+
 // probeChainWQEs is the busiest-ring WQE budget of one instance (w2):
 // the injection READ and the conditional CAS.
 const probeChainWQEs = 2

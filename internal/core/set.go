@@ -128,6 +128,16 @@ type SetOffload struct {
 	staging uint64 // staging extent of the most recently armed instance
 }
 
+// SetTraceOp tags this context's private rings (control, chain,
+// pointer-write, response) so the next armed instance's WRs attribute
+// to op in traces; the shared trigger QP stays untagged.
+func (o *SetOffload) SetTraceOp(op uint64) {
+	o.B.Ctrl.SetTraceOp(op)
+	o.w2.SetTraceOp(op)
+	o.w3.SetTraceOp(op)
+	o.Resp.SetTraceOp(op)
+}
+
 // argsRing is the depth of the per-context args-buffer rotation: one
 // instance is in flight per context, so anything past a couple covers
 // stragglers from timed-out instances.

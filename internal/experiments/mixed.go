@@ -141,9 +141,24 @@ func mixedRun(requests int, duration, bucket, gap, crashAt sim.Time) *Result {
 				}
 				return 1
 			},
+			// Sample the service's queue-depth gauges once per timeline
+			// bucket: the hint-queue swell sits under the outage dip.
+			Gauges: s.Metrics().Gauges(),
 		})
 		outage := rep.SetBucketsBelow(0, crashIdx, nb, 0.5)
 		st := s.Stats()
+		for g, name := range rep.GaugeNames {
+			if name != "svc/hints_pending" {
+				continue
+			}
+			peak := 0.0
+			for _, v := range rep.GaugeSeries[g] {
+				if v > peak {
+					peak = v
+				}
+			}
+			r.metric(c.metric+"_peak_hints_pending", peak)
+		}
 		r.Rows = append(r.Rows, Row{
 			Label: fmt.Sprintf("4 shards r=3 %s, crash", c.name),
 			Cells: []string{"-", kops(float64(rep.SetsAcked) / duration.Seconds()),

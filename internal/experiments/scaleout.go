@@ -44,7 +44,7 @@ func ScaleOutN(requests int) *Result {
 		{"8 shards, 2x16 pipelined", 8, 2, 16},
 	}
 
-	run := func(c cfg, zipf bool) workload.LoadReport {
+	run := func(c cfg, zipf bool) (workload.LoadReport, redn.ServiceStats) {
 		s := redn.NewServiceWith(redn.ServiceConfig{
 			Shards:          c.shards,
 			ClientsPerShard: c.clients,
@@ -58,24 +58,28 @@ func ScaleOutN(requests int) *Result {
 				panic(err)
 			}
 		}
+		// Utilization window starts after the host-path preload, so
+		// the bottleneck report reflects the measured workload.
+		s.MarkUtilization()
 		var stream workload.KeyStream
 		if zipf {
 			stream = workload.NewZipfian(keys, workload.DefaultZipfS, workload.Rng(1))
 		} else {
 			stream = &workload.Uniform{Keys: keys, Rng: workload.Rng(1)}
 		}
-		return workload.RunClosedLoop(s.Testbed().Engine(), s, workload.ClosedLoopConfig{
+		rep := workload.RunClosedLoop(s.Testbed().Engine(), s, workload.ClosedLoopConfig{
 			Requests: requests,
 			Window:   c.shards * c.clients * c.pipeline,
 			Keys:     stream,
 			ValLen:   64,
 		})
+		return rep, s.Stats()
 	}
 
 	var blocking, shard8 float64
 	for _, c := range cfgs {
-		uni := run(c, false)
-		zip := run(c, true)
+		uni, uniStats := run(c, false)
+		zip, _ := run(c, true)
 		r.Rows = append(r.Rows, Row{Label: c.label, Cells: []string{
 			kops(uni.GetsPerSec), us(uni.P50), us(uni.P99), us(uni.P999),
 			kops(zip.GetsPerSec), us(zip.P99), ""}})
@@ -91,6 +95,9 @@ func ScaleOutN(requests int) *Result {
 			r.metric("shard8_gets_per_sec", uni.GetsPerSec)
 			r.metric("shard8_p999_us", uni.P999.Micros())
 			r.metric("zipf8_gets_per_sec", zip.GetsPerSec)
+			r.metric("shard8_bottleneck_util", uniStats.Bottleneck.Util)
+			r.Notes = append(r.Notes,
+				"8-shard uniform bottleneck: "+uniStats.Bottleneck.String())
 		}
 	}
 	if blocking > 0 {

@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"regexp"
+	"testing"
+)
 
 // The scale-out acceptance property: 8 shards of 16-deep pipelined
 // clients must sustain at least 4x the aggregate gets/virtual-second of
@@ -25,5 +28,21 @@ func TestScaleOutSpeedup(t *testing.T) {
 	}
 	if _, ok := r.Metrics["speedup_8shard"]; !ok {
 		t.Fatal("speedup metric missing")
+	}
+	// The bottleneck report must surface the saturated NIC resource for
+	// the 8-shard run by name.
+	if r.Metrics["shard8_bottleneck_util"] <= 0 {
+		t.Fatal("bottleneck utilization metric missing or zero")
+	}
+	re := regexp.MustCompile(`8-shard uniform bottleneck: shard\d+/port\d+/(fetch|pu\d+) \d+% busy`)
+	found := false
+	for _, n := range r.Notes {
+		if re.MatchString(n) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no bottleneck note naming a NIC resource in %q", r.Notes)
 	}
 }

@@ -64,6 +64,9 @@ func (c *Cluster) AddNode(cfg NodeConfig) *Node {
 		Dev:  rnic.New(c.Eng, m, cfg.Profile, cfg.Ports),
 		CPU:  host.NewCPU(c.Eng, cfg.Name, cfg.Cores),
 	}
+	// Telemetry names resources by node ("shard3/port0/pu1"), not by
+	// the NIC profile shared across every node.
+	n.Dev.SetLabel(cfg.Name)
 	c.nodes = append(c.nodes, n)
 	return n
 }

@@ -2,9 +2,11 @@ package rnic
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Port groups the per-port execution resources: the processing units
@@ -43,6 +45,9 @@ type Device struct {
 	atomicUnit *sim.Resource
 
 	frozen bool // OS/process failure model: true only if teardown ran
+
+	label  string            // node name for telemetry; defaults to the profile name
+	tracer *telemetry.Tracer // nil = tracing disabled
 }
 
 // New creates a device with the given profile and port count (1 or 2 on
@@ -55,6 +60,7 @@ func New(eng *sim.Engine, m *mem.Memory, prof Profile, numPorts int) *Device {
 		eng:        eng,
 		mem:        m,
 		prof:       prof,
+		label:      prof.Name,
 		pcie:       sim.NewBandwidth(eng, prof.Name+"/pcie", prof.PCIeBytesPerSec),
 		atomicUnit: sim.NewResource(eng, prof.Name+"/atomic-unit"),
 	}
@@ -181,6 +187,49 @@ func (d *Device) Unfreeze() {
 
 // Frozen reports whether the device has been frozen.
 func (d *Device) Frozen() bool { return d.frozen }
+
+// SetLabel names the device for telemetry (the owning node's name);
+// WR spans and utilization entries carry it instead of the profile name.
+func (d *Device) SetLabel(label string) { d.label = label }
+
+// Label returns the telemetry name.
+func (d *Device) Label() string { return d.label }
+
+// SetTracer attaches a tracer; nil disables WR-span emission.
+func (d *Device) SetTracer(tr *telemetry.Tracer) { d.tracer = tr }
+
+// Tracer returns the attached tracer (nil when disabled).
+func (d *Device) Tracer() *telemetry.Tracer { return d.tracer }
+
+// relabel swaps the profile-name prefix of a resource name for the
+// device label: "cx5/port0/pu1" -> "shard3/port0/pu1".
+func (d *Device) relabel(name string) string {
+	return d.label + "/" + strings.TrimPrefix(name, d.prof.Name+"/")
+}
+
+// ResourceUtils appends one utilization entry per serialized unit
+// (every PU, each port's fetch unit and link, PCIe, the atomic unit)
+// over [0, until], named under the device label.
+func (d *Device) ResourceUtils(out []telemetry.ResourceUtil, until sim.Time) []telemetry.ResourceUtil {
+	add := func(r *sim.Resource) {
+		out = append(out, telemetry.ResourceUtil{
+			Name:   d.relabel(r.Name()),
+			Util:   r.Utilization(until),
+			Busy:   r.Busy(),
+			Grants: r.Grants(),
+		})
+	}
+	for _, p := range d.ports {
+		for _, pu := range p.pus {
+			add(pu)
+		}
+		add(p.fetchUnit)
+		add(&p.link.Resource)
+	}
+	add(&d.pcie.Resource)
+	add(d.atomicUnit)
+	return out
+}
 
 // Utilization summarizes busy fractions of the device's resources over
 // [0, until], for bottleneck attribution (Table 4).

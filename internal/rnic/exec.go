@@ -160,6 +160,16 @@ func (w *WorkQueue) complete(v wqe.WQE, st Status, force bool) {
 	})
 }
 
+// traceWR records one WR's PU occupancy span on the owning device's
+// tracer, attributed to the op tagged on this QP (0 = unattributed,
+// e.g. batched SENDs on a shared trigger QP).
+func (w *WorkQueue) traceWR(op wqe.Opcode, start, end sim.Time) {
+	d := w.qp.dev
+	if d.tracer.Enabled() {
+		d.tracer.Exec(d.label, d.relabel(w.qp.pu.Name()), op.String(), start, end, w.qp.traceOp)
+	}
+}
+
 // exec dispatches one WQE. The queue advances to the next WQE when the
 // verb has been issued (PU occupancy end); the verb's completion runs
 // asynchronously, so independent verbs pipeline within a queue, while
@@ -170,7 +180,8 @@ func (w *WorkQueue) exec(idx uint64, v wqe.WQE) {
 	switch v.Op {
 	case wqe.OpNoop:
 		// NOOPs never touch the wire; they complete locally.
-		_, end := w.qp.pu.Acquire(prof.NoopOccupancy)
+		start, end := w.qp.pu.Acquire(prof.NoopOccupancy)
+		w.traceWR(v.Op, start, end)
 		dev.eng.At(end, func() {
 			w.complete(v, StatusOK, false)
 			w.advance()
@@ -182,7 +193,8 @@ func (w *WorkQueue) exec(idx uint64, v wqe.WQE) {
 			w.fail(idx, v, StatusBadOpcode)
 			return
 		}
-		_, end := w.qp.pu.Acquire(prof.SyncOccupancy)
+		start, end := w.qp.pu.Acquire(prof.SyncOccupancy)
+		w.traceWR(v.Op, start, end)
 		dev.eng.At(end, func() {
 			cq.waitFor(v.Count, func() {
 				w.complete(v, StatusOK, false)
@@ -196,7 +208,8 @@ func (w *WorkQueue) exec(idx uint64, v wqe.WQE) {
 			w.fail(idx, v, StatusBadOpcode)
 			return
 		}
-		_, end := w.qp.pu.Acquire(prof.SyncOccupancy)
+		start, end := w.qp.pu.Acquire(prof.SyncOccupancy)
+		w.traceWR(v.Op, start, end)
 		dev.eng.At(end, func() {
 			if v.Count > target.sq.fetchLimit {
 				target.sq.fetchLimit = v.Count
@@ -250,7 +263,8 @@ func (w *WorkQueue) execWrite(idx uint64, v wqe.WQE) {
 	rdev := w.qp.remoteDev()
 	n := int(v.Len)
 
-	_, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	start, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	w.traceWR(v.Op, start, end)
 	dev.eng.At(end, w.advance)
 
 	// Gather payload at the requester.
@@ -298,7 +312,8 @@ func (w *WorkQueue) execRead(idx uint64, v wqe.WQE) {
 	rdev := w.qp.remoteDev()
 	n := int(v.Len)
 
-	_, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	start, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	w.traceWR(v.Op, start, end)
 	dev.eng.At(end, w.advance)
 
 	// Request travels to the responder (header only).
@@ -371,6 +386,7 @@ func (w *WorkQueue) execAtomic(idx uint64, v wqe.WQE) {
 		occ = prof.CopyOccupancy
 	}
 	start, end := w.qp.pu.Acquire(occ)
+	w.traceWR(v.Op, start, end)
 	issue := start + prof.CopyOccupancy
 	dev.eng.At(end, w.advance)
 
@@ -434,7 +450,8 @@ func (w *WorkQueue) execSend(idx uint64, v wqe.WQE) {
 	}
 	n := int(v.Len)
 
-	_, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	start, end := w.qp.pu.Acquire(prof.CopyOccupancy)
+	w.traceWR(v.Op, start, end)
 	dev.eng.At(end, w.advance)
 
 	t := end

@@ -38,7 +38,17 @@ type QP struct {
 	limiter *sim.RateLimiter
 
 	pendingArrivals []arrival
+
+	// traceOp attributes WR spans executed from this QP to a client
+	// op id. Per-slot chain/ctrl/response QPs are retagged at each
+	// Arm; shared trigger QPs stay 0 (their batched SENDs interleave
+	// ops and cannot be attributed).
+	traceOp uint64
 }
+
+// SetTraceOp tags WRs subsequently executed from this QP with op for
+// trace attribution (0 clears).
+func (q *QP) SetTraceOp(op uint64) { q.traceOp = op }
 
 // QPN returns the queue-pair number.
 func (q *QP) QPN() uint32 { return q.qpn }

@@ -191,8 +191,10 @@ func TestLatencyStats(t *testing.T) {
 	if got := s.Median(); got != 50 {
 		t.Fatalf("median %v, want 50", got)
 	}
-	if got := s.P99(); got != 99 {
-		t.Fatalf("p99 %v, want 99", got)
+	// P99 is histogram-quantized: exact order statistic is 99, bucket
+	// width at that magnitude is 4, so [96, 99] is in spec.
+	if got := s.P99(); got < 96 || got > 99 {
+		t.Fatalf("p99 %v, want within one bucket of 99", got)
 	}
 	if s.Min() != 1 || s.Max() != 100 {
 		t.Fatalf("min/max %v/%v", s.Min(), s.Max())

@@ -1,57 +1,56 @@
 package sim
 
-import "sort"
-
 // LatencyStats accumulates latency samples and reports the summary
-// statistics the paper uses (average, median, 99th percentile).
+// statistics the paper uses (average, median, 99th percentile). It is
+// backed by a bounded log₂ histogram — memory stays ~8 KiB no matter
+// how many samples an open-loop run feeds it — while N, Avg, Min and
+// Max remain exact; percentiles are quantized to at most one histogram
+// bucket width (~6% relative).
 type LatencyStats struct {
-	samples []Time
-	sorted  bool
+	h        Histogram
+	sum      Time
+	min, max Time
 }
 
 // Add records one sample.
 func (s *LatencyStats) Add(t Time) {
-	s.samples = append(s.samples, t)
-	s.sorted = false
+	if s.h.n == 0 || t < s.min {
+		s.min = t
+	}
+	if s.h.n == 0 || t > s.max {
+		s.max = t
+	}
+	s.sum += t
+	s.h.Add(t)
 }
 
 // N returns the number of samples.
-func (s *LatencyStats) N() int { return len(s.samples) }
+func (s *LatencyStats) N() int { return int(s.h.n) }
 
-// Avg returns the arithmetic mean, or 0 with no samples.
+// Avg returns the exact arithmetic mean, or 0 with no samples.
 func (s *LatencyStats) Avg() Time {
-	if len(s.samples) == 0 {
+	if s.h.n == 0 {
 		return 0
 	}
-	var sum Time
-	for _, v := range s.samples {
-		sum += v
-	}
-	return sum / Time(len(s.samples))
+	return s.sum / Time(s.h.n)
 }
 
-func (s *LatencyStats) sort() {
-	if !s.sorted {
-		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
-		s.sorted = true
-	}
-}
-
-// Percentile returns the p-th percentile (0 < p <= 100) using
-// nearest-rank, or 0 with no samples.
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank over the histogram, clamped to the exact observed
+// [Min, Max] range; the result is within one bucket width of the
+// exact order statistic. Returns 0 with no samples.
 func (s *LatencyStats) Percentile(p float64) Time {
-	if len(s.samples) == 0 {
+	if s.h.n == 0 {
 		return 0
 	}
-	s.sort()
-	rank := int(p/100*float64(len(s.samples))+0.5) - 1
-	if rank < 0 {
-		rank = 0
+	v := s.h.Percentile(p)
+	if v < s.min {
+		v = s.min
 	}
-	if rank >= len(s.samples) {
-		rank = len(s.samples) - 1
+	if v > s.max {
+		v = s.max
 	}
-	return s.samples[rank]
+	return v
 }
 
 // Median returns the 50th percentile.
@@ -60,20 +59,21 @@ func (s *LatencyStats) Median() Time { return s.Percentile(50) }
 // P99 returns the 99th percentile.
 func (s *LatencyStats) P99() Time { return s.Percentile(99) }
 
-// Min returns the smallest sample, or 0 with no samples.
+// Min returns the exact smallest sample, or 0 with no samples.
 func (s *LatencyStats) Min() Time {
-	if len(s.samples) == 0 {
+	if s.h.n == 0 {
 		return 0
 	}
-	s.sort()
-	return s.samples[0]
+	return s.min
 }
 
-// Max returns the largest sample, or 0 with no samples.
+// Max returns the exact largest sample, or 0 with no samples.
 func (s *LatencyStats) Max() Time {
-	if len(s.samples) == 0 {
+	if s.h.n == 0 {
 		return 0
 	}
-	s.sort()
-	return s.samples[len(s.samples)-1]
+	return s.max
 }
+
+// Hist exposes the backing histogram (bucket iteration, error bounds).
+func (s *LatencyStats) Hist() *Histogram { return &s.h }

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Counter is a monotonically increasing uint64. A nil *Counter is a
+// valid no-op sink, so subsystems can hold counters unconditionally
+// and callers that never registered one pay nothing.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a named sampled value backed by a closure, so queue depths
+// and arena occupancy are read at sample time rather than maintained.
+type Gauge struct {
+	Name   string
+	Sample func() float64
+}
+
+// Registry holds named counters, gauges and latency histograms.
+// Registration order is preserved internally; Snapshot sorts by name
+// so exports are deterministic regardless of wiring order.
+type Registry struct {
+	counters     map[string]*Counter
+	counterNames []string
+	gauges       []Gauge
+	hists        map[string]*sim.LatencyStats
+	histNames    []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*sim.LatencyStats),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. A nil registry returns nil — a valid no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.counterNames = append(r.counterNames, name)
+	return c
+}
+
+// Gauge registers a sampled gauge. No-op on a nil registry.
+func (r *Registry) Gauge(name string, sample func() float64) {
+	if r == nil {
+		return
+	}
+	r.gauges = append(r.gauges, Gauge{Name: name, Sample: sample})
+}
+
+// Gauges returns the registered gauges in registration order.
+func (r *Registry) Gauges() []Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.gauges
+}
+
+// Histogram returns the latency histogram registered under name,
+// creating it on first use. A nil registry returns nil.
+func (r *Registry) Histogram(name string) *sim.LatencyStats {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &sim.LatencyStats{}
+	r.hists[name] = h
+	r.histNames = append(r.histNames, name)
+	return h
+}
+
+// Metric is one exported sample.
+type Metric struct {
+	Name  string
+	Kind  string // "counter", "gauge", "hist"
+	Value float64
+}
+
+// Snapshot returns every metric's current value, sorted by name.
+// Histograms expand into .n/.avg/.p50/.p99/.max sub-metrics.
+func (r *Registry) Snapshot() []Metric {
+	if r == nil {
+		return nil
+	}
+	var out []Metric
+	for _, name := range r.counterNames {
+		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(r.counters[name].Value())})
+	}
+	for _, g := range r.gauges {
+		out = append(out, Metric{Name: g.Name, Kind: "gauge", Value: g.Sample()})
+	}
+	for _, name := range r.histNames {
+		h := r.hists[name]
+		out = append(out,
+			Metric{Name: name + ".n", Kind: "hist", Value: float64(h.N())},
+			Metric{Name: name + ".avg_ns", Kind: "hist", Value: float64(h.Avg())},
+			Metric{Name: name + ".p50_ns", Kind: "hist", Value: float64(h.Median())},
+			Metric{Name: name + ".p99_ns", Kind: "hist", Value: float64(h.P99())},
+			Metric{Name: name + ".max_ns", Kind: "hist", Value: float64(h.Max())},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ResourceUtil is one serialized unit's accounting over a run:
+// fraction of the wall-clock window it was busy, total busy time, and
+// grant count. Names are hierarchical, e.g. "shard3/port0/pu1".
+type ResourceUtil struct {
+	Name   string
+	Util   float64
+	Busy   sim.Time
+	Grants uint64
+}
+
+// String renders the bottleneck line format: "shard3/port0/pu1 97% busy".
+func (r ResourceUtil) String() string {
+	return fmt.Sprintf("%s %.0f%% busy", r.Name, r.Util*100)
+}
+
+// Bottleneck returns the highest-utilization entry (ties broken by
+// name order for determinism) and false if rs is empty.
+func Bottleneck(rs []ResourceUtil) (ResourceUtil, bool) {
+	if len(rs) == 0 {
+		return ResourceUtil{}, false
+	}
+	best := rs[0]
+	for _, r := range rs[1:] {
+		if r.Util > best.Util || (r.Util == best.Util && r.Name < best.Name) {
+			best = r
+		}
+	}
+	return best, true
+}

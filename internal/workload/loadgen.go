@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // AsyncKV is the service surface the load generators drive: pipelined
@@ -100,6 +101,11 @@ type OpenLoopConfig struct {
 	// the crashed shard" versus the rest). Nil puts everything in class 0.
 	Classify func(key uint64) int
 	Classes  int
+	// Gauges are sampled once per timeline bucket (at the bucket's
+	// midpoint); each becomes one row of the report's GaugeSeries, so
+	// queue depths line up against the hit/ack timelines — a hint-queue
+	// spike sits visibly under the outage dip that caused it.
+	Gauges []telemetry.Gauge
 }
 
 // OpenLoopReport is the timeline of an open-loop run.
@@ -111,6 +117,11 @@ type OpenLoopReport struct {
 	SetsIssued, SetsAcked, SetErrs int
 	// SetSeries[class][bucket] counts quorum-acknowledged writes.
 	SetSeries [][]float64
+
+	// GaugeSeries[g][bucket] is cfg.Gauges[g] sampled at that bucket's
+	// midpoint; GaugeNames[g] labels the row.
+	GaugeNames  []string
+	GaugeSeries [][]float64
 }
 
 // bucketsBelow counts buckets of s in [from, to) strictly below
@@ -167,6 +178,22 @@ func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport
 		rep.SetSeries[c] = make([]float64, nb)
 	}
 	start := eng.Now()
+	if len(cfg.Gauges) > 0 {
+		rep.GaugeNames = make([]string, len(cfg.Gauges))
+		rep.GaugeSeries = make([][]float64, len(cfg.Gauges))
+		for g := range cfg.Gauges {
+			rep.GaugeNames[g] = cfg.Gauges[g].Name
+			rep.GaugeSeries[g] = make([]float64, nb)
+		}
+		for i := 0; i < nb; i++ {
+			idx := i
+			eng.At(start+sim.Time(idx)*cfg.Bucket+cfg.Bucket/2, func() {
+				for g := range cfg.Gauges {
+					rep.GaugeSeries[g][idx] = cfg.Gauges[g].Sample()
+				}
+			})
+		}
+	}
 	opN := 0
 	var issue func()
 	issue = func() {

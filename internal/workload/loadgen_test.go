@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func seqKeys(n int) []uint64 {
@@ -290,6 +291,45 @@ func TestRunOpenLoopTimeline(t *testing.T) {
 	steady := rep.Series[1][2]
 	if got := rep.BucketsBelow(1, 0, 10, steady/2); got != 0 {
 		t.Fatalf("odd keys below half rate in %d buckets, want 0", got)
+	}
+}
+
+// Gauges are sampled once per bucket at the bucket midpoint: a gauge
+// reading the fake KV's in-flight depth lands one value per bucket,
+// zero while the store idles before the run's window opens.
+func TestRunOpenLoopGaugeSampling(t *testing.T) {
+	eng := sim.NewEngine()
+	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: 30 * sim.Microsecond}
+	ks := seqKeys(10)
+	for _, k := range ks {
+		kv.Set(k, Value(k, 8))
+	}
+	samples := 0
+	rep := RunOpenLoop(eng, kv, OpenLoopConfig{
+		Duration: sim.Millisecond,
+		Gap:      10 * sim.Microsecond,
+		Bucket:   100 * sim.Microsecond,
+		Keys:     &Sequential{Keys: ks},
+		ValLen:   8,
+		Gauges: []telemetry.Gauge{
+			{Name: "pending", Sample: func() float64 { samples++; return float64(kv.pending) }},
+		},
+	})
+	if len(rep.GaugeNames) != 1 || rep.GaugeNames[0] != "pending" {
+		t.Fatalf("gauge names %v, want [pending]", rep.GaugeNames)
+	}
+	if len(rep.GaugeSeries) != 1 || len(rep.GaugeSeries[0]) != 10 {
+		t.Fatalf("gauge series shape %d x %d, want 1 x 10", len(rep.GaugeSeries), len(rep.GaugeSeries[0]))
+	}
+	if samples != 10 {
+		t.Fatalf("gauge sampled %d times, want once per bucket (10)", samples)
+	}
+	// At a 10us gap with 30us completion delay, three ops are always in
+	// flight at every bucket midpoint once the pipe fills.
+	for i, v := range rep.GaugeSeries[0] {
+		if v != 3 {
+			t.Fatalf("bucket %d sampled %v in flight, want 3", i, v)
+		}
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/repair"
 	"repro/internal/shard"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // ReadPolicy selects which replica owner serves a get when Replicas > 1.
@@ -139,6 +140,16 @@ type ServiceConfig struct {
 	// sweeps. The pre-repair behavior, kept for the repair experiment's
 	// divergence baseline.
 	NoRepair bool
+
+	// Tracer, when set, records per-op trace spans through every layer
+	// (service fan-out, client slots, WRs on NIC PUs) for trace-event
+	// JSON export. Nil disables tracing at zero cost.
+	Tracer *telemetry.Tracer
+	// Trace makes the service build its own tracer on its testbed's
+	// engine — the usual way to enable tracing, since the engine does
+	// not exist until NewServiceWith constructs it. Retrieve it with
+	// Tracer() after construction. Ignored when Tracer is already set.
+	Trace bool
 }
 
 // DefaultServiceConfig returns the production-shaped defaults: 16-deep
@@ -196,19 +207,38 @@ type serviceShard struct {
 	// (extent.SetNoReclaim), so every allocation path is uniform.
 	arena *extent.Arena
 
-	sets, spills, gets uint64
-	rebuilds           uint64 // client reconnects after process crashes
+	// Per-shard counters live in the service's metrics registry under
+	// "<id>/<name>"; Stats() reads them back instead of hand-plumbed
+	// uint64 fields.
+	sets, spills, gets *telemetry.Counter
+	rebuilds           *telemetry.Counter // client reconnects after process crashes
 
-	fabricSets, hostSets                    uint64
-	dels, fabricDels, hostDels              uint64
-	hintsQueued, hintsApplied, hintsDropped uint64
-	compactPasses, compactSkips             uint64
-	compactMoved, compactMovedBytes         uint64
+	fabricSets, hostSets                    *telemetry.Counter
+	dels, fabricDels, hostDels              *telemetry.Counter
+	hintsQueued, hintsApplied, hintsDropped *telemetry.Counter
+	compactPasses, compactSkips             *telemetry.Counter
+	compactMoved, compactMovedBytes         *telemetry.Counter
 	compactArmed                            bool
 
-	repairsQueued, repairsApplied     uint64
-	repairsSuperseded, repairsDropped uint64
-	aeRepairs                         uint64 // repairs the sweeper enqueued for this owner
+	repairsQueued, repairsApplied     *telemetry.Counter
+	repairsSuperseded, repairsDropped *telemetry.Counter
+	aeRepairs                         *telemetry.Counter // repairs the sweeper enqueued for this owner
+}
+
+// initMetrics registers the shard's counters under its id.
+func (sh *serviceShard) initMetrics(reg *telemetry.Registry) {
+	c := func(name string) *telemetry.Counter { return reg.Counter(sh.id + "/" + name) }
+	sh.sets, sh.spills, sh.gets = c("sets"), c("spills"), c("gets")
+	sh.rebuilds = c("rebuilds")
+	sh.fabricSets, sh.hostSets = c("fabric_sets"), c("host_sets")
+	sh.dels, sh.fabricDels, sh.hostDels = c("dels"), c("fabric_dels"), c("host_dels")
+	sh.hintsQueued, sh.hintsApplied, sh.hintsDropped =
+		c("hints_queued"), c("hints_applied"), c("hints_dropped")
+	sh.compactPasses, sh.compactSkips = c("compact_passes"), c("compact_skips")
+	sh.compactMoved, sh.compactMovedBytes = c("compact_moved"), c("compact_moved_bytes")
+	sh.repairsQueued, sh.repairsApplied = c("repairs_queued"), c("repairs_applied")
+	sh.repairsSuperseded, sh.repairsDropped = c("repairs_superseded"), c("repairs_dropped")
+	sh.aeRepairs = c("ae_repairs")
 }
 
 // ExtentGraceLat is how long a superseded or deleted value extent
@@ -293,15 +323,71 @@ type Service struct {
 	probeTick   uint64
 	probeCursor int
 
-	hits, misses        uint64
-	retries, cacheHits  uint64
-	setOps, quorumFails uint64
-	delOps              uint64
+	// Service-level counters live in reg under "svc/<name>".
+	hits, misses        *telemetry.Counter
+	retries, cacheHits  *telemetry.Counter
+	setOps, quorumFails *telemetry.Counter
+	delOps              *telemetry.Counter
 
-	probes, probeSkews     uint64
-	aePasses, aeSegsDiffed uint64
-	aeKeysChecked          uint64
+	probes, probeSkews     *telemetry.Counter
+	aePasses, aeSegsDiffed *telemetry.Counter
+	aeKeysChecked          *telemetry.Counter
+
+	reg *telemetry.Registry // metrics registry (counters, queue-depth gauges)
+	tr  *telemetry.Tracer   // nil = tracing disabled
+
+	// utilBase snapshots per-resource busy/grant totals at the last
+	// MarkUtilization, so Stats reports utilization over the measured
+	// window instead of diluting it with setup-phase idle time.
+	utilBase map[string]telemetry.ResourceUtil
+	utilMark sim.Time
 }
+
+// initMetrics registers the service-level counters and queue-depth
+// gauges.
+func (s *Service) initMetrics() {
+	s.reg = telemetry.NewRegistry()
+	c := func(name string) *telemetry.Counter { return s.reg.Counter("svc/" + name) }
+	s.hits, s.misses = c("hits"), c("misses")
+	s.retries, s.cacheHits = c("retries"), c("cache_hits")
+	s.setOps, s.quorumFails = c("set_ops"), c("quorum_fails")
+	s.delOps = c("del_ops")
+	s.probes, s.probeSkews = c("probes"), c("probe_skews")
+	s.aePasses, s.aeSegsDiffed = c("ae_passes"), c("ae_segs_diffed")
+	s.aeKeysChecked = c("ae_keys_checked")
+
+	s.reg.Gauge("svc/hints_pending", func() float64 {
+		n := 0
+		for _, sh := range s.order {
+			n += len(sh.hints)
+		}
+		return float64(n)
+	})
+	s.reg.Gauge("svc/repairs_pending", func() float64 { return float64(s.repq.Len()) })
+	s.reg.Gauge("svc/client_inflight", func() float64 {
+		n := 0
+		for _, sh := range s.order {
+			for _, cli := range sh.clients {
+				n += cli.InFlight() + cli.SetsInFlight() + cli.DeletesInFlight() + cli.ProbesInFlight()
+			}
+		}
+		return float64(n)
+	})
+	s.reg.Gauge("svc/arena_live_bytes", func() float64 {
+		var n uint64
+		for _, sh := range s.order {
+			n += sh.arena.Stats().LiveBytes
+		}
+		return float64(n)
+	})
+}
+
+// Metrics exposes the service's registry (counters, gauges) for
+// timeline sampling and exports.
+func (s *Service) Metrics() *telemetry.Registry { return s.reg }
+
+// Tracer returns the tracer wired at construction (nil when disabled).
+func (s *Service) Tracer() *telemetry.Tracer { return s.tr }
 
 // NewService builds a service of nShards server nodes, each serving
 // clientsPerShard pipelined client connections, with default sizing.
@@ -378,7 +464,11 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 
 	s := &Service{cfg: cfg, tb: NewTestbed(), ring: shard.NewRing(cfg.VirtualNodes),
 		shards: make(map[string]*serviceShard), nextSeq: make(map[uint64]uint64),
-		unsettled: make(map[uint64]int), repq: repair.NewQueue()}
+		unsettled: make(map[uint64]int), repq: repair.NewQueue(), tr: cfg.Tracer}
+	if cfg.Trace && s.tr == nil {
+		s.tr = telemetry.NewTracer(s.tb.clu.Eng)
+	}
+	s.initMetrics()
 	if cfg.HotKeyTrack > 0 {
 		s.hot = shard.NewHotKeys(cfg.HotKeyTrack)
 	}
@@ -391,6 +481,7 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 		nc := fabric.DefaultNodeConfig(id)
 		nc.MemSize = cfg.ServerMem
 		node := s.tb.clu.AddNode(nc)
+		node.Dev.SetTracer(s.tr)
 		srv := &Server{tb: s.tb, node: node, builder: core.NewBuilder(node.Dev, 1<<16)}
 		srv.arena = extent.NewArena(node.Mem, cfg.SegmentSize)
 		srv.arena.SetNoReclaim(cfg.NoReclaim)
@@ -398,10 +489,12 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 			arena: srv.arena,
 			hints: make(map[uint64]*hint), inflightSet: make(map[uint64][]func()),
 			tombVer: make(map[uint64]uint64)}
+		sh.initMetrics(s.reg)
 		for c := 0; c < cfg.ClientsPerShard; c++ {
 			cc := fabric.DefaultNodeConfig(fmt.Sprintf("%s-client%d", id, c))
 			cc.MemSize = cfg.ClientMem
 			cn := s.tb.clu.AddNode(cc)
+			cn.Dev.SetTracer(s.tr)
 			sh.cnodes = append(sh.cnodes, cn)
 			sh.clients = append(sh.clients, s.newShardClient(sh, cn))
 		}
@@ -419,6 +512,7 @@ func (s *Service) newShardClient(sh *serviceShard, cn *fabric.Node) *Client {
 	cli := newClientOnNode(s.tb, cn, sh.srv, s.cfg.Mode, s.cfg.Pipeline, s.cfg.MaxValLen, sh.arena)
 	cli.MissTimeout = s.cfg.MissTimeout
 	cli.Bind(sh.table)
+	cli.SetTracer(s.tr, cn.Name)
 	return cli
 }
 
@@ -468,7 +562,7 @@ func (s *Service) Set(key uint64, value []byte) error {
 const MaxKicks = 16
 
 func (sh *serviceShard) set(key uint64, value []byte, ver uint64) error {
-	sh.sets++
+	sh.sets.Inc()
 	t := sh.table.table
 	m := sh.srv.node.Mem
 	n := uint64(len(value))
@@ -537,7 +631,7 @@ func (sh *serviceShard) place(key, valAddr, valLen, ver uint64) error {
 		if k, _, _, ok := t.EntryAt(t.Hash(key, 0)); !ok || k == key {
 			return t.InsertAtV(key, valAddr, valLen, ver, 0, 0)
 		}
-		sh.spills++
+		sh.spills.Inc()
 		return t.InsertV(key, valAddr, valLen, ver)
 	}
 	// The kick walk records every displacement so a failed spill can be
@@ -605,7 +699,7 @@ func (sh *serviceShard) place(key, valAddr, valLen, ver uint64) error {
 		}
 		return err
 	}
-	sh.spills++
+	sh.spills.Inc()
 	return nil
 }
 
@@ -711,18 +805,23 @@ func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration,
 			delete(s.cache, evicted)
 		}
 	}
+	op := s.tr.OpBegin("get", key)
 	var epoch uint64
 	if s.cache != nil {
 		if v, ok := s.cache[key]; ok && uint64(len(v)) >= valLen {
-			s.cacheHits++
-			s.hits++
+			s.cacheHits.Inc()
+			s.hits.Inc()
 			val := v[:valLen]
-			s.tb.clu.Eng.After(CacheHitLat, func() { cb(val, CacheHitLat, true) })
+			s.tb.clu.Eng.After(CacheHitLat, func() {
+				s.tr.Instant("coordinator", "cache-hit", op)
+				s.tr.OpEnd(op, "get")
+				cb(val, CacheHitLat, true)
+			})
 			return
 		}
 		epoch = s.setEpoch[key]
 	}
-	s.tryGet(key, valLen, s.readOrder(key), 0, 0, epoch, cb)
+	s.tryGet(key, valLen, s.readOrder(key), 0, 0, epoch, op, cb)
 }
 
 // tryGet issues attempt i of a get against its policy-ordered owners,
@@ -731,17 +830,24 @@ func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration,
 // epoch is the key's write epoch at issue time; it gates cache
 // admission against sets that raced the read.
 func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent Duration,
-	epoch uint64, cb func(val []byte, lat Duration, ok bool)) {
+	epoch uint64, op uint64, cb func(val []byte, lat Duration, ok bool)) {
 	sh := order[i]
-	sh.gets++
+	sh.gets.Inc()
 	cli := sh.clients[sh.rr%len(sh.clients)]
 	sh.rr++
+	if s.tr.Enabled() {
+		s.tr.AsyncBegin("attempt", op<<4|uint64(i), "try:"+sh.id, op)
+	}
+	s.tr.SetOp(op)
 	cli.GetAsync(key, valLen, func(val []byte, lat Duration, ok bool) {
 		lat += spent
+		if s.tr.Enabled() {
+			s.tr.AsyncEnd("attempt", op<<4|uint64(i), "try:"+sh.id, op)
+		}
 		if ok {
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
-			s.hits++
+			s.hits.Inc()
 			s.maybeCache(key, valLen, val, epoch)
 			// A hit proves the shard live: if handoff hints piled up
 			// behind a false suspicion, deliver them now.
@@ -752,6 +858,7 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			// owner's version word through the NIC probe chain; skew
 			// enqueues a roll-forward (service_repair.go).
 			s.maybeReadRepair(key, sh, order)
+			s.tr.OpEnd(op, "get")
 			cb(val, lat, true)
 			return
 		}
@@ -767,11 +874,12 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			}
 		}
 		if i+1 < len(order) {
-			s.retries++
-			s.tryGet(key, valLen, order, i+1, lat, epoch, cb)
+			s.retries.Inc()
+			s.tryGet(key, valLen, order, i+1, lat, epoch, op, cb)
 			return
 		}
-		s.misses++
+		s.misses.Inc()
+		s.tr.OpEnd(op, "get")
 		// Miss-path read-repair: a miss on every owner is itself a
 		// version report ("I hold nothing the NIC can reach"). If the
 		// coordinator's view says some owner does hold the key — a
@@ -783,6 +891,7 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 		}
 		cb(val, lat, false)
 	})
+	s.tr.SetOp(0)
 	if i > 0 {
 		// Retries run outside the caller's batch; kick them directly.
 		cli.Flush()
@@ -854,7 +963,7 @@ func (s *Service) CrashShard(i int, k failure.Kind, at Duration) {
 // time out (and fail over) normally; the old connection state is
 // simply abandoned, as with real RC QPs in error state.
 func (s *Service) reconnect(sh *serviceShard) {
-	sh.rebuilds++
+	sh.rebuilds.Inc()
 	sh.clients = sh.clients[:0]
 	for _, cn := range sh.cnodes {
 		sh.clients = append(sh.clients, s.newShardClient(sh, cn))
@@ -955,35 +1064,63 @@ type ServiceStats struct {
 	AESegsDiffed      uint64 // segments whose digests disagreed
 	AEKeysChecked     uint64 // per-key comparisons inside flagged segments
 	AERepairs         uint64 // repairs the sweeper enqueued
+
+	// Resources lists every serialized NIC unit across the shard
+	// fleet (PUs, fetch units, links, PCIe, atomic units) with its
+	// busy fraction of the run so far; Bottleneck is the busiest.
+	Resources  []telemetry.ResourceUtil
+	Bottleneck telemetry.ResourceUtil
 }
 
 // Stats snapshots the service counters.
-func (s *Service) Stats() ServiceStats {
-	out := ServiceStats{Hits: s.hits, Misses: s.misses, Retries: s.retries, CacheHits: s.cacheHits,
-		SetOps: s.setOps, DelOps: s.delOps, QuorumFails: s.quorumFails,
-		Probes: s.probes, ProbeSkews: s.probeSkews,
-		RepairsPending: uint64(s.repq.Len()),
-		AEPasses:       s.aePasses, AESegsDiffed: s.aeSegsDiffed, AEKeysChecked: s.aeKeysChecked}
+// MarkUtilization starts the utilization measurement window: Stats
+// reports each NIC resource's busy fraction since the last mark (or
+// since t=0 if never marked). Call it after preloading a service so
+// the bottleneck report reflects the workload, not the setup phase's
+// idle fabric.
+func (s *Service) MarkUtilization() {
+	now := s.tb.Now()
+	var rs []telemetry.ResourceUtil
 	for _, sh := range s.order {
-		ss := ShardStats{ID: sh.id, Sets: sh.sets, Spills: sh.spills,
-			Gets: sh.gets, Rebuilds: sh.rebuilds,
-			FabricSets: sh.fabricSets, HostSets: sh.hostSets,
-			HintsPending: uint64(len(sh.hints)), HintsQueued: sh.hintsQueued,
-			HintsApplied: sh.hintsApplied, HintsDropped: sh.hintsDropped,
-			Deletes: sh.dels, FabricDeletes: sh.fabricDels, HostDeletes: sh.hostDels,
-			CompactPasses: sh.compactPasses, CompactSkips: sh.compactSkips,
-			CompactMoves: sh.compactMoved, CompactBytes: sh.compactMovedBytes,
-			RepairsQueued: sh.repairsQueued, RepairsApplied: sh.repairsApplied,
-			RepairsSuperseded: sh.repairsSuperseded, RepairsDropped: sh.repairsDropped,
-			AERepairs: sh.aeRepairs}
+		rs = sh.srv.node.Dev.ResourceUtils(rs, now)
+	}
+	s.utilBase = make(map[string]telemetry.ResourceUtil, len(rs))
+	for _, r := range rs {
+		s.utilBase[r.Name] = r
+	}
+	s.utilMark = now
+}
+
+func (s *Service) Stats() ServiceStats {
+	out := ServiceStats{Hits: s.hits.Value(), Misses: s.misses.Value(),
+		Retries: s.retries.Value(), CacheHits: s.cacheHits.Value(),
+		SetOps: s.setOps.Value(), DelOps: s.delOps.Value(), QuorumFails: s.quorumFails.Value(),
+		Probes: s.probes.Value(), ProbeSkews: s.probeSkews.Value(),
+		RepairsPending: uint64(s.repq.Len()),
+		AEPasses:       s.aePasses.Value(), AESegsDiffed: s.aeSegsDiffed.Value(),
+		AEKeysChecked: s.aeKeysChecked.Value()}
+	now := s.tb.Now()
+	for _, sh := range s.order {
+		ss := ShardStats{ID: sh.id, Sets: sh.sets.Value(), Spills: sh.spills.Value(),
+			Gets: sh.gets.Value(), Rebuilds: sh.rebuilds.Value(),
+			FabricSets: sh.fabricSets.Value(), HostSets: sh.hostSets.Value(),
+			HintsPending: uint64(len(sh.hints)), HintsQueued: sh.hintsQueued.Value(),
+			HintsApplied: sh.hintsApplied.Value(), HintsDropped: sh.hintsDropped.Value(),
+			Deletes: sh.dels.Value(), FabricDeletes: sh.fabricDels.Value(), HostDeletes: sh.hostDels.Value(),
+			CompactPasses: sh.compactPasses.Value(), CompactSkips: sh.compactSkips.Value(),
+			CompactMoves: sh.compactMoved.Value(), CompactBytes: sh.compactMovedBytes.Value(),
+			RepairsQueued: sh.repairsQueued.Value(), RepairsApplied: sh.repairsApplied.Value(),
+			RepairsSuperseded: sh.repairsSuperseded.Value(), RepairsDropped: sh.repairsDropped.Value(),
+			AERepairs: sh.aeRepairs.Value()}
 		for _, cli := range sh.clients {
-			freed, stale := cli.GCStats()
-			ss.GCFreed += freed
-			ss.GCStale += stale
-			if cli.maxInFlight > out.MaxInFlight {
-				out.MaxInFlight = cli.maxInFlight
+			cs := cli.Stats()
+			ss.GCFreed += cs.GCFreed
+			ss.GCStale += cs.GCStale
+			if cs.MaxInFlight > out.MaxInFlight {
+				out.MaxInFlight = cs.MaxInFlight
 			}
 		}
+		out.Resources = sh.srv.node.Dev.ResourceUtils(out.Resources, now)
 		ast := sh.arena.Stats()
 		ss.ArenaLive = ast.LiveBytes
 		ss.ArenaPeakLive = ast.PeakLive
@@ -1016,6 +1153,19 @@ func (s *Service) Stats() ServiceStats {
 		out.RepairsSuperseded += ss.RepairsSuperseded
 		out.RepairsDropped += ss.RepairsDropped
 		out.AERepairs += ss.AERepairs
+	}
+	if s.utilBase != nil && now > s.utilMark {
+		window := now - s.utilMark
+		for i := range out.Resources {
+			r := &out.Resources[i]
+			base := s.utilBase[r.Name]
+			r.Busy -= base.Busy
+			r.Grants -= base.Grants
+			r.Util = float64(r.Busy) / float64(window)
+		}
+	}
+	if bn, ok := telemetry.Bottleneck(out.Resources); ok {
+		out.Bottleneck = bn
 	}
 	return out
 }

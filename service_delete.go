@@ -58,7 +58,7 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 		})
 		return
 	}
-	s.delOps++
+	s.delOps.Inc()
 	s.nextSeq[key]++
 	seq := s.nextSeq[key]
 	s.unsettled[key]++
@@ -68,10 +68,18 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 	}
 	owners := s.owners(key)
 	op := &setOp{key: key, seq: seq, del: true, need: s.cfg.WriteQuorum,
-		owners: len(owners), start: s.tb.Now(), cb: cb, settleLeft: len(owners)}
-	for _, id := range owners {
+		owners: len(owners), start: s.tb.Now(), cb: cb, settleLeft: len(owners),
+		traceOp: s.tr.OpBegin("del", key)}
+	for idx, id := range owners {
 		sh := s.shards[id]
-		s.ownerDelete(sh, key, seq, func(st ownerWriteStatus) {
+		legID := op.traceOp<<4 | uint64(idx)
+		if s.tr.Enabled() {
+			s.tr.AsyncBegin("leg", legID, "leg:"+sh.id, op.traceOp)
+		}
+		s.ownerDelete(sh, key, seq, op.traceOp, func(st ownerWriteStatus) {
+			if s.tr.Enabled() {
+				s.tr.AsyncEnd("leg", legID, "leg:"+sh.id, op.traceOp)
+			}
 			switch st {
 			case ownerApplied:
 				if s.applyHook != nil {
@@ -100,11 +108,11 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 // ownerDelete applies one delete on one owner, serializing through the
 // same per-(owner, key) write slot as sets so a delete can never
 // overtake — or be overtaken by — a write to the same key.
-func (s *Service) ownerDelete(sh *serviceShard, key, ver uint64, done func(st ownerWriteStatus)) {
+func (s *Service) ownerDelete(sh *serviceShard, key, ver uint64, top uint64, done func(st ownerWriteStatus)) {
 	s.armCompaction(sh)
 	s.armAntiEntropy()
 	s.withKeySlot(sh, key, func() {
-		s.ownerDeleteNow(sh, key, ver, func(st ownerWriteStatus) {
+		s.ownerDeleteNow(sh, key, ver, top, func(st ownerWriteStatus) {
 			done(st)
 			s.setNext(sh, key)
 		})
@@ -116,7 +124,7 @@ func (s *Service) ownerDelete(sh *serviceShard, key, ver uint64, done func(st ow
 // residents, a trivial ack when the owner never had the key, handoff
 // failure when the owner is gone. ver is the delete's quorum sequence,
 // stamped onto the tombstone's version word by whichever path applies.
-func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, done func(st ownerWriteStatus)) {
+func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, top uint64, done func(st ownerWriteStatus)) {
 	now := s.tb.Now()
 	if sh.suspect(now) {
 		s.tb.clu.Eng.After(0, func() { done(ownerUnreachable) })
@@ -128,7 +136,7 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, done func(st
 			// Nothing to retire here: the owner is already at the
 			// delete's end state. Applied, at a zero-cost hop.
 			s.tb.clu.Eng.After(0, func() {
-				sh.dels++
+				sh.dels.Inc()
 				done(ownerApplied)
 			})
 			return
@@ -140,13 +148,14 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, done func(st
 		s.hostDelete(sh, key, ver, done)
 		return
 	}
-	sh.fabricDels++
+	sh.fabricDels.Inc()
 	cli := sh.setClient(key)
+	s.tr.SetOp(top)
 	cli.DeleteAsyncClaim(key, claim, ver, func(_ Duration, ok bool) {
 		if ok {
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
-			sh.dels++
+			sh.dels.Inc()
 			done(ownerApplied)
 			return
 		}
@@ -165,6 +174,7 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, done func(st
 		}
 		s.hostDelete(sh, key, ver, done)
 	})
+	s.tr.SetOp(0)
 	cli.Flush()
 }
 
@@ -172,14 +182,14 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, done func(st
 // modeled two-sided RPC cost. Deleting an absent key is still applied:
 // the owner is at the end state either way.
 func (s *Service) hostDelete(sh *serviceShard, key, ver uint64, done func(st ownerWriteStatus)) {
-	sh.hostDels++
+	sh.hostDels.Inc()
 	s.tb.clu.Eng.After(HostDeleteLat, func() {
 		if sh.hostDown {
 			done(ownerUnreachable)
 			return
 		}
 		sh.del(key, ver)
-		sh.dels++
+		sh.dels.Inc()
 		done(ownerApplied)
 	})
 }
@@ -243,7 +253,7 @@ func (s *Service) compactShard(sh *serviceShard) {
 	for _, cli := range sh.clients {
 		cli.DrainFreed()
 	}
-	sh.compactPasses++
+	sh.compactPasses.Inc()
 	t := sh.table.table
 	m := sh.srv.node.Mem
 	moved := 0
@@ -255,15 +265,15 @@ func (s *Service) compactShard(sh *serviceShard) {
 				// control word is the empty-bucket marker and the fabric
 				// entrypoints reject it), so a zero cookie only ever
 				// marks arena allocations made without an owner.
-				sh.compactSkips++
+				sh.compactSkips.Inc()
 				return false
 			}
 			if _, busy := sh.inflightSet[key]; busy {
-				sh.compactSkips++
+				sh.compactSkips.Inc()
 				return false
 			}
 			if s.unsettled[key] > 0 {
-				sh.compactSkips++
+				sh.compactSkips.Inc()
 				return false
 			}
 			va, vl, ok := t.Lookup(key)
@@ -271,23 +281,23 @@ func (s *Service) compactShard(sh *serviceShard) {
 				// The record went stale (a wedged set's staging, or a
 				// straggler's husk): unreferenced, but not provably
 				// dead — leave it.
-				sh.compactSkips++
+				sh.compactSkips.Inc()
 				return false
 			}
 			bytes, err := m.Read(va, vl)
 			if err != nil {
-				sh.compactSkips++
+				sh.compactSkips.Inc()
 				return false
 			}
 			newAddr := sh.arena.Alloc(vl, key)
 			if err := m.Write(newAddr, bytes); err != nil {
 				sh.arena.Free(newAddr)
-				sh.compactSkips++
+				sh.compactSkips.Inc()
 				return false
 			}
 			if err := t.Insert(key, newAddr, vl); err != nil {
 				sh.arena.Free(newAddr)
-				sh.compactSkips++
+				sh.compactSkips.Inc()
 				return false
 			}
 			// Moved — but decline the arena's immediate release: a
@@ -295,8 +305,8 @@ func (s *Service) compactShard(sh *serviceShard) {
 			// hold the old pointer, so the extent cools for the read
 			// grace before returning. The next pass skips the stale
 			// record (va != addr) until the deferred free lands.
-			sh.compactMoved++
-			sh.compactMovedBytes += size
+			sh.compactMoved.Inc()
+			sh.compactMovedBytes.Add(size)
 			sh.retireExtent(addr)
 			moved++
 			return false

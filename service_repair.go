@@ -191,7 +191,7 @@ func (s *Service) DropHints() int {
 		for _, k := range keys {
 			h := sh.hints[k]
 			delete(sh.hints, k)
-			sh.hintsDropped++
+			sh.hintsDropped.Inc()
 			s.settleHint(h)
 			n++
 		}
@@ -236,14 +236,17 @@ func (s *Service) maybeReadRepair(key uint64, served *serviceShard, order []*ser
 		s.compareVersions(partner, key, servedVer)
 		return
 	}
-	s.probes++
+	s.probes.Inc()
 	cli := partner.setClient(key)
+	pop := s.tr.OpBegin("probe", key)
+	s.tr.SetOp(pop)
 	cli.ProbeAsyncTarget(key, target, func(ver uint64, _ Duration, ok bool) {
+		s.tr.OpEnd(pop, "probe")
 		if ok {
 			partner.consecMiss = 0
 			partner.suspectUntil = 0
 			if ver != servedVer {
-				s.probeSkews++
+				s.probeSkews.Inc()
 				s.scheduleSkewRepair(key)
 			}
 			return
@@ -256,6 +259,7 @@ func (s *Service) maybeReadRepair(key uint64, served *serviceShard, order []*ser
 		}
 		// Never executed: dead NIC — the suspect machinery owns that.
 	})
+	s.tr.SetOp(0)
 	cli.Flush()
 }
 
@@ -267,7 +271,7 @@ func (s *Service) compareVersions(partner *serviceShard, key, servedVer uint64) 
 		return // neither side holds versioned state
 	}
 	if !ok || pv != servedVer {
-		s.probeSkews++
+		s.probeSkews.Inc()
 		s.scheduleSkewRepair(key)
 	}
 }
@@ -305,7 +309,10 @@ func (s *Service) queueRepair(sh *serviceShard, key, seq uint64) bool {
 	}
 	fresh := s.repq.Push(sh.id, key, seq)
 	if fresh {
-		sh.repairsQueued++
+		sh.repairsQueued.Inc()
+		if s.tr.Enabled() {
+			s.tr.Instant("coordinator", "repair:"+sh.id, 0)
+		}
 	}
 	// Fresh evidence of divergence: make the sweeper run a full clean
 	// rotation before going back to sleep.
@@ -344,7 +351,7 @@ func (s *Service) repairTick() {
 func (s *Service) requeueRepair(sh *serviceShard, r *repair.Record) {
 	r.Attempts++
 	if r.Attempts >= RepairMaxAttempts {
-		sh.repairsDropped++
+		sh.repairsDropped.Inc()
 		return
 	}
 	s.repq.Requeue(r, s.tb.Now()+s.repairBackoff(r.Attempts))
@@ -373,14 +380,14 @@ func (s *Service) applyRepair(r *repair.Record) {
 		if !has || winVer == 0 || (curOK && cur >= winVer) {
 			// Nothing to do: the owner caught up (a newer write, a
 			// drained hint, or an earlier repair landed first).
-			sh.repairsSuperseded++
+			sh.repairsSuperseded.Inc()
 			s.setNext(sh, key)
 			return
 		}
 		finish := func(st ownerWriteStatus) {
 			switch st {
 			case ownerApplied:
-				sh.repairsApplied++
+				sh.repairsApplied.Inc()
 				if s.applyHook != nil {
 					s.applyHook(sh.id, key, winVer)
 				}
@@ -404,7 +411,7 @@ func (s *Service) applyRepair(r *repair.Record) {
 			s.setNext(sh, key)
 		}
 		if winDel {
-			s.ownerDeleteNow(sh, key, winVer, finish)
+			s.ownerDeleteNow(sh, key, winVer, 0, finish)
 			return
 		}
 		// Capture the winning bytes under the slot: the winner's table
@@ -414,7 +421,7 @@ func (s *Service) applyRepair(r *repair.Record) {
 		// preserve bytes.
 		va, vl, liveOK := winner.table.table.Lookup(key)
 		if !liveOK {
-			sh.repairsSuperseded++
+			sh.repairsSuperseded.Inc()
 			s.setNext(sh, key)
 			return
 		}
@@ -424,7 +431,7 @@ func (s *Service) applyRepair(r *repair.Record) {
 			s.setNext(sh, key)
 			return
 		}
-		s.ownerSetNow(sh, key, val, winVer, finish)
+		s.ownerSetNow(sh, key, val, winVer, 0, finish)
 	})
 }
 
@@ -515,7 +522,7 @@ func (s *Service) sweepShard(sh *serviceShard) {
 		}
 		return
 	}
-	s.aePasses++
+	s.aePasses.Inc()
 	segs := s.cfg.AntiEntropySegments
 	segsCompared := 0
 	type found struct {
@@ -550,7 +557,7 @@ func (s *Service) sweepShard(sh *serviceShard) {
 			if digA[g] == digB[g] {
 				continue
 			}
-			s.aeSegsDiffed++
+			s.aeSegsDiffed.Inc()
 			// Per-key walk of the flagged segment: union both sides'
 			// keys, dedup, compare owner states.
 			seen := make(map[uint64]struct{})
@@ -563,7 +570,7 @@ func (s *Service) sweepShard(sh *serviceShard) {
 					if s.unsettled[e.key] > 0 {
 						continue // an in-flight write explains the skew
 					}
-					s.aeKeysChecked++
+					s.aeKeysChecked.Inc()
 					va, _, aok := s.ownerState(sh, e.key)
 					vb, _, bok := s.ownerState(partner, e.key)
 					switch {
@@ -591,7 +598,7 @@ func (s *Service) sweepShard(sh *serviceShard) {
 			// a key whose repair is already queued (in backoff, say) is
 			// not a new discovery.
 			if s.queueRepair(f.owner, f.key, f.seq) {
-				f.owner.aeRepairs++
+				f.owner.aeRepairs.Inc()
 			}
 		}
 		if s.aeCleanRun < len(s.order) {

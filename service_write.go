@@ -94,12 +94,24 @@ type setOp struct {
 	cb           func(lat Duration, err error)
 	done         bool
 	settleLeft   int
+	traceOp      uint64
+}
+
+// traceName is the op span name this write opened under: deletes and
+// sets share setOp, so the quorum-settling OpEnd must pick the right
+// pair.
+func (op *setOp) traceName() string {
+	if op.del {
+		return "del"
+	}
+	return "set"
 }
 
 func (op *setOp) ack(s *Service) {
 	op.acks++
 	if !op.done && op.acks >= op.need {
 		op.done = true
+		s.tr.OpEnd(op.traceOp, op.traceName())
 		if op.cb != nil {
 			op.cb(s.tb.Now()-op.start, nil)
 		}
@@ -110,7 +122,8 @@ func (op *setOp) fail(s *Service) {
 	op.fails++
 	if !op.done && op.fails > op.owners-op.need {
 		op.done = true
-		s.quorumFails++
+		s.tr.OpEnd(op.traceOp, op.traceName())
+		s.quorumFails.Inc()
 		if op.cb != nil {
 			op.cb(s.tb.Now()-op.start, &QuorumError{
 				Key: op.key, Acks: op.acks, Need: op.need, Owners: op.owners})
@@ -157,7 +170,7 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 		})
 		return
 	}
-	s.setOps++
+	s.setOps.Inc()
 	s.nextSeq[key]++
 	seq := s.nextSeq[key]
 	s.unsettled[key]++
@@ -169,11 +182,19 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 	}
 	owners := s.owners(key)
 	op := &setOp{key: key, seq: seq, need: s.cfg.WriteQuorum, owners: len(owners),
-		start: s.tb.Now(), cb: cb, settleLeft: len(owners)}
+		start: s.tb.Now(), cb: cb, settleLeft: len(owners),
+		traceOp: s.tr.OpBegin("set", key)}
 	val := append([]byte(nil), value...)
-	for _, id := range owners {
+	for idx, id := range owners {
 		sh := s.shards[id]
-		s.ownerSet(sh, key, val, seq, func(st ownerWriteStatus) {
+		legID := op.traceOp<<4 | uint64(idx)
+		if s.tr.Enabled() {
+			s.tr.AsyncBegin("leg", legID, "leg:"+sh.id, op.traceOp)
+		}
+		s.ownerSet(sh, key, val, seq, op.traceOp, func(st ownerWriteStatus) {
+			if s.tr.Enabled() {
+				s.tr.AsyncEnd("leg", legID, "leg:"+sh.id, op.traceOp)
+			}
 			switch st {
 			case ownerApplied:
 				if s.applyHook != nil {
@@ -215,11 +236,11 @@ func (s *Service) withKeySlot(sh *serviceShard, key uint64, run func()) {
 // ownerSet applies one write on one owner, serializing same-key writes
 // so per-key order survives the pipelined fabric. done always runs
 // asynchronously (from the simulation).
-func (s *Service) ownerSet(sh *serviceShard, key uint64, val []byte, ver uint64, done func(st ownerWriteStatus)) {
+func (s *Service) ownerSet(sh *serviceShard, key uint64, val []byte, ver uint64, top uint64, done func(st ownerWriteStatus)) {
 	s.armCompaction(sh)
 	s.armAntiEntropy()
 	s.withKeySlot(sh, key, func() {
-		s.ownerSetNow(sh, key, val, ver, func(st ownerWriteStatus) {
+		s.ownerSetNow(sh, key, val, ver, top, func(st ownerWriteStatus) {
 			done(st)
 			s.setNext(sh, key)
 		})
@@ -255,7 +276,7 @@ const (
 // can be claimed at a candidate bucket, host CPU otherwise, handoff
 // failure when neither can run. ver is the write's quorum sequence,
 // published into the bucket's version word by whichever path applies.
-func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, ver uint64, done func(st ownerWriteStatus)) {
+func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, ver uint64, top uint64, done func(st ownerWriteStatus)) {
 	now := s.tb.Now()
 	if sh.suspect(now) {
 		// Circuit breaker: don't burn a MissTimeout per write on a
@@ -272,17 +293,18 @@ func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, ver uint
 		s.hostSet(sh, key, val, ver, done)
 		return
 	}
-	sh.fabricSets++
+	sh.fabricSets.Inc()
 	// An acked fabric set repoints the bucket at the chain's staging
 	// extent; the old extent — captured here, under the per-key write
 	// slot — is retired on the ack, after the read-grace period.
 	oldVa, _, hadOld := sh.table.table.Lookup(key)
 	cli := sh.setClient(key)
+	s.tr.SetOp(top)
 	cli.SetAsyncClaim(key, val, claim, ver, func(_ Duration, ok bool) {
 		if ok {
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
-			sh.sets++
+			sh.sets.Inc()
 			if hadOld {
 				sh.retireExtent(oldVa)
 			}
@@ -304,6 +326,7 @@ func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, ver uint
 		}
 		s.hostSet(sh, key, val, ver, done)
 	})
+	s.tr.SetOp(0)
 	// Writes issued from completion callbacks run outside the caller's
 	// batch; kick them directly, like get retries.
 	cli.Flush()
@@ -413,7 +436,7 @@ func probeTargetForTable(t *hopscotch.Table, mode LookupMode, key uint64) (core.
 // two-sided RPC cost: the kick path, and the roll-forward path for
 // refused claims.
 func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, ver uint64, done func(st ownerWriteStatus)) {
-	sh.hostSets++
+	sh.hostSets.Inc()
 	s.tb.clu.Eng.After(HostSetLat, func() {
 		if sh.hostDown {
 			// Crashed while the RPC was in flight.
@@ -441,15 +464,18 @@ func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, ver uint64, 
 func (s *Service) queueHint(sh *serviceShard, key uint64, val []byte, del bool, seq uint64, op *setOp) {
 	if cur, ok := sh.hints[key]; ok {
 		if cur.seq >= seq {
-			sh.hintsDropped++
+			sh.hintsDropped.Inc()
 			op.settleOne(s)
 			return
 		}
-		sh.hintsDropped++
+		sh.hintsDropped.Inc()
 		s.settleHint(cur)
 	}
 	sh.hints[key] = &hint{key: key, seq: seq, val: val, del: del, op: op}
-	sh.hintsQueued++
+	sh.hintsQueued.Inc()
+	if s.tr.Enabled() {
+		s.tr.Instant("coordinator", "hint:"+sh.id, op.traceOp)
+	}
 }
 
 // dropHint discards a pending hint made redundant by a successful
@@ -457,7 +483,7 @@ func (s *Service) queueHint(sh *serviceShard, key uint64, val []byte, del bool, 
 func (s *Service) dropHint(sh *serviceShard, key, seq uint64) {
 	if cur, ok := sh.hints[key]; ok && cur.seq <= seq {
 		delete(sh.hints, key)
-		sh.hintsDropped++
+		sh.hintsDropped.Inc()
 		s.settleHint(cur)
 	}
 }
@@ -513,9 +539,9 @@ func (s *Service) drainHint(sh *serviceShard, key uint64) {
 		}
 		apply := func(done func(st ownerWriteStatus)) {
 			if h.del {
-				s.ownerDeleteNow(sh, key, h.seq, done)
+				s.ownerDeleteNow(sh, key, h.seq, 0, done)
 			} else {
-				s.ownerSetNow(sh, key, h.val, h.seq, done)
+				s.ownerSetNow(sh, key, h.val, h.seq, 0, done)
 			}
 		}
 		apply(func(st ownerWriteStatus) {
@@ -532,7 +558,7 @@ func (s *Service) drainHint(sh *serviceShard, key uint64) {
 				}
 				if cur, still := sh.hints[key]; still && cur == h {
 					delete(sh.hints, key)
-					sh.hintsApplied++
+					sh.hintsApplied.Inc()
 					s.settleHint(h)
 				}
 			case ownerRejected:
@@ -540,7 +566,7 @@ func (s *Service) drainHint(sh *serviceShard, key uint64) {
 				// retrying forever would spin, so retire the hint.
 				if cur, still := sh.hints[key]; still && cur == h {
 					delete(sh.hints, key)
-					sh.hintsDropped++
+					sh.hintsDropped.Inc()
 					s.settleHint(h)
 				}
 			}
