@@ -189,3 +189,14 @@ func BenchmarkRepair(b *testing.B) {
 		report(b, experiments.Repair())
 	}
 }
+
+// BenchmarkOverload measures congestion control under open-loop
+// overload: offered load swept to 10x capacity, AIMD client windows
+// (ECN backlog marks + timeout cuts) and server admission holding
+// goodput at capacity with bounded hit p999 while the fixed-K
+// pipeline collapses.
+func BenchmarkOverload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Overload())
+	}
+}

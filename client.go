@@ -24,86 +24,99 @@ const DefaultMissTimeout = 200 * sim.Microsecond
 // the client's per-request response buffers.
 const DefaultMaxValLen = 1 << 17
 
+// DefaultEcnBacklog is the completion-stamped PU backlog above which an
+// ack counts as a congestion signal: far enough under MissTimeout that
+// an adaptive window cuts on marks long before requests start dying.
+const DefaultEcnBacklog = 25 * sim.Microsecond
+
+// DefaultWindowBeta is the multiplicative-decrease factor an adaptive
+// window applies on timeout or ECN mark.
+const DefaultWindowBeta = 0.5
+
+// Op names one of the client's four offload pipelines.
+type Op uint8
+
+// The client's offload pipelines.
+const (
+	OpGet Op = iota
+	OpSet
+	OpDelete
+	OpProbe
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDelete:
+		return "del"
+	case OpProbe:
+		return "probe"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// PipelineStats is a point-in-time snapshot of one pipeline's
+// occupancy. InFlight and Wedged are disjoint: a quarantined slot is
+// neither free nor carrying a live request.
+type PipelineStats struct {
+	InFlight int // slots occupied by live requests
+	Queued   int // requests waiting client-side for a slot or window
+	Wedged   int // quarantined slots (armed chain never executed)
+	Window   int // current congestion window (== Depth when pinned)
+}
+
 // Client is a remote node issuing offloaded gets and sets against a
 // server's hash table, entirely served by the server's NIC.
 //
-// A client keeps up to depth gets in flight on one connection: each
-// in-flight get owns one offload context of the server-side pool (the
-// request slot), a trigger buffer and a response buffer. Responses
+// A client keeps up to depth requests in flight per op on one
+// connection per op (get/set/delete/probe), all four driven by the
+// same pipeline machinery (opPipeline): each in-flight request owns
+// one offload context of the server-side pool (the request slot) and
+// the per-slot buffers its chain reads and writes. Responses
 // demultiplex exactly: a context's response QP completes only its own
 // WRITEs, so a completion identifies its slot, and the 48-bit key the
 // conditional CAS stamps into the WRITE's id field guards against
 // stragglers from timed-out instances. Trigger SENDs are posted
 // doorbell-less and kicked in batches by Flush.
 //
-// The write path mirrors the read path on a second connection: up to
-// depth sets in flight, each owning one core.SetOffload context that
-// claims the key's bucket with a CAS and repoints it at the staged
-// value (see internal/core/set.go). A set is a value WRITE into the
-// instance's staging extent followed by the trigger SEND, both
-// doorbell-less until Flush. The conditional ack WRITE completes on
-// the slot's private response QP; a failed claim leaves it a NOOP and
-// the set times out, exactly like a get miss.
+// How many of the depth slots a pipeline may occupy at once is its
+// congestion window. Pinned (the default) it equals depth — the fixed-K
+// pipeline. ConfigureWindow enables AIMD: grow by 1/w per clean ack,
+// cut multiplicatively on timeout and on the ECN-like backlog watermark
+// the NIC stamps into completions, floor 1, one cut per window epoch.
 type Client struct {
 	tb    *Testbed
 	node  *fabric.Node
-	cliQP *rnic.QP
 	pool  *core.LookupPool
+	spool *core.SetPool
+	dpool *core.DeletePool
+	ppool *core.ProbePool
 	table *HashTable
+	arena *extent.Arena // server arena freed extents return to
 
-	// MissTimeout is the per-get deadline after which an unanswered
-	// request completes as a miss. Mutable between gets.
+	// MissTimeout is the per-request deadline after which an unanswered
+	// request completes as a miss/failure. Mutable between requests.
 	MissTimeout Duration
 
 	depth  int
 	maxVal uint64
+	zero   []byte // reusable zero source for clearing response slots
 
-	trig []uint64 // per-slot trigger buffers
-	resp []uint64 // per-slot response buffers
-	zero []byte   // reusable zero source for clearing response slots
-	free []int
+	// The four pipelines behind GetAsync/SetAsync/DeleteAsync/ProbeAsync
+	// — one implementation, per-op hooks. pipes indexes them by Op in
+	// doorbell order (get, set, del, probe).
+	get, set, del, prb *opPipeline
+	pipes              [4]*opPipeline
 
-	slots   []*getReq // in-flight request per slot (nil = free)
-	waiting []*getReq // no free slot yet
-	dirty   bool      // posted SENDs awaiting a doorbell
-
-	// Chain-execution accounting: every response WQE is signaled, so
-	// each executed instance delivers exactly respPerGet completions on
-	// its slot's response QP(s) — hit (WRITE) or miss (NOOP) alike.
-	// armCount-vs-execSeen is how the client detects a dead server NIC
-	// (a frozen device drops trigger SENDs; the armed chain never runs)
-	// without any out-of-band signal: a timed-out slot whose instance
-	// never executed is quarantined instead of re-armed, since stacking
-	// instances on an unresponsive context would overflow its rings.
-	respPerGet int      // signaled response completions per executed instance
-	armCount   []uint64 // per-slot instances armed
-	execSeen   []uint64 // per-slot response completions observed
-	wedgedSlot []bool   // quarantined: last armed instance never executed
-	nWedged    int
-
-	// lastMissExecuted records, for the most recent miss callback,
-	// whether the offload chain actually executed (a genuine NOOP miss
-	// on a live NIC) or never ran (dead/frozen server). Valid inside
-	// the miss callback; the service's crash detector reads it so
-	// absent keys don't count toward a shard's suspect threshold.
-	lastMissExecuted bool
-
-	gets, hits, misses uint64
-	maxInFlight        int
-
-	// ---- write path (structures mirror the get path) ----
-
-	cliSetQP *rnic.QP
-	spool    *core.SetPool
-
-	strig []uint64 // per-slot set-trigger buffers
-	sval  []uint64 // per-slot client-side value staging
-	sack  []uint64 // per-slot ack landing buffers
-	sfree []int
-
-	sslots   []*setReq
-	swaiting []*setReq
-	sdirty   bool // posted set WRs awaiting a doorbell
+	// Per-slot buffers, per path.
+	trig, resp        []uint64 // get: trigger + response
+	strig, sval, sack []uint64 // set: trigger + value staging + ack
+	dtrig, dack       []uint64 // delete: trigger + ack
+	ptrig, presp      []uint64 // probe: trigger + version landing
 
 	// prevVal tracks, per key, the extent the bucket held after this
 	// client's last acknowledged standalone set — freed exactly once
@@ -114,97 +127,429 @@ type Client struct {
 	// Service drives SetAsyncClaim and owns extent lifecycle itself.
 	prevVal map[uint64]uint64
 
-	// Set chains deliver exactly one signaled ack completion per
-	// executed instance (WRITE on claim, NOOP otherwise); the same
-	// armed-vs-seen accounting as gets detects a dead server NIC.
-	sarmCount  []uint64
-	sexecSeen  []uint64
-	swedged    []bool
-	snWedged   int
-	lastSetRan bool // did the most recent failed set's chain execute?
-
-	sets, setAcks, setFails uint64
-	maxSetsInFlight         int
-
-	// ---- delete path (a third connection, mirroring the set path) ----
-
-	cliDelQP *rnic.QP
-	dpool    *core.DeletePool
-	arena    *extent.Arena // server arena freed extents return to
-
-	dtrig []uint64 // per-slot delete-trigger buffers
-	dack  []uint64 // per-slot ack landing buffers
-	dfree []int
-
-	dslots   []*delReq
-	dwaiting []*delReq
-	ddirty   bool // posted delete SENDs awaiting a doorbell
-
-	darmCount  []uint64
-	dexecSeen  []uint64
-	dwedged    []bool
-	dnWedged   int
-	lastDelRan bool // did the most recent failed delete's chain execute?
-
-	dels, delAcks, delFails uint64
-	maxDelsInFlight         int
-
-	gcFreed, gcStale uint64 // to-free ring drains: extents returned / already gone
-
-	// ---- probe path (a fourth connection, the repair subsystem's
-	// version interrogation — structures mirror the delete path) ----
-
-	cliPrbQP *rnic.QP
-	ppool    *core.ProbePool
-
-	ptrig []uint64 // per-slot probe-trigger buffers
-	presp []uint64 // per-slot version landing buffers
-	pfree []int
-
-	pslots   []*probeReq
-	pwaiting []*probeReq
-	pdirty   bool // posted probe SENDs awaiting a doorbell
-
-	parmCount  []uint64
-	pexecSeen  []uint64
-	pwedged    []bool
-	pnWedged   int
-	lastPrbRan bool // did the most recent failed probe's chain execute?
-
-	probes, probeAcks, probeFails uint64
-
 	// nextVer issues versions for the standalone SetAsync/DeleteAsync
 	// lifecycle path (a per-client monotone counter standing in for the
 	// coordinator's quorum sequence). Service writes pass explicit
 	// versions through the *Claim entry points.
 	nextVer map[uint64]uint64
 
+	gcFreed, gcStale uint64 // to-free ring drains: extents returned / already gone
+
 	// ---- telemetry (nil tracer = disabled, zero cost) ----
 
 	tr      *telemetry.Tracer
 	trLabel string
-	// Per-path per-slot track names, precomputed at SetTracer so the
-	// issue/finish hot paths never format strings.
-	trGet, trSet, trDel, trPrb []string
 }
 
-// SetTracer attaches a tracer for slot-occupancy spans and doorbell
-// instants, labeling this client's tracks (typically the node name).
+// pipeReq is one in-flight (or queued) request on any pipeline. The
+// per-op payload fields are a union; only the issuing shim's fields are
+// set.
+type pipeReq struct {
+	key    uint64
+	slot   int
+	seq    uint64 // issue sequence (window-epoch guard for AIMD cuts)
+	start  sim.Time
+	done   bool
+	issued bool
+	op     uint64 // trace op id (0 = untraced)
+
+	valLen uint64                                  // get
+	getCB  func(val []byte, lat Duration, ok bool) // get
+	val    []byte                                  // set
+	sclaim core.SetClaim                           // set
+	dclaim core.DeleteClaim                        // delete
+	ver    uint64                                  // set/delete version
+	target core.ProbeTarget                        // probe
+	prbCB  func(ver uint64, lat Duration, ok bool) // probe
+	ackCB  func(lat Duration, ok bool)             // set/delete
+
+	staging   uint64 // set: server staging extent this chain targets
+	lifecycle bool   // set: standalone path, client manages extent retirement
+}
+
+// aimdWindow is one pipeline's congestion window. Pinned (adaptive
+// false) it is the fixed-depth pipeline: size() == depth always, and
+// ack/cut signals are ignored. Adaptive, it is textbook AIMD —
+// additive increase 1/w per clean ack, multiplicative decrease by beta
+// on timeout or ECN mark, floored at one slot, capped at depth, and at
+// most one cut per window epoch (requests issued before the last cut
+// cannot cut again; their losses are consequences of the same
+// congestion event).
+type aimdWindow struct {
+	adaptive bool
+	w        float64
+	depth    float64
+	beta     float64
+	ecn      sim.Time // ack backlog above this marks congestion; <0 disables
+	lastCut  uint64   // issue seq the last cut charged; older reqs can't re-cut
+
+	cuts, ecnCuts uint64 // total cuts / cuts taken on ECN marks
+}
+
+func (a *aimdWindow) size() int {
+	if !a.adaptive {
+		return int(a.depth)
+	}
+	return int(a.w)
+}
+
+// onAck grows the window additively on a clean (unmarked) ack.
+func (a *aimdWindow) onAck() {
+	if !a.adaptive {
+		return
+	}
+	a.w += 1 / a.w
+	if a.w > a.depth {
+		a.w = a.depth
+	}
+}
+
+// cut applies one multiplicative decrease if reqSeq postdates the last
+// cut, charging the cut to curSeq (the newest issued request) so every
+// loss from the same congestion event is absorbed by one decrease.
+// ecn attributes the cut to an ECN mark rather than a timeout.
+func (a *aimdWindow) cut(reqSeq, curSeq uint64, ecn bool) bool {
+	if !a.adaptive || reqSeq <= a.lastCut {
+		return false
+	}
+	a.lastCut = curSeq
+	a.w *= a.beta
+	if a.w < 1 {
+		a.w = 1
+	}
+	a.cuts++
+	if ecn {
+		a.ecnCuts++
+	}
+	return true
+}
+
+// marked reports whether an ack's completion-stamped backlog counts as
+// an ECN congestion mark.
+func (a *aimdWindow) marked(backlog sim.Time) bool {
+	return a.adaptive && a.ecn > 0 && backlog > a.ecn
+}
+
+// opPipeline is the one pipeline implementation behind all four async
+// paths: slot free list, client-side waiting queue, doorbell batching,
+// per-slot armed-vs-executed wedge accounting, and the congestion
+// window. Per-op behavior — WR construction, completion payload,
+// post-release lifecycle — lives in the three hook closures.
+type opPipeline struct {
+	c    *Client
+	op   Op
+	name string // trace names: "get", "set", "del", "probe"
+
+	depth   int
+	respPer uint64 // signaled response completions per executed instance
+	qp      *rnic.QP
+
+	free    []int
+	slots   []*pipeReq // in-flight request per slot (nil = free)
+	waiting []*pipeReq // no free slot (or window headroom) yet
+	dirty   bool       // posted WRs awaiting a doorbell
+
+	// Chain-execution accounting: every response WQE is signaled, so
+	// each executed instance delivers exactly respPer completions on
+	// its slot's response QP(s) — ack (WRITE) or refusal (NOOP) alike.
+	// armCount-vs-execSeen is how the client detects a dead server NIC
+	// (a frozen device drops trigger SENDs; the armed chain never runs)
+	// without any out-of-band signal: a timed-out slot whose instance
+	// never executed is quarantined instead of re-armed, since stacking
+	// instances on an unresponsive context would overflow its rings.
+	armCount []uint64
+	execSeen []uint64
+	wedged   []bool
+	nWedged  int
+
+	// inFlight counts slots occupied by live requests — maintained
+	// directly at issue/finish so it stays disjoint from both the free
+	// list and the quarantine (inFlight + len(free) + nWedged == depth).
+	inFlight int
+
+	seq                 uint64 // issue sequence (feeds the window's epoch guard)
+	issued, acks, fails uint64
+	maxInFlight         int
+	// lastRan records, for the most recent failed request, whether the
+	// offload chain actually executed (a genuine refusal/miss on a live
+	// NIC) or never ran (dead/frozen server). Valid inside the failure
+	// callback; the service's crash detector reads it so refusals don't
+	// count toward a shard's suspect threshold.
+	lastRan bool
+
+	win aimdWindow
+
+	trTracks []string // per-slot trace track names, precomputed
+
+	// Per-op hooks: post arms the slot's offload context and posts its
+	// WRs (doorbell-less); deliver runs the typed callback, reading any
+	// completion payload from client memory (slotValid false = the
+	// request never reached a slot); release runs op-specific lifecycle
+	// after the slot decision (executed = the armed chain ran).
+	post    func(req *pipeReq)
+	deliver func(req *pipeReq, lat Duration, ok, slotValid bool)
+	release func(req *pipeReq, ok, executed bool)
+}
+
+// newPipeline builds the op-agnostic skeleton; the caller wires qp,
+// respPer and the hooks.
+func newPipeline(c *Client, op Op, name string, depth int) *opPipeline {
+	p := &opPipeline{
+		c: c, op: op, name: name, depth: depth, respPer: 1,
+		slots:    make([]*pipeReq, depth),
+		armCount: make([]uint64, depth),
+		execSeen: make([]uint64, depth),
+		wedged:   make([]bool, depth),
+		win: aimdWindow{
+			w: float64(depth), depth: float64(depth),
+			beta: DefaultWindowBeta, ecn: DefaultEcnBacklog,
+		},
+	}
+	for i := 0; i < depth; i++ {
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+// pending returns how many signaled response completions the slot's
+// armed instances still owe.
+func (p *opPipeline) pending(slot int) uint64 {
+	return p.armCount[slot]*p.respPer - p.execSeen[slot]
+}
+
+// submit routes one request into the pipeline: issue if a slot and
+// window headroom are available, queue otherwise — unless every slot is
+// quarantined, in which case the connection is dead and the request
+// fails after the miss deadline (the elapsed time a real client would
+// wait on an unresponsive server before giving up).
+func (p *opPipeline) submit(req *pipeReq) {
+	if len(p.free) == 0 || p.inFlight >= p.win.size() {
+		if p.nWedged == p.depth {
+			p.issued++
+			p.failLater(req)
+			return
+		}
+		p.waiting = append(p.waiting, req)
+		return
+	}
+	p.issue(req)
+}
+
+// failLater completes req as failed one MissTimeout from now unless it
+// got issued or completed in the meantime (a slot was reclaimed).
+func (p *opPipeline) failLater(req *pipeReq) {
+	c := p.c
+	c.tb.clu.Eng.After(c.MissTimeout, func() {
+		if req.done || req.issued {
+			return
+		}
+		req.done = true
+		p.fails++
+		p.lastRan = false // never even reached a slot
+		p.deliver(req, c.MissTimeout, false, false)
+	})
+}
+
+// issue arms one offload instance on a free slot and posts its WRs
+// (doorbell-less; Flush kicks them).
+func (p *opPipeline) issue(req *pipeReq) {
+	c := p.c
+	slot := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	req.slot = slot
+	req.issued = true
+	p.slots[slot] = req
+	p.armCount[slot]++
+	p.issued++
+	p.inFlight++
+	p.seq++
+	req.seq = p.seq
+	if f := p.depth - len(p.free); f > p.maxInFlight {
+		p.maxInFlight = f
+	}
+
+	req.start = c.tb.clu.Eng.Now()
+	p.post(req)
+	p.dirty = true
+	c.tb.clu.Eng.After(c.MissTimeout, func() { p.onTimeout(req) })
+}
+
+// onAck completes slot's in-flight request at time at. A key mismatch
+// means the WRITE belongs to an instance whose request already timed
+// out and whose slot was reissued — dropped. (A same-key straggler is
+// indistinguishable and completes the current request; its response
+// bytes are the same value, so only the latency attribution blurs.)
+func (p *opPipeline) onAck(slot int, key uint64, at, backlog sim.Time) {
+	req := p.slots[slot]
+	if req == nil || req.key != key {
+		return
+	}
+	p.acks++
+	p.finish(req, at-req.start, true, backlog)
+}
+
+// onTimeout completes req as failed if it is still outstanding. The
+// reported latency is exactly the configured timeout — the elapsed
+// time a real client would have waited before giving up.
+func (p *opPipeline) onTimeout(req *pipeReq) {
+	if req.done || p.slots[req.slot] != req {
+		return
+	}
+	p.fails++
+	p.finish(req, p.c.MissTimeout, false, 0)
+}
+
+// finish releases req's slot, feeds the congestion window, runs the
+// op's release hook and callback, and refills the pipeline from the
+// waiting queue (self-flushing: the driver may never call Flush
+// again). A slot timing out with its armed instance still unexecuted
+// (no response completions delivered, ack or refusal) is quarantined
+// rather than re-armed: the server NIC dropped the trigger, and
+// stacking fresh instances on the dead context would overflow its
+// chain rings. A confirmed ack always frees the slot — the WRITE
+// proves the chain ran.
+func (p *opPipeline) finish(req *pipeReq, lat Duration, ok bool, backlog sim.Time) {
+	req.done = true
+	c := p.c
+	if c.tr.Enabled() {
+		c.tr.Exec(c.trLabel, p.trTracks[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
+	}
+	p.slots[req.slot] = nil
+	p.inFlight--
+	executed := p.pending(req.slot) < p.respPer
+	if !ok && !executed {
+		p.lastRan = false
+		p.wedged[req.slot] = true
+		p.nWedged++
+		if p.nWedged == p.depth {
+			// Nothing will ever free a slot: fail the queue rather
+			// than strand it.
+			for _, w := range p.waiting {
+				p.failLater(w)
+			}
+			p.waiting = nil
+		}
+	} else {
+		if !ok {
+			p.lastRan = true
+		}
+		p.free = append(p.free, req.slot)
+	}
+	// Window control: a timeout is a loss, an ECN-marked ack is
+	// congestion news one RTT earlier; either cuts once per epoch. A
+	// clean ack grows the window.
+	if !ok || p.win.marked(backlog) {
+		if p.win.cut(req.seq, p.seq, ok) && c.tr.Enabled() {
+			c.tr.Instant(c.trLabel, "wcut:"+p.name, req.op)
+		}
+	} else {
+		p.win.onAck()
+	}
+	if p.release != nil {
+		p.release(req, ok, executed)
+	}
+	p.deliver(req, lat, ok, true)
+	p.pump()
+	c.Flush()
+}
+
+// reclaim returns a quarantined slot to service once its backlog
+// clears: response completions are delivered in order, so pending
+// falling below one instance's worth means the last armed chain has
+// begun executing on a live NIC.
+func (p *opPipeline) reclaim(slot int) {
+	if !p.wedged[slot] || p.pending(slot) >= p.respPer {
+		return
+	}
+	p.wedged[slot] = false
+	p.nWedged--
+	p.free = append(p.free, slot)
+	p.pump()
+	p.c.Flush()
+}
+
+// pump issues queued requests while free slots and window headroom
+// remain.
+func (p *opPipeline) pump() {
+	for len(p.waiting) > 0 && len(p.free) > 0 && p.inFlight < p.win.size() {
+		next := p.waiting[0]
+		p.waiting = p.waiting[1:]
+		if next.done {
+			continue
+		}
+		p.issue(next)
+	}
+}
+
+// subscribe wires the demultiplexer for one slot's response QP: slot
+// i's context WRITEs only on its own response QP(s), so the closure
+// knows the slot exactly; the key stamped in the WRITE's id field (the
+// CAS operand of Fig 9) rejects stragglers from instances that already
+// timed out. The completion-stamped backlog watermark rides along as
+// the window's ECN signal.
+func (p *opPipeline) subscribe(slot int, respQP *rnic.QP) {
+	respQP.SendCQ().SetAutoDrain(true)
+	respQP.SendCQ().OnDeliver(func(e rnic.CQE) {
+		p.execSeen[slot]++
+		if e.Op == wqe.OpWrite {
+			p.onAck(slot, e.WRID, e.At, e.Backlog)
+		}
+		p.reclaim(slot)
+	})
+}
+
+// WindowConfig tunes the pipelines' AIMD congestion windows.
+type WindowConfig struct {
+	// Adaptive enables AIMD; false pins every window to the pipeline
+	// depth (the fixed-K behavior).
+	Adaptive bool
+	// Start is the initial window in slots (0 or out of range = depth).
+	Start int
+	// Beta is the multiplicative-decrease factor (0 = DefaultWindowBeta).
+	Beta float64
+	// EcnBacklog marks acks whose completion-stamped backlog exceeds it
+	// as congestion (0 = DefaultEcnBacklog; negative disables ECN cuts,
+	// leaving timeouts as the only loss signal).
+	EcnBacklog Duration
+}
+
+// ConfigureWindow applies cfg to all four pipelines. The default is
+// pinned: a window fixed at the pipeline depth.
+func (c *Client) ConfigureWindow(cfg WindowConfig) {
+	beta := cfg.Beta
+	if beta == 0 {
+		beta = DefaultWindowBeta
+	}
+	ecn := cfg.EcnBacklog
+	if ecn == 0 {
+		ecn = DefaultEcnBacklog
+	}
+	start := cfg.Start
+	if start <= 0 || start > c.depth {
+		start = c.depth
+	}
+	for _, p := range c.pipes {
+		p.win.adaptive = cfg.Adaptive
+		p.win.w = float64(start)
+		p.win.beta = beta
+		p.win.ecn = ecn
+	}
+}
+
+// SetTracer attaches a tracer for slot-occupancy spans, doorbell and
+// window-cut instants, labeling this client's tracks (typically the
+// node name).
 func (c *Client) SetTracer(tr *telemetry.Tracer, label string) {
 	c.tr = tr
 	c.trLabel = label
 	if !tr.Enabled() {
 		return
 	}
-	c.trGet = make([]string, c.depth)
-	c.trSet = make([]string, c.depth)
-	c.trDel = make([]string, c.depth)
-	c.trPrb = make([]string, c.depth)
-	for i := 0; i < c.depth; i++ {
-		c.trGet[i] = fmt.Sprintf("get/slot%d", i)
-		c.trSet[i] = fmt.Sprintf("set/slot%d", i)
-		c.trDel[i] = fmt.Sprintf("del/slot%d", i)
-		c.trPrb[i] = fmt.Sprintf("probe/slot%d", i)
+	for _, p := range c.pipes {
+		p.trTracks = make([]string, c.depth)
+		for i := 0; i < c.depth; i++ {
+			p.trTracks[i] = fmt.Sprintf("%s/slot%d", p.name, i)
+		}
 	}
 }
 
@@ -229,75 +574,33 @@ type ClientStats struct {
 
 	// Quarantined slots per path (armed chain never executed).
 	Wedged, SetsWedged, DelsWedged, ProbesWedged int
+
+	// WindowCuts/EcnCuts total the multiplicative decreases across all
+	// four windows (EcnCuts the subset taken on ECN marks rather than
+	// timeouts). Zero while windows are pinned.
+	WindowCuts, EcnCuts uint64
 }
 
 // Stats snapshots every per-client counter.
 func (c *Client) Stats() ClientStats {
-	return ClientStats{
-		Gets: c.gets, Hits: c.hits, Misses: c.misses,
-		MaxInFlight: c.maxInFlight,
-		Sets:        c.sets, SetAcks: c.setAcks, SetFails: c.setFails,
-		MaxSetsInFlight: c.maxSetsInFlight,
-		Dels:            c.dels, DelAcks: c.delAcks, DelFails: c.delFails,
-		MaxDelsInFlight: c.maxDelsInFlight,
-		Probes:          c.probes, ProbeAcks: c.probeAcks, ProbeFails: c.probeFails,
-		GCFreed: c.gcFreed, GCStale: c.gcStale,
-		Wedged: c.nWedged, SetsWedged: c.snWedged,
-		DelsWedged: c.dnWedged, ProbesWedged: c.pnWedged,
+	var cuts, ecnCuts uint64
+	for _, p := range c.pipes {
+		cuts += p.win.cuts
+		ecnCuts += p.win.ecnCuts
 	}
-}
-
-// probeReq is one in-flight (or queued) version probe.
-type probeReq struct {
-	key    uint64
-	target core.ProbeTarget
-	slot   int
-	start  sim.Time
-	cb     func(ver uint64, lat Duration, ok bool)
-	done   bool
-	issued bool
-	op     uint64 // trace op id (0 = untraced)
-}
-
-// delReq is one in-flight (or queued) delete.
-type delReq struct {
-	key    uint64
-	claim  core.DeleteClaim
-	ver    uint64 // version stamped onto the tombstone
-	slot   int
-	start  sim.Time
-	cb     func(lat Duration, ok bool)
-	done   bool
-	issued bool
-	op     uint64 // trace op id (0 = untraced)
-}
-
-// setReq is one in-flight (or queued) set.
-type setReq struct {
-	key    uint64
-	val    []byte
-	claim  core.SetClaim
-	ver    uint64 // version published with the bucket repoint
-	slot   int
-	start  sim.Time
-	cb     func(lat Duration, ok bool)
-	done   bool
-	issued bool
-
-	staging   uint64 // server staging extent this set's chain targets
-	lifecycle bool   // standalone path: client manages extent retirement
-	op        uint64 // trace op id (0 = untraced)
-}
-
-// getReq is one in-flight (or queued) get.
-type getReq struct {
-	key, valLen uint64
-	slot        int
-	start       sim.Time
-	cb          func(val []byte, lat Duration, ok bool)
-	done        bool
-	issued      bool
-	op          uint64 // trace op id (0 = untraced)
+	return ClientStats{
+		Gets: c.get.issued, Hits: c.get.acks, Misses: c.get.fails,
+		MaxInFlight: c.get.maxInFlight,
+		Sets:        c.set.issued, SetAcks: c.set.acks, SetFails: c.set.fails,
+		MaxSetsInFlight: c.set.maxInFlight,
+		Dels:            c.del.issued, DelAcks: c.del.acks, DelFails: c.del.fails,
+		MaxDelsInFlight: c.del.maxInFlight,
+		Probes:          c.prb.issued, ProbeAcks: c.prb.acks, ProbeFails: c.prb.fails,
+		GCFreed: c.gcFreed, GCStale: c.gcStale,
+		Wedged: c.get.nWedged, SetsWedged: c.set.nWedged,
+		DelsWedged: c.del.nWedged, ProbesWedged: c.prb.nWedged,
+		WindowCuts: cuts, EcnCuts: ecnCuts,
+	}
 }
 
 // NewClient adds a client node connected back-to-back to srv, keeping
@@ -318,13 +621,13 @@ func (t *Testbed) NewPipelinedClient(srv *Server, mode LookupMode, depth int) *C
 	return newClientOnNode(t, node, srv, mode, depth, DefaultMaxValLen, srv.Arena())
 }
 
-// newClientOnNode wires the connection, the offload context pool and
-// the demultiplexer; the Service uses it to place clients on its own
-// nodes. arena supplies (and reclaims) the server-side value extents
-// this connection's writes stage into; nil reproduces the leak-forever
-// bump allocator.
+// newClientOnNode wires the four connections, the offload context pools
+// and the demultiplexers; the Service uses it to place clients on its
+// own nodes. arena supplies (and reclaims) the server-side value
+// extents this connection's writes stage into; nil reproduces the
+// leak-forever bump allocator.
 func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode, depth int, maxVal uint64, arena *extent.Arena) *Client {
-	// Trigger connection: client SQ paces SENDs, server RQ holds one
+	// Trigger connections: client SQ paces SENDs, server RQ holds one
 	// pre-posted RECV per armed instance.
 	srvRQ := 2048
 	if d := 4 * depth; d > srvRQ {
@@ -334,23 +637,29 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 	if d := 4 * depth; d > cliSQ {
 		cliSQ = d
 	}
-	cliQP, srvQP := t.clu.Connect(node, srv.node,
-		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
-		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
-	respPerGet := 2 // seq probes two buckets, parallel answers on two QPs
-	if mode == LookupSingle {
-		respPerGet = 1
-	}
-	c := &Client{tb: t, node: node, cliQP: cliQP,
+	c := &Client{tb: t, node: node,
 		MissTimeout: DefaultMissTimeout,
 		depth:       depth,
 		maxVal:      maxVal,
 		zero:        make([]byte, maxVal),
-		slots:       make([]*getReq, depth),
-		respPerGet:  respPerGet,
-		armCount:    make([]uint64, depth),
-		execSeen:    make([]uint64, depth),
-		wedgedSlot:  make([]bool, depth),
+		arena:       arena,
+		prevVal:     make(map[uint64]uint64),
+		nextVer:     make(map[uint64]uint64),
+	}
+	c.get = newPipeline(c, OpGet, "get", depth)
+	c.set = newPipeline(c, OpSet, "set", depth)
+	c.del = newPipeline(c, OpDelete, "del", depth)
+	c.prb = newPipeline(c, OpProbe, "probe", depth)
+	c.pipes = [4]*opPipeline{c.get, c.set, c.del, c.prb}
+
+	// ---- get path ----
+	cliQP, srvQP := t.clu.Connect(node, srv.node,
+		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
+		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
+	c.get.qp = cliQP
+	c.get.respPer = 2 // seq probes two buckets, parallel answers on two QPs
+	if mode == LookupSingle {
+		c.get.respPer = 1
 	}
 	// Per-slot buffers and per-context response QPs.
 	resp := make([]*rnic.QP, depth)
@@ -361,7 +670,6 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 	for i := 0; i < depth; i++ {
 		c.trig = append(c.trig, node.Mem.Alloc(128, 8))
 		c.resp = append(c.resp, node.Mem.Alloc(maxVal, 64))
-		c.free = append(c.free, i)
 		_, resp[i] = t.clu.Connect(node, srv.node,
 			rnic.QPConfig{SQDepth: 8, RQDepth: 8},
 			rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
@@ -372,28 +680,12 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 		}
 	}
 	c.pool = core.NewLookupPool(srv.builder, srvQP, resp, resp2, nil, mode)
-
-	// Demultiplex response WRITE completions: slot i's context WRITEs
-	// only on its own response QP(s), so the subscribing closure knows
-	// the slot exactly; the key stamped in the WRITE's id field (the
-	// CAS operand of Fig 9) rejects stragglers from instances that
-	// already timed out.
 	srvQP.RecvCQ().SetAutoDrain(true)
 	srvQP.SendCQ().SetAutoDrain(true)
 	for i, ctx := range c.pool.Ctxs {
-		slot := i
-		record := func(e rnic.CQE) {
-			c.execSeen[slot]++
-			if e.Op == wqe.OpWrite {
-				c.onHit(slot, e.WRID, e.At)
-			}
-			c.reclaim(slot)
-		}
-		ctx.Resp.SendCQ().SetAutoDrain(true)
-		ctx.Resp.SendCQ().OnDeliver(record)
+		c.get.subscribe(i, ctx.Resp)
 		if resp2 != nil {
-			resp2[i].SendCQ().SetAutoDrain(true)
-			resp2[i].SendCQ().OnDeliver(record)
+			c.get.subscribe(i, resp2[i])
 		}
 	}
 
@@ -403,7 +695,7 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 	cliSetQP, srvSetQP := t.clu.Connect(node, srv.node,
 		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
 		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
-	c.cliSetQP = cliSetQP
+	c.set.qp = cliSetQP
 	srvSetQP.RecvCQ().SetAutoDrain(true)
 	srvSetQP.SendCQ().SetAutoDrain(true)
 	sresp := make([]*rnic.QP, depth)
@@ -411,29 +703,13 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 		c.strig = append(c.strig, node.Mem.Alloc(128, 8))
 		c.sval = append(c.sval, node.Mem.Alloc(maxVal, 64))
 		c.sack = append(c.sack, node.Mem.Alloc(8, 8))
-		c.sfree = append(c.sfree, i)
 		_, sresp[i] = t.clu.Connect(node, srv.node,
 			rnic.QPConfig{SQDepth: 8, RQDepth: 8},
 			rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
 	}
-	c.sslots = make([]*setReq, depth)
-	c.sarmCount = make([]uint64, depth)
-	c.sexecSeen = make([]uint64, depth)
-	c.swedged = make([]bool, depth)
-	c.arena = arena
-	c.prevVal = make(map[uint64]uint64)
 	c.spool = core.NewSetPool(srv.builder, srvSetQP, sresp, maxVal, c.arena)
 	for i := range c.spool.Ctxs {
-		slot := i
-		srecord := func(e rnic.CQE) {
-			c.sexecSeen[slot]++
-			if e.Op == wqe.OpWrite {
-				c.onSetAck(slot, e.WRID, e.At)
-			}
-			c.sreclaim(slot)
-		}
-		sresp[i].SendCQ().SetAutoDrain(true)
-		sresp[i].SendCQ().OnDeliver(srecord)
+		c.set.subscribe(i, sresp[i])
 	}
 
 	// Delete path: a third connection with its own trigger RQ (arrival
@@ -442,34 +718,20 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 	cliDelQP, srvDelQP := t.clu.Connect(node, srv.node,
 		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
 		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
-	c.cliDelQP = cliDelQP
+	c.del.qp = cliDelQP
 	srvDelQP.RecvCQ().SetAutoDrain(true)
 	srvDelQP.SendCQ().SetAutoDrain(true)
 	dresp := make([]*rnic.QP, depth)
 	for i := 0; i < depth; i++ {
 		c.dtrig = append(c.dtrig, node.Mem.Alloc(128, 8))
 		c.dack = append(c.dack, node.Mem.Alloc(8, 8))
-		c.dfree = append(c.dfree, i)
 		_, dresp[i] = t.clu.Connect(node, srv.node,
 			rnic.QPConfig{SQDepth: 8, RQDepth: 8},
 			rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
 	}
-	c.dslots = make([]*delReq, depth)
-	c.darmCount = make([]uint64, depth)
-	c.dexecSeen = make([]uint64, depth)
-	c.dwedged = make([]bool, depth)
 	c.dpool = core.NewDeletePool(srv.builder, srvDelQP, dresp)
 	for i := range c.dpool.Ctxs {
-		slot := i
-		drecord := func(e rnic.CQE) {
-			c.dexecSeen[slot]++
-			if e.Op == wqe.OpWrite {
-				c.onDelAck(slot, e.WRID, e.At)
-			}
-			c.dreclaim(slot)
-		}
-		dresp[i].SendCQ().SetAutoDrain(true)
-		dresp[i].SendCQ().OnDeliver(drecord)
+		c.del.subscribe(i, dresp[i])
 	}
 
 	// Probe path: a fourth connection with its own trigger RQ, per-slot
@@ -478,37 +740,146 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 	cliPrbQP, srvPrbQP := t.clu.Connect(node, srv.node,
 		rnic.QPConfig{SQDepth: cliSQ, RQDepth: 8},
 		rnic.QPConfig{SQDepth: 64, RQDepth: srvRQ, Managed: true})
-	c.cliPrbQP = cliPrbQP
+	c.prb.qp = cliPrbQP
 	srvPrbQP.RecvCQ().SetAutoDrain(true)
 	srvPrbQP.SendCQ().SetAutoDrain(true)
 	presp := make([]*rnic.QP, depth)
 	for i := 0; i < depth; i++ {
 		c.ptrig = append(c.ptrig, node.Mem.Alloc(64, 8))
 		c.presp = append(c.presp, node.Mem.Alloc(8, 8))
-		c.pfree = append(c.pfree, i)
 		_, presp[i] = t.clu.Connect(node, srv.node,
 			rnic.QPConfig{SQDepth: 8, RQDepth: 8},
 			rnic.QPConfig{SQDepth: 16, RQDepth: 8, Managed: true, PU: -1})
 	}
-	c.pslots = make([]*probeReq, depth)
-	c.parmCount = make([]uint64, depth)
-	c.pexecSeen = make([]uint64, depth)
-	c.pwedged = make([]bool, depth)
-	c.nextVer = make(map[uint64]uint64)
 	c.ppool = core.NewProbePool(srv.builder, srvPrbQP, presp)
 	for i := range c.ppool.Ctxs {
-		slot := i
-		precord := func(e rnic.CQE) {
-			c.pexecSeen[slot]++
-			if e.Op == wqe.OpWrite {
-				c.onProbeAck(slot, e.WRID, e.At)
-			}
-			c.preclaim(slot)
-		}
-		presp[i].SendCQ().SetAutoDrain(true)
-		presp[i].SendCQ().OnDeliver(precord)
+		c.prb.subscribe(i, presp[i])
 	}
+
+	c.wireHooks()
 	return c
+}
+
+// wireHooks installs the per-op closures: WR construction on issue,
+// completion payload on delivery, and post-release lifecycle.
+func (c *Client) wireHooks() {
+	// ---- get ----
+	c.get.post = func(req *pipeReq) {
+		ctx := c.pool.Ctxs[req.slot]
+		if c.tr.Enabled() {
+			ctx.SetTraceOp(req.op)
+		}
+		ctx.Arm()
+		payload := ctx.TriggerPayload(req.key, req.valLen, c.resp[req.slot])
+		c.node.Mem.Write(c.trig[req.slot], payload)
+		// Clear the response slot so misses are observable.
+		c.node.Mem.Write(c.resp[req.slot], c.zero[:req.valLen])
+		c.get.qp.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.trig[req.slot], Len: uint64(len(payload))})
+	}
+	c.get.deliver = func(req *pipeReq, lat Duration, ok, slotValid bool) {
+		if req.getCB == nil {
+			return
+		}
+		var val []byte
+		if slotValid {
+			val, _ = c.node.Mem.Read(c.resp[req.slot], req.valLen)
+		}
+		req.getCB(val, lat, ok)
+	}
+
+	// ---- set ----
+	c.set.post = func(req *pipeReq) {
+		ctx := c.spool.Ctxs[req.slot]
+		if c.tr.Enabled() {
+			ctx.SetTraceOp(req.op)
+		}
+		req.staging = ctx.Arm(req.key)
+		c.node.Mem.Write(c.sval[req.slot], req.val)
+		payload := ctx.TriggerPayload(req.key, req.sclaim, uint64(len(req.val)), req.ver, c.sack[req.slot])
+		c.node.Mem.Write(c.strig[req.slot], payload)
+		// Same QP, in order: the value lands in staging before the
+		// trigger SEND fires the claim chain.
+		c.set.qp.PostSend(wqe.WQE{Op: wqe.OpWrite, Src: c.sval[req.slot], Dst: req.staging,
+			Len: uint64(len(req.val))})
+		c.set.qp.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.strig[req.slot], Len: uint64(len(payload))})
+	}
+	c.set.deliver = func(req *pipeReq, lat Duration, ok, slotValid bool) {
+		if req.ackCB != nil {
+			req.ackCB(lat, ok)
+		}
+	}
+	c.set.release = func(req *pipeReq, ok, executed bool) {
+		if !ok && executed {
+			// The chain ran and refused the claim: the staged bytes can
+			// never become the bucket's value, so retire the extent.
+			// (An unexecuted chain keeps its staging — a straggler could
+			// still repoint the bucket at it.)
+			c.spool.Ctxs[req.slot].ReleaseStaging()
+		}
+		if ok && req.lifecycle && c.arena != nil {
+			// This ack's staging is the bucket's value now; the extent
+			// the previous same-key ack installed is superseded — retire
+			// it after the read grace (an in-flight get may hold its
+			// pointer).
+			if prev, tracked := c.prevVal[req.key]; tracked && prev != req.staging {
+				c.tb.clu.Eng.After(ExtentGraceLat, func() { c.arena.Free(prev) })
+			}
+			c.prevVal[req.key] = req.staging
+		}
+	}
+
+	// ---- delete ----
+	c.del.post = func(req *pipeReq) {
+		ctx := c.dpool.Ctxs[req.slot]
+		if c.tr.Enabled() {
+			ctx.SetTraceOp(req.op)
+		}
+		ctx.Arm()
+		payload := ctx.TriggerPayload(req.key, req.dclaim, req.ver, c.dack[req.slot])
+		c.node.Mem.Write(c.dtrig[req.slot], payload)
+		c.del.qp.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.dtrig[req.slot], Len: uint64(len(payload))})
+	}
+	c.del.deliver = func(req *pipeReq, lat Duration, ok, slotValid bool) {
+		if req.ackCB != nil {
+			req.ackCB(lat, ok)
+		}
+	}
+	c.del.release = func(req *pipeReq, ok, executed bool) {
+		if ok {
+			// The unlink just retired the bucket's extent through the
+			// ring; the standalone lifecycle chain must not free it
+			// again on the next same-key set ack.
+			delete(c.prevVal, req.key)
+		}
+		// Drain on every completion, not just acks: a straggler chain
+		// from a timed-out delete deposits into a ring slot that a later
+		// re-arm of the same context would otherwise overwrite, losing
+		// the extent.
+		c.DrainFreed()
+	}
+
+	// ---- probe ----
+	c.prb.post = func(req *pipeReq) {
+		ctx := c.ppool.Ctxs[req.slot]
+		if c.tr.Enabled() {
+			ctx.SetTraceOp(req.op)
+		}
+		ctx.Arm()
+		payload := ctx.TriggerPayload(req.key, req.target, c.presp[req.slot])
+		c.node.Mem.Write(c.ptrig[req.slot], payload)
+		c.node.Mem.PutU64(c.presp[req.slot], 0)
+		c.prb.qp.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.ptrig[req.slot], Len: uint64(len(payload))})
+	}
+	c.prb.deliver = func(req *pipeReq, lat Duration, ok, slotValid bool) {
+		if req.prbCB == nil {
+			return
+		}
+		var ver uint64
+		if ok && slotValid {
+			ver, _ = c.node.Mem.U64(c.presp[req.slot])
+		}
+		req.prbCB(ver, lat, ok)
+	}
 }
 
 // Bind points the client's gets at a server hash table.
@@ -520,46 +891,140 @@ func (c *Client) Bind(h *HashTable) {
 // Node exposes the client's simulated node.
 func (c *Client) Node() *fabric.Node { return c.node }
 
-// Depth returns the pipeline depth (max gets in flight).
+// Depth returns the pipeline depth (max requests in flight per op).
 func (c *Client) Depth() int { return c.depth }
 
+// pipe maps an Op to its pipeline (OpGet for unknown values).
+func (c *Client) pipe(op Op) *opPipeline {
+	if int(op) < len(c.pipes) {
+		return c.pipes[op]
+	}
+	return c.get
+}
+
+// PipelineStats snapshots one pipeline's occupancy and window. Unlike
+// the deprecated per-op accessors it reports in-flight and wedged
+// slots disjointly from an explicit counter rather than deriving one
+// from the other.
+func (c *Client) PipelineStats(op Op) PipelineStats {
+	p := c.pipe(op)
+	return PipelineStats{
+		InFlight: p.inFlight,
+		Queued:   len(p.waiting),
+		Wedged:   p.nWedged,
+		Window:   p.win.size(),
+	}
+}
+
 // InFlight returns the number of gets currently occupying slots.
-func (c *Client) InFlight() int { return c.depth - len(c.free) - c.nWedged }
+//
+// Deprecated: use PipelineStats(OpGet).InFlight.
+func (c *Client) InFlight() int { return c.get.inFlight }
 
 // Queued returns the number of gets waiting client-side for a slot.
-func (c *Client) Queued() int { return len(c.waiting) }
+//
+// Deprecated: use PipelineStats(OpGet).Queued.
+func (c *Client) Queued() int { return len(c.get.waiting) }
 
-// Wedged returns the number of quarantined slots: slots whose last
+// Wedged returns the number of quarantined get slots: slots whose last
 // armed offload instance never executed (the server NIC is frozen or
 // the connection is dead). A fully wedged client fails new gets after
 // one MissTimeout instead of queueing them forever.
-func (c *Client) Wedged() int { return c.nWedged }
+//
+// Deprecated: use PipelineStats(OpGet).Wedged.
+func (c *Client) Wedged() int { return c.get.nWedged }
 
-// pendingCQEs returns how many signaled response completions slot's
-// armed instances still owe.
-func (c *Client) pendingCQEs(slot int) uint64 {
-	return c.armCount[slot]*uint64(c.respPerGet) - c.execSeen[slot]
-}
+// SetsInFlight returns the number of sets currently occupying slots.
+//
+// Deprecated: use PipelineStats(OpSet).InFlight.
+func (c *Client) SetsInFlight() int { return c.set.inFlight }
 
-// reclaim returns a quarantined slot to service once its backlog
-// clears: response completions are delivered in order, so pending
-// falling below one instance's worth means the last armed chain has
-// begun executing on a live NIC.
-func (c *Client) reclaim(slot int) {
-	if !c.wedgedSlot[slot] || c.pendingCQEs(slot) >= uint64(c.respPerGet) {
-		return
+// SetsQueued returns the number of sets waiting client-side for a slot.
+//
+// Deprecated: use PipelineStats(OpSet).Queued.
+func (c *Client) SetsQueued() int { return len(c.set.waiting) }
+
+// SetsWedged returns the number of quarantined set slots.
+//
+// Deprecated: use PipelineStats(OpSet).Wedged.
+func (c *Client) SetsWedged() int { return c.set.nWedged }
+
+// DeletesInFlight returns the number of deletes currently occupying
+// slots.
+//
+// Deprecated: use PipelineStats(OpDelete).InFlight.
+func (c *Client) DeletesInFlight() int { return c.del.inFlight }
+
+// DeletesQueued returns the deletes waiting client-side for a slot.
+//
+// Deprecated: use PipelineStats(OpDelete).Queued.
+func (c *Client) DeletesQueued() int { return len(c.del.waiting) }
+
+// DeletesWedged returns the number of quarantined delete slots.
+//
+// Deprecated: use PipelineStats(OpDelete).Wedged.
+func (c *Client) DeletesWedged() int { return c.del.nWedged }
+
+// ProbesInFlight returns the number of probes currently occupying
+// slots.
+//
+// Deprecated: use PipelineStats(OpProbe).InFlight.
+func (c *Client) ProbesInFlight() int { return c.prb.inFlight }
+
+// ProbesQueued returns the probes waiting client-side for a slot.
+//
+// Deprecated: use PipelineStats(OpProbe).Queued.
+func (c *Client) ProbesQueued() int { return len(c.prb.waiting) }
+
+// ProbesWedged returns the number of quarantined probe slots.
+//
+// Deprecated: use PipelineStats(OpProbe).Wedged.
+func (c *Client) ProbesWedged() int { return c.prb.nWedged }
+
+// LastMissExecuted reports whether the most recent miss's offload
+// chain executed on the server NIC (response NOOPs delivered — the key
+// is genuinely absent) as opposed to never running (dead connection).
+// Meaningful when read from within a miss callback.
+func (c *Client) LastMissExecuted() bool { return c.get.lastRan }
+
+// LastSetExecuted reports whether the most recent failed set's offload
+// chain executed on the server NIC (a genuine claim refusal — the
+// bucket was taken) as opposed to never running (dead connection).
+// Meaningful when read from within a failed-set callback.
+func (c *Client) LastSetExecuted() bool { return c.set.lastRan }
+
+// LastDeleteExecuted reports whether the most recent failed delete's
+// offload chain executed on the server NIC (a genuine claim refusal —
+// the key was absent or already tombstoned) as opposed to never
+// running (dead connection). Meaningful inside a failed-delete
+// callback.
+func (c *Client) LastDeleteExecuted() bool { return c.del.lastRan }
+
+// LastProbeExecuted reports whether the most recent failed probe's
+// offload chain executed on the server NIC (a genuine conditional miss
+// — the bucket does not hold the probed key) as opposed to never
+// running (dead connection). Meaningful inside a failed-probe callback.
+func (c *Client) LastProbeExecuted() bool { return c.prb.lastRan }
+
+// Flush rings the send doorbells once for every request posted since
+// the last flush — the client-side batching that lets a burst of
+// same-shard operations share one MMIO kick per path.
+func (c *Client) Flush() {
+	for _, p := range c.pipes {
+		if p.dirty {
+			p.dirty = false
+			p.qp.RingSQ()
+			if c.tr.Enabled() {
+				c.tr.Instant(c.trLabel, "doorbell:"+p.name, 0)
+			}
+		}
 	}
-	c.wedgedSlot[slot] = false
-	c.nWedged--
-	c.free = append(c.free, slot)
-	c.pump()
-	c.Flush()
 }
 
 // GetAsync issues one offloaded get of up to valLen bytes and returns
 // immediately; cb runs (from the simulation, never synchronously) when
 // the response lands or MissTimeout expires. Gets beyond the pipeline
-// depth queue client-side until a slot frees. Call Flush to ring the
+// window queue client-side until a slot frees. Call Flush to ring the
 // doorbell after posting a batch.
 func (c *Client) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration, ok bool)) {
 	if c.table == nil {
@@ -568,185 +1033,7 @@ func (c *Client) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration, 
 	if valLen > c.maxVal {
 		panic(fmt.Sprintf("redn: valLen %d exceeds client max %d", valLen, c.maxVal))
 	}
-	req := &getReq{key: key & hopscotch.KeyMask, valLen: valLen, cb: cb, op: c.tr.Op()}
-	if len(c.free) == 0 {
-		if c.nWedged == c.depth {
-			// Every slot is quarantined: the connection is dead. Fail
-			// after the miss deadline — the elapsed time a real client
-			// would wait on an unresponsive server before giving up.
-			c.gets++
-			c.failLater(req)
-			return
-		}
-		c.waiting = append(c.waiting, req)
-		return
-	}
-	c.issue(req)
-}
-
-// failLater completes req as a miss one MissTimeout from now unless it
-// got issued or completed in the meantime.
-func (c *Client) failLater(req *getReq) {
-	c.tb.clu.Eng.After(c.MissTimeout, func() {
-		if req.done || req.issued {
-			return
-		}
-		req.done = true
-		c.misses++
-		c.lastMissExecuted = false // never even reached a slot
-		if req.cb != nil {
-			req.cb(nil, c.MissTimeout, false)
-		}
-	})
-}
-
-// LastMissExecuted reports whether the most recent miss's offload
-// chain executed on the server NIC (response NOOPs delivered — the key
-// is genuinely absent) as opposed to never running (dead connection).
-// Meaningful when read from within a miss callback.
-func (c *Client) LastMissExecuted() bool { return c.lastMissExecuted }
-
-// Flush rings the send doorbells once for every get and set posted
-// since the last flush — the client-side batching that lets a burst of
-// same-shard operations share one MMIO kick per path.
-func (c *Client) Flush() {
-	if c.dirty {
-		c.dirty = false
-		c.cliQP.RingSQ()
-		if c.tr.Enabled() {
-			c.tr.Instant(c.trLabel, "doorbell:get", 0)
-		}
-	}
-	if c.sdirty {
-		c.sdirty = false
-		c.cliSetQP.RingSQ()
-		if c.tr.Enabled() {
-			c.tr.Instant(c.trLabel, "doorbell:set", 0)
-		}
-	}
-	if c.ddirty {
-		c.ddirty = false
-		c.cliDelQP.RingSQ()
-		if c.tr.Enabled() {
-			c.tr.Instant(c.trLabel, "doorbell:del", 0)
-		}
-	}
-	if c.pdirty {
-		c.pdirty = false
-		c.cliPrbQP.RingSQ()
-		if c.tr.Enabled() {
-			c.tr.Instant(c.trLabel, "doorbell:probe", 0)
-		}
-	}
-}
-
-// issue arms one offload instance and posts the trigger SEND
-// (doorbell-less; Flush kicks it).
-func (c *Client) issue(req *getReq) {
-	slot := c.free[len(c.free)-1]
-	c.free = c.free[:len(c.free)-1]
-	req.slot = slot
-	req.issued = true
-	c.slots[slot] = req
-	c.armCount[slot]++
-	c.gets++
-	if f := c.depth - len(c.free); f > c.maxInFlight {
-		c.maxInFlight = f
-	}
-
-	ctx := c.pool.Ctxs[slot]
-	if c.tr.Enabled() {
-		ctx.SetTraceOp(req.op)
-	}
-	ctx.Arm()
-	payload := ctx.TriggerPayload(req.key, req.valLen, c.resp[slot])
-	c.node.Mem.Write(c.trig[slot], payload)
-	// Clear the response slot so misses are observable.
-	c.node.Mem.Write(c.resp[slot], c.zero[:req.valLen])
-
-	req.start = c.tb.clu.Eng.Now()
-	c.cliQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.trig[slot], Len: uint64(len(payload))})
-	c.dirty = true
-	c.tb.clu.Eng.After(c.MissTimeout, func() { c.onTimeout(req) })
-}
-
-// onHit completes slot's in-flight get as a hit at time at. A key
-// mismatch means the WRITE belongs to an instance whose request
-// already timed out and whose slot was reissued — dropped. (A
-// same-key straggler is indistinguishable and completes the current
-// request; its response bytes are the same value, so only the
-// latency attribution blurs.)
-func (c *Client) onHit(slot int, key uint64, at sim.Time) {
-	req := c.slots[slot]
-	if req == nil || req.key != key {
-		return
-	}
-	c.hits++
-	val, _ := c.node.Mem.Read(c.resp[req.slot], req.valLen)
-	c.finish(req, val, at-req.start, true)
-}
-
-// onTimeout completes req as a miss if it is still outstanding. The
-// reported latency is exactly the configured timeout — the elapsed
-// time a real client would have waited before giving up.
-func (c *Client) onTimeout(req *getReq) {
-	if req.done || c.slots[req.slot] != req {
-		return
-	}
-	c.misses++
-	val, _ := c.node.Mem.Read(c.resp[req.slot], req.valLen)
-	c.finish(req, val, c.MissTimeout, false)
-}
-
-// finish releases req's slot, runs its callback, and refills the
-// pipeline from the waiting queue (self-flushing: the driver may never
-// call Flush again). A slot timing out with its armed instance still
-// unexecuted (no response completions delivered, hit or miss) is
-// quarantined rather than re-armed: the server NIC dropped the trigger,
-// and stacking fresh instances on the dead context would overflow its
-// chain rings. A confirmed hit always frees the slot — the WRITE proves
-// the chain ran.
-func (c *Client) finish(req *getReq, val []byte, lat Duration, ok bool) {
-	req.done = true
-	if c.tr.Enabled() {
-		c.tr.Exec(c.trLabel, c.trGet[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
-	}
-	c.slots[req.slot] = nil
-	if !ok && c.pendingCQEs(req.slot) >= uint64(c.respPerGet) {
-		c.lastMissExecuted = false
-		c.wedgedSlot[req.slot] = true
-		c.nWedged++
-		if c.nWedged == c.depth {
-			// Nothing will ever free a slot: fail the queue rather
-			// than strand it.
-			for _, w := range c.waiting {
-				c.failLater(w)
-			}
-			c.waiting = nil
-		}
-	} else {
-		if !ok {
-			c.lastMissExecuted = true
-		}
-		c.free = append(c.free, req.slot)
-	}
-	if req.cb != nil {
-		req.cb(val, lat, ok)
-	}
-	c.pump()
-	c.Flush()
-}
-
-// pump issues queued gets while free slots remain.
-func (c *Client) pump() {
-	for len(c.waiting) > 0 && len(c.free) > 0 {
-		next := c.waiting[0]
-		c.waiting = c.waiting[1:]
-		if next.done {
-			continue
-		}
-		c.issue(next)
-	}
+	c.get.submit(&pipeReq{key: key & hopscotch.KeyMask, valLen: valLen, getCB: cb, op: c.tr.Op()})
 }
 
 // Get performs one offloaded get of up to valLen bytes, advancing the
@@ -778,21 +1065,6 @@ func (c *Client) Get(key uint64, valLen uint64) ([]byte, Duration, bool) {
 
 // ---- write path ----
 
-// SetsInFlight returns the number of sets currently occupying slots.
-func (c *Client) SetsInFlight() int { return c.depth - len(c.sfree) - c.snWedged }
-
-// SetsQueued returns the number of sets waiting client-side for a slot.
-func (c *Client) SetsQueued() int { return len(c.swaiting) }
-
-// SetsWedged returns the number of quarantined set slots.
-func (c *Client) SetsWedged() int { return c.snWedged }
-
-// LastSetExecuted reports whether the most recent failed set's offload
-// chain executed on the server NIC (a genuine claim refusal — the
-// bucket was taken) as opposed to never running (dead connection).
-// Meaningful when read from within a failed-set callback.
-func (c *Client) LastSetExecuted() bool { return c.lastSetRan }
-
 // setClaim computes the CAS claim for key against the client's view of
 // the bound table (shared logic with the service router): overwrite in
 // place when the key sits at a reachable candidate bucket, claim the
@@ -806,7 +1078,7 @@ func (c *Client) setClaim(key uint64) (core.SetClaim, bool) {
 // SetAsync issues one offloaded set of value under key, computing the
 // bucket claim from the bound table, and returns immediately; cb runs
 // when the NIC's ack lands or MissTimeout expires. Sets beyond the
-// pipeline depth queue client-side. Call Flush to ring the doorbell
+// pipeline window queue client-side. Call Flush to ring the doorbell
 // after posting a batch. A key whose candidate buckets are both taken
 // by other keys fails immediately (ok=false after a zero-cost hop):
 // relocation is host work, not a NIC claim.
@@ -835,10 +1107,10 @@ func (c *Client) SetAsync(key uint64, value []byte, cb func(lat Duration, ok boo
 		return
 	}
 	// An acknowledged overwrite repoints the bucket at the new staging
-	// extent; the superseded extent is retired from sfinish via the
-	// per-key prevVal chain (exactly once, in ack order — see prevVal).
-	// Seed the chain with the table's current extent so the first
-	// overwrite retires the preloaded value. (Service writes pass
+	// extent; the superseded extent is retired from the release hook via
+	// the per-key prevVal chain (exactly once, in ack order — see
+	// prevVal). Seed the chain with the table's current extent so the
+	// first overwrite retires the preloaded value. (Service writes pass
 	// SetAsyncClaim directly — their coordinator owns the lifecycle.)
 	k := key & hopscotch.KeyMask
 	if c.arena != nil {
@@ -849,175 +1121,24 @@ func (c *Client) SetAsync(key uint64, value []byte, cb func(lat Duration, ok boo
 		}
 	}
 	c.nextVer[k]++
-	c.setAsyncReq(&setReq{key: k, val: value, claim: claim, ver: c.nextVer[k],
-		cb: cb, lifecycle: true})
+	c.setAsyncReq(&pipeReq{key: k, val: value, sclaim: claim, ver: c.nextVer[k],
+		ackCB: cb, lifecycle: true})
 }
 
 // SetAsyncClaim is SetAsync with an explicit, caller-computed bucket
 // claim and version — the service layer's entry point (its router owns
 // placement and the quorum sequence the version publishes).
 func (c *Client) SetAsyncClaim(key uint64, value []byte, claim core.SetClaim, ver uint64, cb func(lat Duration, ok bool)) {
-	c.setAsyncReq(&setReq{key: key & hopscotch.KeyMask, val: value, claim: claim, ver: ver, cb: cb})
+	c.setAsyncReq(&pipeReq{key: key & hopscotch.KeyMask, val: value, sclaim: claim, ver: ver, ackCB: cb})
 }
 
 // setAsyncReq routes one set request into the pipeline.
-func (c *Client) setAsyncReq(req *setReq) {
+func (c *Client) setAsyncReq(req *pipeReq) {
 	req.op = c.tr.Op()
 	if uint64(len(req.val)) > c.maxVal {
 		panic(fmt.Sprintf("redn: value %d exceeds client max %d", len(req.val), c.maxVal))
 	}
-	if len(c.sfree) == 0 {
-		if c.snWedged == c.depth {
-			c.sets++
-			c.sfailLater(req)
-			return
-		}
-		c.swaiting = append(c.swaiting, req)
-		return
-	}
-	c.sissue(req)
-}
-
-// sfailLater completes req as failed one MissTimeout from now unless
-// it got issued in the meantime (a slot was reclaimed).
-func (c *Client) sfailLater(req *setReq) {
-	c.tb.clu.Eng.After(c.MissTimeout, func() {
-		if req.done || req.issued {
-			return
-		}
-		req.done = true
-		c.setFails++
-		c.lastSetRan = false
-		if req.cb != nil {
-			req.cb(c.MissTimeout, false)
-		}
-	})
-}
-
-// sissue arms one set instance, stages the value bytes and posts the
-// value WRITE plus the trigger SEND (doorbell-less; Flush kicks both).
-func (c *Client) sissue(req *setReq) {
-	slot := c.sfree[len(c.sfree)-1]
-	c.sfree = c.sfree[:len(c.sfree)-1]
-	req.slot = slot
-	req.issued = true
-	c.sslots[slot] = req
-	c.sarmCount[slot]++
-	c.sets++
-	if f := c.depth - len(c.sfree); f > c.maxSetsInFlight {
-		c.maxSetsInFlight = f
-	}
-
-	ctx := c.spool.Ctxs[slot]
-	if c.tr.Enabled() {
-		ctx.SetTraceOp(req.op)
-	}
-	staging := ctx.Arm(req.key)
-	req.staging = staging
-	c.node.Mem.Write(c.sval[slot], req.val)
-	payload := ctx.TriggerPayload(req.key, req.claim, uint64(len(req.val)), req.ver, c.sack[slot])
-	c.node.Mem.Write(c.strig[slot], payload)
-
-	req.start = c.tb.clu.Eng.Now()
-	// Same QP, in order: the value lands in staging before the trigger
-	// SEND fires the claim chain.
-	c.cliSetQP.PostSend(wqe.WQE{Op: wqe.OpWrite, Src: c.sval[slot], Dst: staging,
-		Len: uint64(len(req.val))})
-	c.cliSetQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.strig[slot], Len: uint64(len(payload))})
-	c.sdirty = true
-	c.tb.clu.Eng.After(c.MissTimeout, func() { c.onSetTimeout(req) })
-}
-
-// onSetAck completes slot's in-flight set: the conditional ack WRITE
-// carries the claimed key in its id field, rejecting stragglers from
-// instances whose request already timed out.
-func (c *Client) onSetAck(slot int, key uint64, at sim.Time) {
-	req := c.sslots[slot]
-	if req == nil || req.key != key {
-		return
-	}
-	c.setAcks++
-	c.sfinish(req, at-req.start, true)
-}
-
-// onSetTimeout completes req as failed if it is still outstanding.
-func (c *Client) onSetTimeout(req *setReq) {
-	if req.done || c.sslots[req.slot] != req {
-		return
-	}
-	c.setFails++
-	c.sfinish(req, c.MissTimeout, false)
-}
-
-// sfinish mirrors finish for the write path: release the slot (or
-// quarantine it when the armed chain never executed), run the
-// callback, refill from the waiting queue.
-func (c *Client) sfinish(req *setReq, lat Duration, ok bool) {
-	req.done = true
-	if c.tr.Enabled() {
-		c.tr.Exec(c.trLabel, c.trSet[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
-	}
-	c.sslots[req.slot] = nil
-	if !ok && c.sarmCount[req.slot]-c.sexecSeen[req.slot] >= 1 {
-		// Never executed: the staging extent stays allocated — a
-		// straggling chain could still repoint the bucket at it.
-		c.lastSetRan = false
-		c.swedged[req.slot] = true
-		c.snWedged++
-		if c.snWedged == c.depth {
-			for _, w := range c.swaiting {
-				c.sfailLater(w)
-			}
-			c.swaiting = nil
-		}
-	} else {
-		if !ok {
-			// The chain ran and refused the claim: the staged bytes can
-			// never become the bucket's value, so retire the extent.
-			c.lastSetRan = true
-			c.spool.Ctxs[req.slot].ReleaseStaging()
-		}
-		c.sfree = append(c.sfree, req.slot)
-	}
-	if ok && req.lifecycle && c.arena != nil {
-		// This ack's staging is the bucket's value now; the extent the
-		// previous same-key ack installed is superseded — retire it
-		// after the read grace (an in-flight get may hold its pointer).
-		if prev, tracked := c.prevVal[req.key]; tracked && prev != req.staging {
-			c.tb.clu.Eng.After(ExtentGraceLat, func() { c.arena.Free(prev) })
-		}
-		c.prevVal[req.key] = req.staging
-	}
-	if req.cb != nil {
-		req.cb(lat, ok)
-	}
-	c.spump()
-	c.Flush()
-}
-
-// sreclaim returns a quarantined set slot once its completion backlog
-// clears (the last armed chain executed on a live NIC).
-func (c *Client) sreclaim(slot int) {
-	if !c.swedged[slot] || c.sarmCount[slot]-c.sexecSeen[slot] >= 1 {
-		return
-	}
-	c.swedged[slot] = false
-	c.snWedged--
-	c.sfree = append(c.sfree, slot)
-	c.spump()
-	c.Flush()
-}
-
-// spump issues queued sets while free slots remain.
-func (c *Client) spump() {
-	for len(c.swaiting) > 0 && len(c.sfree) > 0 {
-		next := c.swaiting[0]
-		c.swaiting = c.swaiting[1:]
-		if next.done {
-			continue
-		}
-		c.sissue(next)
-	}
+	c.set.submit(req)
 }
 
 // Set performs one offloaded set, advancing the simulation until the
@@ -1039,23 +1160,6 @@ func (c *Client) Set(key uint64, value []byte) (Duration, bool) {
 
 // ---- delete path ----
 
-// DeletesInFlight returns the number of deletes currently occupying
-// slots.
-func (c *Client) DeletesInFlight() int { return c.depth - len(c.dfree) - c.dnWedged }
-
-// DeletesQueued returns the deletes waiting client-side for a slot.
-func (c *Client) DeletesQueued() int { return len(c.dwaiting) }
-
-// DeletesWedged returns the number of quarantined delete slots.
-func (c *Client) DeletesWedged() int { return c.dnWedged }
-
-// LastDeleteExecuted reports whether the most recent failed delete's
-// offload chain executed on the server NIC (a genuine claim refusal —
-// the key was absent or already tombstoned) as opposed to never
-// running (dead connection). Meaningful inside a failed-delete
-// callback.
-func (c *Client) LastDeleteExecuted() bool { return c.lastDelRan }
-
 // deleteClaim computes the delete claim for key against the client's
 // view of the bound table: the key must sit at a candidate bucket the
 // NIC probes. Spilled residents only a CPU scan can reach — and keys
@@ -1067,7 +1171,7 @@ func (c *Client) deleteClaim(key uint64) (core.DeleteClaim, bool) {
 // DeleteAsync issues one offloaded delete of key, computing the bucket
 // claim from the bound table, and returns immediately; cb runs when
 // the NIC's ack lands or MissTimeout expires. Deletes beyond the
-// pipeline depth queue client-side; call Flush after posting a batch.
+// pipeline window queue client-side; call Flush after posting a batch.
 // A key that is not at a NIC-reachable candidate bucket fails after a
 // zero-cost hop: retiring spilled residents is host work.
 func (c *Client) DeleteAsync(key uint64, cb func(lat Duration, ok bool)) {
@@ -1098,124 +1202,7 @@ func (c *Client) DeleteAsync(key uint64, cb func(lat Duration, ok bool)) {
 // DeleteAsyncClaim is DeleteAsync with an explicit, caller-computed
 // bucket claim and tombstone version — the service layer's entry point.
 func (c *Client) DeleteAsyncClaim(key uint64, claim core.DeleteClaim, ver uint64, cb func(lat Duration, ok bool)) {
-	req := &delReq{key: key & hopscotch.KeyMask, claim: claim, ver: ver, cb: cb, op: c.tr.Op()}
-	if len(c.dfree) == 0 {
-		if c.dnWedged == c.depth {
-			c.dels++
-			c.dfailLater(req)
-			return
-		}
-		c.dwaiting = append(c.dwaiting, req)
-		return
-	}
-	c.dissue(req)
-}
-
-// dfailLater completes req as failed one MissTimeout from now unless a
-// reclaimed slot picked it up in the meantime.
-func (c *Client) dfailLater(req *delReq) {
-	c.tb.clu.Eng.After(c.MissTimeout, func() {
-		if req.done || req.issued {
-			return
-		}
-		req.done = true
-		c.delFails++
-		c.lastDelRan = false
-		if req.cb != nil {
-			req.cb(c.MissTimeout, false)
-		}
-	})
-}
-
-// dissue arms one delete instance and posts the trigger SEND
-// (doorbell-less; Flush kicks it).
-func (c *Client) dissue(req *delReq) {
-	slot := c.dfree[len(c.dfree)-1]
-	c.dfree = c.dfree[:len(c.dfree)-1]
-	req.slot = slot
-	req.issued = true
-	c.dslots[slot] = req
-	c.darmCount[slot]++
-	c.dels++
-	if f := c.depth - len(c.dfree); f > c.maxDelsInFlight {
-		c.maxDelsInFlight = f
-	}
-
-	ctx := c.dpool.Ctxs[slot]
-	if c.tr.Enabled() {
-		ctx.SetTraceOp(req.op)
-	}
-	ctx.Arm()
-	payload := ctx.TriggerPayload(req.key, req.claim, req.ver, c.dack[slot])
-	c.node.Mem.Write(c.dtrig[slot], payload)
-
-	req.start = c.tb.clu.Eng.Now()
-	c.cliDelQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.dtrig[slot], Len: uint64(len(payload))})
-	c.ddirty = true
-	c.tb.clu.Eng.After(c.MissTimeout, func() { c.onDelTimeout(req) })
-}
-
-// onDelAck completes slot's in-flight delete: the conditional ack
-// WRITE carries the claimed key in its id field, rejecting stragglers
-// from instances whose request already timed out.
-func (c *Client) onDelAck(slot int, key uint64, at sim.Time) {
-	req := c.dslots[slot]
-	if req == nil || req.key != key {
-		return
-	}
-	c.delAcks++
-	c.dfinish(req, at-req.start, true)
-}
-
-// onDelTimeout completes req as failed if it is still outstanding.
-func (c *Client) onDelTimeout(req *delReq) {
-	if req.done || c.dslots[req.slot] != req {
-		return
-	}
-	c.delFails++
-	c.dfinish(req, c.MissTimeout, false)
-}
-
-// dfinish mirrors sfinish: release (or quarantine) the slot, drain the
-// to-free ring on success so unlinked extents return to the arena, run
-// the callback, refill from the waiting queue.
-func (c *Client) dfinish(req *delReq, lat Duration, ok bool) {
-	req.done = true
-	if c.tr.Enabled() {
-		c.tr.Exec(c.trLabel, c.trDel[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
-	}
-	c.dslots[req.slot] = nil
-	if !ok && c.darmCount[req.slot]-c.dexecSeen[req.slot] >= 1 {
-		c.lastDelRan = false
-		c.dwedged[req.slot] = true
-		c.dnWedged++
-		if c.dnWedged == c.depth {
-			for _, w := range c.dwaiting {
-				c.dfailLater(w)
-			}
-			c.dwaiting = nil
-		}
-	} else {
-		if !ok {
-			c.lastDelRan = true
-		}
-		c.dfree = append(c.dfree, req.slot)
-	}
-	if ok {
-		// The unlink just retired the bucket's extent through the ring;
-		// the standalone lifecycle chain must not free it again on the
-		// next same-key set ack.
-		delete(c.prevVal, req.key)
-	}
-	// Drain on every completion, not just acks: a straggler chain from
-	// a timed-out delete deposits into a ring slot that a later re-arm
-	// of the same context would otherwise overwrite, losing the extent.
-	c.DrainFreed()
-	if req.cb != nil {
-		req.cb(lat, ok)
-	}
-	c.dpump()
-	c.Flush()
+	c.del.submit(&pipeReq{key: key & hopscotch.KeyMask, dclaim: claim, ver: ver, ackCB: cb, op: c.tr.Op()})
 }
 
 // DrainFreed drains this connection's to-free ring into the server's
@@ -1242,31 +1229,6 @@ func (c *Client) DrainFreed() int {
 	})
 }
 
-// dreclaim returns a quarantined delete slot once its completion
-// backlog clears (the last armed chain executed on a live NIC).
-func (c *Client) dreclaim(slot int) {
-	if !c.dwedged[slot] || c.darmCount[slot]-c.dexecSeen[slot] >= 1 {
-		return
-	}
-	c.dwedged[slot] = false
-	c.dnWedged--
-	c.dfree = append(c.dfree, slot)
-	c.dpump()
-	c.Flush()
-}
-
-// dpump issues queued deletes while free slots remain.
-func (c *Client) dpump() {
-	for len(c.dwaiting) > 0 && len(c.dfree) > 0 {
-		next := c.dwaiting[0]
-		c.dwaiting = c.dwaiting[1:]
-		if next.done {
-			continue
-		}
-		c.dissue(next)
-	}
-}
-
 // Delete performs one offloaded delete, advancing the simulation until
 // the ack lands (or MissTimeout for refused claims). It returns the
 // observed latency and whether the NIC acknowledged the retirement.
@@ -1286,22 +1248,6 @@ func (c *Client) Delete(key uint64) (Duration, bool) {
 
 // ---- probe path ----
 
-// ProbesInFlight returns the number of probes currently occupying
-// slots.
-func (c *Client) ProbesInFlight() int { return c.depth - len(c.pfree) - c.pnWedged }
-
-// ProbesQueued returns the probes waiting client-side for a slot.
-func (c *Client) ProbesQueued() int { return len(c.pwaiting) }
-
-// ProbesWedged returns the number of quarantined probe slots.
-func (c *Client) ProbesWedged() int { return c.pnWedged }
-
-// LastProbeExecuted reports whether the most recent failed probe's
-// offload chain executed on the server NIC (a genuine conditional miss
-// — the bucket does not hold the probed key) as opposed to never
-// running (dead connection). Meaningful inside a failed-probe callback.
-func (c *Client) LastProbeExecuted() bool { return c.lastPrbRan }
-
 // probeTarget computes the probe target for key against the client's
 // view of the bound table: the candidate bucket that holds the key.
 // Keys not at a NIC-reachable candidate (spilled, tombstoned, absent)
@@ -1316,7 +1262,7 @@ func (c *Client) probeTarget(key uint64) (core.ProbeTarget, bool) {
 // with the replica's version word when the NIC's response lands, or
 // ok=false after MissTimeout (key absent at the probed bucket, or dead
 // connection — LastProbeExecuted tells them apart). Probes beyond the
-// pipeline depth queue client-side; call Flush after posting a batch.
+// pipeline window queue client-side; call Flush after posting a batch.
 func (c *Client) ProbeAsync(key uint64, cb func(ver uint64, lat Duration, ok bool)) {
 	if c.table == nil {
 		panic("redn: Bind a table before Probe")
@@ -1336,137 +1282,7 @@ func (c *Client) ProbeAsync(key uint64, cb func(ver uint64, lat Duration, ok boo
 // ProbeAsyncTarget is ProbeAsync with an explicit, caller-computed
 // probe target — the service layer's entry point.
 func (c *Client) ProbeAsyncTarget(key uint64, target core.ProbeTarget, cb func(ver uint64, lat Duration, ok bool)) {
-	req := &probeReq{key: key & hopscotch.KeyMask, target: target, cb: cb, op: c.tr.Op()}
-	if len(c.pfree) == 0 {
-		if c.pnWedged == c.depth {
-			c.probes++
-			c.pfailLater(req)
-			return
-		}
-		c.pwaiting = append(c.pwaiting, req)
-		return
-	}
-	c.pissue(req)
-}
-
-// pfailLater completes req as failed one MissTimeout from now unless a
-// reclaimed slot picked it up in the meantime.
-func (c *Client) pfailLater(req *probeReq) {
-	c.tb.clu.Eng.After(c.MissTimeout, func() {
-		if req.done || req.issued {
-			return
-		}
-		req.done = true
-		c.probeFails++
-		c.lastPrbRan = false
-		if req.cb != nil {
-			req.cb(0, c.MissTimeout, false)
-		}
-	})
-}
-
-// pissue arms one probe instance and posts the trigger SEND
-// (doorbell-less; Flush kicks it).
-func (c *Client) pissue(req *probeReq) {
-	slot := c.pfree[len(c.pfree)-1]
-	c.pfree = c.pfree[:len(c.pfree)-1]
-	req.slot = slot
-	req.issued = true
-	c.pslots[slot] = req
-	c.parmCount[slot]++
-	c.probes++
-
-	ctx := c.ppool.Ctxs[slot]
-	if c.tr.Enabled() {
-		ctx.SetTraceOp(req.op)
-	}
-	ctx.Arm()
-	payload := ctx.TriggerPayload(req.key, req.target, c.presp[slot])
-	c.node.Mem.Write(c.ptrig[slot], payload)
-	c.node.Mem.PutU64(c.presp[slot], 0)
-
-	req.start = c.tb.clu.Eng.Now()
-	c.cliPrbQP.PostSend(wqe.WQE{Op: wqe.OpSend, Src: c.ptrig[slot], Len: uint64(len(payload))})
-	c.pdirty = true
-	c.tb.clu.Eng.After(c.MissTimeout, func() { c.onProbeTimeout(req) })
-}
-
-// onProbeAck completes slot's in-flight probe: the response WRITE
-// carries the probed key in its id field, rejecting stragglers from
-// instances whose request already timed out.
-func (c *Client) onProbeAck(slot int, key uint64, at sim.Time) {
-	req := c.pslots[slot]
-	if req == nil || req.key != key {
-		return
-	}
-	c.probeAcks++
-	ver, _ := c.node.Mem.U64(c.presp[slot])
-	c.pfinish(req, ver, at-req.start, true)
-}
-
-// onProbeTimeout completes req as failed if it is still outstanding.
-func (c *Client) onProbeTimeout(req *probeReq) {
-	if req.done || c.pslots[req.slot] != req {
-		return
-	}
-	c.probeFails++
-	c.pfinish(req, 0, c.MissTimeout, false)
-}
-
-// pfinish mirrors dfinish: release (or quarantine) the slot, run the
-// callback, refill from the waiting queue.
-func (c *Client) pfinish(req *probeReq, ver uint64, lat Duration, ok bool) {
-	req.done = true
-	if c.tr.Enabled() {
-		c.tr.Exec(c.trLabel, c.trPrb[req.slot], "slot", req.start, c.tb.clu.Eng.Now(), req.op)
-	}
-	c.pslots[req.slot] = nil
-	if !ok && c.parmCount[req.slot]-c.pexecSeen[req.slot] >= 1 {
-		c.lastPrbRan = false
-		c.pwedged[req.slot] = true
-		c.pnWedged++
-		if c.pnWedged == c.depth {
-			for _, w := range c.pwaiting {
-				c.pfailLater(w)
-			}
-			c.pwaiting = nil
-		}
-	} else {
-		if !ok {
-			c.lastPrbRan = true
-		}
-		c.pfree = append(c.pfree, req.slot)
-	}
-	if req.cb != nil {
-		req.cb(ver, lat, ok)
-	}
-	c.ppump()
-	c.Flush()
-}
-
-// preclaim returns a quarantined probe slot once its completion backlog
-// clears (the last armed chain executed on a live NIC).
-func (c *Client) preclaim(slot int) {
-	if !c.pwedged[slot] || c.parmCount[slot]-c.pexecSeen[slot] >= 1 {
-		return
-	}
-	c.pwedged[slot] = false
-	c.pnWedged--
-	c.pfree = append(c.pfree, slot)
-	c.ppump()
-	c.Flush()
-}
-
-// ppump issues queued probes while free slots remain.
-func (c *Client) ppump() {
-	for len(c.pwaiting) > 0 && len(c.pfree) > 0 {
-		next := c.pwaiting[0]
-		c.pwaiting = c.pwaiting[1:]
-		if next.done {
-			continue
-		}
-		c.pissue(next)
-	}
+	c.prb.submit(&pipeReq{key: key & hopscotch.KeyMask, target: target, prbCB: cb, op: c.tr.Op()})
 }
 
 // Probe performs one offloaded version probe, advancing the simulation

@@ -51,8 +51,8 @@ func TestPipelinedClientDemux(t *testing.T) {
 	if cli.InFlight() != 0 {
 		t.Fatalf("%d gets still in flight after drain", cli.InFlight())
 	}
-	if cli.maxInFlight != 16 {
-		t.Fatalf("pipeline high-water %d, want 16", cli.maxInFlight)
+	if cli.get.maxInFlight != 16 {
+		t.Fatalf("pipeline high-water %d, want 16", cli.get.maxInFlight)
 	}
 }
 
@@ -305,8 +305,8 @@ func TestClientSetRoundTrip(t *testing.T) {
 			t.Fatalf("get(%d): wrong bytes", k)
 		}
 	}
-	if cli.setAcks != 32 || cli.setFails != 0 {
-		t.Fatalf("acks=%d fails=%d, want 32/0", cli.setAcks, cli.setFails)
+	if cli.set.acks != 32 || cli.set.fails != 0 {
+		t.Fatalf("acks=%d fails=%d, want 32/0", cli.set.acks, cli.set.fails)
 	}
 }
 
@@ -411,8 +411,8 @@ func TestClientSetPipelineOverlaps(t *testing.T) {
 		if done != 32 {
 			t.Fatalf("completed %d of 32 sets", done)
 		}
-		if depth > 1 && cli.maxSetsInFlight < depth {
-			t.Fatalf("write pipeline never filled: high-water %d of %d", cli.maxSetsInFlight, depth)
+		if depth > 1 && cli.set.maxInFlight < depth {
+			t.Fatalf("write pipeline never filled: high-water %d of %d", cli.set.maxInFlight, depth)
 		}
 		return lastDone - start
 	}
@@ -604,8 +604,8 @@ func TestClientDeletePipelineOverlaps(t *testing.T) {
 		if done != 32 {
 			t.Fatalf("completed %d of 32 deletes", done)
 		}
-		if depth > 1 && cli.maxDelsInFlight < depth {
-			t.Fatalf("delete pipeline never filled: high-water %d of %d", cli.maxDelsInFlight, depth)
+		if depth > 1 && cli.del.maxInFlight < depth {
+			t.Fatalf("delete pipeline never filled: high-water %d of %d", cli.del.maxInFlight, depth)
 		}
 		return lastDone - start
 	}

@@ -28,6 +28,7 @@ func main() {
 	scaleReq := flag.Int("scale-requests", 0, "request count per scaleout configuration (0 = default)")
 	churnReq := flag.Int("churn", 0, "request count for the churn experiment (0 = default; longer runs sharpen the leak-baseline divergence)")
 	repairReq := flag.Int("repair", 0, "read count for the repair experiment's convergence phase (0 = default)")
+	overloadReq := flag.Int("overload", 0, "per-point request budget for the overload sweep (0 = default; longer points sharpen the goodput fractions)")
 	tracePath := flag.String("trace", "", "run a traced mixed workload and write Chrome trace-event JSON (load in Perfetto) to this path")
 	flag.Parse()
 	args := flag.Args()
@@ -75,6 +76,8 @@ func main() {
 			r = experiments.ChurnN(*churnReq)
 		case id == "repair" && *repairReq > 0:
 			r = experiments.RepairN(*repairReq)
+		case id == "overload" && *overloadReq > 0:
+			r = experiments.OverloadN(*overloadReq)
 		default:
 			r = experiments.ByID(id)
 		}

@@ -42,6 +42,12 @@ type CQE struct {
 	Len    uint64
 	Imm    uint64
 	At     sim.Time // host-visible time
+	// Backlog is the device's PU-queue watermark at completion time:
+	// how far the busiest processing unit's reservation horizon sits
+	// past "now". Real NICs expose the same pressure via ECN marks on
+	// egress; stamping it into the CQE lets host software see
+	// congestion one RTT earlier than a timeout would.
+	Backlog sim.Time
 }
 
 // CQ is a completion queue. The NIC-internal completion counter (used

@@ -46,6 +46,12 @@ type Device struct {
 
 	frozen bool // OS/process failure model: true only if teardown ran
 
+	// backlogged lists QPs with receiver-not-ready arrivals queued —
+	// the congestion the BacklogWatermark ECN signal reports. Kept as
+	// an incrementally maintained set so the watermark never scans the
+	// full QP table on a completion.
+	backlogged []*QP
+
 	label  string            // node name for telemetry; defaults to the profile name
 	tracer *telemetry.Tracer // nil = tracing disabled
 }
@@ -178,8 +184,7 @@ func (d *Device) Unfreeze() {
 	for _, q := range d.qps {
 		q.sq.kick()
 		if len(q.pendingArrivals) > 0 {
-			a := q.pendingArrivals[0]
-			q.pendingArrivals = q.pendingArrivals[1:]
+			a := q.popArrival()
 			d.eng.After(0, func() { q.consumeRecv(a) })
 		}
 	}
@@ -229,6 +234,38 @@ func (d *Device) ResourceUtils(out []telemetry.ResourceUtil, until sim.Time) []t
 	add(&d.pcie.Resource)
 	add(d.atomicUnit)
 	return out
+}
+
+// BacklogWatermark reports the device's worst queueing delay at now —
+// the ECN-like congestion signal the completion path stamps into
+// CQEs. It is the furthest reservation horizon across the device's
+// serialized execution units — every PU, each port's managed-fetch
+// unit (where concurrent offloaded chains actually convoy), and the
+// atomic unit (where write claim CASes do) — together with the
+// head-of-line age of any receiver-not-ready arrival still queued on
+// a QP. Zero means new work would start immediately; values past the
+// miss timeout mean completions are already arriving too late to
+// count.
+func (d *Device) BacklogWatermark(now sim.Time) sim.Time {
+	var max sim.Time
+	horizon := func(r *sim.Resource) {
+		if b := r.NextFree() - now; b > max {
+			max = b
+		}
+	}
+	for _, p := range d.ports {
+		for _, pu := range p.pus {
+			horizon(pu)
+		}
+		horizon(p.fetchUnit)
+	}
+	horizon(d.atomicUnit)
+	for _, q := range d.backlogged {
+		if b := now - q.pendingArrivals[0].queuedAt; b > max {
+			max = b
+		}
+	}
+	return max
 }
 
 // Utilization summarizes busy fractions of the device's resources over

@@ -156,7 +156,9 @@ func (w *WorkQueue) complete(v wqe.WQE, st Status, force bool) {
 	cq := w.qp.scq
 	dev.eng.After(dev.prof.CQInternal, cq.advance)
 	dev.eng.After(dev.prof.CQEDeliver, func() {
-		cq.deliver(CQE{WRID: v.ID, QPN: w.qp.qpn, Op: v.Op, Status: st, Len: v.Len, At: dev.eng.Now()})
+		now := dev.eng.Now()
+		cq.deliver(CQE{WRID: v.ID, QPN: w.qp.qpn, Op: v.Op, Status: st, Len: v.Len, At: now,
+			Backlog: dev.BacklogWatermark(now)})
 	})
 }
 
@@ -435,9 +437,10 @@ func (w *WorkQueue) execAtomic(idx uint64, v wqe.WQE) {
 
 // arrival is a SEND in flight toward a peer's receive queue.
 type arrival struct {
-	payload []byte
-	srcQPN  uint32
-	ack     func() // runs when the responder has consumed the message
+	payload  []byte
+	srcQPN   uint32
+	ack      func()   // runs when the responder has consumed the message
+	queuedAt sim.Time // when the arrival joined pendingArrivals (receiver-not-ready)
 }
 
 func (w *WorkQueue) execSend(idx uint64, v wqe.WQE) {
@@ -498,6 +501,10 @@ func (q *QP) handleArrival(a arrival) {
 		return // silently dropped; peers observe a hang, as with real dead hosts
 	}
 	if q.rq.consumer >= q.rq.producer {
+		a.queuedAt = q.dev.eng.Now()
+		if len(q.pendingArrivals) == 0 {
+			q.dev.backlogged = append(q.dev.backlogged, q)
+		}
 		q.pendingArrivals = append(q.pendingArrivals, a)
 		return
 	}

@@ -143,11 +143,28 @@ func (q *QP) PostRecv(id uint64, scatterAddr uint64, count int, signaled bool) u
 	q.rq.producer++
 	// A newly posted RECV may satisfy queued arrivals.
 	if len(q.pendingArrivals) > 0 {
-		a := q.pendingArrivals[0]
-		q.pendingArrivals = q.pendingArrivals[1:]
+		a := q.popArrival()
 		q.dev.eng.After(0, func() { q.consumeRecv(a) })
 	}
 	return idx
+}
+
+// popArrival dequeues the oldest receiver-not-ready arrival and, when
+// the queue empties, drops the QP from the device's backlogged set
+// (the ECN watermark's scan list).
+func (q *QP) popArrival() arrival {
+	a := q.pendingArrivals[0]
+	q.pendingArrivals = q.pendingArrivals[1:]
+	if len(q.pendingArrivals) == 0 {
+		bl := q.dev.backlogged
+		for i, b := range bl {
+			if b == q {
+				q.dev.backlogged = append(bl[:i], bl[i+1:]...)
+				break
+			}
+		}
+	}
+	return a
 }
 
 // SQSlotAddr returns the host-memory address of the SQ WQE at the given

@@ -114,6 +114,11 @@ type OpenLoopReport struct {
 	// Series[class][bucket] counts hits completed in that bucket.
 	Series [][]float64
 
+	// HitLat aggregates the per-hit latency the KV reported (stamped at
+	// issue, so client-side admission queueing does not inflate it) —
+	// the p999 bound the overload sweep asserts against.
+	HitLat sim.LatencyStats
+
 	SetsIssued, SetsAcked, SetErrs int
 	// SetSeries[class][bucket] counts quorum-acknowledged writes.
 	SetSeries [][]float64
@@ -220,12 +225,13 @@ func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport
 			})
 		} else {
 			rep.Issued++
-			kv.GetAsync(key, cfg.ValLen, func(_ []byte, _ sim.Time, ok bool) {
+			kv.GetAsync(key, cfg.ValLen, func(_ []byte, lat sim.Time, ok bool) {
 				if !ok {
 					rep.Misses++
 					return
 				}
 				rep.Hits++
+				rep.HitLat.Add(lat)
 				if idx := int((eng.Now() - start) / cfg.Bucket); idx >= 0 && idx < nb {
 					rep.Series[cls][idx]++
 				}

@@ -64,6 +64,14 @@ const (
 	DefaultSuspectFor   = 25 * sim.Millisecond
 )
 
+// DefaultAdmitBacklog is the NIC backlog watermark above which an
+// admission-controlled shard stops accepting new requests. It sits
+// well above DefaultEcnBacklog (the AIMD cut point) so window-controlled
+// clients rarely trip it — admission is the safety net for open-loop
+// offered load that outruns what backoff alone can absorb, while
+// staying under DefaultMissTimeout so shedding beats timing out.
+const DefaultAdmitBacklog = 100 * sim.Microsecond
+
 // ServiceConfig sizes a sharded RedN KV service.
 type ServiceConfig struct {
 	Shards          int        // server nodes, each with its own NIC and table
@@ -140,6 +148,39 @@ type ServiceConfig struct {
 	// sweeps. The pre-repair behavior, kept for the repair experiment's
 	// divergence baseline.
 	NoRepair bool
+
+	// AdaptiveWindow puts every client pipeline under AIMD congestion
+	// control instead of the fixed Pipeline-deep window: grow additively
+	// on clean acks, cut multiplicatively on timeout and on the ECN-like
+	// backlog watermark the NIC stamps into completions. Off, windows
+	// are pinned to Pipeline (the pre-adaptive fixed-K behavior).
+	AdaptiveWindow bool
+	// WindowBeta is the multiplicative-decrease factor (0 = 0.5).
+	WindowBeta float64
+	// WindowStart is the adaptive window's initial size (0 = 16, capped
+	// at Pipeline). Starting at the full Pipeline depth would open with
+	// a thundering herd the AIMD loop then has to pay for in timeouts;
+	// starting modestly lets additive increase probe up to the knee.
+	WindowStart int
+	// WindowEcnBacklog marks acks whose completion-stamped PU backlog
+	// exceeds it as congestion (0 = DefaultEcnBacklog; negative disables
+	// ECN cuts, leaving timeouts as the only loss signal).
+	WindowEcnBacklog Duration
+
+	// Admission enables server-side admission control: a shard whose
+	// NIC backlog watermark exceeds AdmitBacklog (or whose clients have
+	// AdmitQueue requests queued) is overloaded — new gets defer to
+	// other replica owners or shed outright, and writes shed with a
+	// typed *ErrOverload when too few owners can admit them. Clients
+	// back off on the signal instead of stacking more timeouts onto a
+	// saturated NIC.
+	Admission bool
+	// AdmitBacklog is the PU backlog watermark above which a shard
+	// stops admitting new requests (0 = DefaultAdmitBacklog).
+	AdmitBacklog Duration
+	// AdmitQueue, when nonzero, also marks a shard overloaded once its
+	// clients' waiting queues hold this many requests in total.
+	AdmitQueue int
 
 	// Tracer, when set, records per-op trace spans through every layer
 	// (service fan-out, client slots, WRs on NIC PUs) for trace-event
@@ -263,13 +304,37 @@ func (sh *serviceShard) retireExtent(addr uint64) {
 func (sh *serviceShard) inflight() int {
 	n := 0
 	for _, cli := range sh.clients {
-		n += cli.InFlight() + cli.Queued()
+		st := cli.PipelineStats(OpGet)
+		n += st.InFlight + st.Queued
 	}
 	return n
 }
 
 // suspect reports whether the shard is currently presumed dead.
 func (sh *serviceShard) suspect(now sim.Time) bool { return now < sh.suspectUntil }
+
+// overloaded reports whether admission control should refuse new work
+// on sh: its NIC's PU backlog watermark is past the admission
+// threshold, or (when AdmitQueue is set) its client connections have
+// piled up too many queued requests. Always false with Admission off.
+func (s *Service) overloaded(sh *serviceShard) bool {
+	if !s.cfg.Admission {
+		return false
+	}
+	if sh.srv.node.Dev.BacklogWatermark(s.tb.Now()) > sim.Time(s.cfg.AdmitBacklog) {
+		return true
+	}
+	if s.cfg.AdmitQueue > 0 {
+		q := 0
+		for _, cli := range sh.clients {
+			q += cli.PipelineStats(OpGet).Queued
+		}
+		if q >= s.cfg.AdmitQueue {
+			return true
+		}
+	}
+	return false
+}
 
 // Service is a sharded key-value service served entirely by NICs: a
 // consistent-hash ring routes 48-bit keys across N server nodes, each
@@ -333,6 +398,11 @@ type Service struct {
 	aePasses, aeSegsDiffed *telemetry.Counter
 	aeKeysChecked          *telemetry.Counter
 
+	// Admission-control counters: gets routed past an overloaded owner,
+	// and gets/writes refused outright because no owner could admit them.
+	deferredGets         *telemetry.Counter
+	shedGets, shedWrites *telemetry.Counter
+
 	reg *telemetry.Registry // metrics registry (counters, queue-depth gauges)
 	tr  *telemetry.Tracer   // nil = tracing disabled
 
@@ -355,6 +425,8 @@ func (s *Service) initMetrics() {
 	s.probes, s.probeSkews = c("probes"), c("probe_skews")
 	s.aePasses, s.aeSegsDiffed = c("ae_passes"), c("ae_segs_diffed")
 	s.aeKeysChecked = c("ae_keys_checked")
+	s.deferredGets = c("deferred_gets")
+	s.shedGets, s.shedWrites = c("shed_gets"), c("shed_writes")
 
 	s.reg.Gauge("svc/hints_pending", func() float64 {
 		n := 0
@@ -368,10 +440,36 @@ func (s *Service) initMetrics() {
 		n := 0
 		for _, sh := range s.order {
 			for _, cli := range sh.clients {
-				n += cli.InFlight() + cli.SetsInFlight() + cli.DeletesInFlight() + cli.ProbesInFlight()
+				for _, op := range []Op{OpGet, OpSet, OpDelete, OpProbe} {
+					n += cli.PipelineStats(op).InFlight
+				}
 			}
 		}
 		return float64(n)
+	})
+	// get_window sums the AIMD get-window sizes across every client
+	// connection: the open-loop timelines show it collapsing on the
+	// first timeout burst and probing back up as the NIC drains.
+	s.reg.Gauge("svc/get_window", func() float64 {
+		n := 0
+		for _, sh := range s.order {
+			for _, cli := range sh.clients {
+				n += cli.PipelineStats(OpGet).Window
+			}
+		}
+		return float64(n)
+	})
+	// nic_backlog_us is the worst shard's PU backlog watermark — the
+	// same signal the completion path stamps into acks as ECN.
+	s.reg.Gauge("svc/nic_backlog_us", func() float64 {
+		var max sim.Time
+		now := s.tb.Now()
+		for _, sh := range s.order {
+			if b := sh.srv.node.Dev.BacklogWatermark(now); b > max {
+				max = b
+			}
+		}
+		return float64(max) / float64(sim.Microsecond)
 	})
 	s.reg.Gauge("svc/arena_live_bytes", func() float64 {
 		var n uint64
@@ -461,6 +559,15 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	if cfg.AntiEntropySegments == 0 {
 		cfg.AntiEntropySegments = DefaultAntiEntropySegments
 	}
+	if cfg.AdmitBacklog == 0 {
+		cfg.AdmitBacklog = DefaultAdmitBacklog
+	}
+	if cfg.AdaptiveWindow && cfg.WindowStart == 0 {
+		cfg.WindowStart = 16
+	}
+	if cfg.WindowStart > cfg.Pipeline {
+		cfg.WindowStart = cfg.Pipeline
+	}
 
 	s := &Service{cfg: cfg, tb: NewTestbed(), ring: shard.NewRing(cfg.VirtualNodes),
 		shards: make(map[string]*serviceShard), nextSeq: make(map[uint64]uint64),
@@ -513,6 +620,10 @@ func (s *Service) newShardClient(sh *serviceShard, cn *fabric.Node) *Client {
 	cli.MissTimeout = s.cfg.MissTimeout
 	cli.Bind(sh.table)
 	cli.SetTracer(s.tr, cn.Name)
+	if s.cfg.AdaptiveWindow {
+		cli.ConfigureWindow(WindowConfig{Adaptive: true, Start: s.cfg.WindowStart,
+			Beta: s.cfg.WindowBeta, EcnBacklog: s.cfg.WindowEcnBacklog})
+	}
 	return cli
 }
 
@@ -832,6 +943,23 @@ func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration,
 func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent Duration,
 	epoch uint64, op uint64, cb func(val []byte, lat Duration, ok bool)) {
 	sh := order[i]
+	if s.overloaded(sh) {
+		if i+1 < len(order) {
+			// Defer: some other replica owner may still have headroom.
+			s.deferredGets.Inc()
+			s.tryGet(key, valLen, order, i+1, spent, epoch, op, cb)
+			return
+		}
+		// Every owner is saturated: shed instead of stacking a request
+		// that would only time out and burn more PU cycles re-running.
+		s.shedGets.Inc()
+		if s.tr.Enabled() {
+			s.tr.Instant(sh.id, "shed:get", op)
+		}
+		s.tr.OpEnd(op, "get")
+		s.tb.clu.Eng.After(0, func() { cb(nil, spent, false) })
+		return
+	}
 	sh.gets.Inc()
 	cli := sh.clients[sh.rr%len(sh.clients)]
 	sh.rr++
@@ -1030,6 +1158,12 @@ type ServiceStats struct {
 	CacheHits   uint64 // gets served from the client-side hot-key cache
 	MaxInFlight int    // high-water mark of overlapping gets, any client
 
+	DeferredGets uint64 // gets routed past an overloaded owner (admission)
+	ShedGets     uint64 // gets refused: every owner overloaded
+	ShedWrites   uint64 // writes/deletes refused with ErrOverload
+	WindowCuts   uint64 // AIMD multiplicative decreases, all pipelines
+	EcnCuts      uint64 // the subset triggered by ECN backlog marks
+
 	SetOps       uint64 // client-visible writes issued (before replication fan-out)
 	DelOps       uint64 // client-visible deletes issued
 	QuorumFails  uint64 // writes/deletes that failed their W-of-N quorum
@@ -1098,7 +1232,9 @@ func (s *Service) Stats() ServiceStats {
 		Probes: s.probes.Value(), ProbeSkews: s.probeSkews.Value(),
 		RepairsPending: uint64(s.repq.Len()),
 		AEPasses:       s.aePasses.Value(), AESegsDiffed: s.aeSegsDiffed.Value(),
-		AEKeysChecked: s.aeKeysChecked.Value()}
+		AEKeysChecked: s.aeKeysChecked.Value(),
+		DeferredGets:  s.deferredGets.Value(),
+		ShedGets:      s.shedGets.Value(), ShedWrites: s.shedWrites.Value()}
 	now := s.tb.Now()
 	for _, sh := range s.order {
 		ss := ShardStats{ID: sh.id, Sets: sh.sets.Value(), Spills: sh.spills.Value(),
@@ -1119,6 +1255,8 @@ func (s *Service) Stats() ServiceStats {
 			if cs.MaxInFlight > out.MaxInFlight {
 				out.MaxInFlight = cs.MaxInFlight
 			}
+			out.WindowCuts += cs.WindowCuts
+			out.EcnCuts += cs.EcnCuts
 		}
 		out.Resources = sh.srv.node.Dev.ResourceUtils(out.Resources, now)
 		ast := sh.arena.Stats()

@@ -58,6 +58,9 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 		})
 		return
 	}
+	if !s.admitWrite(key, cb) {
+		return
+	}
 	s.delOps.Inc()
 	s.nextSeq[key]++
 	seq := s.nextSeq[key]

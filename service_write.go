@@ -68,6 +68,49 @@ func (e *QuorumError) Error() string {
 		e.Key, e.Acks, e.Owners, e.Need)
 }
 
+// ErrOverload reports a write or delete shed by admission control:
+// too few replica owners' NICs had queue headroom to admit it while
+// still reaching the W-of-N quorum. Nothing was applied anywhere — no
+// sequence number was issued and no owner saw the op — so the caller
+// can safely back off and retry the identical request.
+type ErrOverload struct {
+	Key   uint64
+	Admit int // owners that could have admitted the op
+	Need  int // W, the configured write quorum
+}
+
+func (e *ErrOverload) Error() string {
+	return fmt.Sprintf("redn: overload: key %#x shed, %d of %d required owners can admit",
+		e.Key, e.Admit, e.Need)
+}
+
+// admitWrite counts owners with admission headroom and sheds the op
+// when a quorum cannot be formed from them. Returns true when the
+// write may proceed; on false the typed *ErrOverload has already been
+// scheduled onto cb and no coordinator state was touched.
+func (s *Service) admitWrite(key uint64, cb func(lat Duration, err error)) bool {
+	if !s.cfg.Admission {
+		return true
+	}
+	admit := 0
+	for _, id := range s.owners(key) {
+		if !s.overloaded(s.shards[id]) {
+			admit++
+		}
+	}
+	if admit >= s.cfg.WriteQuorum {
+		return true
+	}
+	s.shedWrites.Inc()
+	err := &ErrOverload{Key: key, Admit: admit, Need: s.cfg.WriteQuorum}
+	s.tb.clu.Eng.After(0, func() {
+		if cb != nil {
+			cb(0, err)
+		}
+	})
+	return false
+}
+
 // hint is one queued handoff write: the newest value — or tombstone —
 // an unreachable owner is missing. A delete hint (del=true) carries no
 // bytes; by living in the same per-key slot and sequence order as
@@ -168,6 +211,9 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 				cb(0, ErrReservedKey)
 			}
 		})
+		return
+	}
+	if !s.admitWrite(key, cb) {
 		return
 	}
 	s.setOps.Inc()
