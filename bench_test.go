@@ -200,3 +200,13 @@ func BenchmarkOverload(b *testing.B) {
 		report(b, experiments.Overload())
 	}
 }
+
+// BenchmarkResharding measures elastic membership: a shard joins and a
+// shard drains under a live open-loop mixed workload, with the moving
+// keyspace migrated over the fabric's offloaded set chains — zero
+// outage buckets on either path and zero acked-write loss.
+func BenchmarkResharding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Resharding())
+	}
+}

@@ -9,6 +9,7 @@
 //	redn-bench -scale-requests 1000000 scaleout
 //	redn-bench -churn 100000        # churn with an explicit op count
 //	redn-bench -repair 50000        # repair with an explicit read count
+//	redn-bench -reshard 20000       # resharding with an explicit op count
 //	redn-bench -trace out.json      # trace a mixed run (Perfetto-loadable)
 //	redn-bench list                 # list experiment ids
 package main
@@ -29,6 +30,7 @@ func main() {
 	churnReq := flag.Int("churn", 0, "request count for the churn experiment (0 = default; longer runs sharpen the leak-baseline divergence)")
 	repairReq := flag.Int("repair", 0, "read count for the repair experiment's convergence phase (0 = default)")
 	overloadReq := flag.Int("overload", 0, "per-point request budget for the overload sweep (0 = default; longer points sharpen the goodput fractions)")
+	reshardReq := flag.Int("reshard", 0, "open-loop op count for the resharding timeline (0 = default; longer runs widen the steady windows around the join and drain)")
 	tracePath := flag.String("trace", "", "run a traced mixed workload and write Chrome trace-event JSON (load in Perfetto) to this path")
 	flag.Parse()
 	args := flag.Args()
@@ -78,6 +80,8 @@ func main() {
 			r = experiments.RepairN(*repairReq)
 		case id == "overload" && *overloadReq > 0:
 			r = experiments.OverloadN(*overloadReq)
+		case id == "resharding" && *reshardReq > 0:
+			r = experiments.ReshardingN(*reshardReq)
 		default:
 			r = experiments.ByID(id)
 		}

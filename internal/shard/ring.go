@@ -7,9 +7,15 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrEmptyRing reports a lookup against a ring with no nodes. Callers
+// that can empty a ring (a drain of the last node) must check for it;
+// the pre-fix behavior was a panic that took the whole simulation down.
+var ErrEmptyRing = errors.New("shard: lookup on an empty ring")
 
 // DefaultVirtualNodes is the points-per-node default. 128 keeps the
 // per-node share within a few percent of 1/N for small clusters.
@@ -80,7 +86,12 @@ func (r *Ring) AddNode(id string) error {
 }
 
 // RemoveNode deletes id's virtual points. Keys it owned redistribute to
-// the clockwise successors.
+// the clockwise successors. The node's slot in the index table is
+// compacted away — not tombstoned: leaving the stale entry behind let a
+// re-added id appear twice (Nodes() double-listed it and LookupN's old
+// dedup-by-index returned the same physical node as two "distinct"
+// replica owners), and tombstones accumulated without bound across
+// join/drain cycles.
 func (r *Ring) RemoveNode(id string) error {
 	if !r.live[id] {
 		return fmt.Errorf("shard: node %q not on the ring", id)
@@ -95,23 +106,38 @@ func (r *Ring) RemoveNode(id string) error {
 	}
 	kept := r.points[:0]
 	for _, p := range r.points {
-		if p.node != idx {
-			kept = append(kept, p)
+		if p.node == idx {
+			continue
 		}
+		if p.node > idx {
+			p.node--
+		}
+		kept = append(kept, p)
 	}
 	r.points = kept
+	r.nodes = append(r.nodes[:idx], r.nodes[idx+1:]...)
 	return nil
 }
 
 // Nodes returns the live node ids in insertion order.
 func (r *Ring) Nodes() []string {
-	out := make([]string, 0, len(r.live))
-	for _, n := range r.nodes {
-		if r.live[n] {
-			out = append(out, n)
-		}
+	return append([]string(nil), r.nodes...)
+}
+
+// Clone returns an independent copy of the ring — the before-change
+// snapshot a live resharding migration routes its fallback reads and
+// dual writes through.
+func (r *Ring) Clone() *Ring {
+	c := &Ring{
+		vnodes: r.vnodes,
+		nodes:  append([]string(nil), r.nodes...),
+		live:   make(map[string]bool, len(r.live)),
+		points: append([]point(nil), r.points...),
 	}
-	return out
+	for id, v := range r.live {
+		c.live[id] = v
+	}
+	return c
 }
 
 // Len returns the number of live nodes.
@@ -128,38 +154,40 @@ func (r *Ring) successor(h uint64) int {
 }
 
 // Lookup returns the node owning key (its clockwise successor on the
-// circle). Panics on an empty ring.
-func (r *Ring) Lookup(key uint64) string {
+// circle), or ErrEmptyRing when no nodes remain.
+func (r *Ring) Lookup(key uint64) (string, error) {
 	if len(r.points) == 0 {
-		panic("shard: Lookup on an empty ring")
+		return "", ErrEmptyRing
 	}
-	return r.nodes[r.points[r.successor(KeyPoint(key))].node]
+	return r.nodes[r.points[r.successor(KeyPoint(key))].node], nil
 }
 
 // LookupN returns the first n distinct nodes clockwise from key —
 // replica-aware placement: the primary followed by n-1 backup owners,
 // each on a different physical node. n is clamped to the live node
-// count.
-func (r *Ring) LookupN(key uint64, n int) []string {
+// count; an empty ring returns ErrEmptyRing. Distinctness is keyed by
+// node id, not index-table slot, so it cannot be fooled by any future
+// slot-reuse scheme.
+func (r *Ring) LookupN(key uint64, n int) ([]string, error) {
 	if len(r.points) == 0 {
-		panic("shard: LookupN on an empty ring")
+		return nil, ErrEmptyRing
 	}
 	if n > len(r.live) {
 		n = len(r.live)
 	}
 	out := make([]string, 0, n)
-	seen := make(map[int]bool, n)
+	seen := make(map[string]bool, n)
 	i := r.successor(KeyPoint(key))
 	for len(out) < n {
-		p := r.points[i]
-		if !seen[p.node] {
-			seen[p.node] = true
-			out = append(out, r.nodes[p.node])
+		id := r.nodes[r.points[i].node]
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
 		}
 		i++
 		if i == len(r.points) {
 			i = 0
 		}
 	}
-	return out
+	return out, nil
 }

@@ -3,6 +3,7 @@ package shard
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"testing"
 )
 
@@ -14,6 +15,24 @@ func keys(n int) []uint64 {
 	return out
 }
 
+func mustLookup(t *testing.T, r *Ring, k uint64) string {
+	t.Helper()
+	id, err := r.Lookup(k)
+	if err != nil {
+		t.Fatalf("Lookup(%d): %v", k, err)
+	}
+	return id
+}
+
+func mustLookupN(t *testing.T, r *Ring, k uint64, n int) []string {
+	t.Helper()
+	owners, err := r.LookupN(k, n)
+	if err != nil {
+		t.Fatalf("LookupN(%d, %d): %v", k, n, err)
+	}
+	return owners
+}
+
 func TestLookupDeterministic(t *testing.T) {
 	r1 := NewRing(0)
 	r2 := NewRing(0)
@@ -22,7 +41,7 @@ func TestLookupDeterministic(t *testing.T) {
 		r2.AddNode(fmt.Sprintf("s%d", i))
 	}
 	for _, k := range keys(1000) {
-		if r1.Lookup(k) != r2.Lookup(k) {
+		if mustLookup(t, r1, k) != mustLookup(t, r2, k) {
 			t.Fatalf("rings with identical membership disagree on key %d", k)
 		}
 	}
@@ -47,6 +66,29 @@ func TestAddRemoveErrors(t *testing.T) {
 	}
 }
 
+// Lookups on an empty ring must report ErrEmptyRing, not panic — a
+// drain of the last node reaches this state and the service layer
+// needs a typed error to refuse it gracefully.
+func TestEmptyRingLookupError(t *testing.T) {
+	r := NewRing(8)
+	if _, err := r.Lookup(1); err != ErrEmptyRing {
+		t.Fatalf("Lookup on empty ring: err = %v, want ErrEmptyRing", err)
+	}
+	if _, err := r.LookupN(1, 3); err != ErrEmptyRing {
+		t.Fatalf("LookupN on empty ring: err = %v, want ErrEmptyRing", err)
+	}
+	// A ring emptied by removals behaves like a never-populated one.
+	if err := r.AddNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveNode("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup(1); err != ErrEmptyRing {
+		t.Fatalf("Lookup on drained ring: err = %v, want ErrEmptyRing", err)
+	}
+}
+
 // The acceptance property: growing an N-node ring to N+1 nodes remaps
 // at most 2/N of the keyspace (the expectation is 1/(N+1)).
 func TestRebalanceBound(t *testing.T) {
@@ -58,12 +100,12 @@ func TestRebalanceBound(t *testing.T) {
 		}
 		before := make([]string, len(ks))
 		for i, k := range ks {
-			before[i] = r.Lookup(k)
+			before[i] = mustLookup(t, r, k)
 		}
 		r.AddNode("new")
 		moved := 0
 		for i, k := range ks {
-			after := r.Lookup(k)
+			after := mustLookup(t, r, k)
 			if after != before[i] {
 				if after != "new" {
 					t.Fatalf("key %d moved between pre-existing nodes (%s -> %s)", k, before[i], after)
@@ -91,7 +133,7 @@ func TestLoadBalance(t *testing.T) {
 	counts := map[string]int{}
 	ks := keys(40000)
 	for _, k := range ks {
-		counts[r.Lookup(k)]++
+		counts[mustLookup(t, r, k)]++
 	}
 	want := float64(len(ks)) / n
 	for id, c := range counts {
@@ -107,11 +149,11 @@ func TestLookupNReplicas(t *testing.T) {
 		r.AddNode(fmt.Sprintf("s%d", i))
 	}
 	for _, k := range keys(500) {
-		owners := r.LookupN(k, 3)
+		owners := mustLookupN(t, r, k, 3)
 		if len(owners) != 3 {
 			t.Fatalf("LookupN returned %d owners", len(owners))
 		}
-		if owners[0] != r.Lookup(k) {
+		if owners[0] != mustLookup(t, r, k) {
 			t.Fatalf("primary of LookupN disagrees with Lookup")
 		}
 		seen := map[string]bool{}
@@ -122,7 +164,7 @@ func TestLookupNReplicas(t *testing.T) {
 			seen[o] = true
 		}
 	}
-	if got := r.LookupN(1, 99); len(got) != 5 {
+	if got := mustLookupN(t, r, 1, 99); len(got) != 5 {
 		t.Fatalf("LookupN over-asking returned %d, want node count 5", len(got))
 	}
 }
@@ -135,17 +177,234 @@ func TestRemoveRedistributesToSuccessors(t *testing.T) {
 	ks := keys(8000)
 	before := make([]string, len(ks))
 	for i, k := range ks {
-		before[i] = r.Lookup(k)
+		before[i] = mustLookup(t, r, k)
 	}
 	r.RemoveNode("s2")
 	for i, k := range ks {
-		after := r.Lookup(k)
+		after := mustLookup(t, r, k)
 		if before[i] != "s2" && after != before[i] {
 			t.Fatalf("key %d moved (%s -> %s) though its owner survived", k, before[i], after)
 		}
 		if after == "s2" {
 			t.Fatalf("key %d still routed to removed node", k)
 		}
+	}
+}
+
+// Regression for the remove-then-re-add bug: RemoveNode used to leave
+// the removed id tombstoned in the index table, so AddNode of the same
+// id appended a duplicate — Nodes() double-listed it and LookupN's
+// dedup-by-index returned the same physical node twice as "distinct"
+// replica owners, silently shrinking every quorum by one.
+func TestRingReAdd(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		if err := r.AddNode(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.RemoveNode("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddNode("s1"); err != nil {
+		t.Fatalf("re-adding a removed node: %v", err)
+	}
+	if got := r.Nodes(); len(got) != 4 {
+		t.Fatalf("Nodes() = %v after remove+re-add, want 4 distinct ids", got)
+	}
+	seen := map[string]bool{}
+	for _, id := range r.Nodes() {
+		if seen[id] {
+			t.Fatalf("Nodes() double-lists %q after remove+re-add", id)
+		}
+		seen[id] = true
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	// Replica sets must still be physically distinct — the old
+	// dedup-by-index bug produced [s1 s1 ...] here.
+	for _, k := range keys(2000) {
+		owners := mustLookupN(t, r, k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("key %d: %d owners, want 3", k, len(owners))
+		}
+		dist := map[string]bool{}
+		for _, o := range owners {
+			if dist[o] {
+				t.Fatalf("key %d: replica set %v repeats %s after remove+re-add", k, owners, o)
+			}
+			dist[o] = true
+		}
+	}
+	// Placement must match a ring that never saw the churn: membership,
+	// not history, determines ownership.
+	fresh := NewRing(0)
+	for _, id := range []string{"s0", "s2", "s3", "s1"} {
+		if err := fresh.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys(2000) {
+		if mustLookup(t, r, k) != mustLookup(t, fresh, k) {
+			t.Fatalf("key %d: churned ring and fresh ring with identical membership disagree", k)
+		}
+	}
+}
+
+// Churn property test: a long random join/drain sequence must keep
+// (a) Nodes() free of duplicates and len(r.nodes) bounded by the live
+// count (no tombstone growth), (b) LookupN owners physically distinct,
+// and (c) per-step key movement within the ≤2/N consistent-hashing
+// bound — after *every* step, not just the single-add case.
+func TestRingChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRing(0)
+	live := []string{}
+	next := 0
+	add := func() {
+		id := fmt.Sprintf("s%d", next)
+		next++
+		if err := r.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, id)
+	}
+	remove := func(i int) string {
+		id := live[i]
+		if err := r.RemoveNode(id); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live[:i], live[i+1:]...)
+		return id
+	}
+	for i := 0; i < 3; i++ {
+		add()
+	}
+	ks := keys(4000)
+	owner := make(map[uint64]string, len(ks))
+	for _, k := range ks {
+		owner[k] = mustLookup(t, r, k)
+	}
+	for step := 0; step < 60; step++ {
+		nBefore := len(live)
+		joined := ""
+		drained := ""
+		// Re-adding a previously drained id is part of the property: the
+		// historic bug only fired on remove-then-re-add.
+		if nBefore <= 2 || (nBefore < 10 && rng.Intn(2) == 0) {
+			if nBefore > 0 && rng.Intn(4) == 0 {
+				old := fmt.Sprintf("s%d", rng.Intn(next))
+				if !r.live[old] {
+					if err := r.AddNode(old); err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, old)
+					joined = old
+				} else {
+					add()
+					joined = live[len(live)-1]
+				}
+			} else {
+				add()
+				joined = live[len(live)-1]
+			}
+		} else {
+			drained = remove(rng.Intn(len(live)))
+		}
+
+		// (a) No duplicate ids; index table bounded by live membership.
+		ids := r.Nodes()
+		if len(ids) != len(live) {
+			t.Fatalf("step %d: Nodes() has %d entries, %d nodes live", step, len(ids), len(live))
+		}
+		seen := map[string]bool{}
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("step %d: Nodes() double-lists %q", step, id)
+			}
+			seen[id] = true
+		}
+		if len(r.nodes) != len(r.live) {
+			t.Fatalf("step %d: index table has %d slots for %d live nodes (tombstone leak)",
+				step, len(r.nodes), len(r.live))
+		}
+		if r.Len() != len(live) {
+			t.Fatalf("step %d: Len() = %d, want %d", step, r.Len(), len(live))
+		}
+
+		// (b) Physically distinct replica owners.
+		for _, k := range ks[:400] {
+			owners := mustLookupN(t, r, k, 3)
+			want := 3
+			if want > len(live) {
+				want = len(live)
+			}
+			if len(owners) != want {
+				t.Fatalf("step %d key %d: %d owners, want %d", step, k, len(owners), want)
+			}
+			dist := map[string]bool{}
+			for _, o := range owners {
+				if dist[o] {
+					t.Fatalf("step %d key %d: replica set %v repeats %s", step, k, owners, o)
+				}
+				dist[o] = true
+			}
+		}
+
+		// (c) Movement bound: only keys touching the churned node move,
+		// and no more than 2/N of the keyspace does.
+		moved := 0
+		for _, k := range ks {
+			after := mustLookup(t, r, k)
+			if after != owner[k] {
+				if joined != "" && after != joined {
+					t.Fatalf("step %d (join %s): key %d moved between survivors (%s -> %s)",
+						step, joined, k, owner[k], after)
+				}
+				if drained != "" && owner[k] != drained {
+					t.Fatalf("step %d (drain %s): key %d moved though its owner survived (%s -> %s)",
+						step, drained, k, owner[k], after)
+				}
+				moved++
+			}
+			owner[k] = after
+		}
+		if nBefore >= 2 {
+			if frac := float64(moved) / float64(len(ks)); frac > 2.0/float64(nBefore) {
+				t.Fatalf("step %d: %.3f of keys moved, want <= %.3f (N=%d)",
+					step, frac, 2.0/float64(nBefore), nBefore)
+			}
+		}
+	}
+}
+
+// Clone must be independent: churn on the copy cannot disturb the
+// original's placement (the migration planner relies on the before
+// snapshot staying frozen while the live ring changes).
+func TestRingCloneIndependent(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 4; i++ {
+		r.AddNode(fmt.Sprintf("s%d", i))
+	}
+	ks := keys(3000)
+	before := make([]string, len(ks))
+	for i, k := range ks {
+		before[i] = mustLookup(t, r, k)
+	}
+	c := r.Clone()
+	c.RemoveNode("s0")
+	c.AddNode("s9")
+	for i, k := range ks {
+		if got := mustLookup(t, r, k); got != before[i] {
+			t.Fatalf("key %d: original ring changed (%s -> %s) after clone churn", k, before[i], got)
+		}
+	}
+	if c.Len() != 4 || r.Len() != 4 {
+		t.Fatalf("Len: clone %d original %d, want 4 and 4", c.Len(), r.Len())
+	}
+	if mustLookup(t, c, 1) == "" {
+		t.Fatal("clone lookup failed")
 	}
 }
 
@@ -167,7 +426,7 @@ func TestLookupNDistinctNodesProperty(t *testing.T) {
 			check := func(live int) {
 				for _, k := range keys(200) {
 					for n := 1; n <= live+2; n++ {
-						owners := r.LookupN(k, n)
+						owners := mustLookupN(t, r, k, n)
 						want := n
 						if want > live {
 							want = live

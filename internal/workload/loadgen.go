@@ -106,6 +106,11 @@ type OpenLoopConfig struct {
 	// queue depths line up against the hit/ack timelines — a hint-queue
 	// spike sits visibly under the outage dip that caused it.
 	Gauges []telemetry.Gauge
+	// OnSetAck, when set, observes every quorum-acknowledged write with
+	// the key it stored — the ledger hook the resharding experiment uses
+	// to prove that every key acked under membership churn is readable
+	// at its post-migration owners.
+	OnSetAck func(key uint64)
 }
 
 // OpenLoopReport is the timeline of an open-loop run.
@@ -219,6 +224,9 @@ func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport
 					return
 				}
 				rep.SetsAcked++
+				if cfg.OnSetAck != nil {
+					cfg.OnSetAck(key)
+				}
 				if idx := int((eng.Now() - start) / cfg.Bucket); idx >= 0 && idx < nb {
 					rep.SetSeries[cls][idx]++
 				}

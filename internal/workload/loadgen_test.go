@@ -375,6 +375,51 @@ func TestRunOpenLoopWriteTimeline(t *testing.T) {
 	}
 }
 
+// OnSetAck observes exactly the acknowledged writes — once per ack,
+// with the written key, and never for a failed set.
+func TestRunOpenLoopOnSetAck(t *testing.T) {
+	eng := sim.NewEngine()
+	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: sim.Microsecond}
+	ks := seqKeys(10)
+	for _, k := range ks {
+		kv.Set(k, Value(k, 8))
+	}
+	eng.At(400*sim.Microsecond, func() { kv.setsDown = true })
+	eng.At(700*sim.Microsecond, func() { kv.setsDown = false })
+	acks := 0
+	seen := map[uint64]bool{}
+	rep := RunOpenLoop(eng, kv, OpenLoopConfig{
+		Duration:   sim.Millisecond,
+		Gap:        10 * sim.Microsecond,
+		Bucket:     100 * sim.Microsecond,
+		Keys:       &Sequential{Keys: ks},
+		ValLen:     8,
+		WriteEvery: 2,
+		OnSetAck: func(key uint64) {
+			acks++
+			seen[key] = true
+		},
+	})
+	if rep.SetErrs == 0 {
+		t.Fatal("outage window produced no failed sets")
+	}
+	if acks != rep.SetsAcked {
+		t.Fatalf("OnSetAck fired %d times for %d acked sets", acks, rep.SetsAcked)
+	}
+	for k := range seen {
+		found := false
+		for _, want := range ks {
+			if k == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("OnSetAck reported key %d outside the key stream", k)
+		}
+	}
+}
+
 // DeleteEvery interleaves fabric deletes into the closed loop: counts,
 // latency percentiles, and the deleted-then-rewritten churn steady
 // state all account exactly.

@@ -182,6 +182,19 @@ type ServiceConfig struct {
 	// clients' waiting queues hold this many requests in total.
 	AdmitQueue int
 
+	// MigrateEvery is the background migrator's tick period during a
+	// live resharding (AddShard/DrainShard): each tick copies and seals
+	// a batch of moving bucket segments (0 = 20us).
+	MigrateEvery Duration
+	// MigrateBatch is how many bucket segments one migrator tick starts
+	// (0 = 4).
+	MigrateBatch int
+	// MigrateSegments divides the keyspace (by primary hash bucket,
+	// the anti-entropy sweeper's geometry) into this many segments for
+	// migration sealing: dual-read/dual-write stops per segment as it
+	// seals, not in one global flag flip at the end (0 = 64).
+	MigrateSegments int
+
 	// Tracer, when set, records per-op trace spans through every layer
 	// (service fan-out, client slots, WRs on NIC PUs) for trace-event
 	// JSON export. Nil disables tracing at zero cost.
@@ -388,6 +401,17 @@ type Service struct {
 	probeTick   uint64
 	probeCursor int
 
+	// Live-resharding state (service_reshard.go): the active migration
+	// (nil while membership is stable), its tick arm, the monotonically
+	// increasing ownership epoch, the cache generation that fences the
+	// hot-value cache across ownership changes, and the log of finished
+	// migrations.
+	mig      *migration
+	migArmed bool
+	migEpoch uint64
+	cacheGen uint64
+	migLog   []MigrationSummary
+
 	// Service-level counters live in reg under "svc/<name>".
 	hits, misses        *telemetry.Counter
 	retries, cacheHits  *telemetry.Counter
@@ -402,6 +426,14 @@ type Service struct {
 	// and gets/writes refused outright because no owner could admit them.
 	deferredGets         *telemetry.Counter
 	shedGets, shedWrites *telemetry.Counter
+
+	// Resharding counters: owner copies the migrator applied, moving
+	// keys already converged when their turn came, sealed segments,
+	// copies abandoned to the repair queue, and hints redirected off a
+	// draining shard.
+	migKeysMoved, migKeysSkipped *telemetry.Counter
+	migSegsSealed, migCopyFails  *telemetry.Counter
+	migHintsRedirected           *telemetry.Counter
 
 	reg *telemetry.Registry // metrics registry (counters, queue-depth gauges)
 	tr  *telemetry.Tracer   // nil = tracing disabled
@@ -427,6 +459,9 @@ func (s *Service) initMetrics() {
 	s.aeKeysChecked = c("ae_keys_checked")
 	s.deferredGets = c("deferred_gets")
 	s.shedGets, s.shedWrites = c("shed_gets"), c("shed_writes")
+	s.migKeysMoved, s.migKeysSkipped = c("mig_keys_moved"), c("mig_keys_skipped")
+	s.migSegsSealed, s.migCopyFails = c("mig_segs_sealed"), c("mig_copy_fails")
+	s.migHintsRedirected = c("mig_hints_redirected")
 
 	s.reg.Gauge("svc/hints_pending", func() float64 {
 		n := 0
@@ -478,6 +513,12 @@ func (s *Service) initMetrics() {
 		}
 		return float64(n)
 	})
+	// ring_nodes and migrating_buckets put membership changes on the
+	// open-loop timelines: a join or drain shows up as a step in the
+	// node count and a pulse of unsealed migration segments decaying to
+	// zero as the migrator seals them.
+	s.reg.Gauge("svc/ring_nodes", func() float64 { return float64(s.ring.Len()) })
+	s.reg.Gauge("svc/migrating_buckets", func() float64 { return float64(s.MigratingBuckets()) })
 }
 
 // Metrics exposes the service's registry (counters, gauges) for
@@ -565,6 +606,15 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	if cfg.AdaptiveWindow && cfg.WindowStart == 0 {
 		cfg.WindowStart = 16
 	}
+	if cfg.MigrateEvery == 0 {
+		cfg.MigrateEvery = DefaultMigrateEvery
+	}
+	if cfg.MigrateBatch < 1 {
+		cfg.MigrateBatch = DefaultMigrateBatch
+	}
+	if cfg.MigrateSegments < 1 {
+		cfg.MigrateSegments = DefaultMigrateSegments
+	}
 	if cfg.WindowStart > cfg.Pipeline {
 		cfg.WindowStart = cfg.Pipeline
 	}
@@ -585,26 +635,7 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		id := fmt.Sprintf("shard%d", i)
-		nc := fabric.DefaultNodeConfig(id)
-		nc.MemSize = cfg.ServerMem
-		node := s.tb.clu.AddNode(nc)
-		node.Dev.SetTracer(s.tr)
-		srv := &Server{tb: s.tb, node: node, builder: core.NewBuilder(node.Dev, 1<<16)}
-		srv.arena = extent.NewArena(node.Mem, cfg.SegmentSize)
-		srv.arena.SetNoReclaim(cfg.NoReclaim)
-		sh := &serviceShard{id: id, srv: srv, table: srv.NewHashTable(cfg.Buckets), mode: cfg.Mode,
-			arena: srv.arena,
-			hints: make(map[uint64]*hint), inflightSet: make(map[uint64][]func()),
-			tombVer: make(map[uint64]uint64)}
-		sh.initMetrics(s.reg)
-		for c := 0; c < cfg.ClientsPerShard; c++ {
-			cc := fabric.DefaultNodeConfig(fmt.Sprintf("%s-client%d", id, c))
-			cc.MemSize = cfg.ClientMem
-			cn := s.tb.clu.AddNode(cc)
-			cn.Dev.SetTracer(s.tr)
-			sh.cnodes = append(sh.cnodes, cn)
-			sh.clients = append(sh.clients, s.newShardClient(sh, cn))
-		}
+		sh := s.buildShard(id)
 		if err := s.ring.AddNode(id); err != nil {
 			panic(err)
 		}
@@ -612,6 +643,34 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 		s.order = append(s.order, sh)
 	}
 	return s
+}
+
+// buildShard constructs one server shard — fabric node, arena, table,
+// and its pipelined client connections — without touching the ring or
+// the shard index. Shared by construction and live AddShard.
+func (s *Service) buildShard(id string) *serviceShard {
+	cfg := s.cfg
+	nc := fabric.DefaultNodeConfig(id)
+	nc.MemSize = cfg.ServerMem
+	node := s.tb.clu.AddNode(nc)
+	node.Dev.SetTracer(s.tr)
+	srv := &Server{tb: s.tb, node: node, builder: core.NewBuilder(node.Dev, 1<<16)}
+	srv.arena = extent.NewArena(node.Mem, cfg.SegmentSize)
+	srv.arena.SetNoReclaim(cfg.NoReclaim)
+	sh := &serviceShard{id: id, srv: srv, table: srv.NewHashTable(cfg.Buckets), mode: cfg.Mode,
+		arena: srv.arena,
+		hints: make(map[uint64]*hint), inflightSet: make(map[uint64][]func()),
+		tombVer: make(map[uint64]uint64)}
+	sh.initMetrics(s.reg)
+	for c := 0; c < cfg.ClientsPerShard; c++ {
+		cc := fabric.DefaultNodeConfig(fmt.Sprintf("%s-client%d", id, c))
+		cc.MemSize = cfg.ClientMem
+		cn := s.tb.clu.AddNode(cc)
+		cn.Dev.SetTracer(s.tr)
+		sh.cnodes = append(sh.cnodes, cn)
+		sh.clients = append(sh.clients, s.newShardClient(sh, cn))
+	}
+	return sh
 }
 
 // newShardClient wires one pipelined client connection to sh's server.
@@ -636,9 +695,15 @@ func (s *Service) Run() { s.tb.Run() }
 // NumShards returns the shard count.
 func (s *Service) NumShards() int { return len(s.order) }
 
-// owners returns key's replica owner shards, primary first.
+// owners returns key's replica owner shards, primary first. Only an
+// empty ring has no owners, and DrainShard refuses to empty it — nil
+// keeps a regression from panicking the simulation.
 func (s *Service) owners(key uint64) []string {
-	return s.ring.LookupN(key, s.cfg.Replicas)
+	ids, err := s.ring.LookupN(key, s.cfg.Replicas)
+	if err != nil {
+		return nil
+	}
+	return ids
 }
 
 // Owners exposes key's replica owner shard ids, primary first.
@@ -875,6 +940,26 @@ func (s *Service) readOrder(key uint64) []*serviceShard {
 			shs = ordered
 		}
 	}
+	// Dual-read during a resharding: a key whose bucket segment has not
+	// sealed may still live only at its pre-change owners — append them
+	// as last-resort attempts so no get goes dark mid-migration.
+	if m := s.mig; m != nil && m.keyUnsealed(key) {
+		for _, id := range m.oldOwners(key) {
+			dup := false
+			for _, have := range ids {
+				if have == id {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if osh, ok := s.shards[id]; ok {
+				shs = append(shs, osh)
+			}
+		}
+	}
 	return shs
 }
 
@@ -932,22 +1017,33 @@ func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration,
 		}
 		epoch = s.setEpoch[key]
 	}
-	s.tryGet(key, valLen, s.readOrder(key), 0, 0, epoch, op, cb)
+	order := s.readOrder(key)
+	if len(order) == 0 {
+		// Empty ring: nothing owns the key. Unreachable while DrainShard
+		// refuses to drain the last shard; kept as a miss, not a panic.
+		s.misses.Inc()
+		s.tr.OpEnd(op, "get")
+		s.tb.clu.Eng.After(0, func() { cb(nil, 0, false) })
+		return
+	}
+	s.tryGet(key, valLen, order, 0, 0, epoch, s.cacheGen, op, cb)
 }
 
 // tryGet issues attempt i of a get against its policy-ordered owners,
 // accumulating per-attempt latency so a failover's cost (the timeout
 // spent discovering the dead owner) lands in the reported latency.
 // epoch is the key's write epoch at issue time; it gates cache
-// admission against sets that raced the read.
+// admission against sets that raced the read. gen is the service cache
+// generation at issue time; it gates admission against ownership
+// changes that raced the read (a resharding started mid-flight).
 func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent Duration,
-	epoch uint64, op uint64, cb func(val []byte, lat Duration, ok bool)) {
+	epoch, gen uint64, op uint64, cb func(val []byte, lat Duration, ok bool)) {
 	sh := order[i]
 	if s.overloaded(sh) {
 		if i+1 < len(order) {
 			// Defer: some other replica owner may still have headroom.
 			s.deferredGets.Inc()
-			s.tryGet(key, valLen, order, i+1, spent, epoch, op, cb)
+			s.tryGet(key, valLen, order, i+1, spent, epoch, gen, op, cb)
 			return
 		}
 		// Every owner is saturated: shed instead of stacking a request
@@ -976,7 +1072,7 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
 			s.hits.Inc()
-			s.maybeCache(key, valLen, val, epoch)
+			s.maybeCache(key, valLen, val, epoch, gen)
 			// A hit proves the shard live: if handoff hints piled up
 			// behind a false suspicion, deliver them now.
 			if len(sh.hints) > 0 && !sh.hostDown {
@@ -1003,7 +1099,7 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 		}
 		if i+1 < len(order) {
 			s.retries.Inc()
-			s.tryGet(key, valLen, order, i+1, lat, epoch, op, cb)
+			s.tryGet(key, valLen, order, i+1, lat, epoch, gen, op, cb)
 			return
 		}
 		s.misses.Inc()
@@ -1030,11 +1126,16 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 // unless a set raced the read (the key's write epoch moved since the
 // get was issued — admitting would install a stale value that
 // write-through could never fix).
-func (s *Service) maybeCache(key, valLen uint64, val []byte, epoch uint64) {
+func (s *Service) maybeCache(key, valLen uint64, val []byte, epoch, gen uint64) {
 	if s.cache == nil || s.hot == nil || uint64(len(val)) < valLen {
 		return
 	}
 	if s.setEpoch[key] != epoch {
+		return
+	}
+	// A resharding started (or finished) while this get was in flight:
+	// the value may have been read from an owner that just lost the key.
+	if gen != s.cacheGen {
 		return
 	}
 	// While any write to the key is unsettled, this read may have come
@@ -1187,6 +1288,14 @@ type ServiceStats struct {
 	ArenaFoot     uint64 // arena footprint across all shards
 	ArenaPeak     uint64 // summed high-water footprints
 
+	Migrations         int    // completed reshardings (joins + drains)
+	MigratingBuckets   int    // unsealed bucket segments of the active migration
+	MigKeysMoved       uint64 // owner copies the resharding migrator applied
+	MigKeysSkipped     uint64 // moving keys already converged when their turn came
+	MigSegsSealed      uint64 // bucket segments sealed across all migrations
+	MigCopyFails       uint64 // migrator copies abandoned to the repair queue
+	MigHintsRedirected uint64 // hints redirected off a draining shard
+
 	Probes            uint64 // version probes issued on replicated hits
 	ProbeSkews        uint64 // probes (and host fallbacks) that found version skew
 	RepairsQueued     uint64
@@ -1234,7 +1343,11 @@ func (s *Service) Stats() ServiceStats {
 		AEPasses:       s.aePasses.Value(), AESegsDiffed: s.aeSegsDiffed.Value(),
 		AEKeysChecked: s.aeKeysChecked.Value(),
 		DeferredGets:  s.deferredGets.Value(),
-		ShedGets:      s.shedGets.Value(), ShedWrites: s.shedWrites.Value()}
+		ShedGets:      s.shedGets.Value(), ShedWrites: s.shedWrites.Value(),
+		Migrations: len(s.migLog), MigratingBuckets: s.MigratingBuckets(),
+		MigKeysMoved: s.migKeysMoved.Value(), MigKeysSkipped: s.migKeysSkipped.Value(),
+		MigSegsSealed: s.migSegsSealed.Value(), MigCopyFails: s.migCopyFails.Value(),
+		MigHintsRedirected: s.migHintsRedirected.Value()}
 	now := s.tb.Now()
 	for _, sh := range s.order {
 		ss := ShardStats{ID: sh.id, Sets: sh.sets.Value(), Spills: sh.spills.Value(),

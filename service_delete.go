@@ -70,9 +70,11 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 		delete(s.cache, key)
 	}
 	owners := s.owners(key)
+	extras := s.dualWriteExtras(owners, key)
 	op := &setOp{key: key, seq: seq, del: true, need: s.cfg.WriteQuorum,
-		owners: len(owners), start: s.tb.Now(), cb: cb, settleLeft: len(owners),
-		traceOp: s.tr.OpBegin("del", key)}
+		owners: len(owners), start: s.tb.Now(), cb: cb,
+		settleLeft: len(owners) + len(extras),
+		traceOp:    s.tr.OpBegin("del", key)}
 	for idx, id := range owners {
 		sh := s.shards[id]
 		legID := op.traceOp<<4 | uint64(idx)
@@ -104,6 +106,29 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 				op.fail(s)
 				op.settleOne(s)
 			}
+		})
+	}
+	for idx, id := range extras {
+		sh := s.shards[id]
+		legID := op.traceOp<<4 | uint64(len(owners)+idx)
+		if s.tr.Enabled() {
+			s.tr.AsyncBegin("leg", legID, "aux:"+sh.id, op.traceOp)
+		}
+		s.ownerDelete(sh, key, seq, op.traceOp, func(st ownerWriteStatus) {
+			if s.tr.Enabled() {
+				s.tr.AsyncEnd("leg", legID, "aux:"+sh.id, op.traceOp)
+			}
+			// Auxiliary dual-delete leg: same contract as the set fan-out's
+			// extras — settle only, never ack or fail the quorum, so a
+			// departing owner cannot decide a delete's fate.
+			if st == ownerApplied {
+				if s.applyHook != nil {
+					s.applyHook(sh.id, key, seq)
+				}
+				sh.noteDeleted(key, seq)
+				s.dropHint(sh, key, seq)
+			}
+			op.settleOne(s)
 		})
 	}
 }

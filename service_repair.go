@@ -131,9 +131,11 @@ func (s *Service) ownerState(sh *serviceShard, key uint64) (ver uint64, del, ok 
 // winningState finds the newest versioned state any owner holds for
 // key: the roll-forward target every laggard converges to. del reports
 // a tombstone win; winner is the shard holding the winning value
-// (meaningless for tombstone wins).
+// (meaningless for tombstone wins). During a resharding the candidate
+// set is the UNION of current and pre-change owners: a moving key's
+// newest state may still live only where it is moving from.
 func (s *Service) winningState(key uint64) (ver uint64, del bool, winner *serviceShard, ok bool) {
-	for _, id := range s.owners(key) {
+	for _, id := range s.stateOwners(key) {
 		sh := s.shards[id]
 		v, d, has := s.ownerState(sh, key)
 		if !has {
@@ -213,15 +215,22 @@ func (s *Service) maybeReadRepair(key uint64, served *serviceShard, order []*ser
 	if s.cfg.ProbeEvery > 1 && s.probeTick%uint64(s.cfg.ProbeEvery) != 0 {
 		return
 	}
-	// Rotate among the owners that did not serve this hit.
+	// Rotate among the owners that did not serve this hit. During a
+	// resharding the order can carry pre-change fallback extras; probing
+	// an owner about to lose the key would report "skew" the seal is
+	// about to erase, so partners must be current owners.
 	var partner *serviceShard
 	for range order {
 		s.probeCursor++
 		cand := order[s.probeCursor%len(order)]
-		if cand != served {
-			partner = cand
-			break
+		if cand == served {
+			continue
 		}
+		if s.mig != nil && !s.isOwner(cand.id, key) {
+			continue
+		}
+		partner = cand
+		break
 	}
 	if partner == nil || partner.suspect(s.tb.Now()) {
 		return
@@ -510,7 +519,7 @@ func (s *Service) aeScan(sh *serviceShard, segs int) (map[string]map[uint64]repa
 // enqueues, modeling the host scan time; the repairs themselves then
 // pay the ordinary owner write costs through the queue.
 func (s *Service) sweepShard(sh *serviceShard) {
-	if sh.hostDown {
+	if sh.hostDown || s.draining(sh.id) {
 		// No CPU to scan this shard — but a down shard must not halt
 		// the rotation for the healthy pairs behind it in the cursor
 		// order. Its own pairs are deferred, not dirty: recovery arms a
@@ -533,7 +542,7 @@ func (s *Service) sweepShard(sh *serviceShard) {
 	var repairs []found
 	rootDigs, rootKeys := s.aeScan(sh, segs)
 	for _, partner := range s.order {
-		if partner == sh || partner.hostDown || partner.id <= sh.id {
+		if partner == sh || partner.hostDown || partner.id <= sh.id || s.draining(partner.id) {
 			continue
 		}
 		digA, keysA := rootDigs[partner.id], rootKeys[partner.id]

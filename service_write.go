@@ -227,8 +227,9 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 		}
 	}
 	owners := s.owners(key)
+	extras := s.dualWriteExtras(owners, key)
 	op := &setOp{key: key, seq: seq, need: s.cfg.WriteQuorum, owners: len(owners),
-		start: s.tb.Now(), cb: cb, settleLeft: len(owners),
+		start: s.tb.Now(), cb: cb, settleLeft: len(owners) + len(extras),
 		traceOp: s.tr.OpBegin("set", key)}
 	val := append([]byte(nil), value...)
 	for idx, id := range owners {
@@ -263,6 +264,33 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 				op.fail(s)
 				op.settleOne(s)
 			}
+		})
+	}
+	for idx, id := range extras {
+		sh := s.shards[id]
+		legID := op.traceOp<<4 | uint64(len(owners)+idx)
+		if s.tr.Enabled() {
+			s.tr.AsyncBegin("leg", legID, "aux:"+sh.id, op.traceOp)
+		}
+		s.ownerSet(sh, key, val, seq, op.traceOp, func(st ownerWriteStatus) {
+			if s.tr.Enabled() {
+				s.tr.AsyncEnd("leg", legID, "aux:"+sh.id, op.traceOp)
+			}
+			// Auxiliary dual-write leg (resharding handover): the quorum
+			// is counted over the post-change owners exclusively — a
+			// departing owner's outcome only settles, so it can neither
+			// ack a write the new owners lost nor fail one they hold. No
+			// hint on failure either: the new owners are the write's
+			// future, and the dual-read fallback this leg serves reaches
+			// them first.
+			if st == ownerApplied {
+				if s.applyHook != nil {
+					s.applyHook(sh.id, key, seq)
+				}
+				sh.noteApplied(key, seq)
+				s.dropHint(sh, key, seq)
+			}
+			op.settleOne(s)
 		})
 	}
 }
@@ -508,6 +536,24 @@ func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, ver uint64, 
 // newer than a pending tombstone replaces it just as correctly (the
 // delete happened-before the new write).
 func (s *Service) queueHint(sh *serviceShard, key uint64, val []byte, del bool, seq uint64, op *setOp) {
+	// A leg can resolve after its target left the service entirely (a
+	// drain completed while the write was in flight): there is no owner
+	// to hand off to, and the new owners carry the write — just settle.
+	if s.shards[sh.id] != sh {
+		sh.hintsDropped.Inc()
+		op.settleOne(s)
+		return
+	}
+	// Hints aimed at a shard mid-drain redirect to the key's new
+	// primary: the draining owner will be gone before it could drain
+	// them, and an acked write must survive its departure.
+	if s.draining(sh.id) {
+		if to := s.redirectTarget(key, sh); to != nil {
+			s.migHintsRedirected.Inc()
+			s.queueHint(to, key, val, del, seq, op)
+			return
+		}
+	}
 	if cur, ok := sh.hints[key]; ok {
 		if cur.seq >= seq {
 			sh.hintsDropped.Inc()
