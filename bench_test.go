@@ -210,3 +210,13 @@ func BenchmarkResharding(b *testing.B) {
 		report(b, experiments.Resharding())
 	}
 }
+
+// BenchmarkSentinel measures the SLO sentinel: each injected fault
+// fires exactly its own anomaly class with a deterministic incident
+// bundle, the healthy run fires none, and the flight recorder costs
+// nothing in virtual time (parity fraction 1.0).
+func BenchmarkSentinel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report(b, experiments.Sentinel())
+	}
+}

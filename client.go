@@ -916,71 +916,6 @@ func (c *Client) PipelineStats(op Op) PipelineStats {
 	}
 }
 
-// InFlight returns the number of gets currently occupying slots.
-//
-// Deprecated: use PipelineStats(OpGet).InFlight.
-func (c *Client) InFlight() int { return c.get.inFlight }
-
-// Queued returns the number of gets waiting client-side for a slot.
-//
-// Deprecated: use PipelineStats(OpGet).Queued.
-func (c *Client) Queued() int { return len(c.get.waiting) }
-
-// Wedged returns the number of quarantined get slots: slots whose last
-// armed offload instance never executed (the server NIC is frozen or
-// the connection is dead). A fully wedged client fails new gets after
-// one MissTimeout instead of queueing them forever.
-//
-// Deprecated: use PipelineStats(OpGet).Wedged.
-func (c *Client) Wedged() int { return c.get.nWedged }
-
-// SetsInFlight returns the number of sets currently occupying slots.
-//
-// Deprecated: use PipelineStats(OpSet).InFlight.
-func (c *Client) SetsInFlight() int { return c.set.inFlight }
-
-// SetsQueued returns the number of sets waiting client-side for a slot.
-//
-// Deprecated: use PipelineStats(OpSet).Queued.
-func (c *Client) SetsQueued() int { return len(c.set.waiting) }
-
-// SetsWedged returns the number of quarantined set slots.
-//
-// Deprecated: use PipelineStats(OpSet).Wedged.
-func (c *Client) SetsWedged() int { return c.set.nWedged }
-
-// DeletesInFlight returns the number of deletes currently occupying
-// slots.
-//
-// Deprecated: use PipelineStats(OpDelete).InFlight.
-func (c *Client) DeletesInFlight() int { return c.del.inFlight }
-
-// DeletesQueued returns the deletes waiting client-side for a slot.
-//
-// Deprecated: use PipelineStats(OpDelete).Queued.
-func (c *Client) DeletesQueued() int { return len(c.del.waiting) }
-
-// DeletesWedged returns the number of quarantined delete slots.
-//
-// Deprecated: use PipelineStats(OpDelete).Wedged.
-func (c *Client) DeletesWedged() int { return c.del.nWedged }
-
-// ProbesInFlight returns the number of probes currently occupying
-// slots.
-//
-// Deprecated: use PipelineStats(OpProbe).InFlight.
-func (c *Client) ProbesInFlight() int { return c.prb.inFlight }
-
-// ProbesQueued returns the probes waiting client-side for a slot.
-//
-// Deprecated: use PipelineStats(OpProbe).Queued.
-func (c *Client) ProbesQueued() int { return len(c.prb.waiting) }
-
-// ProbesWedged returns the number of quarantined probe slots.
-//
-// Deprecated: use PipelineStats(OpProbe).Wedged.
-func (c *Client) ProbesWedged() int { return c.prb.nWedged }
-
 // LastMissExecuted reports whether the most recent miss's offload
 // chain executed on the server NIC (response NOOPs delivered — the key
 // is genuinely absent) as opposed to never running (dead connection).

@@ -48,8 +48,8 @@ func TestPipelinedClientDemux(t *testing.T) {
 	if done != 32 {
 		t.Fatalf("completed %d of 32 gets", done)
 	}
-	if cli.InFlight() != 0 {
-		t.Fatalf("%d gets still in flight after drain", cli.InFlight())
+	if st := cli.PipelineStats(OpGet); st.InFlight != 0 {
+		t.Fatalf("%d gets still in flight after drain", st.InFlight)
 	}
 	if cli.get.maxInFlight != 16 {
 		t.Fatalf("pipeline high-water %d, want 16", cli.get.maxInFlight)
@@ -244,11 +244,12 @@ func TestClientWedgesOnFrozenServer(t *testing.T) {
 	if results != 64 {
 		t.Fatalf("%d of 64 gets completed against a frozen NIC", results)
 	}
-	if cli.Wedged() != cli.Depth() {
-		t.Fatalf("%d of %d slots wedged; the dead connection was re-armed", cli.Wedged(), cli.Depth())
+	st := cli.PipelineStats(OpGet)
+	if st.Wedged != cli.Depth() {
+		t.Fatalf("%d of %d slots wedged; the dead connection was re-armed", st.Wedged, cli.Depth())
 	}
-	if cli.InFlight() != 0 || cli.Queued() != 0 {
-		t.Fatalf("stranded requests: inflight=%d queued=%d", cli.InFlight(), cli.Queued())
+	if st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("stranded requests: inflight=%d queued=%d", st.InFlight, st.Queued)
 	}
 }
 
@@ -268,8 +269,8 @@ func TestClientMissesDoNotWedge(t *testing.T) {
 			t.Fatal("absent key found")
 		}
 	}
-	if cli.Wedged() != 0 {
-		t.Fatalf("%d slots wedged by ordinary misses", cli.Wedged())
+	if w := cli.PipelineStats(OpGet).Wedged; w != 0 {
+		t.Fatalf("%d slots wedged by ordinary misses", w)
 	}
 	// And the connection still serves hits.
 	if _, _, ok := cli.Get(1, 64); !ok {

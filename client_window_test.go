@@ -255,11 +255,6 @@ func TestPipelineStatsDisjointAccounting(t *testing.T) {
 	if got := cli.get.inFlight + len(cli.get.free) + cli.get.nWedged; got != 4 {
 		t.Fatalf("inflight+free+wedged = %d, want the depth 4", got)
 	}
-	// The deprecated accessors read the same disjoint counts.
-	if cli.InFlight() != st.InFlight || cli.Wedged() != st.Wedged {
-		t.Fatalf("deprecated accessors disagree: InFlight()=%d Wedged()=%d vs stats %d/%d",
-			cli.InFlight(), cli.Wedged(), st.InFlight, st.Wedged)
-	}
 }
 
 // Refactor safety for the unified pipeline: with the window pinned

@@ -11,6 +11,7 @@
 //	redn-bench -repair 50000        # repair with an explicit read count
 //	redn-bench -reshard 20000       # resharding with an explicit op count
 //	redn-bench -trace out.json      # trace a mixed run (Perfetto-loadable)
+//	redn-bench -watch incident.json # crash a shard under the SLO sentinel and dump its incident bundle
 //	redn-bench list                 # list experiment ids
 package main
 
@@ -32,6 +33,7 @@ func main() {
 	overloadReq := flag.Int("overload", 0, "per-point request budget for the overload sweep (0 = default; longer points sharpen the goodput fractions)")
 	reshardReq := flag.Int("reshard", 0, "open-loop op count for the resharding timeline (0 = default; longer runs widen the steady windows around the join and drain)")
 	tracePath := flag.String("trace", "", "run a traced mixed workload and write Chrome trace-event JSON (load in Perfetto) to this path")
+	watchPath := flag.String("watch", "", "run the sentinel's crash scenario and write the incident bundle it captures to this path")
 	flag.Parse()
 	args := flag.Args()
 
@@ -53,6 +55,31 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, " done in %.1fs -> %s\n", time.Since(start).Seconds(), *tracePath)
 		fmt.Println(experiments.UtilizationSummary(st, 5))
+		if len(args) == 0 && *watchPath == "" {
+			return
+		}
+	}
+
+	if *watchPath != "" {
+		f, err := os.Create(*watchPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "watch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "watching a crash under the SLO sentinel ...")
+		start := time.Now()
+		st, err := experiments.WatchFault(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\nwatch: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, " done in %.1fs -> %s\n", time.Since(start).Seconds(), *watchPath)
+		for _, a := range st.Anomalies {
+			fmt.Printf("anomaly: %s (%s) at t=%v\n", a.Rule, a.Class, a.At)
+		}
 		if len(args) == 0 {
 			return
 		}

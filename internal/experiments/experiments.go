@@ -104,7 +104,7 @@ func All() []*Result {
 		Fig10(), Fig11(), Table4(), Table5(),
 		Fig13(), Fig14(), Fig15(), Fig16(), Table6(),
 		ScaleOut(), HotKey(), Failover(), MixedWorkload(), Churn(), Repair(),
-		Overload(), Resharding(),
+		Overload(), Resharding(), Sentinel(),
 	}
 }
 
@@ -155,6 +155,8 @@ func ByID(id string) *Result {
 		return Overload()
 	case "resharding":
 		return Resharding()
+	case "sentinel":
+		return Sentinel()
 	}
 	return nil
 }
@@ -164,7 +166,7 @@ func IDs() []string {
 	return []string{"table1", "table2", "table3", "table4", "table5", "table6",
 		"fig7", "fig8", "fig10", "fig11", "fig13", "fig14", "fig15", "fig16",
 		"scaleout", "hotkey", "failover", "mixed", "churn", "repair", "overload",
-		"resharding"}
+		"resharding", "sentinel"}
 }
 
 // ---- shared harness helpers ----

@@ -83,14 +83,14 @@ func TestByIDAndIDs(t *testing.T) {
 	if ByID("fig99") != nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(IDs()) != 22 {
-		t.Fatalf("IDs() = %d entries, want 22 (every table and figure, plus scaleout, hotkey, failover, mixed, churn, repair, overload, resharding)", len(IDs()))
+	if len(IDs()) != 23 {
+		t.Fatalf("IDs() = %d entries, want 23 (every table and figure, plus scaleout, hotkey, failover, mixed, churn, repair, overload, resharding, sentinel)", len(IDs()))
 	}
 	for _, id := range IDs() {
 		if id == "fig16" || id == "fig15" || id == "fig14" || id == "fig13" ||
 			id == "fig10" || id == "fig11" || id == "table4" || id == "scaleout" ||
 			id == "hotkey" || id == "failover" || id == "churn" || id == "repair" ||
-			id == "overload" || id == "resharding" {
+			id == "overload" || id == "resharding" || id == "sentinel" {
 			continue // heavy: exercised by the benchmarks
 		}
 		if r := ByID(id); r == nil || len(r.Rows) == 0 {

@@ -117,6 +117,43 @@ func (h *Histogram) PercentileWidth(p float64) Time {
 	return histWidth(histBuckets - 1)
 }
 
+// Merge folds every sample recorded in o into h. Bucket counts add
+// element-wise, so a merged histogram is indistinguishable from one
+// that saw both sample streams directly — the primitive that lets
+// per-shard histograms combine into fleet-wide percentiles.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+}
+
+// CountAbove returns how many recorded samples are certainly greater
+// than t: the sum of counts in buckets whose entire range lies above
+// t. Samples sharing t's bucket are excluded (they may be <= t), so
+// the result is a lower bound within one bucket's population of the
+// exact count — monotone in the sample stream, which makes it a
+// delta-able "slow op" counter for burn-rate windows.
+func (h *Histogram) CountAbove(t Time) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	var cum uint64
+	for i := histIndex(t) + 1; i < histBuckets; i++ {
+		cum += h.counts[i]
+	}
+	return cum
+}
+
+// Reset clears the histogram to its zero state.
+func (h *Histogram) Reset() {
+	h.counts = [histBuckets]uint64{}
+	h.n = 0
+}
+
 // Buckets invokes fn for every non-empty bucket in ascending value
 // order with the bucket's lower bound, width and count.
 func (h *Histogram) Buckets(fn func(low, width Time, count uint64)) {

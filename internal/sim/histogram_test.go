@@ -77,6 +77,92 @@ func TestHistogramPercentileErrorBound(t *testing.T) {
 	}
 }
 
+// Property (satellite): merging two independently-accumulated
+// LatencyStats must answer percentiles exactly as if one stats had
+// seen the concatenated sample stream — same error bound against the
+// exact sorted reference, and exact fields (N, Avg, Min, Max) must
+// match the direct accumulation bit-for-bit.
+func TestLatencyStatsMergeMatchesExact(t *testing.T) {
+	f := func(rawA, rawB []uint32, pSeed uint8) bool {
+		var a, b, direct LatencyStats
+		all := make([]Time, 0, len(rawA)+len(rawB))
+		for _, v := range rawA {
+			a.Add(Time(v))
+			direct.Add(Time(v))
+			all = append(all, Time(v))
+		}
+		for _, v := range rawB {
+			b.Add(Time(v))
+			direct.Add(Time(v))
+			all = append(all, Time(v))
+		}
+		var merged LatencyStats
+		merged.Merge(&a)
+		merged.Merge(&b)
+		if merged.N() != direct.N() || merged.Avg() != direct.Avg() ||
+			merged.Min() != direct.Min() || merged.Max() != direct.Max() {
+			t.Logf("exact fields diverge: merged N=%d avg=%d min=%d max=%d, direct N=%d avg=%d min=%d max=%d",
+				merged.N(), merged.Avg(), merged.Min(), merged.Max(),
+				direct.N(), direct.Avg(), direct.Min(), direct.Max())
+			return false
+		}
+		if len(all) == 0 {
+			return true
+		}
+		ps := []float64{float64(pSeed%100) + 1, 50, 90, 99, 99.9}
+		for _, p := range ps {
+			exact := exactPercentile(all, p)
+			got := merged.Percentile(p)
+			if got != direct.Percentile(p) {
+				t.Logf("p=%v merged=%d direct=%d", p, got, direct.Percentile(p))
+				return false
+			}
+			width := histWidth(histIndex(exact))
+			if got > exact || exact-got > width {
+				t.Logf("p=%v exact=%d got=%d width=%d", p, exact, got, width)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CountAbove is the delta-able "slow op" counter the SLO sentinel
+// windows over: it must be monotone in the sample stream, exclude the
+// threshold's own bucket, and survive Merge/Reset round trips.
+func TestLatencyStatsCountAbove(t *testing.T) {
+	var s LatencyStats
+	if s.CountAbove(0) != 0 {
+		t.Fatal("empty stats should count zero")
+	}
+	// Threshold 1000 lands in a bucket spanning [960, 1024): samples in
+	// that bucket are excluded, samples at 1024+ are certainly above.
+	for _, v := range []Time{1, 500, 999, 1023, 1024, 5000, 1 << 30} {
+		s.Add(v)
+	}
+	if got := s.CountAbove(1000); got != 3 {
+		t.Fatalf("CountAbove(1000) = %d, want 3 (1024, 5000, 1<<30)", got)
+	}
+	prev := s.CountAbove(1000)
+	s.Add(1 << 20)
+	if got := s.CountAbove(1000); got != prev+1 {
+		t.Fatalf("CountAbove not monotone: %d -> %d", prev, got)
+	}
+	var m LatencyStats
+	m.Merge(&s)
+	m.Merge(&s)
+	if got := m.CountAbove(1000); got != 2*s.CountAbove(1000) {
+		t.Fatalf("merged CountAbove = %d, want %d", got, 2*s.CountAbove(1000))
+	}
+	m.Reset()
+	if m.N() != 0 || m.CountAbove(0) != 0 || m.Min() != 0 || m.Max() != 0 || m.Avg() != 0 {
+		t.Fatal("Reset left residue")
+	}
+}
+
 // Exact fields stay exact regardless of histogram quantization.
 func TestLatencyStatsExactFields(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))

@@ -24,6 +24,35 @@ func (s *LatencyStats) Add(t Time) {
 	s.h.Add(t)
 }
 
+// Merge folds every sample recorded in o into s: histogram buckets add
+// element-wise, the sum accumulates exactly, and min/max widen to
+// cover both streams. Merging per-shard stats yields fleet-wide
+// percentiles identical to a single stats that saw every sample.
+func (s *LatencyStats) Merge(o *LatencyStats) {
+	if o == nil || o.h.n == 0 {
+		return
+	}
+	if s.h.n == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if s.h.n == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.sum += o.sum
+	s.h.Merge(&o.h)
+}
+
+// Reset clears the stats to their zero state, ready for reuse as a
+// merge scratch buffer without reallocating the ~8 KiB histogram.
+func (s *LatencyStats) Reset() {
+	s.h.Reset()
+	s.sum, s.min, s.max = 0, 0, 0
+}
+
+// CountAbove returns how many samples are certainly greater than t
+// (see Histogram.CountAbove for the bucket-granularity bound).
+func (s *LatencyStats) CountAbove(t Time) uint64 { return s.h.CountAbove(t) }
+
 // N returns the number of samples.
 func (s *LatencyStats) N() int { return int(s.h.n) }
 

@@ -107,18 +107,25 @@ func (r *Registry) Histogram(name string) *sim.LatencyStats {
 
 // Metric is one exported sample.
 type Metric struct {
-	Name  string
-	Kind  string // "counter", "gauge", "hist"
-	Value float64
+	Name  string  `json:"name"`
+	Kind  string  `json:"kind"` // "counter", "gauge", "hist"
+	Value float64 `json:"value"`
 }
 
 // Snapshot returns every metric's current value, sorted by name.
 // Histograms expand into .n/.avg/.p50/.p99/.max sub-metrics.
 func (r *Registry) Snapshot() []Metric {
+	return r.SnapshotAppend(nil)
+}
+
+// SnapshotAppend is Snapshot writing into buf's backing array (grown
+// as needed) — the flight recorder samples every tick into a
+// fixed-size ring slot, so a steady-state sample allocates nothing.
+func (r *Registry) SnapshotAppend(buf []Metric) []Metric {
 	if r == nil {
 		return nil
 	}
-	var out []Metric
+	out := buf[:0]
 	for _, name := range r.counterNames {
 		out = append(out, Metric{Name: name, Kind: "counter", Value: float64(r.counters[name].Value())})
 	}

@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"repro/internal/sim"
+)
+
+// Sample is one flight-recorder tick: every registry metric's value at
+// one virtual instant, sorted by name (Registry.SnapshotAppend order).
+type Sample struct {
+	At      sim.Time
+	Metrics []Metric
+}
+
+// DefaultRingSamples is the metric-sample ring capacity used when a
+// caller asks for a recorder without sizing it.
+const DefaultRingSamples = 64
+
+// Recorder is the metrics half of the flight recorder: a fixed-size
+// ring of registry snapshots, one per sentinel tick. Counter deltas
+// and gauge timelines fall out of diffing ring entries, so the SLO
+// engine's burn-rate windows and an incident bundle's timeline both
+// read straight from the ring. Ring slots reuse their Metric slices,
+// so steady-state recording performs no per-tick slice allocation.
+//
+// A nil *Recorder is the disabled state: every method is a
+// zero-allocation no-op, mirroring the nil *Tracer contract.
+type Recorder struct {
+	eng   *sim.Engine
+	reg   *Registry
+	ring  []Sample
+	size  int // number of valid entries, <= len(ring)
+	head  int // index of the oldest valid entry
+	total uint64
+}
+
+// NewRecorder returns a recorder sampling reg on demand, retaining the
+// newest cap samples (DefaultRingSamples when cap <= 0).
+func NewRecorder(eng *sim.Engine, reg *Registry, cap int) *Recorder {
+	if cap <= 0 {
+		cap = DefaultRingSamples
+	}
+	return &Recorder{eng: eng, reg: reg, ring: make([]Sample, cap)}
+}
+
+// Enabled reports whether recording is on.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Record snapshots the registry into the ring, overwriting the oldest
+// sample once full.
+func (r *Recorder) Record() {
+	if r == nil {
+		return
+	}
+	slot := (r.head + r.size) % len(r.ring)
+	if r.size == len(r.ring) {
+		slot = r.head
+		r.head++
+		if r.head == len(r.ring) {
+			r.head = 0
+		}
+	} else {
+		r.size++
+	}
+	r.ring[slot].At = r.eng.Now()
+	r.ring[slot].Metrics = r.reg.SnapshotAppend(r.ring[slot].Metrics)
+	r.total++
+}
+
+// Len returns the number of retained samples.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.size
+}
+
+// Total returns how many samples were ever recorded (retained or not).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Each visits the retained samples oldest-first.
+func (r *Recorder) Each(fn func(s *Sample)) {
+	if r == nil {
+		return
+	}
+	for i := 0; i < r.size; i++ {
+		fn(&r.ring[(r.head+i)%len(r.ring)])
+	}
+}
+
+// At returns the i-th retained sample, oldest-first (nil when out of
+// range).
+func (r *Recorder) At(i int) *Sample {
+	if r == nil || i < 0 || i >= r.size {
+		return nil
+	}
+	return &r.ring[(r.head+i)%len(r.ring)]
+}
+
+// Latest returns the newest retained sample (nil when empty).
+func (r *Recorder) Latest() *Sample { return r.At(r.Len() - 1) }
+
+// Oldest returns the oldest retained sample (nil when empty).
+func (r *Recorder) Oldest() *Sample { return r.At(0) }
+
+// Value looks up name in sample s (whose metrics are name-sorted) by
+// binary search; missing metrics read as 0, so rules over lazily
+// registered gauges are well-defined before first registration.
+func (s *Sample) Value(name string) float64 {
+	lo, hi := 0, len(s.Metrics)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.Metrics[mid].Name < name {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.Metrics) && s.Metrics[lo].Name == name {
+		return s.Metrics[lo].Value
+	}
+	return 0
+}
+
+// Before returns the newest retained sample with At <= cutoff (nil
+// when every retained sample is newer) — the window-start lookup the
+// SLO engine uses: "the world as of cutoff, as best the ring knows".
+func (r *Recorder) Before(cutoff sim.Time) *Sample {
+	if r == nil {
+		return nil
+	}
+	var best *Sample
+	for i := 0; i < r.size; i++ {
+		s := &r.ring[(r.head+i)%len(r.ring)]
+		if s.At > cutoff {
+			break
+		}
+		best = s
+	}
+	return best
+}

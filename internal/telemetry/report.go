@@ -10,10 +10,10 @@ import (
 // fraction of the wall-clock window it was busy, total busy time, and
 // grant count. Names are hierarchical, e.g. "shard3/port0/pu1".
 type ResourceUtil struct {
-	Name   string
-	Util   float64
-	Busy   sim.Time
-	Grants uint64
+	Name   string   `json:"name"`
+	Util   float64  `json:"util"`
+	Busy   sim.Time `json:"busy_ns"`
+	Grants uint64   `json:"grants"`
 }
 
 // String renders the bottleneck line format: "shard3/port0/pu1 97% busy".

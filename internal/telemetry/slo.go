@@ -1,0 +1,186 @@
+package telemetry
+
+import (
+	"repro/internal/sim"
+)
+
+// Rule is one SLO: a burn-rate condition over flight-recorder samples,
+// evaluated on two rolling windows (fast and slow) in the SRE
+// multi-window style — the slow window supplies evidence volume, the
+// fast window confirms the burn is still happening, and both must
+// exceed the threshold rate for the rule to fire. Two rule shapes:
+//
+//   - Counter rules (Level == false): the summed Metrics are monotone
+//     counters; the rule fires when their delta over the slow window
+//     reaches Threshold AND the delta over the fast window reaches the
+//     same rate (Threshold scaled by Fast/Slow). Deltas clamp at zero,
+//     so a counter reset (e.g. a reconnected client's window-cut
+//     totals) reads as no burn rather than a negative one.
+//
+//   - Level rules (Level == true): the summed Metrics are gauges; the
+//     rule fires when their minimum over the whole slow window is at
+//     least Threshold — a condition sustained for the full window, not
+//     a spike.
+//
+// StallOf (optional) names a progress counter: the rule only fires if
+// that counter made no progress over the slow window. A level rule on
+// a backlog gauge plus StallOf on its drain counter is the "stuck, not
+// busy" detector (e.g. migration backlog with no segments sealing).
+type Rule struct {
+	Name      string   // rule identifier, e.g. "crash-suspects"
+	Class     string   // anomaly taxonomy class, e.g. "crash"
+	Metrics   []string // registry metric names, summed
+	Level     bool     // false: counter delta rule; true: sustained gauge rule
+	Threshold float64  // delta per slow window, or sustained gauge level
+	Fast      sim.Time // fast confirmation window
+	Slow      sim.Time // slow evidence window
+	StallOf   string   // optional progress counter that must be flat
+}
+
+// Anomaly is one typed anomaly event: a rule that transitioned from
+// healthy to firing at a given virtual instant, with the burn evidence
+// that made it fire.
+type Anomaly struct {
+	Rule      string   `json:"rule"`
+	Class     string   `json:"class"`
+	At        sim.Time `json:"at_ns"`
+	Fast      float64  `json:"fast_burn"` // fast-window delta (or min level)
+	Slow      float64  `json:"slow_burn"` // slow-window delta (or min level)
+	Threshold float64  `json:"threshold"` // the rule's slow-window threshold
+	Evidence  []Metric `json:"evidence"`  // firing metrics' values at trigger
+}
+
+// SLO evaluates a rule set against a flight recorder's sample ring.
+// Rules are edge-triggered with hysteresis: a rule records one anomaly
+// when it transitions into firing and cannot fire again until an
+// evaluation finds its condition clear — a sustained burn is one
+// incident, not one per tick.
+type SLO struct {
+	rec    *Recorder
+	rules  []Rule
+	firing []bool
+	anoms  []Anomaly
+	max    int
+}
+
+// DefaultMaxAnomalies bounds the anomaly history when the caller does
+// not choose a cap, keeping a runaway rule from growing memory.
+const DefaultMaxAnomalies = 64
+
+// NewSLO returns an engine over rec (maxAnoms <= 0 selects
+// DefaultMaxAnomalies).
+func NewSLO(rec *Recorder, rules []Rule, maxAnoms int) *SLO {
+	if maxAnoms <= 0 {
+		maxAnoms = DefaultMaxAnomalies
+	}
+	return &SLO{rec: rec, rules: rules, firing: make([]bool, len(rules)), max: maxAnoms}
+}
+
+// Anomalies returns every anomaly recorded so far, oldest first.
+func (s *SLO) Anomalies() []Anomaly {
+	if s == nil {
+		return nil
+	}
+	return s.anoms
+}
+
+// sampleSum sums a rule's metrics in one sample.
+func sampleSum(sm *Sample, names []string) float64 {
+	var v float64
+	for _, n := range names {
+		v += sm.Value(n)
+	}
+	return v
+}
+
+// Evaluate runs every rule against the recorder's current ring and
+// returns the anomalies that fired on this evaluation (also appended
+// to the history). A rule whose slow window the ring does not yet
+// cover is skipped — the sentinel never false-fires at startup on
+// half-empty windows.
+func (s *SLO) Evaluate() []Anomaly {
+	if s == nil || s.rec.Len() == 0 {
+		return nil
+	}
+	latest := s.rec.Latest()
+	now := latest.At
+	var fired []Anomaly
+	for i := range s.rules {
+		r := &s.rules[i]
+		slowStart := s.rec.Before(now - r.Slow)
+		if slowStart == nil {
+			continue // ring does not cover the slow window yet
+		}
+		fastStart := s.rec.Before(now - r.Fast)
+		var fastV, slowV float64
+		if r.Level {
+			// Sustained gauge: minimum over each window's samples.
+			fastV, slowV = sampleSum(latest, r.Metrics), sampleSum(latest, r.Metrics)
+			s.rec.Each(func(sm *Sample) {
+				if sm.At < now-r.Slow {
+					return
+				}
+				v := sampleSum(sm, r.Metrics)
+				if v < slowV {
+					slowV = v
+				}
+				if sm.At >= now-r.Fast && v < fastV {
+					fastV = v
+				}
+			})
+			// The window opens at slowStart, possibly before the first
+			// in-window sample; the level must hold there too.
+			if v := sampleSum(slowStart, r.Metrics); v < slowV {
+				slowV = v
+			}
+		} else {
+			cur := sampleSum(latest, r.Metrics)
+			slowV = cur - sampleSum(slowStart, r.Metrics)
+			if fastStart != nil {
+				fastV = cur - sampleSum(fastStart, r.Metrics)
+			}
+			if slowV < 0 {
+				slowV = 0
+			}
+			if fastV < 0 {
+				fastV = 0
+			}
+		}
+		fastThresh := r.Threshold
+		if !r.Level && r.Slow > 0 {
+			fastThresh = r.Threshold * float64(r.Fast) / float64(r.Slow)
+		}
+		cond := slowV >= r.Threshold && fastV >= fastThresh
+		if cond && r.StallOf != "" {
+			// "Stuck, not busy": require the progress counter flat
+			// across the slow window.
+			if sampleSum(latest, []string{r.StallOf})-sampleSum(slowStart, []string{r.StallOf}) > 0 {
+				cond = false
+			}
+		}
+		if !cond {
+			s.firing[i] = false
+			continue
+		}
+		if s.firing[i] {
+			continue // hysteresis: one anomaly per burn episode
+		}
+		s.firing[i] = true
+		if len(s.anoms) >= s.max {
+			continue
+		}
+		a := Anomaly{
+			Rule: r.Name, Class: r.Class, At: now,
+			Fast: fastV, Slow: slowV, Threshold: r.Threshold,
+		}
+		for _, m := range r.Metrics {
+			a.Evidence = append(a.Evidence, Metric{Name: m, Kind: "evidence", Value: latest.Value(m)})
+		}
+		if r.StallOf != "" {
+			a.Evidence = append(a.Evidence, Metric{Name: r.StallOf, Kind: "evidence", Value: latest.Value(r.StallOf)})
+		}
+		s.anoms = append(s.anoms, a)
+		fired = append(fired, a)
+	}
+	return fired
+}

@@ -44,9 +44,19 @@ type event struct {
 // Tracer records simulation events for trace-event export. Create one
 // with NewTracer and plumb it through ServiceConfig; a nil Tracer is
 // the disabled state — all methods no-op without allocating.
+//
+// An unbounded tracer (NewTracer) keeps every event — the right shape
+// for exporting a whole run. A ring tracer (NewRingTracer) keeps only
+// the newest cap events in fixed memory, overwriting the oldest — the
+// flight-recorder shape the SLO sentinel runs permanently, so "the
+// last few milliseconds of spans" are always available when an
+// incident fires without tracing ever growing O(ops).
 type Tracer struct {
 	eng    *sim.Engine
 	events []event
+	ring   int    // > 0: ring capacity; 0: unbounded
+	head   int    // ring mode: index of the oldest event once wrapped
+	shed   uint64 // ring mode: events overwritten so far
 	nextOp uint64
 	curOp  uint64
 
@@ -64,6 +74,62 @@ func NewTracer(eng *sim.Engine) *Tracer {
 		procIDs: make(map[string]int32),
 		thrIDs:  make(map[string]int32),
 	}
+}
+
+// DefaultRingEvents is the flight-recorder trace ring capacity used
+// when a caller asks for a ring tracer without sizing it.
+const DefaultRingEvents = 4096
+
+// NewRingTracer returns an enabled tracer that retains only the newest
+// cap events (DefaultRingEvents when cap <= 0) in a fixed-size ring.
+// All recording methods behave identically to an unbounded tracer;
+// only retention differs.
+func NewRingTracer(eng *sim.Engine, cap int) *Tracer {
+	if cap <= 0 {
+		cap = DefaultRingEvents
+	}
+	t := NewTracer(eng)
+	t.ring = cap
+	return t
+}
+
+// add appends one event, overwriting the oldest in ring mode. Every
+// recording method funnels through here so retention policy lives in
+// exactly one place.
+func (t *Tracer) add(e event) {
+	if t.ring > 0 && len(t.events) == t.ring {
+		t.events[t.head] = e
+		t.head++
+		if t.head == t.ring {
+			t.head = 0
+		}
+		t.shed++
+		return
+	}
+	t.events = append(t.events, e)
+}
+
+// each visits the retained events oldest-first (chronological order in
+// both unbounded and ring mode).
+func (t *Tracer) each(fn func(e *event)) {
+	if t == nil {
+		return
+	}
+	for i := t.head; i < len(t.events); i++ {
+		fn(&t.events[i])
+	}
+	for i := 0; i < t.head; i++ {
+		fn(&t.events[i])
+	}
+}
+
+// Shed returns how many events the ring has overwritten (0 for an
+// unbounded tracer).
+func (t *Tracer) Shed() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.shed
 }
 
 // Enabled reports whether tracing is on. Guard any span-name
@@ -105,7 +171,7 @@ func (t *Tracer) OpBegin(name string, key uint64) uint64 {
 	}
 	t.nextOp++
 	op := t.nextOp
-	t.events = append(t.events, event{
+	t.add(event{
 		ph: phAsyncBegin, name: name, cat: "op", pid: t.proc(opsProc),
 		ts: t.eng.Now(), id: op, op: op, key: key, wKey: true,
 	})
@@ -117,7 +183,7 @@ func (t *Tracer) OpEnd(op uint64, name string) {
 	if t == nil || op == 0 {
 		return
 	}
-	t.events = append(t.events, event{
+	t.add(event{
 		ph: phAsyncEnd, name: name, cat: "op", pid: t.proc(opsProc),
 		ts: t.eng.Now(), id: op, op: op,
 	})
@@ -129,7 +195,7 @@ func (t *Tracer) AsyncBegin(cat string, id uint64, name string, op uint64) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, event{
+	t.add(event{
 		ph: phAsyncBegin, name: name, cat: cat, pid: t.proc(opsProc),
 		ts: t.eng.Now(), id: id, op: op,
 	})
@@ -140,7 +206,7 @@ func (t *Tracer) AsyncEnd(cat string, id uint64, name string, op uint64) {
 	if t == nil {
 		return
 	}
-	t.events = append(t.events, event{
+	t.add(event{
 		ph: phAsyncEnd, name: name, cat: cat, pid: t.proc(opsProc),
 		ts: t.eng.Now(), id: id, op: op,
 	})
@@ -153,7 +219,7 @@ func (t *Tracer) Instant(proc, name string, op uint64) {
 		return
 	}
 	pid, tid := t.thread(proc, "events")
-	t.events = append(t.events, event{
+	t.add(event{
 		ph: phInstant, name: name, pid: pid, tid: tid,
 		ts: t.eng.Now(), op: op,
 	})
@@ -166,7 +232,7 @@ func (t *Tracer) Exec(proc, track, name string, start, end sim.Time, op uint64) 
 		return
 	}
 	pid, tid := t.thread(proc, track)
-	t.events = append(t.events, event{
+	t.add(event{
 		ph: phComplete, name: name, pid: pid, tid: tid,
 		ts: start, dur: end - start, op: op,
 	})
@@ -210,9 +276,71 @@ func micros(buf []byte, t sim.Time) []byte {
 
 // WriteJSON serializes the trace in Chrome trace-event JSON
 // ({"traceEvents":[...]}): process/thread name metadata first, then
-// events in record order. Two same-seed runs produce byte-identical
+// events oldest-first. Two same-seed runs produce byte-identical
 // output.
 func (t *Tracer) WriteJSON(w io.Writer) error {
+	return t.writeJSON(w, nil)
+}
+
+// WriteBalancedJSON serializes like WriteJSON but drops async
+// begin/end events whose partner is not retained — a ring that
+// overwrote a span's "b" would otherwise export a dangling "e" (and an
+// in-flight span a dangling "b"), which trace validators reject. X, i
+// and metadata events always survive; matching is per (cat,id) in
+// chronological order, so nested spans on one track pair innermost
+// first. This is the exporter incident bundles embed.
+func (t *Tracer) WriteBalancedJSON(w io.Writer) error {
+	return t.writeJSON(w, t.balancedKeep())
+}
+
+// balancedKeep computes, over the chronological event sequence, which
+// events a balanced export keeps. Returns nil when every event is kept.
+func (t *Tracer) balancedKeep() []bool {
+	if t == nil {
+		return nil
+	}
+	keep := make([]bool, len(t.events))
+	type spanKey struct {
+		cat string
+		id  uint64
+	}
+	open := make(map[spanKey][]int)
+	balanced := true
+	i := 0
+	t.each(func(e *event) {
+		switch e.ph {
+		case phAsyncBegin:
+			k := spanKey{e.cat, e.id}
+			open[k] = append(open[k], i)
+		case phAsyncEnd:
+			k := spanKey{e.cat, e.id}
+			if s := open[k]; len(s) > 0 {
+				open[k] = s[:len(s)-1]
+				keep[s[len(s)-1]] = true
+				keep[i] = true
+			} else {
+				balanced = false
+			}
+		default:
+			keep[i] = true
+		}
+		i++
+	})
+	for _, s := range open {
+		if len(s) > 0 {
+			balanced = false
+			break
+		}
+	}
+	if balanced {
+		return nil
+	}
+	return keep
+}
+
+// writeJSON is the shared exporter; keep (indexed in chronological
+// order) filters events when non-nil.
+func (t *Tracer) writeJSON(w io.Writer, keep []bool) error {
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{\"traceEvents\":[")
 	first := true
@@ -242,7 +370,12 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 			bw.WriteString("}}")
 		}
 		var num []byte
-		for _, e := range t.events {
+		i := -1
+		t.each(func(e *event) {
+			i++
+			if keep != nil && !keep[i] {
+				return
+			}
 			comma()
 			bw.WriteString("{\"ph\":\"")
 			bw.WriteByte(e.ph)
@@ -286,7 +419,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 				bw.WriteString("}")
 			}
 			bw.WriteString("}")
-		}
+		})
 	}
 	bw.WriteString("]}\n")
 	return bw.Flush()

@@ -111,6 +111,11 @@ type OpenLoopConfig struct {
 	// to prove that every key acked under membership churn is readable
 	// at its post-migration owners.
 	OnSetAck func(key uint64)
+	// OnBucket, when set, is called as each timeline bucket closes with
+	// the hits and acked writes counted into it, summed across classes —
+	// the live feed the SLO sentinel's outage rule watches, delivered as
+	// the run progresses rather than from the finished report.
+	OnBucket func(bucket int, hits, acks float64)
 }
 
 // OpenLoopReport is the timeline of an open-loop run.
@@ -201,6 +206,19 @@ func RunOpenLoop(eng *sim.Engine, kv AsyncKV, cfg OpenLoopConfig) OpenLoopReport
 				for g := range cfg.Gauges {
 					rep.GaugeSeries[g][idx] = cfg.Gauges[g].Sample()
 				}
+			})
+		}
+	}
+	if cfg.OnBucket != nil {
+		for i := 0; i < nb; i++ {
+			idx := i
+			eng.At(start+sim.Time(idx+1)*cfg.Bucket, func() {
+				var hits, acks float64
+				for c := 0; c < cfg.Classes; c++ {
+					hits += rep.Series[c][idx]
+					acks += rep.SetSeries[c][idx]
+				}
+				cfg.OnBucket(idx, hits, acks)
 			})
 		}
 	}

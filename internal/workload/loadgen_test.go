@@ -294,6 +294,54 @@ func TestRunOpenLoopTimeline(t *testing.T) {
 	}
 }
 
+// OnBucket delivers each bucket's class-summed hit/ack counts as the
+// bucket closes, in order, matching the finished report's timeline.
+func TestRunOpenLoopOnBucket(t *testing.T) {
+	eng := sim.NewEngine()
+	kv := &fakeKV{eng: eng, store: map[uint64][]byte{}, delay: sim.Microsecond}
+	ks := seqKeys(10)
+	for _, k := range ks {
+		kv.Set(k, Value(k, 8))
+	}
+	type fed struct {
+		bucket     int
+		hits, acks float64
+	}
+	var feed []fed
+	rep := RunOpenLoop(eng, kv, OpenLoopConfig{
+		Duration:   sim.Millisecond,
+		Gap:        10 * sim.Microsecond,
+		Bucket:     100 * sim.Microsecond,
+		Keys:       &Sequential{Keys: ks},
+		ValLen:     8,
+		WriteEvery: 4,
+		Classes:    2,
+		Classify:   func(key uint64) int { return int(key % 2) },
+		OnBucket:   func(b int, h, a float64) { feed = append(feed, fed{b, h, a}) },
+	})
+	if len(feed) != 10 {
+		t.Fatalf("OnBucket fired %d times, want one per bucket (10)", len(feed))
+	}
+	for i, f := range feed {
+		if f.bucket != i {
+			t.Fatalf("feed[%d] reported bucket %d — out of order", i, f.bucket)
+		}
+		wantH := rep.Series[0][i] + rep.Series[1][i]
+		wantA := rep.SetSeries[0][i] + rep.SetSeries[1][i]
+		if f.hits != wantH || f.acks != wantA {
+			t.Fatalf("bucket %d fed hits=%v acks=%v, report says %v/%v",
+				i, f.hits, f.acks, wantH, wantA)
+		}
+	}
+	var hits float64
+	for _, f := range feed {
+		hits += f.hits
+	}
+	if hits != float64(rep.Hits) {
+		t.Fatalf("fed hits sum %v != report hits %d", hits, rep.Hits)
+	}
+}
+
 // Gauges are sampled once per bucket at the bucket midpoint: a gauge
 // reading the fake KV's in-flight depth lands one value per bucket,
 // zero while the store idles before the run's window opens.

@@ -204,6 +204,41 @@ type ServiceConfig struct {
 	// not exist until NewServiceWith constructs it. Retrieve it with
 	// Tracer() after construction. Ignored when Tracer is already set.
 	Trace bool
+
+	// Sentinel enables the always-on SLO sentinel + flight recorder
+	// (service_sentinel.go): a bounded ring tracer replaces the
+	// grow-forever tracer (built automatically when neither Tracer nor
+	// Trace is set), registry snapshots land in a fixed metric-sample
+	// ring on an activity-armed tick, and burn-rate SLO rules evaluate
+	// each tick. A firing rule snapshots a deterministic incident
+	// bundle; read them back with Incidents() and Stats().Anomalies.
+	Sentinel bool
+	// SentinelEvery is the sentinel's sample-and-evaluate tick period
+	// (0 = DefaultSentinelEvery). Ticks arm on op activity and disarm
+	// when the metrics stop moving, so an idle service leaves the
+	// engine drainable.
+	SentinelEvery Duration
+	// RecorderEvents sizes the flight-recorder trace-event ring
+	// (0 = telemetry.DefaultRingEvents). Only used when the sentinel
+	// builds its own ring tracer.
+	RecorderEvents int
+	// RecorderSamples sizes the metric-sample ring (0 = enough ticks
+	// to cover the widest rule's slow window, with margin).
+	RecorderSamples int
+	// SentinelRules overrides the rule set (nil = DefaultSLORules()).
+	SentinelRules []telemetry.Rule
+	// MaxIncidents caps retained incident bundles and recorded
+	// anomalies (0 = DefaultMaxIncidents).
+	MaxIncidents int
+	// SlowGetLat is the fleet latency-burn threshold: gets slower than
+	// this count toward the "latency" SLO (0 = DefaultSlowGetLat).
+	SlowGetLat Duration
+	// SentinelDir, when set, writes each incident bundle to
+	// INCIDENT_<seq>_<class>.json in that directory as it fires.
+	SentinelDir string
+	// OnAnomaly, when set, runs on every anomaly right after its
+	// incident bundle is captured.
+	OnAnomaly func(telemetry.Anomaly)
 }
 
 // DefaultServiceConfig returns the production-shaped defaults: 16-deep
@@ -277,6 +312,12 @@ type serviceShard struct {
 	repairsQueued, repairsApplied     *telemetry.Counter
 	repairsSuperseded, repairsDropped *telemetry.Counter
 	aeRepairs                         *telemetry.Counter // repairs the sweeper enqueued for this owner
+
+	// getLat accumulates hit latency for gets this shard served (a
+	// failover hit carries the timeouts spent discovering dead owners).
+	// The sentinel merges these per-shard histograms into fleet-wide
+	// percentiles each tick (sim.LatencyStats.Merge).
+	getLat *sim.LatencyStats
 }
 
 // initMetrics registers the shard's counters under its id.
@@ -293,6 +334,7 @@ func (sh *serviceShard) initMetrics(reg *telemetry.Registry) {
 	sh.repairsQueued, sh.repairsApplied = c("repairs_queued"), c("repairs_applied")
 	sh.repairsSuperseded, sh.repairsDropped = c("repairs_superseded"), c("repairs_dropped")
 	sh.aeRepairs = c("ae_repairs")
+	sh.getLat = reg.Histogram(sh.id + "/get_lat")
 }
 
 // ExtentGraceLat is how long a superseded or deleted value extent
@@ -325,6 +367,23 @@ func (sh *serviceShard) inflight() int {
 
 // suspect reports whether the shard is currently presumed dead.
 func (sh *serviceShard) suspect(now sim.Time) bool { return now < sh.suspectUntil }
+
+// noteOwnerMiss records one unexecuted-chain timeout against sh — the
+// crash symptom, as opposed to an executed miss — and transitions the
+// shard to suspected after SuspectAfter consecutive ones. Every
+// healthy-to-suspected transition increments svc/suspects, the SLO
+// sentinel's crash signal: one transition per suspicion epoch, not one
+// per timeout.
+func (s *Service) noteOwnerMiss(sh *serviceShard) {
+	sh.consecMiss++
+	if sh.consecMiss >= s.cfg.SuspectAfter {
+		now := s.tb.Now()
+		if !sh.suspect(now) {
+			s.suspects.Inc()
+		}
+		sh.suspectUntil = now + s.cfg.SuspectFor
+	}
+}
 
 // overloaded reports whether admission control should refuse new work
 // on sh: its NIC's PU backlog watermark is past the admission
@@ -427,6 +486,11 @@ type Service struct {
 	deferredGets         *telemetry.Counter
 	shedGets, shedWrites *telemetry.Counter
 
+	// suspects counts healthy-to-suspected transitions across the fleet
+	// — the sentinel's crash signal (a timeout burst that trips the
+	// consecutive-miss threshold on some owner).
+	suspects *telemetry.Counter
+
 	// Resharding counters: owner copies the migrator applied, moving
 	// keys already converged when their turn came, sealed segments,
 	// copies abandoned to the repair queue, and hints redirected off a
@@ -437,6 +501,7 @@ type Service struct {
 
 	reg *telemetry.Registry // metrics registry (counters, queue-depth gauges)
 	tr  *telemetry.Tracer   // nil = tracing disabled
+	sen *sentinel           // SLO sentinel + flight recorder (nil = off)
 
 	// utilBase snapshots per-resource busy/grant totals at the last
 	// MarkUtilization, so Stats reports utilization over the measured
@@ -459,6 +524,7 @@ func (s *Service) initMetrics() {
 	s.aeKeysChecked = c("ae_keys_checked")
 	s.deferredGets = c("deferred_gets")
 	s.shedGets, s.shedWrites = c("shed_gets"), c("shed_writes")
+	s.suspects = c("suspects")
 	s.migKeysMoved, s.migKeysSkipped = c("mig_keys_moved"), c("mig_keys_skipped")
 	s.migSegsSealed, s.migCopyFails = c("mig_segs_sealed"), c("mig_copy_fails")
 	s.migHintsRedirected = c("mig_hints_redirected")
@@ -519,6 +585,28 @@ func (s *Service) initMetrics() {
 	// zero as the migrator seals them.
 	s.reg.Gauge("svc/ring_nodes", func() float64 { return float64(s.ring.Len()) })
 	s.reg.Gauge("svc/migrating_buckets", func() float64 { return float64(s.MigratingBuckets()) })
+	// window_cuts / ecn_cuts surface the AIMD cut totals the client
+	// pipelines already account — monotone except across a reconnect
+	// (rebuilt connections restart at zero; the SLO engine clamps
+	// negative deltas).
+	s.reg.Gauge("svc/window_cuts", func() float64 {
+		var n uint64
+		for _, sh := range s.order {
+			for _, cli := range sh.clients {
+				n += cli.Stats().WindowCuts
+			}
+		}
+		return float64(n)
+	})
+	s.reg.Gauge("svc/ecn_cuts", func() float64 {
+		var n uint64
+		for _, sh := range s.order {
+			for _, cli := range sh.clients {
+				n += cli.Stats().EcnCuts
+			}
+		}
+		return float64(n)
+	})
 }
 
 // Metrics exposes the service's registry (counters, gauges) for
@@ -618,12 +706,27 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 	if cfg.WindowStart > cfg.Pipeline {
 		cfg.WindowStart = cfg.Pipeline
 	}
+	if cfg.SentinelEvery == 0 {
+		cfg.SentinelEvery = DefaultSentinelEvery
+	}
+	if cfg.SlowGetLat == 0 {
+		cfg.SlowGetLat = DefaultSlowGetLat
+	}
+	if cfg.MaxIncidents == 0 {
+		cfg.MaxIncidents = DefaultMaxIncidents
+	}
 
 	s := &Service{cfg: cfg, tb: NewTestbed(), ring: shard.NewRing(cfg.VirtualNodes),
 		shards: make(map[string]*serviceShard), nextSeq: make(map[uint64]uint64),
 		unsettled: make(map[uint64]int), repq: repair.NewQueue(), tr: cfg.Tracer}
 	if cfg.Trace && s.tr == nil {
 		s.tr = telemetry.NewTracer(s.tb.clu.Eng)
+	}
+	if cfg.Sentinel && s.tr == nil {
+		// Free-by-default tracing: the sentinel's trace window is a
+		// fixed-memory ring, so it runs permanently without the
+		// grow-forever cost that made full tracing opt-in.
+		s.tr = telemetry.NewRingTracer(s.tb.clu.Eng, cfg.RecorderEvents)
 	}
 	s.initMetrics()
 	if cfg.HotKeyTrack > 0 {
@@ -642,6 +745,7 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 		s.shards[id] = sh
 		s.order = append(s.order, sh)
 	}
+	s.initSentinel()
 	return s
 }
 
@@ -996,6 +1100,7 @@ func (s *Service) Get(key uint64, valLen uint64) ([]byte, Duration, bool) {
 // a batch — same-shard gets posted between flushes share one doorbell.
 func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration, ok bool)) {
 	key &= hopscotch.KeyMask
+	s.sentinelKick()
 	if s.hot != nil {
 		if evicted, ok := s.hot.Touch(key); ok {
 			delete(s.cache, evicted)
@@ -1072,6 +1177,7 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
 			s.hits.Inc()
+			sh.getLat.Add(lat)
 			s.maybeCache(key, valLen, val, epoch, gen)
 			// A hit proves the shard live: if handoff hints piled up
 			// behind a false suspicion, deliver them now.
@@ -1092,10 +1198,7 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
 		} else {
-			sh.consecMiss++
-			if sh.consecMiss >= s.cfg.SuspectAfter {
-				sh.suspectUntil = s.tb.Now() + s.cfg.SuspectFor
-			}
+			s.noteOwnerMiss(sh)
 		}
 		if i+1 < len(order) {
 			s.retries.Inc()
@@ -1313,6 +1416,11 @@ type ServiceStats struct {
 	// busy fraction of the run so far; Bottleneck is the busiest.
 	Resources  []telemetry.ResourceUtil
 	Bottleneck telemetry.ResourceUtil
+
+	// Anomalies lists every typed anomaly the SLO sentinel recorded,
+	// oldest first (empty with the sentinel off). Incidents() returns
+	// the full bundles behind them.
+	Anomalies []telemetry.Anomaly
 }
 
 // Stats snapshots the service counters.
@@ -1348,7 +1456,6 @@ func (s *Service) Stats() ServiceStats {
 		MigKeysMoved: s.migKeysMoved.Value(), MigKeysSkipped: s.migKeysSkipped.Value(),
 		MigSegsSealed: s.migSegsSealed.Value(), MigCopyFails: s.migCopyFails.Value(),
 		MigHintsRedirected: s.migHintsRedirected.Value()}
-	now := s.tb.Now()
 	for _, sh := range s.order {
 		ss := ShardStats{ID: sh.id, Sets: sh.sets.Value(), Spills: sh.spills.Value(),
 			Gets: sh.gets.Value(), Rebuilds: sh.rebuilds.Value(),
@@ -1371,7 +1478,6 @@ func (s *Service) Stats() ServiceStats {
 			out.WindowCuts += cs.WindowCuts
 			out.EcnCuts += cs.EcnCuts
 		}
-		out.Resources = sh.srv.node.Dev.ResourceUtils(out.Resources, now)
 		ast := sh.arena.Stats()
 		ss.ArenaLive = ast.LiveBytes
 		ss.ArenaPeakLive = ast.PeakLive
@@ -1405,20 +1511,37 @@ func (s *Service) Stats() ServiceStats {
 		out.RepairsDropped += ss.RepairsDropped
 		out.AERepairs += ss.AERepairs
 	}
+	out.Resources = s.resourceReport()
+	if bn, ok := telemetry.Bottleneck(out.Resources); ok {
+		out.Bottleneck = bn
+	}
+	if s.sen != nil {
+		out.Anomalies = append([]telemetry.Anomaly(nil), s.sen.slo.Anomalies()...)
+	}
+	return out
+}
+
+// resourceReport builds the fleet resource-utilization slice —
+// every serialized NIC unit across the shards, windowed from the last
+// MarkUtilization when one was taken. Shared by Stats and the
+// sentinel's incident capture.
+func (s *Service) resourceReport() []telemetry.ResourceUtil {
+	now := s.tb.Now()
+	var rs []telemetry.ResourceUtil
+	for _, sh := range s.order {
+		rs = sh.srv.node.Dev.ResourceUtils(rs, now)
+	}
 	if s.utilBase != nil && now > s.utilMark {
 		window := now - s.utilMark
-		for i := range out.Resources {
-			r := &out.Resources[i]
+		for i := range rs {
+			r := &rs[i]
 			base := s.utilBase[r.Name]
 			r.Busy -= base.Busy
 			r.Grants -= base.Grants
 			r.Util = float64(r.Busy) / float64(window)
 		}
 	}
-	if bn, ok := telemetry.Bottleneck(out.Resources); ok {
-		out.Bottleneck = bn
-	}
-	return out
+	return rs
 }
 
 // Now returns the current virtual time.

@@ -50,6 +50,7 @@ const CompactExtentLat = 500 * sim.Nanosecond
 // no in-flight get can re-admit it.
 func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 	key &= hopscotch.KeyMask
+	s.sentinelKick()
 	if key&hopscotch.PendingBit != 0 || key == 0 {
 		s.tb.clu.Eng.After(0, func() {
 			if cb != nil {
@@ -188,10 +189,7 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, top uint64, 
 			return
 		}
 		if !cli.LastDeleteExecuted() {
-			sh.consecMiss++
-			if sh.consecMiss >= s.cfg.SuspectAfter {
-				sh.suspectUntil = s.tb.Now() + s.cfg.SuspectFor
-			}
+			s.noteOwnerMiss(sh)
 		}
 		// Claim refused (the bucket moved under a racing relocation, or
 		// the key is already gone) or the NIC is dead: roll forward on

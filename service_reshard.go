@@ -417,6 +417,7 @@ func (s *Service) migrateTick() {
 	if m == nil {
 		return
 	}
+	s.sentinelKick()
 	for i := 0; i < s.cfg.MigrateBatch && len(m.pending) > 0; i++ {
 		seg := m.pending[0]
 		m.pending = m.pending[1:]

@@ -201,6 +201,7 @@ func (op *setOp) settleOne(s *Service) {
 // immediately and a racing get can never install a stale cache entry.
 func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err error)) {
 	key &= hopscotch.KeyMask
+	s.sentinelKick()
 	if key&hopscotch.PendingBit != 0 || key == 0 {
 		// The reserved id space (pending/tombstone words) would void the
 		// claim chain's published/unpublished distinction, and key 0's
@@ -387,10 +388,7 @@ func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, ver uint
 		}
 		if !cli.LastSetExecuted() {
 			// The chain never ran: dead NIC, count toward suspicion.
-			sh.consecMiss++
-			if sh.consecMiss >= s.cfg.SuspectAfter {
-				sh.suspectUntil = s.tb.Now() + s.cfg.SuspectFor
-			}
+			s.noteOwnerMiss(sh)
 		}
 		// Claim refused (a racing writer took the bucket) or the NIC is
 		// gone: roll forward on the CPU if the host is up.
