@@ -139,6 +139,12 @@ type Client struct {
 
 	tr      *telemetry.Tracer
 	trLabel string
+
+	// rcptHook, when set (with provenance enabled), observes every
+	// finalized receipt synchronously before its delivery callback.
+	// The service records probe receipts through it; get/set/delete
+	// receipts fold at the coordinator instead.
+	rcptHook func(Op, *telemetry.Receipt)
 }
 
 // pipeReq is one in-flight (or queued) request on any pipeline. The
@@ -152,6 +158,13 @@ type pipeReq struct {
 	done   bool
 	issued bool
 	op     uint64 // trace op id (0 = untraced)
+
+	// Provenance stamps: when the request entered the pipeline and
+	// whether it queued for window headroom (vs a free slot). The
+	// receipt's window/queue phases are the submit->issue gap,
+	// attributed by cause.
+	submit  sim.Time
+	winFull bool
 
 	valLen uint64                                  // get
 	getCB  func(val []byte, lat Duration, ok bool) // get
@@ -279,6 +292,15 @@ type opPipeline struct {
 
 	win aimdWindow
 
+	// Latency provenance (nil rcpts = disabled, zero cost): one
+	// fixed-size receipt per slot, reset at issue and finalized at
+	// finish; posted tracks requests awaiting their doorbell so Flush
+	// can stamp the batching delay; lastRcpt is the receipt of the most
+	// recently finished request, valid inside its delivery callback.
+	rcpts    []telemetry.Receipt
+	posted   []*pipeReq
+	lastRcpt *telemetry.Receipt
+
 	trTracks []string // per-slot trace track names, precomputed
 
 	// Per-op hooks: post arms the slot's offload context and posts its
@@ -323,7 +345,9 @@ func (p *opPipeline) pending(slot int) uint64 {
 // fails after the miss deadline (the elapsed time a real client would
 // wait on an unresponsive server before giving up).
 func (p *opPipeline) submit(req *pipeReq) {
+	req.submit = p.c.tb.clu.Eng.Now()
 	if len(p.free) == 0 || p.inFlight >= p.win.size() {
+		req.winFull = p.inFlight >= p.win.size()
 		if p.nWedged == p.depth {
 			p.issued++
 			p.failLater(req)
@@ -346,6 +370,7 @@ func (p *opPipeline) failLater(req *pipeReq) {
 		req.done = true
 		p.fails++
 		p.lastRan = false // never even reached a slot
+		p.lastRcpt = nil  // never issued: no receipt
 		p.deliver(req, c.MissTimeout, false, false)
 	})
 }
@@ -369,6 +394,18 @@ func (p *opPipeline) issue(req *pipeReq) {
 	}
 
 	req.start = c.tb.clu.Eng.Now()
+	if p.rcpts != nil {
+		r := &p.rcpts[slot]
+		r.Reset(req.op, uint8(p.op), req.submit)
+		if wait := req.start - req.submit; wait > 0 {
+			if req.winFull {
+				r.AddPhase(telemetry.PhaseWindow, wait)
+			} else {
+				r.AddPhase(telemetry.PhaseQueue, wait)
+			}
+		}
+		p.posted = append(p.posted, req)
+	}
 	p.post(req)
 	p.dirty = true
 	c.tb.clu.Eng.After(c.MissTimeout, func() { p.onTimeout(req) })
@@ -444,6 +481,19 @@ func (p *opPipeline) finish(req *pipeReq, lat Duration, ok bool, backlog sim.Tim
 		}
 	} else {
 		p.win.onAck()
+	}
+	if p.rcpts != nil {
+		// Finalize the receipt: the fabric phase is the post->completion
+		// span minus the doorbell-batching delay Flush stamped, so the
+		// phases partition submit->finish exactly.
+		r := &p.rcpts[req.slot]
+		r.Censored = !ok
+		r.AddPhase(telemetry.PhaseFabric, lat-r.Phases[telemetry.PhaseDoorbell])
+		r.Total = r.PhaseSum()
+		p.lastRcpt = r
+		if c.rcptHook != nil {
+			c.rcptHook(p.op, r)
+		}
 	}
 	if p.release != nil {
 		p.release(req, ok, executed)
@@ -756,6 +806,28 @@ func newClientOnNode(t *Testbed, node *fabric.Node, srv *Server, mode LookupMode
 		c.prb.subscribe(i, presp[i])
 	}
 
+	// Profiler attribution: each pool's contexts (and their shared
+	// trigger QP) serve exactly one op class, so the tagging is static.
+	// The client-side trigger QPs execute the staging WRITEs and SENDs
+	// whose remote grants (server PCIe) should attribute to the class
+	// too. Costs nothing until a Device has a profiler attached.
+	for _, ctx := range c.pool.Ctxs {
+		ctx.SetProfClass("get")
+	}
+	for _, ctx := range c.spool.Ctxs {
+		ctx.SetProfClass("set")
+	}
+	for _, ctx := range c.dpool.Ctxs {
+		ctx.SetProfClass("del")
+	}
+	for _, ctx := range c.ppool.Ctxs {
+		ctx.SetProfClass("probe")
+	}
+	cliQP.SetProfClass("get")
+	cliSetQP.SetProfClass("set")
+	cliDelQP.SetProfClass("del")
+	cliPrbQP.SetProfClass("probe")
+
 	c.wireHooks()
 	return c
 }
@@ -768,6 +840,9 @@ func (c *Client) wireHooks() {
 		ctx := c.pool.Ctxs[req.slot]
 		if c.tr.Enabled() {
 			ctx.SetTraceOp(req.op)
+		}
+		if c.get.rcpts != nil {
+			ctx.SetReceipt(&c.get.rcpts[req.slot])
 		}
 		ctx.Arm()
 		payload := ctx.TriggerPayload(req.key, req.valLen, c.resp[req.slot])
@@ -792,6 +867,9 @@ func (c *Client) wireHooks() {
 		ctx := c.spool.Ctxs[req.slot]
 		if c.tr.Enabled() {
 			ctx.SetTraceOp(req.op)
+		}
+		if c.set.rcpts != nil {
+			ctx.SetReceipt(&c.set.rcpts[req.slot])
 		}
 		req.staging = ctx.Arm(req.key)
 		c.node.Mem.Write(c.sval[req.slot], req.val)
@@ -834,6 +912,9 @@ func (c *Client) wireHooks() {
 		if c.tr.Enabled() {
 			ctx.SetTraceOp(req.op)
 		}
+		if c.del.rcpts != nil {
+			ctx.SetReceipt(&c.del.rcpts[req.slot])
+		}
 		ctx.Arm()
 		payload := ctx.TriggerPayload(req.key, req.dclaim, req.ver, c.dack[req.slot])
 		c.node.Mem.Write(c.dtrig[req.slot], payload)
@@ -863,6 +944,9 @@ func (c *Client) wireHooks() {
 		ctx := c.ppool.Ctxs[req.slot]
 		if c.tr.Enabled() {
 			ctx.SetTraceOp(req.op)
+		}
+		if c.prb.rcpts != nil {
+			ctx.SetReceipt(&c.prb.rcpts[req.slot])
 		}
 		ctx.Arm()
 		payload := ctx.TriggerPayload(req.key, req.target, c.presp[req.slot])
@@ -941,6 +1025,29 @@ func (c *Client) LastDeleteExecuted() bool { return c.del.lastRan }
 // running (dead connection). Meaningful inside a failed-probe callback.
 func (c *Client) LastProbeExecuted() bool { return c.prb.lastRan }
 
+// EnableProvenance allocates the per-slot latency receipts on every
+// pipeline and starts stamping phase ledgers on each issued request.
+// Disabled clients pay nothing: the receipt paths are a nil check.
+func (c *Client) EnableProvenance() {
+	for _, p := range c.pipes {
+		if p.rcpts == nil {
+			p.rcpts = make([]telemetry.Receipt, c.depth)
+		}
+	}
+}
+
+// OnReceipt installs a hook observing every finalized receipt
+// synchronously, just before the op's delivery callback. Requires
+// EnableProvenance.
+func (c *Client) OnReceipt(fn func(Op, *telemetry.Receipt)) { c.rcptHook = fn }
+
+// LastReceipt returns the phase ledger of the most recently completed
+// request on op's pipeline, or nil when provenance is off or the
+// request failed without ever reaching a slot. Like LastMissExecuted,
+// it is meaningful only when read from within the op's callback; the
+// receipt is overwritten when its slot reissues.
+func (c *Client) LastReceipt(op Op) *telemetry.Receipt { return c.pipe(op).lastRcpt }
+
 // Flush rings the send doorbells once for every request posted since
 // the last flush — the client-side batching that lets a burst of
 // same-shard operations share one MMIO kick per path.
@@ -948,6 +1055,15 @@ func (c *Client) Flush() {
 	for _, p := range c.pipes {
 		if p.dirty {
 			p.dirty = false
+			if len(p.posted) > 0 {
+				now := c.tb.clu.Eng.Now()
+				for _, req := range p.posted {
+					if !req.done {
+						p.rcpts[req.slot].AddPhase(telemetry.PhaseDoorbell, now-req.start)
+					}
+				}
+				p.posted = p.posted[:0]
+			}
 			p.qp.RingSQ()
 			if c.tr.Enabled() {
 				c.tr.Instant(c.trLabel, "doorbell:"+p.name, 0)

@@ -12,6 +12,7 @@
 //	redn-bench -reshard 20000       # resharding with an explicit op count
 //	redn-bench -trace out.json      # trace a mixed run (Perfetto-loadable)
 //	redn-bench -watch incident.json # crash a shard under the SLO sentinel and dump its incident bundle
+//	redn-bench -profile out.folded  # profile a mixed run (folded stacks, flamegraph-loadable)
 //	redn-bench list                 # list experiment ids
 package main
 
@@ -34,6 +35,7 @@ func main() {
 	reshardReq := flag.Int("reshard", 0, "open-loop op count for the resharding timeline (0 = default; longer runs widen the steady windows around the join and drain)")
 	tracePath := flag.String("trace", "", "run a traced mixed workload and write Chrome trace-event JSON (load in Perfetto) to this path")
 	watchPath := flag.String("watch", "", "run the sentinel's crash scenario and write the incident bundle it captures to this path")
+	profilePath := flag.String("profile", "", "run a profiled mixed workload and write the virtual-time profile (folded stacks, flamegraph-loadable) to this path")
 	flag.Parse()
 	args := flag.Args()
 
@@ -55,6 +57,33 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, " done in %.1fs -> %s\n", time.Since(start).Seconds(), *tracePath)
 		fmt.Println(experiments.UtilizationSummary(st, 5))
+		if len(args) == 0 && *watchPath == "" && *profilePath == "" {
+			return
+		}
+	}
+
+	if *profilePath != "" {
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "profiling mixed workload ...")
+		start := time.Now()
+		p, prov, st, err := experiments.WriteProfile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "\nprofile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, " done in %.1fs -> %s\n", time.Since(start).Seconds(), *profilePath)
+		// The reconciliation line first (CI asserts exec-total-ns ==
+		// resource-busy-ns and cross-checks the folded file's sum),
+		// then the latency decomposition by op class.
+		fmt.Println(experiments.ProfileSummary(p, st))
+		fmt.Println(prov.Report())
 		if len(args) == 0 && *watchPath == "" {
 			return
 		}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/extent"
 	"repro/internal/hopscotch"
 	"repro/internal/rnic"
+	"repro/internal/telemetry"
 	"repro/internal/wqe"
 )
 
@@ -116,6 +117,28 @@ func (o *DeleteOffload) SetTraceOp(op uint64) {
 	o.w2.SetTraceOp(op)
 	o.w3.SetTraceOp(op)
 	o.Resp.SetTraceOp(op)
+}
+
+// SetProfClass tags every QP this context executes WRs through
+// (including the shared trigger QP — it serves only this op class)
+// for profiler attribution. Static; call once at wiring.
+func (o *DeleteOffload) SetProfClass(class string) {
+	o.B.Ctrl.SetProfClass(class)
+	o.w2.SetProfClass(class)
+	o.w3.SetProfClass(class)
+	o.Resp.SetProfClass(class)
+	if o.Trig != nil {
+		o.Trig.SetProfClass(class)
+	}
+}
+
+// SetReceipt rides a latency receipt on this context's private rings
+// (the same set SetTraceOp tags). nil clears.
+func (o *DeleteOffload) SetReceipt(r *telemetry.Receipt) {
+	o.B.Ctrl.SetReceipt(r)
+	o.w2.SetReceipt(r)
+	o.w3.SetReceipt(r)
+	o.Resp.SetReceipt(r)
 }
 
 // deleteChainWQEs is the busiest-ring WQE budget of one instance (w2):

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hopscotch"
 	"repro/internal/rnic"
+	"repro/internal/telemetry"
 	"repro/internal/wqe"
 )
 
@@ -96,6 +97,49 @@ func (o *LookupOffload) SetTraceOp(op uint64) {
 	}
 	if o.Resp2 != nil {
 		o.Resp2.SetTraceOp(op)
+	}
+}
+
+// SetProfClass tags every QP this context executes WRs through —
+// including the shared trigger QP, which serves only this op class —
+// for profiler attribution. Static; call once at wiring.
+func (o *LookupOffload) SetProfClass(class string) {
+	o.B.Ctrl.SetProfClass(class)
+	o.w2.SetProfClass(class)
+	if o.w2b != nil && o.w2b != o.w2 {
+		o.w2b.SetProfClass(class)
+	}
+	if o.ctrlB != nil {
+		o.ctrlB.SetProfClass(class)
+	}
+	if o.Resp != nil {
+		o.Resp.SetProfClass(class)
+	}
+	if o.Resp2 != nil {
+		o.Resp2.SetProfClass(class)
+	}
+	if o.Trig != nil {
+		o.Trig.SetProfClass(class)
+	}
+}
+
+// SetReceipt rides a latency receipt on this context's private rings
+// (the same set SetTraceOp tags) so the next armed instance's resource
+// grants fold into it. nil clears.
+func (o *LookupOffload) SetReceipt(r *telemetry.Receipt) {
+	o.B.Ctrl.SetReceipt(r)
+	o.w2.SetReceipt(r)
+	if o.w2b != nil && o.w2b != o.w2 {
+		o.w2b.SetReceipt(r)
+	}
+	if o.ctrlB != nil {
+		o.ctrlB.SetReceipt(r)
+	}
+	if o.Resp != nil {
+		o.Resp.SetReceipt(r)
+	}
+	if o.Resp2 != nil {
+		o.Resp2.SetReceipt(r)
 	}
 }
 

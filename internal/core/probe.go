@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/hopscotch"
 	"repro/internal/rnic"
+	"repro/internal/telemetry"
 	"repro/internal/wqe"
 )
 
@@ -69,6 +70,26 @@ func (o *ProbeOffload) SetTraceOp(op uint64) {
 	o.B.Ctrl.SetTraceOp(op)
 	o.w2.SetTraceOp(op)
 	o.Resp.SetTraceOp(op)
+}
+
+// SetProfClass tags every QP this context executes WRs through
+// (including the shared trigger QP — it serves only this op class)
+// for profiler attribution. Static; call once at wiring.
+func (o *ProbeOffload) SetProfClass(class string) {
+	o.B.Ctrl.SetProfClass(class)
+	o.w2.SetProfClass(class)
+	o.Resp.SetProfClass(class)
+	if o.Trig != nil {
+		o.Trig.SetProfClass(class)
+	}
+}
+
+// SetReceipt rides a latency receipt on this context's private rings
+// (the same set SetTraceOp tags). nil clears.
+func (o *ProbeOffload) SetReceipt(r *telemetry.Receipt) {
+	o.B.Ctrl.SetReceipt(r)
+	o.w2.SetReceipt(r)
+	o.Resp.SetReceipt(r)
 }
 
 // probeChainWQEs is the busiest-ring WQE budget of one instance (w2):

@@ -6,6 +6,7 @@ import (
 	"repro/internal/extent"
 	"repro/internal/hopscotch"
 	"repro/internal/rnic"
+	"repro/internal/telemetry"
 	"repro/internal/wqe"
 )
 
@@ -136,6 +137,28 @@ func (o *SetOffload) SetTraceOp(op uint64) {
 	o.w2.SetTraceOp(op)
 	o.w3.SetTraceOp(op)
 	o.Resp.SetTraceOp(op)
+}
+
+// SetProfClass tags every QP this context executes WRs through
+// (including the shared trigger QP — it serves only this op class)
+// for profiler attribution. Static; call once at wiring.
+func (o *SetOffload) SetProfClass(class string) {
+	o.B.Ctrl.SetProfClass(class)
+	o.w2.SetProfClass(class)
+	o.w3.SetProfClass(class)
+	o.Resp.SetProfClass(class)
+	if o.Trig != nil {
+		o.Trig.SetProfClass(class)
+	}
+}
+
+// SetReceipt rides a latency receipt on this context's private rings
+// (the same set SetTraceOp tags). nil clears.
+func (o *SetOffload) SetReceipt(r *telemetry.Receipt) {
+	o.B.Ctrl.SetReceipt(r)
+	o.w2.SetReceipt(r)
+	o.w3.SetReceipt(r)
+	o.Resp.SetReceipt(r)
 }
 
 // argsRing is the depth of the per-context args-buffer rotation: one

@@ -54,6 +54,13 @@ type Device struct {
 
 	label  string            // node name for telemetry; defaults to the profile name
 	tracer *telemetry.Tracer // nil = tracing disabled
+
+	// profiler attributes every grant on this device's resources to
+	// (op class, resource) cells; nil = profiling disabled. resNames
+	// caches relabeled resource names so the per-grant hot path never
+	// re-derives (and never allocates) them.
+	profiler *telemetry.Profiler
+	resNames map[*sim.Resource]string
 }
 
 // New creates a device with the given profile and port count (1 or 2 on
@@ -205,6 +212,29 @@ func (d *Device) SetTracer(tr *telemetry.Tracer) { d.tracer = tr }
 
 // Tracer returns the attached tracer (nil when disabled).
 func (d *Device) Tracer() *telemetry.Tracer { return d.tracer }
+
+// SetProfiler attaches a virtual-time profiler: every subsequent
+// grant on this device's resources is attributed to it. Attach before
+// traffic starts so the folded-stack totals equal resource busy time.
+// nil disables (the per-grant hook is two loads and a branch).
+func (d *Device) SetProfiler(p *telemetry.Profiler) { d.profiler = p }
+
+// Profiler returns the attached profiler (nil when disabled).
+func (d *Device) Profiler() *telemetry.Profiler { return d.profiler }
+
+// resName returns the relabeled name of one of this device's
+// resources, cached so grant hooks never allocate.
+func (d *Device) resName(r *sim.Resource) string {
+	if n, ok := d.resNames[r]; ok {
+		return n
+	}
+	if d.resNames == nil {
+		d.resNames = make(map[*sim.Resource]string)
+	}
+	n := d.relabel(r.Name())
+	d.resNames[r] = n
+	return n
+}
 
 // relabel swaps the profile-name prefix of a resource name for the
 // device label: "cx5/port0/pu1" -> "shard3/port0/pu1".

@@ -64,7 +64,8 @@ func (w *WorkQueue) step() {
 func (w *WorkQueue) fetchManagedAndExec() {
 	dev := w.qp.dev
 	idx := w.consumer
-	_, end := w.qp.port.fetchUnit.Acquire(dev.prof.FetchManaged)
+	fs, end := w.qp.port.fetchUnit.Acquire(dev.prof.FetchManaged)
+	w.qp.grant(dev, w.qp.port.fetchUnit, dev.eng.Now(), fs, end)
 	dev.eng.At(end, func() {
 		if w.errored || dev.frozen {
 			w.active = false
@@ -172,6 +173,30 @@ func (w *WorkQueue) traceWR(op wqe.Opcode, start, end sim.Time) {
 	}
 }
 
+// grant attributes one resource acquisition — wait behind the
+// reservation horizon [ready, start), execution [start, end) — to the
+// profiler of the device owning the resource and to the receipt of
+// the op riding this QP. owner may differ from q's device: one-sided
+// verbs acquire the responder's PCIe and atomic units. The disabled
+// path is two loads and a branch, no allocation.
+func (q *QP) grant(owner *Device, r *sim.Resource, ready, start, end sim.Time) {
+	if owner.profiler == nil && q.rcpt == nil {
+		return
+	}
+	name := owner.resName(r)
+	if owner.profiler != nil {
+		owner.profiler.Grant(q.profClass, name, start-ready, end-start)
+	}
+	q.rcpt.AddRes(name, start-ready, end-start)
+}
+
+// puSpan traces one WR's PU occupancy and attributes the grant. The
+// ready floor is now: PU acquisition happens synchronously at issue.
+func (w *WorkQueue) puSpan(op wqe.Opcode, start, end sim.Time) {
+	w.traceWR(op, start, end)
+	w.qp.grant(w.qp.dev, w.qp.pu, w.qp.dev.eng.Now(), start, end)
+}
+
 // exec dispatches one WQE. The queue advances to the next WQE when the
 // verb has been issued (PU occupancy end); the verb's completion runs
 // asynchronously, so independent verbs pipeline within a queue, while
@@ -183,7 +208,7 @@ func (w *WorkQueue) exec(idx uint64, v wqe.WQE) {
 	case wqe.OpNoop:
 		// NOOPs never touch the wire; they complete locally.
 		start, end := w.qp.pu.Acquire(prof.NoopOccupancy)
-		w.traceWR(v.Op, start, end)
+		w.puSpan(v.Op, start, end)
 		dev.eng.At(end, func() {
 			w.complete(v, StatusOK, false)
 			w.advance()
@@ -196,7 +221,7 @@ func (w *WorkQueue) exec(idx uint64, v wqe.WQE) {
 			return
 		}
 		start, end := w.qp.pu.Acquire(prof.SyncOccupancy)
-		w.traceWR(v.Op, start, end)
+		w.puSpan(v.Op, start, end)
 		dev.eng.At(end, func() {
 			cq.waitFor(v.Count, func() {
 				w.complete(v, StatusOK, false)
@@ -211,7 +236,7 @@ func (w *WorkQueue) exec(idx uint64, v wqe.WQE) {
 			return
 		}
 		start, end := w.qp.pu.Acquire(prof.SyncOccupancy)
-		w.traceWR(v.Op, start, end)
+		w.puSpan(v.Op, start, end)
 		dev.eng.At(end, func() {
 			if v.Count > target.sq.fetchLimit {
 				target.sq.fetchLimit = v.Count
@@ -255,7 +280,8 @@ func (q *QP) wireDelay(t sim.Time, n int) sim.Time {
 	if q.oneWay == 0 {
 		return t
 	}
-	_, end := q.port.link.TransferAt(t, n)
+	ls, end := q.port.link.TransferAt(t, n)
+	q.grant(q.dev, &q.port.link.Resource, t, ls, end)
 	return end + q.oneWay
 }
 
@@ -266,7 +292,7 @@ func (w *WorkQueue) execWrite(idx uint64, v wqe.WQE) {
 	n := int(v.Len)
 
 	start, end := w.qp.pu.Acquire(prof.CopyOccupancy)
-	w.traceWR(v.Op, start, end)
+	w.puSpan(v.Op, start, end)
 	dev.eng.At(end, w.advance)
 
 	// Gather payload at the requester.
@@ -282,7 +308,8 @@ func (w *WorkQueue) execWrite(idx uint64, v wqe.WQE) {
 		copy(buf[:], full[wqe.OffCmp:wqe.OffCmp+8])
 		payload = buf[8-n:]
 	} else {
-		_, ge := dev.pcie.TransferAt(t, n)
+		gs, ge := dev.pcie.TransferAt(t, n)
+		w.qp.grant(dev, &dev.pcie.Resource, t, gs, ge)
 		t = ge + prof.GatherLatency
 		p, err := dev.mem.Read(v.Src, v.Len)
 		if err != nil {
@@ -295,7 +322,8 @@ func (w *WorkQueue) execWrite(idx uint64, v wqe.WQE) {
 	t = w.qp.wireDelay(t, n)
 
 	dev.eng.At(t, func() {
-		_, we := rdev.pcie.TransferAt(dev.eng.Now(), n)
+		ws, we := rdev.pcie.TransferAt(dev.eng.Now(), n)
+		w.qp.grant(rdev, &rdev.pcie.Resource, dev.eng.Now(), ws, we)
 		applied := we + prof.RemoteWriteLatency
 		dev.eng.At(applied, func() {
 			if err := rdev.mem.Write(v.Dst, payload); err != nil {
@@ -315,14 +343,15 @@ func (w *WorkQueue) execRead(idx uint64, v wqe.WQE) {
 	n := int(v.Len)
 
 	start, end := w.qp.pu.Acquire(prof.CopyOccupancy)
-	w.traceWR(v.Op, start, end)
+	w.puSpan(v.Op, start, end)
 	dev.eng.At(end, w.advance)
 
 	// Request travels to the responder (header only).
 	t := end + w.qp.oneWay
 	dev.eng.At(t, func() {
 		// Responder DMA-reads the payload.
-		_, re := rdev.pcie.TransferAt(dev.eng.Now(), n)
+		rs, re := rdev.pcie.TransferAt(dev.eng.Now(), n)
+		w.qp.grant(rdev, &rdev.pcie.Resource, dev.eng.Now(), rs, re)
 		readDone := re + prof.RemoteReadLatency
 		dev.eng.At(readDone, func() {
 			payload, err := rdev.mem.Read(v.Src, v.Len)
@@ -333,7 +362,8 @@ func (w *WorkQueue) execRead(idx uint64, v wqe.WQE) {
 			// Payload returns over the wire, then scatters locally.
 			back := w.qp.wireDelay(dev.eng.Now(), n)
 			dev.eng.At(back, func() {
-				_, se := dev.pcie.TransferAt(dev.eng.Now(), n)
+				ss, se := dev.pcie.TransferAt(dev.eng.Now(), n)
+				w.qp.grant(dev, &dev.pcie.Resource, dev.eng.Now(), ss, se)
 				applied := se + prof.ScatterLatency
 				dev.eng.At(applied, func() {
 					if v.Flags&wqe.FlagScatterDst != 0 {
@@ -388,7 +418,7 @@ func (w *WorkQueue) execAtomic(idx uint64, v wqe.WQE) {
 		occ = prof.CopyOccupancy
 	}
 	start, end := w.qp.pu.Acquire(occ)
-	w.traceWR(v.Op, start, end)
+	w.puSpan(v.Op, start, end)
 	issue := start + prof.CopyOccupancy
 	dev.eng.At(end, w.advance)
 
@@ -401,7 +431,8 @@ func (w *WorkQueue) execAtomic(idx uint64, v wqe.WQE) {
 		if v.Op == wqe.OpMax || v.Op == wqe.OpMin {
 			ae = dev.eng.Now() + prof.AtomicUnitLatency
 		} else {
-			_, ao := rdev.atomicUnit.Acquire(prof.AtomicUnitOccupancy)
+			as, ao := rdev.atomicUnit.Acquire(prof.AtomicUnitOccupancy)
+			w.qp.grant(rdev, rdev.atomicUnit, dev.eng.Now(), as, ao)
 			ae = ao + (prof.AtomicUnitLatency - prof.AtomicUnitOccupancy)
 		}
 		dev.eng.At(ae, func() {
@@ -454,7 +485,7 @@ func (w *WorkQueue) execSend(idx uint64, v wqe.WQE) {
 	n := int(v.Len)
 
 	start, end := w.qp.pu.Acquire(prof.CopyOccupancy)
-	w.traceWR(v.Op, start, end)
+	w.puSpan(v.Op, start, end)
 	dev.eng.At(end, w.advance)
 
 	t := end
@@ -467,7 +498,8 @@ func (w *WorkQueue) execSend(idx uint64, v wqe.WQE) {
 		}
 		payload = full[wqe.OffCmp+8-n : wqe.OffCmp+8]
 	} else {
-		_, ge := dev.pcie.TransferAt(t, n)
+		gs, ge := dev.pcie.TransferAt(t, n)
+		w.qp.grant(dev, &dev.pcie.Resource, t, gs, ge)
 		t = ge + prof.GatherLatency
 		p, err := dev.mem.Read(v.Src, v.Len)
 		if err != nil {
@@ -518,7 +550,8 @@ func (q *QP) consumeRecv(a arrival) {
 	q.rq.consumer++
 
 	// On-demand fetch of the RECV WQE through the port fetch unit.
-	_, fe := q.port.fetchUnit.Acquire(prof.FetchManaged)
+	fs, fe := q.port.fetchUnit.Acquire(prof.FetchManaged)
+	q.grant(dev, q.port.fetchUnit, dev.eng.Now(), fs, fe)
 	dev.eng.At(fe, func() {
 		var buf [wqe.Size]byte
 		if err := dev.mem.ReadInto(q.rq.SlotAddr(idx), buf[:]); err != nil {
@@ -537,7 +570,8 @@ func (q *QP) consumeRecv(a arrival) {
 			}
 			entries = wqe.DecodeScatter(raw, nEntries)
 		}
-		_, we := dev.pcie.TransferAt(dev.eng.Now(), len(a.payload))
+		ws, we := dev.pcie.TransferAt(dev.eng.Now(), len(a.payload))
+		q.grant(dev, &dev.pcie.Resource, dev.eng.Now(), ws, we)
 		applied := we + prof.RemoteWriteLatency
 		dev.eng.At(applied, func() {
 			rest := a.payload

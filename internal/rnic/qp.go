@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/wqe"
 )
 
@@ -44,11 +45,31 @@ type QP struct {
 	// Arm; shared trigger QPs stay 0 (their batched SENDs interleave
 	// ops and cannot be attributed).
 	traceOp uint64
+
+	// profClass attributes this QP's resource grants to an op class
+	// for the virtual-time profiler. Static: each private chain,
+	// trigger or response QP serves exactly one op class, so it is
+	// tagged once at wiring ("" folds into "other").
+	profClass string
+
+	// rcpt is the latency receipt of the op currently executing
+	// through this QP; grants fold their queue-wait/exec into it.
+	// Retagged per op alongside traceOp; nil = no receipt riding.
+	rcpt *telemetry.Receipt
 }
 
 // SetTraceOp tags WRs subsequently executed from this QP with op for
 // trace attribution (0 clears).
 func (q *QP) SetTraceOp(op uint64) { q.traceOp = op }
+
+// SetProfClass tags this QP's resource grants with an op class for
+// profiler attribution. Set once at wiring.
+func (q *QP) SetProfClass(class string) { q.profClass = class }
+
+// SetReceipt attaches the latency receipt of the op about to execute
+// through this QP (nil clears). Like SetTraceOp, per-slot QPs are
+// retagged at each arm; shared trigger QPs stay nil.
+func (q *QP) SetReceipt(r *telemetry.Receipt) { q.rcpt = r }
 
 // QPN returns the queue-pair number.
 func (q *QP) QPN() uint32 { return q.qpn }

@@ -36,8 +36,13 @@ type Incident struct {
 	Timeline    []IncidentSeries `json:"timeline"`
 	Resources   []ResourceUtil   `json:"resources,omitempty"`
 	Bottleneck  string           `json:"bottleneck,omitempty"`
-	TraceShed   uint64           `json:"trace_shed"`
-	Trace       json.RawMessage  `json:"trace"`
+	// Provenance carries the per-op-class latency decomposition at
+	// capture time — latency-class incidents answer "which phase is
+	// burning the budget" straight from the bundle. Present only when
+	// the service runs with provenance receipts on.
+	Provenance []ClassDecomp   `json:"provenance,omitempty"`
+	TraceShed  uint64          `json:"trace_shed"`
+	Trace      json.RawMessage `json:"trace"`
 }
 
 // BuildIncident assembles a bundle from the firing anomaly and the

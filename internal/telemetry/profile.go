@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Profiler is the virtual-time profiler: it attributes every
+// resource-busy nanosecond (and every nanosecond of queue-wait ahead
+// of a grant) to an (op class, resource) cell. The fabric calls Grant
+// at each sim.Resource acquisition with the grant's queue-wait and
+// execution time; the op class rides the executing QP (tagged once at
+// wiring — each private chain/trigger/response QP serves exactly one
+// op class; untagged QPs fold into "other").
+//
+// Because every acquisition on a profiled device flows through Grant,
+// the sum of execution time across cells for a resource equals the
+// resource's Busy() exactly — the invariant the folded-stack export
+// is validated against in CI.
+//
+// A nil Profiler is a disabled one: Grant on nil is a no-op and the
+// fabric's call sites check the pointer before computing anything, so
+// a run without -profile allocates and computes nothing.
+type Profiler struct {
+	cells map[profKey]*profCell
+}
+
+type profKey struct {
+	class string
+	res   string
+}
+
+type profCell struct {
+	wait, exec sim.Time
+	grants     uint64
+}
+
+// OtherClass labels grants from QPs no op class claimed (migration
+// sweeps, anti-entropy, shared trigger rings).
+const OtherClass = "other"
+
+// NewProfiler builds an enabled profiler.
+func NewProfiler() *Profiler {
+	return &Profiler{cells: make(map[profKey]*profCell)}
+}
+
+// Enabled reports whether grants are being recorded.
+func (p *Profiler) Enabled() bool { return p != nil }
+
+// Grant attributes one resource acquisition: wait nanoseconds queued
+// behind the resource's reservation horizon, exec nanoseconds granted.
+// res is the relabeled resource name ("shard0/port0/fetch"). Nil-safe.
+func (p *Profiler) Grant(class, res string, wait, exec sim.Time) {
+	if p == nil {
+		return
+	}
+	if class == "" {
+		class = OtherClass
+	}
+	k := profKey{class: class, res: res}
+	c := p.cells[k]
+	if c == nil {
+		c = &profCell{}
+		p.cells[k] = c
+	}
+	c.wait += wait
+	c.exec += exec
+	c.grants++
+}
+
+// ExecTotal returns the summed execution nanoseconds across all
+// cells — equal to the summed Busy() of every profiled resource.
+func (p *Profiler) ExecTotal() sim.Time {
+	if p == nil {
+		return 0
+	}
+	var t sim.Time
+	for _, c := range p.cells {
+		t += c.exec
+	}
+	return t
+}
+
+// ExecFor returns the execution nanoseconds attributed to one
+// resource across all classes.
+func (p *Profiler) ExecFor(res string) sim.Time {
+	if p == nil {
+		return 0
+	}
+	var t sim.Time
+	for k, c := range p.cells {
+		if k.res == res {
+			t += c.exec
+		}
+	}
+	return t
+}
+
+// Frames returns the number of folded-stack lines WriteFolded emits.
+func (p *Profiler) Frames() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range p.cells {
+		if c.exec > 0 {
+			n++
+		}
+		if c.wait > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// WriteFolded exports the profile in folded-stack format (one
+// "frame;frame;frame count" line per stack — flamegraph.pl and
+// speedscope both load it). The stack is
+//
+//	class;shard;resource;exec|wait <nanoseconds>
+//
+// splitting the relabeled resource name at its first '/' so shards
+// form a flamegraph layer. Lines are sorted; zero cells are skipped;
+// same-seed runs emit byte-identical output.
+func (p *Profiler) WriteFolded(w io.Writer) error {
+	if p == nil {
+		_, err := io.WriteString(w, "")
+		return err
+	}
+	lines := make([]string, 0, 2*len(p.cells))
+	for k, c := range p.cells {
+		shard, res := k.res, ""
+		if i := strings.IndexByte(k.res, '/'); i >= 0 {
+			shard, res = k.res[:i], k.res[i+1:]
+		}
+		stack := k.class + ";" + shard
+		if res != "" {
+			stack += ";" + res
+		}
+		if c.exec > 0 {
+			lines = append(lines, fmt.Sprintf("%s;exec %d", stack, c.exec))
+		}
+		if c.wait > 0 {
+			lines = append(lines, fmt.Sprintf("%s;wait %d", stack, c.wait))
+		}
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		bw.WriteString(l)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

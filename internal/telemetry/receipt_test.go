@@ -1,0 +1,273 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// A finalized receipt's phase array partitions Total exactly — the
+// core identity every aggregation layer leans on.
+func TestReceiptPhaseSumIdentity(t *testing.T) {
+	var r Receipt
+	r.Reset(7, ClassSet, 100)
+	r.AddPhase(PhaseWindow, 3)
+	r.AddPhase(PhaseQueue, 5)
+	r.AddPhase(PhaseDoorbell, 2)
+	r.AddPhase(PhaseFabric, 40)
+	r.AddPhase(PhaseCoord, 10)
+	r.Total = r.PhaseSum()
+	if r.Total != 60 {
+		t.Fatalf("PhaseSum = %d, want 60", r.Total)
+	}
+	r.Reset(8, ClassGet, 200)
+	if r.PhaseSum() != 0 || r.Total != 0 || r.Op != 8 || r.Start != 200 {
+		t.Fatalf("Reset left state behind: %+v", r)
+	}
+}
+
+// AddRes folds repeat grants per name, bounds the table at
+// MaxReceiptRes, and keeps the FabricWait/FabricExec sums exact even
+// for overflowed entries.
+func TestReceiptAddResFoldAndOverflow(t *testing.T) {
+	var r Receipt
+	r.AddRes("shard0/pu0", 10, 20)
+	r.AddRes("shard0/pu0", 1, 2)
+	if r.NRes != 1 || r.Res[0].Wait != 11 || r.Res[0].Exec != 22 {
+		t.Fatalf("same-name grants did not fold: %+v", r.Res[0])
+	}
+	for i := 1; i < MaxReceiptRes; i++ {
+		r.AddRes("res"+strconv.Itoa(i), 1, 1)
+	}
+	r.AddRes("overflow-a", 100, 200)
+	r.AddRes("overflow-b", 1, 1)
+	if int(r.NRes) != MaxReceiptRes {
+		t.Fatalf("NRes = %d, want %d", r.NRes, MaxReceiptRes)
+	}
+	if r.ResDropped != 2 {
+		t.Fatalf("ResDropped = %d, want 2", r.ResDropped)
+	}
+	wantWait := sim.Time(11 + (MaxReceiptRes - 1) + 100 + 1)
+	wantExec := sim.Time(22 + (MaxReceiptRes - 1) + 200 + 1)
+	if r.FabricWait != wantWait || r.FabricExec != wantExec {
+		t.Fatalf("fabric sums %d/%d, want %d/%d (overflow must stay exact)",
+			r.FabricWait, r.FabricExec, wantWait, wantExec)
+	}
+}
+
+// AdoptLeg imports the leg's ledger (phases, resource table,
+// censoring) but not the coordinator op's own identity or timing.
+func TestReceiptAdoptLeg(t *testing.T) {
+	var leg Receipt
+	leg.Reset(99, ClassSet, 500)
+	leg.AddPhase(PhaseFabric, 30)
+	leg.AddRes("shard1/pu0", 4, 8)
+	leg.Censored = true
+
+	var op Receipt
+	op.Reset(1, ClassSet, 100)
+	op.Leg, op.Legs = 1, 2
+	op.AdoptLeg(&leg)
+	if op.Op != 1 || op.Start != 100 || op.Leg != 1 || op.Legs != 2 {
+		t.Fatalf("AdoptLeg clobbered op identity: %+v", op)
+	}
+	if op.Phases[PhaseFabric] != 30 || op.FabricExec != 8 || op.NRes != 1 || !op.Censored {
+		t.Fatalf("AdoptLeg did not import the leg ledger: %+v", op)
+	}
+	op.AdoptLeg(nil) // must be a no-op
+	if op.Phases[PhaseFabric] != 30 {
+		t.Fatal("AdoptLeg(nil) changed state")
+	}
+}
+
+// The tail heap keeps the N slowest receipts; ties displace nothing,
+// so retention is deterministic in arrival order; Tail() returns
+// slowest first.
+func TestProvenanceTailHeap(t *testing.T) {
+	pv := NewProvenance(3)
+	add := func(op uint64, total sim.Time) {
+		var r Receipt
+		r.Reset(op, ClassGet, 0)
+		r.AddPhase(PhaseFabric, total)
+		r.Total = r.PhaseSum()
+		pv.Record(&r)
+	}
+	add(1, 10)
+	add(2, 50)
+	add(3, 30)
+	add(4, 10) // ties the current min: must NOT displace op 1
+	add(5, 40) // displaces op 1 (total 10)
+	add(6, 5)  // slower than nothing retained: dropped
+
+	tail := pv.Tail(ClassGet)
+	if len(tail) != 3 {
+		t.Fatalf("tail len = %d, want 3", len(tail))
+	}
+	wantOps := []uint64{2, 5, 3}
+	wantTot := []sim.Time{50, 40, 30}
+	for i := range tail {
+		if tail[i].Op != wantOps[i] || tail[i].Total != wantTot[i] {
+			t.Fatalf("tail[%d] = op %d total %d, want op %d total %d",
+				i, tail[i].Op, tail[i].Total, wantOps[i], wantTot[i])
+		}
+	}
+	if pv.Count(ClassGet) != 6 {
+		t.Fatalf("Count = %d, want 6", pv.Count(ClassGet))
+	}
+}
+
+// Decompose reports phase shares sorted largest-first, resource
+// attributions, and a dominant-tail string.
+func TestProvenanceDecompose(t *testing.T) {
+	pv := NewProvenance(4)
+	var r Receipt
+	r.Reset(1, ClassSet, 0)
+	r.AddPhase(PhaseFabric, 70)
+	r.AddPhase(PhaseCoord, 30)
+	r.AddRes("shard0/pu0", 5, 60)
+	r.Total = r.PhaseSum()
+	pv.Record(&r)
+
+	d := pv.Decompose(ClassSet)
+	if d.Class != "set" || d.Ops != 1 || d.Total != 100 {
+		t.Fatalf("decomp header wrong: %+v", d)
+	}
+	if len(d.Phases) != 2 || d.Phases[0].Phase != "fabric" || d.Phases[0].Frac != 0.7 {
+		t.Fatalf("phase shares wrong: %+v", d.Phases)
+	}
+	if len(d.Res) != 1 || d.Res[0].Res != "shard0/pu0" || d.Res[0].Exec != 60 {
+		t.Fatalf("res shares wrong: %+v", d.Res)
+	}
+	if d.TailWorst != 100 || !strings.Contains(d.TailDominant, "shard0/pu0") {
+		t.Fatalf("tail attribution wrong: worst=%d dominant=%q", d.TailWorst, d.TailDominant)
+	}
+	name, total := pv.DominantResource(ClassSet)
+	if name != "shard0/pu0" || total != 65 {
+		t.Fatalf("DominantResource = %q/%d, want shard0/pu0/65", name, total)
+	}
+	// Classes with no receipts are skipped by DecomposeAll.
+	if all := pv.DecomposeAll(); len(all) != 1 || all[0].Class != "set" {
+		t.Fatalf("DecomposeAll = %+v, want one set entry", all)
+	}
+}
+
+// TopUtil sorts busiest first with the Bottleneck tie-break (equal
+// utilizations order by name), returns a fresh slice, and agrees with
+// Bottleneck at k=1.
+func TestTopUtilDeterministicTieBreak(t *testing.T) {
+	rs := []ResourceUtil{
+		{Name: "shard1/pu0", Util: 0.5},
+		{Name: "shard0/pu1", Util: 0.9},
+		{Name: "shard0/pu0", Util: 0.9}, // ties pu1: name order decides
+		{Name: "shard2/link", Util: 0.7},
+	}
+	top := TopUtil(rs, 3)
+	want := []string{"shard0/pu0", "shard0/pu1", "shard2/link"}
+	for i, n := range want {
+		if top[i].Name != n {
+			t.Fatalf("TopUtil[%d] = %s, want %s", i, top[i].Name, n)
+		}
+	}
+	bn, ok := Bottleneck(rs)
+	if !ok || TopUtil(rs, 1)[0] != bn {
+		t.Fatalf("TopUtil(rs,1)[0] = %+v, Bottleneck = %+v — must agree", TopUtil(rs, 1)[0], bn)
+	}
+	if got := TopUtil(rs, 10); len(got) != len(rs) {
+		t.Fatalf("k past len returned %d entries, want %d", len(got), len(rs))
+	}
+	if TopUtil(rs, 0) != nil || TopUtil(nil, 3) != nil {
+		t.Fatal("degenerate TopUtil inputs must return nil")
+	}
+	if rs[0].Name != "shard1/pu0" {
+		t.Fatal("TopUtil mutated its input")
+	}
+}
+
+// The profiler's folded export is deterministic, shard-split, sorted,
+// and its per-line nanoseconds reconcile with ExecTotal/Frames.
+func TestProfilerFoldedExport(t *testing.T) {
+	p := NewProfiler()
+	p.Grant("get", "shard0/port0/fetch", 5, 10)
+	p.Grant("get", "shard0/port0/fetch", 1, 2)
+	p.Grant("set", "shard1/pu0", 0, 7)
+	p.Grant("", "cli0/link", 3, 0) // unclaimed class folds into "other"
+
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"get;shard0;port0/fetch;exec 12\n" +
+		"get;shard0;port0/fetch;wait 6\n" +
+		"other;cli0;link;wait 3\n" +
+		"set;shard1;pu0;exec 7\n"
+	if buf.String() != want {
+		t.Fatalf("folded export:\n%s\nwant:\n%s", buf.String(), want)
+	}
+	if p.Frames() != 4 {
+		t.Fatalf("Frames = %d, want 4", p.Frames())
+	}
+	if p.ExecTotal() != 19 {
+		t.Fatalf("ExecTotal = %d, want 19", p.ExecTotal())
+	}
+	if p.ExecFor("shard0/port0/fetch") != 12 {
+		t.Fatalf("ExecFor = %d, want 12", p.ExecFor("shard0/port0/fetch"))
+	}
+
+	// Parse-and-sum the exec lines: the folded artifact alone must
+	// reconcile with ExecTotal — the same check CI runs on the file.
+	var sum sim.Time
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		parts := strings.Split(sc.Text(), " ")
+		if len(parts) != 2 {
+			t.Fatalf("malformed folded line %q", sc.Text())
+		}
+		n, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasSuffix(parts[0], ";exec") {
+			sum += sim.Time(n)
+		}
+	}
+	if sum != p.ExecTotal() {
+		t.Fatalf("folded exec sum %d != ExecTotal %d", sum, p.ExecTotal())
+	}
+}
+
+// Disabled provenance is free: nil receivers accept every call
+// without allocating — the zero-cost-when-off gate.
+func TestNilProvenanceZeroAlloc(t *testing.T) {
+	var r *Receipt
+	var pv *Provenance
+	var p *Profiler
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(1, ClassGet, 0)
+		r.AddPhase(PhaseFabric, 10)
+		r.AddRes("shard0/pu0", 1, 2)
+		r.AdoptLeg(nil)
+		pv.Record(nil)
+		p.Grant("get", "shard0/pu0", 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil provenance path allocated %.0f per run, want 0", allocs)
+	}
+	if p.Enabled() {
+		t.Fatal("nil profiler reports enabled")
+	}
+	if p.ExecTotal() != 0 || p.Frames() != 0 || p.ExecFor("x") != 0 {
+		t.Fatal("nil profiler reports non-zero totals")
+	}
+	if pv.Tail(ClassGet) != nil || pv.DecomposeAll() != nil {
+		t.Fatal("nil provenance reports receipts")
+	}
+	var buf bytes.Buffer
+	if err := p.WriteFolded(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil profiler folded export: err=%v len=%d", err, buf.Len())
+	}
+}

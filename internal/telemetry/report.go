@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -34,4 +35,27 @@ func Bottleneck(rs []ResourceUtil) (ResourceUtil, bool) {
 		}
 	}
 	return best, true
+}
+
+// TopUtil returns the k highest-utilization entries, busiest first,
+// with the same deterministic tie-break as Bottleneck (equal
+// utilizations order by name). rs is not modified; the result is a
+// fresh slice of min(k, len(rs)) entries, so TopUtil(rs, 1)[0] is
+// always Bottleneck(rs) and TopUtil(rs, 2)[1] is the second-order
+// bottleneck the decomposition report names.
+func TopUtil(rs []ResourceUtil, k int) []ResourceUtil {
+	if k <= 0 || len(rs) == 0 {
+		return nil
+	}
+	out := append([]ResourceUtil(nil), rs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Util != out[j].Util {
+			return out[i].Util > out[j].Util
+		}
+		return out[i].Name < out[j].Name
+	})
+	if k > len(out) {
+		k = len(out)
+	}
+	return out[:k]
 }

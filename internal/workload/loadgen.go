@@ -74,12 +74,23 @@ type LoadReport struct {
 	Avg, P50, P99, P999    sim.Time
 	SetAvg, SetP50, SetP99 sim.Time
 	DelAvg, DelP50, DelP99 sim.Time
+
+	// Hit percentiles cover successful gets only. The combined P50/P99
+	// above mix in misses, which report the configured timeout (or the
+	// failover budget spent) rather than a real service time — a miss
+	// is a timeout-censored observation, not a latency. Censored counts
+	// those samples; Miss percentiles summarize them distinctly so a
+	// miss-heavy run can't masquerade as a slow one.
+	HitAvg, HitP50, HitP99 sim.Time
+	MissP50, MissP99       sim.Time
+	Censored               int
 }
 
 func (r LoadReport) String() string {
-	return fmt.Sprintf("%d ops (%d gets, %d sets, %d dels, %d misses, %d set errs, %d del errs) in %v: %.0f gets/s %.0f sets/s %.0f dels/s, p50=%v p99=%v p999=%v set-p50=%v set-p99=%v del-p50=%v",
+	return fmt.Sprintf("%d ops (%d gets, %d sets, %d dels, %d misses, %d set errs, %d del errs) in %v: %.0f gets/s %.0f sets/s %.0f dels/s, p50=%v p99=%v p999=%v hit-p50=%v hit-p99=%v miss-p50=%v miss-p99=%v (censored=%d) set-p50=%v set-p99=%v del-p50=%v",
 		r.Requests, r.Gets, r.Sets, r.Dels, r.Misses, r.SetErrs, r.DelErrs, r.Elapsed,
-		r.GetsPerSec, r.SetsPerSec, r.DelsPerSec, r.P50, r.P99, r.P999, r.SetP50, r.SetP99, r.DelP50)
+		r.GetsPerSec, r.SetsPerSec, r.DelsPerSec, r.P50, r.P99, r.P999,
+		r.HitP50, r.HitP99, r.MissP50, r.MissP99, r.Censored, r.SetP50, r.SetP99, r.DelP50)
 }
 
 // OpenLoopConfig shapes a paced, timeline-bucketed run — the Fig 16
@@ -287,6 +298,8 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 	}
 
 	getStats := &sim.LatencyStats{}
+	hitStats := &sim.LatencyStats{}
+	missStats := &sim.LatencyStats{}
 	setStats := &sim.LatencyStats{}
 	delStats := &sim.LatencyStats{}
 	rep := LoadReport{Requests: cfg.Requests}
@@ -344,8 +357,10 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 		kv.GetAsync(key, cfg.ValLen, func(_ []byte, lat sim.Time, ok bool) {
 			if ok {
 				rep.Hits++
+				hitStats.Add(lat)
 			} else {
 				rep.Misses++
+				missStats.Add(lat)
 			}
 			getStats.Add(lat)
 			lastDone = eng.Now()
@@ -376,6 +391,12 @@ func RunClosedLoop(eng *sim.Engine, kv AsyncKV, cfg ClosedLoopConfig) LoadReport
 	rep.P50 = getStats.Percentile(50)
 	rep.P99 = getStats.Percentile(99)
 	rep.P999 = getStats.Percentile(99.9)
+	rep.HitAvg = hitStats.Avg()
+	rep.HitP50 = hitStats.Percentile(50)
+	rep.HitP99 = hitStats.Percentile(99)
+	rep.MissP50 = missStats.Percentile(50)
+	rep.MissP99 = missStats.Percentile(99)
+	rep.Censored = int(missStats.N())
 	rep.SetAvg = setStats.Avg()
 	rep.SetP50 = setStats.Percentile(50)
 	rep.SetP99 = setStats.Percentile(99)

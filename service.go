@@ -239,6 +239,24 @@ type ServiceConfig struct {
 	// OnAnomaly, when set, runs on every anomaly right after its
 	// incident bundle is captured.
 	OnAnomaly func(telemetry.Anomaly)
+
+	// Provenance enables per-op latency receipts: every get/set/delete
+	// (and probe) accumulates a fixed-size phase ledger — window wait,
+	// client queue, doorbell batching, fabric time, quorum stitching,
+	// retry legs — partitioned so the phases sum exactly to the observed
+	// latency. Aggregated per op class into bounded histograms plus a
+	// top-N slowest-receipt heap; read them with Provenance() and
+	// Stats().Provenance. Off, every receipt path is a nil check.
+	Provenance bool
+	// TailReceipts caps the retained slowest receipts per op class
+	// (0 = telemetry.DefaultTailReceipts). Fixed memory.
+	TailReceipts int
+	// Profile enables the virtual-time profiler: every grant on a
+	// server NIC resource (PU, fetch unit, link, PCIe, atomic unit) is
+	// attributed to (op class, shard, resource) with queue-wait and
+	// execution split, exported as folded stacks for flamegraphs.
+	// Retrieve with Profiler(). Off, the grant path is a nil check.
+	Profile bool
 }
 
 // DefaultServiceConfig returns the production-shaped defaults: 16-deep
@@ -503,6 +521,24 @@ type Service struct {
 	tr  *telemetry.Tracer   // nil = tracing disabled
 	sen *sentinel           // SLO sentinel + flight recorder (nil = off)
 
+	// Latency-provenance state: the per-class receipt aggregator, the
+	// virtual-time profiler attached to every server NIC, and a scratch
+	// receipt the coordinator folds client ledgers into before
+	// recording (receipts are copied on Record, so one scratch serves
+	// every op). All nil/unused when the knobs are off.
+	prov        *telemetry.Provenance
+	profiler    *telemetry.Profiler
+	rcptScratch telemetry.Receipt
+
+	// legRcpt is the one-slot handoff from an owner leg's apply site
+	// (fabric callback or host-path completion) to the quorum
+	// accounting that consumes it synchronously in the same call
+	// chain: the acking leg's client receipt, or a synthesized
+	// host-latency ledger. legValid guards against adopting a stale
+	// note from an earlier leg.
+	legRcpt  telemetry.Receipt
+	legValid bool
+
 	// utilBase snapshots per-resource busy/grant totals at the last
 	// MarkUtilization, so Stats reports utilization over the measured
 	// window instead of diluting it with setup-phase idle time.
@@ -616,6 +652,14 @@ func (s *Service) Metrics() *telemetry.Registry { return s.reg }
 // Tracer returns the tracer wired at construction (nil when disabled).
 func (s *Service) Tracer() *telemetry.Tracer { return s.tr }
 
+// Provenance returns the per-op-class receipt aggregator (nil unless
+// ServiceConfig.Provenance).
+func (s *Service) Provenance() *telemetry.Provenance { return s.prov }
+
+// Profiler returns the virtual-time profiler attached to the shard
+// NICs (nil unless ServiceConfig.Profile).
+func (s *Service) Profiler() *telemetry.Profiler { return s.profiler }
+
 // NewService builds a service of nShards server nodes, each serving
 // clientsPerShard pipelined client connections, with default sizing.
 func NewService(nShards, clientsPerShard int) *Service {
@@ -728,6 +772,12 @@ func NewServiceWith(cfg ServiceConfig) *Service {
 		// grow-forever cost that made full tracing opt-in.
 		s.tr = telemetry.NewRingTracer(s.tb.clu.Eng, cfg.RecorderEvents)
 	}
+	if cfg.Provenance {
+		s.prov = telemetry.NewProvenance(cfg.TailReceipts)
+	}
+	if cfg.Profile {
+		s.profiler = telemetry.NewProfiler()
+	}
 	s.initMetrics()
 	if cfg.HotKeyTrack > 0 {
 		s.hot = shard.NewHotKeys(cfg.HotKeyTrack)
@@ -758,6 +808,11 @@ func (s *Service) buildShard(id string) *serviceShard {
 	nc.MemSize = cfg.ServerMem
 	node := s.tb.clu.AddNode(nc)
 	node.Dev.SetTracer(s.tr)
+	if s.profiler != nil {
+		// Server NICs only: the profiler's exec totals then reconcile
+		// exactly with resourceReport, which also scopes to the shards.
+		node.Dev.SetProfiler(s.profiler)
+	}
 	srv := &Server{tb: s.tb, node: node, builder: core.NewBuilder(node.Dev, 1<<16)}
 	srv.arena = extent.NewArena(node.Mem, cfg.SegmentSize)
 	srv.arena.SetNoReclaim(cfg.NoReclaim)
@@ -783,6 +838,17 @@ func (s *Service) newShardClient(sh *serviceShard, cn *fabric.Node) *Client {
 	cli.MissTimeout = s.cfg.MissTimeout
 	cli.Bind(sh.table)
 	cli.SetTracer(s.tr, cn.Name)
+	if s.prov != nil {
+		cli.EnableProvenance()
+		// Probes finalize at the client (no coordinator stitching), so
+		// they record straight off the hook; get/set/delete receipts
+		// fold at the coordinator with quorum and retry legs added.
+		cli.OnReceipt(func(op Op, r *telemetry.Receipt) {
+			if op == OpProbe {
+				s.prov.Record(r)
+			}
+		})
+	}
 	if s.cfg.AdaptiveWindow {
 		cli.ConfigureWindow(WindowConfig{Adaptive: true, Start: s.cfg.WindowStart,
 			Beta: s.cfg.WindowBeta, EcnBacklog: s.cfg.WindowEcnBacklog})
@@ -1116,6 +1182,13 @@ func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration,
 			s.tb.clu.Eng.After(CacheHitLat, func() {
 				s.tr.Instant("coordinator", "cache-hit", op)
 				s.tr.OpEnd(op, "get")
+				if s.prov != nil {
+					r := &s.rcptScratch
+					r.Reset(op, telemetry.ClassGet, s.tb.Now()-CacheHitLat)
+					r.AddPhase(telemetry.PhaseCache, CacheHitLat)
+					r.Total = CacheHitLat
+					s.prov.Record(r)
+				}
 				cb(val, CacheHitLat, true)
 			})
 			return
@@ -1131,7 +1204,36 @@ func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration,
 		s.tb.clu.Eng.After(0, func() { cb(nil, 0, false) })
 		return
 	}
-	s.tryGet(key, valLen, order, 0, 0, epoch, s.cacheGen, op, cb)
+	s.tryGet(key, valLen, order, 0, 0, s.tb.Now(), epoch, s.cacheGen, op, cb)
+}
+
+// recordGetReceipt folds the final attempt's client receipt into the
+// coordinator's get ledger: everything between the op entering the
+// coordinator (began) and the final attempt's own submit->finish span
+// — earlier failed attempts, their timeouts, admission deferrals — is
+// the retry phase, so the phases still partition the client-observed
+// latency exactly. cli is the client whose callback is running (its
+// LastReceipt is this attempt's ledger).
+func (s *Service) recordGetReceipt(cli *Client, began sim.Time) {
+	if s.prov == nil {
+		return
+	}
+	now := s.tb.Now()
+	r := &s.rcptScratch
+	if cr := cli.LastReceipt(OpGet); cr != nil {
+		*r = *cr
+	} else {
+		// Failed without reaching a slot (dead connection): the whole
+		// span is coordinator-side waiting.
+		r.Reset(0, telemetry.ClassGet, began)
+		r.Censored = true
+	}
+	r.Start = began
+	if retry := (now - began) - r.PhaseSum(); retry > 0 {
+		r.AddPhase(telemetry.PhaseRetry, retry)
+	}
+	r.Total = r.PhaseSum()
+	s.prov.Record(r)
 }
 
 // tryGet issues attempt i of a get against its policy-ordered owners,
@@ -1142,13 +1244,13 @@ func (s *Service) GetAsync(key, valLen uint64, cb func(val []byte, lat Duration,
 // generation at issue time; it gates admission against ownership
 // changes that raced the read (a resharding started mid-flight).
 func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent Duration,
-	epoch, gen uint64, op uint64, cb func(val []byte, lat Duration, ok bool)) {
+	began sim.Time, epoch, gen uint64, op uint64, cb func(val []byte, lat Duration, ok bool)) {
 	sh := order[i]
 	if s.overloaded(sh) {
 		if i+1 < len(order) {
 			// Defer: some other replica owner may still have headroom.
 			s.deferredGets.Inc()
-			s.tryGet(key, valLen, order, i+1, spent, epoch, gen, op, cb)
+			s.tryGet(key, valLen, order, i+1, spent, began, epoch, gen, op, cb)
 			return
 		}
 		// Every owner is saturated: shed instead of stacking a request
@@ -1189,6 +1291,7 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 			// enqueues a roll-forward (service_repair.go).
 			s.maybeReadRepair(key, sh, order)
 			s.tr.OpEnd(op, "get")
+			s.recordGetReceipt(cli, began)
 			cb(val, lat, true)
 			return
 		}
@@ -1202,11 +1305,12 @@ func (s *Service) tryGet(key, valLen uint64, order []*serviceShard, i int, spent
 		}
 		if i+1 < len(order) {
 			s.retries.Inc()
-			s.tryGet(key, valLen, order, i+1, lat, epoch, gen, op, cb)
+			s.tryGet(key, valLen, order, i+1, lat, began, epoch, gen, op, cb)
 			return
 		}
 		s.misses.Inc()
 		s.tr.OpEnd(op, "get")
+		s.recordGetReceipt(cli, began)
 		// Miss-path read-repair: a miss on every owner is itself a
 		// version report ("I hold nothing the NIC can reach"). If the
 		// coordinator's view says some owner does hold the key — a
@@ -1414,8 +1518,17 @@ type ServiceStats struct {
 	// Resources lists every serialized NIC unit across the shard
 	// fleet (PUs, fetch units, links, PCIe, atomic units) with its
 	// busy fraction of the run so far; Bottleneck is the busiest.
-	Resources  []telemetry.ResourceUtil
-	Bottleneck telemetry.ResourceUtil
+	// TopResources ranks the k busiest (k=3, deterministic name
+	// tie-break) — TopResources[1] is the second-order bottleneck, the
+	// unit that would saturate next if the first were relieved.
+	Resources    []telemetry.ResourceUtil
+	Bottleneck   telemetry.ResourceUtil
+	TopResources []telemetry.ResourceUtil
+
+	// Provenance decomposes each op class's latency into its phase
+	// ledger (percentiles, phase shares, per-resource wait/exec, worst
+	// retained receipt) when ServiceConfig.Provenance is on; nil off.
+	Provenance []telemetry.ClassDecomp
 
 	// Anomalies lists every typed anomaly the SLO sentinel recorded,
 	// oldest first (empty with the sentinel off). Incidents() returns
@@ -1514,6 +1627,10 @@ func (s *Service) Stats() ServiceStats {
 	out.Resources = s.resourceReport()
 	if bn, ok := telemetry.Bottleneck(out.Resources); ok {
 		out.Bottleneck = bn
+	}
+	out.TopResources = telemetry.TopUtil(out.Resources, 3)
+	if s.prov != nil {
+		out.Provenance = s.prov.DecomposeAll()
 	}
 	if s.sen != nil {
 		out.Anomalies = append([]telemetry.Anomaly(nil), s.sen.slo.Anomalies()...)

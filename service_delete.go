@@ -3,6 +3,7 @@ package redn
 import (
 	"repro/internal/hopscotch"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // The fabric delete path and the extent lifecycle behind it.
@@ -76,6 +77,11 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 		owners: len(owners), start: s.tb.Now(), cb: cb,
 		settleLeft: len(owners) + len(extras),
 		traceOp:    s.tr.OpBegin("del", key)}
+	if s.prov != nil {
+		op.rcpt = &telemetry.Receipt{}
+		op.rcpt.Reset(op.traceOp, telemetry.ClassDel, op.start)
+		op.rcpt.Legs = uint8(len(owners))
+	}
 	for idx, id := range owners {
 		sh := s.shards[id]
 		legID := op.traceOp<<4 | uint64(idx)
@@ -93,6 +99,9 @@ func (s *Service) DeleteAsync(key uint64, cb func(lat Duration, err error)) {
 				}
 				sh.noteDeleted(key, seq)
 				s.dropHint(sh, key, seq)
+				if op.rcpt != nil {
+					op.rcpt.Leg = uint8(idx)
+				}
 				op.ack(s)
 				op.settleOne(s)
 			case ownerUnreachable:
@@ -166,6 +175,7 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, top uint64, 
 			// delete's end state. Applied, at a zero-cost hop.
 			s.tb.clu.Eng.After(0, func() {
 				sh.dels.Inc()
+				s.clearLegReceipt() // no measurable leg to adopt
 				done(ownerApplied)
 			})
 			return
@@ -185,6 +195,7 @@ func (s *Service) ownerDeleteNow(sh *serviceShard, key, ver uint64, top uint64, 
 			sh.consecMiss = 0
 			sh.suspectUntil = 0
 			sh.dels.Inc()
+			s.noteLegReceipt(cli.LastReceipt(OpDelete))
 			done(ownerApplied)
 			return
 		}
@@ -216,6 +227,7 @@ func (s *Service) hostDelete(sh *serviceShard, key, ver uint64, done func(st own
 		}
 		sh.del(key, ver)
 		sh.dels.Inc()
+		s.noteHostLeg(HostDeleteLat)
 		done(ownerApplied)
 	})
 }

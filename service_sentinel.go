@@ -219,6 +219,12 @@ func (s *Service) captureIncident(a telemetry.Anomaly) {
 	sen := s.sen
 	if len(sen.incidents) < s.cfg.MaxIncidents {
 		inc := telemetry.BuildIncident(len(sen.incidents)+1, a, sen.rec, s.tr, s.resourceReport())
+		if s.prov != nil && a.Class == "latency" {
+			// Latency incidents carry their own explanation: the phase
+			// decomposition at capture time says which leg of the
+			// critical path the burn came from.
+			inc.Provenance = s.prov.DecomposeAll()
+		}
 		sen.incidents = append(sen.incidents, inc)
 		if dir := s.cfg.SentinelDir; dir != "" {
 			name := fmt.Sprintf("INCIDENT_%d_%s.json", inc.Seq, a.Class)

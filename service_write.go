@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hopscotch"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // The fabric write path.
@@ -138,6 +139,15 @@ type setOp struct {
 	done         bool
 	settleLeft   int
 	traceOp      uint64
+
+	// Latency provenance (nil with it off): the op's phase ledger. At
+	// the quorum-completing ack the critical leg's receipt is adopted
+	// into it and the coordinator remainder (fan-out dispatch, per-key
+	// write-slot queueing, quorum stitching) becomes the coord phase.
+	// lastAckAt times the previous ack so the quorum ack can report
+	// the straggler gap it spent waiting on its slowest counted leg.
+	rcpt      *telemetry.Receipt
+	lastAckAt sim.Time
 }
 
 // traceName is the op span name this write opened under: deletes and
@@ -152,13 +162,34 @@ func (op *setOp) traceName() string {
 
 func (op *setOp) ack(s *Service) {
 	op.acks++
+	now := s.tb.Now()
 	if !op.done && op.acks >= op.need {
 		op.done = true
 		s.tr.OpEnd(op.traceOp, op.traceName())
+		if op.rcpt != nil {
+			// This ack completed the quorum, so the leg whose callback
+			// is running is the critical leg: adopt its phase ledger
+			// and charge everything it doesn't cover — fan-out
+			// dispatch, per-key write-slot queueing, quorum stitching
+			// — to the coord phase, keeping the partition exact.
+			r := op.rcpt
+			if s.legValid {
+				r.AdoptLeg(&s.legRcpt)
+			}
+			if coord := (now - op.start) - r.PhaseSum(); coord > 0 {
+				r.AddPhase(telemetry.PhaseCoord, coord)
+			}
+			if op.lastAckAt != 0 {
+				r.Straggler = now - op.lastAckAt
+			}
+			r.Total = r.PhaseSum()
+			s.prov.Record(r)
+		}
 		if op.cb != nil {
-			op.cb(s.tb.Now()-op.start, nil)
+			op.cb(now-op.start, nil)
 		}
 	}
+	op.lastAckAt = now
 }
 
 func (op *setOp) fail(s *Service) {
@@ -167,12 +198,58 @@ func (op *setOp) fail(s *Service) {
 		op.done = true
 		s.tr.OpEnd(op.traceOp, op.traceName())
 		s.quorumFails.Inc()
+		now := s.tb.Now()
+		if op.rcpt != nil {
+			// Quorum dead: no critical leg to adopt — the whole span
+			// was coordinator-side waiting on owners that never came.
+			r := op.rcpt
+			r.Censored = true
+			if coord := (now - op.start) - r.PhaseSum(); coord > 0 {
+				r.AddPhase(telemetry.PhaseCoord, coord)
+			}
+			r.Total = r.PhaseSum()
+			s.prov.Record(r)
+		}
 		if op.cb != nil {
-			op.cb(s.tb.Now()-op.start, &QuorumError{
+			op.cb(now-op.start, &QuorumError{
 				Key: op.key, Acks: op.acks, Need: op.need, Owners: op.owners})
 		}
 	}
 }
+
+// noteLegReceipt stages one owner leg's client receipt for the quorum
+// accounting that may consume it synchronously (setOp.ack). nil (dead
+// connection, no slot reached) clears the stage.
+func (s *Service) noteLegReceipt(r *telemetry.Receipt) {
+	if s.prov == nil {
+		return
+	}
+	if r == nil {
+		s.legValid = false
+		return
+	}
+	s.legRcpt = *r
+	s.legValid = true
+}
+
+// noteHostLeg stages a synthesized ledger for an owner leg that ran on
+// the host CPU path: the whole leg is one host phase of the modeled
+// RPC latency.
+func (s *Service) noteHostLeg(lat Duration) {
+	if s.prov == nil {
+		return
+	}
+	now := s.tb.Now()
+	s.legRcpt.Reset(0, telemetry.ClassSet, now-lat)
+	s.legRcpt.AddPhase(telemetry.PhaseHost, lat)
+	s.legRcpt.Total = lat
+	s.legValid = true
+}
+
+// clearLegReceipt invalidates the staged leg ledger; apply paths with
+// no measurable leg (a trivially-absent delete) call it so the quorum
+// ack cannot adopt an earlier leg's stale note.
+func (s *Service) clearLegReceipt() { s.legValid = false }
 
 // settleOne records that one more owner has resolved this write
 // (applied, drained, or superseded); when the last one does, the
@@ -232,6 +309,11 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 	op := &setOp{key: key, seq: seq, need: s.cfg.WriteQuorum, owners: len(owners),
 		start: s.tb.Now(), cb: cb, settleLeft: len(owners) + len(extras),
 		traceOp: s.tr.OpBegin("set", key)}
+	if s.prov != nil {
+		op.rcpt = &telemetry.Receipt{}
+		op.rcpt.Reset(op.traceOp, telemetry.ClassSet, op.start)
+		op.rcpt.Legs = uint8(len(owners))
+	}
 	val := append([]byte(nil), value...)
 	for idx, id := range owners {
 		sh := s.shards[id]
@@ -250,6 +332,9 @@ func (s *Service) SetAsync(key uint64, value []byte, cb func(lat Duration, err e
 				}
 				sh.noteApplied(key, seq)
 				s.dropHint(sh, key, seq)
+				if op.rcpt != nil {
+					op.rcpt.Leg = uint8(idx)
+				}
 				op.ack(s)
 				op.settleOne(s)
 			case ownerUnreachable:
@@ -383,6 +468,7 @@ func (s *Service) ownerSetNow(sh *serviceShard, key uint64, val []byte, ver uint
 			if hadOld {
 				sh.retireExtent(oldVa)
 			}
+			s.noteLegReceipt(cli.LastReceipt(OpSet))
 			done(ownerApplied)
 			return
 		}
@@ -521,6 +607,7 @@ func (s *Service) hostSet(sh *serviceShard, key uint64, val []byte, ver uint64, 
 			done(ownerRejected)
 			return
 		}
+		s.noteHostLeg(HostSetLat)
 		done(ownerApplied)
 	})
 }
